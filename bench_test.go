@@ -1,0 +1,211 @@
+// Benchmarks regenerating every figure of He & Yang (ICDE 2004), §5.
+//
+// Each BenchmarkFigureNN runs the corresponding experiment end to end and
+// reports the headline numbers as custom metrics (the paper's cost metric
+// and index sizes), in addition to Go's usual time/allocation metrics.
+//
+// Scale: benchmarks default to 0.1 × the paper's dataset sizes so the whole
+// suite completes quickly; set MRX_BENCH_SCALE=1.0 to run at the paper's
+// ~120k-node XMark and ~90k-node NASA sizes (cmd/mrbench does the same).
+package mrx_test
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"mrx/internal/experiments"
+	"mrx/internal/pathexpr"
+)
+
+func benchScale() float64 {
+	if s := os.Getenv("MRX_BENCH_SCALE"); s != "" {
+		if f, err := strconv.ParseFloat(s, 64); err == nil && f > 0 {
+			return f
+		}
+	}
+	return 0.1
+}
+
+func benchQueries() int {
+	if s := os.Getenv("MRX_BENCH_QUERIES"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 500
+}
+
+var (
+	dsCache   = map[string]experiments.Dataset{}
+	wlCache   = map[string][]*pathexpr.Expr{}
+	cacheLock sync.Mutex
+)
+
+func benchDataset(b *testing.B, name string) experiments.Dataset {
+	b.Helper()
+	cacheLock.Lock()
+	defer cacheLock.Unlock()
+	key := fmt.Sprintf("%s@%g", name, benchScale())
+	if ds, ok := dsCache[key]; ok {
+		return ds
+	}
+	ds, err := experiments.LoadDataset(name, benchScale(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dsCache[key] = ds
+	return ds
+}
+
+func benchWorkload(b *testing.B, ds experiments.Dataset, maxQueryLen int) []*pathexpr.Expr {
+	b.Helper()
+	cacheLock.Lock()
+	defer cacheLock.Unlock()
+	key := fmt.Sprintf("%s@%g/%d/%d", ds.Name, benchScale(), maxQueryLen, benchQueries())
+	if qs, ok := wlCache[key]; ok {
+		return qs
+	}
+	qs := experiments.NewWorkload(ds, benchQueries(), maxQueryLen, 1)
+	wlCache[key] = qs
+	return qs
+}
+
+// benchCostFigure runs a cost-versus-size experiment (figures 10-13, 18-22)
+// and reports the M*(k) row as metrics.
+func benchCostFigure(b *testing.B, dataset string, maxQueryLen, maxA int) {
+	ds := benchDataset(b, dataset)
+	queries := benchWorkload(b, ds, maxQueryLen)
+	var last experiments.CostVsSizeResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		last = experiments.RunCostVsSize(ds, queries, maxA, nil)
+	}
+	b.StopTimer()
+	for _, r := range last.Rows {
+		switch r.Index {
+		case "M*(k)":
+			b.ReportMetric(r.AvgCost, "mstar-cost")
+			b.ReportMetric(float64(r.Nodes), "mstar-nodes")
+			b.ReportMetric(float64(r.Edges), "mstar-edges")
+		case "M(k)":
+			b.ReportMetric(r.AvgCost, "mk-cost")
+			b.ReportMetric(float64(r.Nodes), "mk-nodes")
+		case "D(k)-promote":
+			b.ReportMetric(r.AvgCost, "dkp-cost")
+			b.ReportMetric(float64(r.Nodes), "dkp-nodes")
+		}
+	}
+}
+
+// benchGrowthFigure runs a size-growth experiment (figures 14-17, 23-26)
+// and reports final sizes as metrics.
+func benchGrowthFigure(b *testing.B, dataset string, maxQueryLen int, edges bool) {
+	ds := benchDataset(b, dataset)
+	queries := benchWorkload(b, ds, maxQueryLen)
+	var last experiments.GrowthResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		last = experiments.RunGrowth(ds, queries, 50, nil)
+	}
+	b.StopTimer()
+	for name, pts := range last.Series {
+		final := pts[len(pts)-1]
+		v := final.Nodes
+		unit := name + "-nodes"
+		if edges {
+			v = final.Edges
+			unit = name + "-edges"
+		}
+		b.ReportMetric(float64(v), unit)
+	}
+}
+
+func BenchmarkFigure08QueryDistributionLen9(b *testing.B) {
+	cfg := experiments.Config{Scale: benchScale(), NumQueries: benchQueries(), Seed: 1, GrowthStep: 50}
+	for i := 0; i < b.N; i++ {
+		if err := experiments.RunFigure(8, cfg, io.Discard, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure09QueryDistributionLen4(b *testing.B) {
+	cfg := experiments.Config{Scale: benchScale(), NumQueries: benchQueries(), Seed: 1, GrowthStep: 50}
+	for i := 0; i < b.N; i++ {
+		if err := experiments.RunFigure(9, cfg, io.Discard, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure10CostVsNodesXMarkLen9(b *testing.B) { benchCostFigure(b, "xmark", 9, 7) }
+func BenchmarkFigure11CostVsEdgesXMarkLen9(b *testing.B) { benchCostFigure(b, "xmark", 9, 7) }
+func BenchmarkFigure12CostVsNodesNASALen9(b *testing.B)  { benchCostFigure(b, "nasa", 9, 7) }
+func BenchmarkFigure13CostVsEdgesNASALen9(b *testing.B)  { benchCostFigure(b, "nasa", 9, 7) }
+
+func BenchmarkFigure14NodeGrowthXMarkLen9(b *testing.B) { benchGrowthFigure(b, "xmark", 9, false) }
+func BenchmarkFigure15EdgeGrowthXMarkLen9(b *testing.B) { benchGrowthFigure(b, "xmark", 9, true) }
+func BenchmarkFigure16NodeGrowthNASALen9(b *testing.B)  { benchGrowthFigure(b, "nasa", 9, false) }
+func BenchmarkFigure17EdgeGrowthNASALen9(b *testing.B)  { benchGrowthFigure(b, "nasa", 9, true) }
+
+func BenchmarkFigure18CostVsNodesXMarkLen4(b *testing.B) { benchCostFigure(b, "xmark", 4, 4) }
+func BenchmarkFigure19CostVsNodesXMarkLen4Zoom(b *testing.B) {
+	// Same experiment as figure 18; the paper's figure 19 replots a subset.
+	benchCostFigure(b, "xmark", 4, 4)
+}
+func BenchmarkFigure20CostVsEdgesXMarkLen4Zoom(b *testing.B) { benchCostFigure(b, "xmark", 4, 4) }
+func BenchmarkFigure21CostVsNodesNASALen4(b *testing.B)      { benchCostFigure(b, "nasa", 4, 4) }
+func BenchmarkFigure22CostVsEdgesNASALen4(b *testing.B)      { benchCostFigure(b, "nasa", 4, 4) }
+
+func BenchmarkFigure23NodeGrowthXMarkLen4(b *testing.B) { benchGrowthFigure(b, "xmark", 4, false) }
+func BenchmarkFigure24EdgeGrowthXMarkLen4(b *testing.B) { benchGrowthFigure(b, "xmark", 4, true) }
+func BenchmarkFigure25NodeGrowthNASALen4(b *testing.B)  { benchGrowthFigure(b, "nasa", 4, false) }
+func BenchmarkFigure26EdgeGrowthNASALen4(b *testing.B)  { benchGrowthFigure(b, "nasa", 4, true) }
+
+// Ablation benches for the design choices called out in DESIGN.md.
+
+func BenchmarkAblationQueryStrategies(b *testing.B) {
+	ds := benchDataset(b, "xmark")
+	queries := benchWorkload(b, ds, 9)
+	var rows []experiments.StrategyRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.RunStrategies(ds, queries, nil)
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.AvgCost, r.Strategy+"-cost")
+	}
+}
+
+func BenchmarkAblationLiteralRefinement(b *testing.B) {
+	ds := benchDataset(b, "nasa")
+	queries := benchWorkload(b, ds, 9)
+	var rows []experiments.LiteralRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.RunLiteralAblation(ds, queries, nil)
+	}
+	for _, r := range rows {
+		// Metric units must be whitespace-free; variants are "strict
+		// (default)" and "paper-literal".
+		unit := "strict-nodes"
+		if strings.Contains(r.Variant, "literal") {
+			unit = "literal-nodes"
+		}
+		b.ReportMetric(float64(r.Nodes), unit)
+	}
+}
+
+func BenchmarkAblationMStarAccounting(b *testing.B) {
+	ds := benchDataset(b, "xmark")
+	queries := benchWorkload(b, ds, 9)
+	var row experiments.MStarAccountingRow
+	for i := 0; i < b.N; i++ {
+		row = experiments.RunMStarAccounting(ds, queries, nil)
+	}
+	b.ReportMetric(float64(row.Nodes), "dedup-nodes")
+	b.ReportMetric(float64(row.LogicalNodes), "logical-nodes")
+}

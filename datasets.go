@@ -1,0 +1,50 @@
+package mrx
+
+import (
+	"mrx/internal/datagen"
+	"mrx/internal/workload"
+)
+
+// GenerateXMark produces an XMark-like auction-site XML document. Scale 1.0
+// yields a graph of about 120,000 nodes, matching the paper's dataset.
+func GenerateXMark(scale float64, seed int64) []byte { return datagen.XMark(scale, seed) }
+
+// GenerateNASA produces a NASA-like astronomical-catalog XML document.
+// Scale 1.0 yields a graph of about 90,000 nodes, matching the paper's
+// dataset; it is deeper, broader, more irregular and more reference-heavy
+// than the XMark document.
+func GenerateNASA(scale float64, seed int64) []byte { return datagen.NASA(scale, seed) }
+
+// XMarkGraph generates and parses an XMark-like document in one step.
+func XMarkGraph(scale float64, seed int64) *Graph { return datagen.XMarkGraph(scale, seed) }
+
+// NASAGraph generates and parses a NASA-like document in one step.
+func NASAGraph(scale float64, seed int64) *Graph { return datagen.NASAGraph(scale, seed) }
+
+// WorkloadOptions configures synthetic query-workload generation.
+type WorkloadOptions = workload.Options
+
+// GenerateWorkload samples a query workload the way the paper does:
+// enumerate all label paths up to MaxPathLen, then extract random
+// subsequences prefixed with //.
+func GenerateWorkload(g *Graph, opts WorkloadOptions) []*PathExpr {
+	return workload.Generate(g, opts)
+}
+
+// DefaultWorkloadOptions mirrors the paper's primary workload: 500 queries,
+// paths up to length 9, query length up to 9.
+func DefaultWorkloadOptions(seed int64) WorkloadOptions {
+	return workload.DefaultOptions(seed)
+}
+
+// WorkloadHistogram returns the fraction of queries at each length (the
+// data behind the paper's Figures 8 and 9).
+func WorkloadHistogram(queries []*PathExpr) []float64 {
+	return workload.LengthHistogram(queries)
+}
+
+// EnumerateLabelPaths lists every distinct root-anchored label path of
+// length up to maxLen in the data graph.
+func EnumerateLabelPaths(g *Graph, maxLen int) [][]string {
+	return workload.EnumerateLabelPaths(g, maxLen)
+}

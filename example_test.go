@@ -1,0 +1,83 @@
+package mrx_test
+
+import (
+	"fmt"
+	"strings"
+
+	"mrx"
+)
+
+// A document small enough to read: two persons, one referenced by a seller.
+const exampleDoc = `<site>
+  <people>
+    <person id="p1"><name/></person>
+    <person id="p2"><name/></person>
+  </people>
+  <auctions>
+    <auction><seller person="p1"/></auction>
+  </auctions>
+</site>`
+
+func ExampleLoadXML() {
+	g, err := mrx.LoadXML(strings.NewReader(exampleDoc))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("nodes:", g.NumNodes())
+	fmt.Println("reference edges:", g.NumRefEdges())
+	// Output:
+	// nodes: 10
+	// reference edges: 1
+}
+
+func ExampleParsePath() {
+	e, err := mrx.ParsePath("//people/person")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("length:", e.Length())
+	fmt.Println("rooted:", e.Rooted)
+	fmt.Println(e)
+	// Output:
+	// length: 1
+	// rooted: false
+	// //people/person
+}
+
+func ExampleEval() {
+	g, _ := mrx.LoadXML(strings.NewReader(exampleDoc))
+	// The seller element reaches person p1 through its IDREF edge.
+	ids := mrx.Eval(g, mrx.MustParsePath("//auction/seller/person"))
+	for _, id := range ids {
+		fmt.Println(g.NodeLabelName(id))
+	}
+	// Output:
+	// person
+}
+
+func ExampleNewMStar() {
+	g, _ := mrx.LoadXML(strings.NewReader(exampleDoc))
+	ms := mrx.NewMStar(g)
+	q := mrx.MustParsePath("//auction/seller")
+
+	before := ms.Query(q)
+	ms.Support(q) // refine for this frequently-used path expression
+	after := ms.Query(q)
+
+	fmt.Println("answers:", len(after.Answer))
+	fmt.Println("precise before:", before.Precise, "after:", after.Precise)
+	fmt.Println("components:", ms.NumComponents())
+	// Output:
+	// answers: 1
+	// precise before: false after: true
+	// components: 2
+}
+
+func ExampleBuildAK() {
+	g, _ := mrx.LoadXML(strings.NewReader(exampleDoc))
+	a1 := mrx.BuildAK(g, 1)
+	res := mrx.QueryIndex(a1, mrx.MustParsePath("//people/person"))
+	fmt.Println("precise:", res.Precise, "answers:", len(res.Answer))
+	// Output:
+	// precise: true answers: 2
+}

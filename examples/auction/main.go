@@ -1,0 +1,82 @@
+// Auction: the paper's motivating scenario on an XMark-like auction site.
+//
+// A query workload arrives against a large, reference-rich document. Static
+// indexes force a single global resolution: too coarse and every query pays
+// validation; too fine and the index itself becomes expensive to traverse.
+// The adaptive indexes refine only what the workload touches. This example
+// builds all five index families for the same workload and prints the
+// size/cost trade-off — a miniature of the paper's Figure 10.
+package main
+
+import (
+	"fmt"
+
+	"mrx"
+)
+
+func main() {
+	g := mrx.XMarkGraph(0.05, 1)
+	fmt.Printf("XMark-like data graph: %d nodes, %d edges (%d references)\n\n",
+		g.NumNodes(), g.NumEdges(), g.NumRefEdges())
+
+	queries := mrx.GenerateWorkload(g, mrx.WorkloadOptions{
+		NumQueries: 120, MaxPathLen: 9, MaxQueryLen: 9, Seed: 7,
+	})
+	fmt.Printf("workload: %d descendant queries, e.g. %s\n\n", len(queries), queries[0])
+
+	avg := func(eval func(*mrx.PathExpr) mrx.Result) (total float64, validated float64) {
+		for _, q := range queries {
+			res := eval(q)
+			total += float64(res.Cost.Total())
+			validated += float64(res.Cost.DataNodes)
+		}
+		n := float64(len(queries))
+		return total / n, validated / n
+	}
+
+	fmt.Printf("%-16s %8s %8s %12s %12s\n", "index", "nodes", "edges", "avg cost", "validation")
+	row := func(name string, nodes, edges int, cost, valid float64) {
+		fmt.Printf("%-16s %8d %8d %12.1f %12.1f\n", name, nodes, edges, cost, valid)
+	}
+
+	// Static A(k) family: one resolution for the whole graph.
+	for _, k := range []int{0, 2, 4} {
+		ig := mrx.BuildAK(g, k)
+		cost, valid := avg(func(q *mrx.PathExpr) mrx.Result { return mrx.QueryIndex(ig, q) })
+		row(fmt.Sprintf("A(%d)", k), ig.NumNodes(), ig.NumEdges(), cost, valid)
+	}
+
+	// D(k), constructed from the workload in one shot.
+	if dk, err := mrx.BuildDK(g, queries); err == nil {
+		cost, valid := avg(func(q *mrx.PathExpr) mrx.Result { return mrx.QueryIndex(dk, q) })
+		row("D(k)-construct", dk.NumNodes(), dk.NumEdges(), cost, valid)
+	}
+
+	// D(k)-promote, M(k) and M*(k), refined incrementally per query.
+	dp := mrx.NewDKPromote(g)
+	for _, q := range queries {
+		dp.Support(q)
+	}
+	cost, valid := avg(func(q *mrx.PathExpr) mrx.Result { return mrx.QueryIndex(dp.Index(), q) })
+	row("D(k)-promote", dp.Index().NumNodes(), dp.Index().NumEdges(), cost, valid)
+
+	mk := mrx.NewMK(g)
+	for _, q := range queries {
+		mk.Support(q)
+	}
+	cost, valid = avg(mk.Query)
+	row("M(k)", mk.Index().NumNodes(), mk.Index().NumEdges(), cost, valid)
+
+	ms := mrx.NewMStar(g)
+	for _, q := range queries {
+		ms.Support(q)
+	}
+	sz := ms.Sizes()
+	cost, valid = avg(ms.Query)
+	row("M*(k)", sz.Nodes, sz.Edges, cost, valid)
+
+	fmt.Println("\nAfter refinement the adaptive indexes answer every workload query")
+	fmt.Println("precisely (zero validation); M*(k) additionally evaluates each query")
+	fmt.Println("in the coarsest component that supports it, which is why its average")
+	fmt.Println("cost is far lower at comparable (or smaller) size.")
+}

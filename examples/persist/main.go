@@ -1,0 +1,98 @@
+// Persist: a disk-resident M*(k)-index with selective component loading —
+// the direction §6 of the paper sketches as future work.
+//
+// The index is refined for a workload, written to disk component by
+// component, and reopened twice: once loading only the coarse components
+// (enough for short queries) and once loading everything. Short queries on
+// the partial index are answered precisely without touching the fine
+// components on disk.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"mrx"
+)
+
+func main() {
+	g := mrx.XMarkGraph(0.05, 9)
+	ms := mrx.NewMStar(g)
+	for _, s := range []string{
+		"//person/name",
+		"//open_auction/bidder/personref/person",
+		"//site/open_auctions/open_auction/annotation/description",
+	} {
+		ms.Support(mrx.MustParsePath(s))
+	}
+	fmt.Printf("refined M*(k)-index: %d components, %d nodes\n",
+		ms.NumComponents(), ms.Sizes().Nodes)
+
+	dir, err := os.MkdirTemp("", "mrx-persist")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	graphPath := filepath.Join(dir, "data.mrxg")
+	indexPath := filepath.Join(dir, "index.mrxm")
+
+	// Persist the data graph and the index.
+	var gbuf, ibuf bytes.Buffer
+	if err := mrx.WriteGraph(&gbuf, g); err != nil {
+		log.Fatal(err)
+	}
+	if err := mrx.WriteMStar(&ibuf, ms); err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(graphPath, gbuf.Bytes(), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(indexPath, ibuf.Bytes(), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("on disk: graph %d bytes, index %d bytes\n\n", gbuf.Len(), ibuf.Len())
+
+	// Reopen: load the graph, then only components I0..I2.
+	gf, err := os.Open(graphPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer gf.Close()
+	g2, err := mrx.ReadGraph(gf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Open(indexPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	reader, err := mrx.OpenMStar(f, g2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	partial, err := reader.LoadUpTo(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("selective load: %d of %d components materialized\n",
+		reader.Loaded(), reader.NumComponents())
+
+	short := mrx.MustParsePath("//bidder/personref")
+	res := partial.Query(short)
+	fmt.Printf("%s on the partial index: %d answers, cost %d, precise=%v\n",
+		short, len(res.Answer), res.Cost.Total(), res.Precise)
+
+	// A deep query needs the fine components; load the rest incrementally.
+	long := mrx.MustParsePath("//site/open_auctions/open_auction/annotation/description")
+	full, err := reader.LoadUpTo(reader.NumComponents() - 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res = full.Query(long)
+	fmt.Printf("%s after loading all %d components: %d answers, cost %d, precise=%v\n",
+		long, reader.Loaded(), len(res.Answer), res.Cost.Total(), res.Precise)
+}

@@ -1,0 +1,65 @@
+// Quickstart: load an XML document, build the M*(k)-index, answer a path
+// expression, and refine the index so the query becomes precise.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"mrx"
+)
+
+const doc = `<site>
+  <people>
+    <person id="p1"><name/><emailaddress/></person>
+    <person id="p2"><name/></person>
+    <person id="p3"><name/><address><city/></address></person>
+  </people>
+  <open_auctions>
+    <open_auction>
+      <seller person="p1"/>
+      <bidder><personref person="p2"/></bidder>
+      <bidder><personref person="p3"/></bidder>
+    </open_auction>
+  </open_auctions>
+</site>`
+
+func main() {
+	// 1. Parse the document into a data graph. Element nesting becomes tree
+	// edges; the person="..." ID/IDREF pairs become reference edges.
+	g, err := mrx.LoadXML(strings.NewReader(doc))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("data graph: %d nodes, %d edges (%d references)\n\n",
+		g.NumNodes(), g.NumEdges(), g.NumRefEdges())
+
+	// 2. Build an adaptive M*(k)-index. It starts as a coarse A(0)-index:
+	// one index node per element name.
+	ms := mrx.NewMStar(g)
+
+	// 3. Ask for the persons reached through bidder references. The coarse
+	// index cannot answer a length-2 path precisely, so the answer is
+	// validated against the data graph (the validation cost is reported).
+	q := mrx.MustParsePath("//bidder/personref/person")
+	res := ms.Query(q)
+	fmt.Printf("before refinement: %s -> %d answers, cost %d (index %d + validation %d)\n",
+		q, len(res.Answer), res.Cost.Total(), res.Cost.IndexNodes, res.Cost.DataNodes)
+
+	// 4. Tell the index this is a frequently used path expression. REFINE*
+	// raises the resolution of exactly the index nodes the query touches.
+	ms.Support(q)
+
+	// 5. The same query is now answered precisely from the index alone.
+	res = ms.Query(q)
+	fmt.Printf("after refinement:  %s -> %d answers, cost %d (index %d + validation %d)\n",
+		q, len(res.Answer), res.Cost.Total(), res.Cost.IndexNodes, res.Cost.DataNodes)
+
+	sz := ms.Sizes()
+	fmt.Printf("\nM*(k)-index: %d components, %d nodes, %d edges (deduplicated)\n",
+		sz.Components, sz.Nodes, sz.Edges)
+	for _, id := range res.Answer {
+		fmt.Printf("  answer node %d: %s\n", id, g.NodeLabelName(id))
+	}
+}

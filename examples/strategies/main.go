@@ -1,0 +1,69 @@
+// Strategies: compare the three M*(k) query-evaluation strategies of §4.1.
+//
+// naive     — evaluate the whole expression in component I_length;
+// top-down  — evaluate each prefix in the coarsest component that supports
+//
+//	it, descending through supernode/subnode links (QUERYTOPDOWN);
+//
+// subpath   — evaluate a short, selective subpath in a coarse component
+//
+//	first, then verify prefix/suffix in the fine component.
+//
+// All three return identical answers; they differ in how many index nodes
+// they visit. Which wins depends on the query, which is exactly the query-
+// optimization question the paper leaves open.
+package main
+
+import (
+	"fmt"
+
+	"mrx"
+)
+
+func main() {
+	g := mrx.XMarkGraph(0.05, 2)
+	ms := mrx.NewMStar(g)
+
+	queries := mrx.GenerateWorkload(g, mrx.WorkloadOptions{
+		NumQueries: 80, MaxPathLen: 9, MaxQueryLen: 9, Seed: 4,
+	})
+	for _, q := range queries {
+		ms.Support(q)
+	}
+	fmt.Printf("M*(k) refined for %d queries: %d components, %d nodes\n\n",
+		len(queries), ms.NumComponents(), ms.Sizes().Nodes)
+
+	fmt.Printf("%-55s %8s %8s %8s %8s\n", "query", "naive", "topdown", "bottomup", "subpath")
+	type agg struct{ naive, top, bot, sub int }
+	var byLen [10]agg
+	var counts [10]int
+	for _, q := range queries {
+		n := ms.QueryNaive(q).Cost.Total()
+		t := ms.QueryTopDown(q).Cost.Total()
+		bu := ms.QueryBottomUp(q).Cost.Total()
+		// Subpath pre-filter: the middle window of length min(2, len).
+		w := 2
+		if q.Length() < w {
+			w = q.Length()
+		}
+		start := (q.Length() - w) / 2
+		s := ms.QuerySubpath(q, start, start+w).Cost.Total()
+		if q.Length() >= 4 {
+			fmt.Printf("%-55s %8d %8d %8d %8d\n", q.String(), n, t, bu, s)
+		}
+		byLen[q.Length()] = agg{byLen[q.Length()].naive + n, byLen[q.Length()].top + t, byLen[q.Length()].bot + bu, byLen[q.Length()].sub + s}
+		counts[q.Length()]++
+	}
+
+	fmt.Printf("\naverage cost by query length:\n%-8s %8s %8s %8s %8s %8s\n", "length", "count", "naive", "topdown", "bottomup", "subpath")
+	for l, c := range counts {
+		if c == 0 {
+			continue
+		}
+		fmt.Printf("%-8d %8d %8.1f %8.1f %8.1f %8.1f\n", l, c,
+			float64(byLen[l].naive)/float64(c),
+			float64(byLen[l].top)/float64(c),
+			float64(byLen[l].bot)/float64(c),
+			float64(byLen[l].sub)/float64(c))
+	}
+}

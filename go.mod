@@ -1,0 +1,3 @@
+module mrx
+
+go 1.24

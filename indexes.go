@@ -1,0 +1,100 @@
+package mrx
+
+import (
+	"mrx/internal/baseline"
+	"mrx/internal/core"
+	"mrx/internal/index"
+	"mrx/internal/query"
+)
+
+// Index is a structural index graph: nodes carry an extent (an equivalence
+// class of data nodes) and a local similarity value k.
+type Index = index.Graph
+
+// IndexNode is one node of a structural index.
+type IndexNode = index.Node
+
+// IndexStats summarizes an index graph.
+type IndexStats = index.Stats
+
+// KInfinity is the local similarity of 1-index nodes, whose extents are
+// fully bisimilar and therefore precise for paths of any length.
+const KInfinity = baseline.KInfinity
+
+// BuildAK builds the A(k)-index of g: the k-bisimilarity partition with a
+// single global resolution k (Kaushik et al., ICDE 2002).
+func BuildAK(g *Graph, k int) *Index { return baseline.AK(g, k) }
+
+// Build1Index builds the 1-index of g (Milo & Suciu): full-bisimulation
+// classes, precise for every simple path expression. It also returns the
+// graph's bisimulation depth.
+func Build1Index(g *Graph) (*Index, int) { return baseline.OneIndex(g) }
+
+// BuildDK builds a D(k)-index from scratch for a workload of frequently
+// used path expressions, using the construction procedure of Chen et al.
+// (SIGMOD 2003): every index node with label l gets the workload-derived
+// local similarity requirement of l.
+func BuildDK(g *Graph, fups []*PathExpr) (*Index, error) {
+	return baseline.DKConstruct(g, fups)
+}
+
+// DKPromote is the incrementally refined D(k)-index (PROMOTE procedure).
+// It over-refines for irrelevant data nodes and under overqualified
+// parents; it is provided as the baseline the M(k)-index improves on.
+type DKPromote = baseline.DKPromote
+
+// NewDKPromote initializes a D(k)-promote index as an A(0)-index of g.
+func NewDKPromote(g *Graph) *DKPromote { return baseline.NewDKPromote(g) }
+
+// MK is the M(k)-index (paper §3): adaptive like D(k)-promote, but its
+// REFINE procedure uses the query's data-graph target set so irrelevant
+// index and data nodes are never over-refined.
+type MK = core.MK
+
+// NewMK initializes an M(k)-index as an A(0)-index of g.
+func NewMK(g *Graph) *MK { return core.NewMK(g) }
+
+// MStar is the M*(k)-index (paper §4): a hierarchy of component indexes at
+// resolutions 0..k that additionally eliminates over-refinement due to
+// overqualified parents and supports multiresolution query evaluation
+// (naive, top-down, and subpath pre-filtering strategies).
+type MStar = core.MStar
+
+// MStarSizes reports M*(k) sizes under the paper's deduplicated accounting
+// and the naive logical accounting.
+type MStarSizes = core.SizeStats
+
+// NewMStar initializes an M*(k)-index with the single component I0.
+func NewMStar(g *Graph) *MStar { return core.NewMStar(g) }
+
+// QueryIndex evaluates e over any single-graph structural index (1-index,
+// A(k), D(k), M(k)), validating under-refined answers against the data
+// graph and reporting the paper's cost metric. For the M*(k)-index use its
+// own Query/QueryTopDown/QueryNaive/QuerySubpath methods.
+func QueryIndex(ig *Index, e *PathExpr) Result { return query.EvalIndex(ig, e) }
+
+// UD is the UD(k,l)-index (Wu et al., WAIM 2003), discussed in §2/§4.1 of
+// the paper: up- and down-bisimilarity combined, precise for branching
+// queries //p[q] with length(p) ≤ k and length(q) ≤ l.
+type UD = baseline.UD
+
+// BranchingResult is the outcome of a branching query //p[q].
+type BranchingResult = query.BranchingResult
+
+// QueryIndexBranching evaluates the branching query //in[out] over any
+// structural index: the outgoing predicate is checked on the index graph
+// (safe) and validated against the data unless a UD(k,l)-style downward
+// guarantee covers it (downGuarantee = 0 for up-only indexes).
+func QueryIndexBranching(ig *Index, in, out *PathExpr, downGuarantee int) BranchingResult {
+	return query.EvalBranching(ig, in, out, downGuarantee)
+}
+
+// NewUD builds the UD(k,l)-index of g.
+func NewUD(g *Graph, k, l int) *UD { return baseline.NewUD(g, k, l) }
+
+// EvalBranching computes the ground truth of the branching query //p[q] on
+// the data graph: nodes that terminate an instance of in and start an
+// instance of out.
+func EvalBranching(g *Graph, in, out *PathExpr) []NodeID {
+	return query.EvalBranchingData(g, in, out)
+}

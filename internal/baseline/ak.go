@@ -1,0 +1,37 @@
+// Package baseline implements the pre-existing structural indexes the paper
+// compares against: the 1-index (Milo & Suciu), the A(k)-index (Kaushik et
+// al.) and the D(k)-index (Chen, Lim & Ong), the latter in both of its
+// forms, construction from a workload and incremental promotion.
+//
+// The D(k)-promote implementation is deliberately faithful to the PROMOTE
+// pseudocode reproduced in §2 of He & Yang, including its over-refinement
+// behaviours (irrelevant data nodes, overqualified parents), since those are
+// exactly what the paper's experiments quantify.
+package baseline
+
+import (
+	"mrx/internal/graph"
+	"mrx/internal/index"
+	"mrx/internal/partition"
+)
+
+// KInfinity is the local-similarity value assigned to 1-index nodes: their
+// extents are fully bisimilar, so they are precise for path expressions of
+// any length.
+const KInfinity = 1 << 20
+
+// AK builds the A(k)-index of g: nodes are the blocks of the k-bisimilarity
+// partition, every node has local similarity k.
+func AK(g *graph.Graph, k int) *index.Graph {
+	p := partition.KBisim(g, k)
+	return index.FromPartition(g, p, func(partition.BlockID) int { return k })
+}
+
+// OneIndex builds the 1-index of g: nodes are full-bisimulation classes.
+// It returns the index and the graph's bisimulation depth (the number of
+// refinement rounds needed to stabilize). Index nodes carry KInfinity since
+// they are precise for any simple path expression.
+func OneIndex(g *graph.Graph) (*index.Graph, int) {
+	p, depth := partition.Bisim(g)
+	return index.FromPartition(g, p, func(partition.BlockID) int { return KInfinity }), depth
+}

@@ -1,0 +1,58 @@
+package baseline
+
+import (
+	"mrx/internal/graph"
+	"mrx/internal/index"
+	"mrx/internal/partition"
+	"mrx/internal/pathexpr"
+	"mrx/internal/query"
+)
+
+// UD is the UD(k,l)-index of Wu et al. (WAIM 2003), which He & Yang discuss
+// in §2 and §4.1: it generalizes the A(k)-index by partitioning on both
+// k-up-bisimilarity (shared incoming label paths up to length k) and
+// l-down-bisimilarity (shared outgoing label paths up to length l). The
+// downward guarantee is what simple up-only indexes lack; it makes the
+// index precise for branching path expressions //p[q] — nodes reached by an
+// incoming path p that also start an outgoing path q — whenever
+// length(p) ≤ k and length(q) ≤ l.
+type UD struct {
+	ig   *index.Graph
+	k, l int
+}
+
+// NewUD builds the UD(k,l)-index of g: the common refinement of the
+// k-bisimilarity and l-down-bisimilarity partitions.
+func NewUD(g *graph.Graph, k, l int) *UD {
+	up := partition.KBisim(g, k)
+	down := partition.LBisimDown(g, l)
+	p := partition.Intersect(up, down)
+	ig := index.FromPartition(g, p, func(partition.BlockID) int { return k })
+	return &UD{ig: ig, k: k, l: l}
+}
+
+// Index exposes the underlying index graph.
+func (ud *UD) Index() *index.Graph { return ud.ig }
+
+// UpK returns the upward resolution k.
+func (ud *UD) UpK() int { return ud.k }
+
+// DownL returns the downward resolution l.
+func (ud *UD) DownL() int { return ud.l }
+
+// Query evaluates a simple path expression, exactly like any up-bisimilar
+// index (precise for lengths up to k).
+func (ud *UD) Query(e *pathexpr.Expr) query.Result { return query.EvalIndex(ud.ig, e) }
+
+// QueryBranching evaluates //p[q]: the incoming part like any index, the
+// outgoing predicate from the index graph alone when length(q) ≤ l (the
+// down-bisimilarity guarantee), with data-graph validation beyond that.
+func (ud *UD) QueryBranching(in, out *pathexpr.Expr) query.BranchingResult {
+	return query.EvalBranching(ud.ig, in, out, ud.l)
+}
+
+// EvalBranchingData computes the ground truth of //p[q] on the data graph.
+// Deprecated: use query.EvalBranchingData; kept for API compatibility.
+func EvalBranchingData(g *graph.Graph, in, out *pathexpr.Expr) []graph.NodeID {
+	return query.EvalBranchingData(g, in, out)
+}

@@ -1,0 +1,224 @@
+package baseline
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"mrx/internal/graph"
+	"mrx/internal/gtest"
+	"mrx/internal/index"
+	"mrx/internal/pathexpr"
+	"mrx/internal/query"
+)
+
+func TestUDRefinesAK(t *testing.T) {
+	g := gtest.Random(7, 200, 5, 0.25)
+	for _, kl := range [][2]int{{0, 1}, {1, 1}, {2, 2}, {3, 1}} {
+		ud := NewUD(g, kl[0], kl[1])
+		if err := ud.Index().Validate(true); err != nil {
+			t.Fatalf("UD(%d,%d): %v", kl[0], kl[1], err)
+		}
+		ak := AK(g, kl[0])
+		if ud.Index().NumNodes() < ak.NumNodes() {
+			t.Errorf("UD(%d,%d) coarser than A(%d)", kl[0], kl[1], kl[0])
+		}
+		if ud.UpK() != kl[0] || ud.DownL() != kl[1] {
+			t.Error("resolution accessors wrong")
+		}
+	}
+	// UD(k,0) equals A(k).
+	if ud, ak := NewUD(g, 2, 0), AK(g, 2); ud.Index().NumNodes() != ak.NumNodes() {
+		t.Errorf("UD(2,0) %d nodes != A(2) %d nodes", ud.Index().NumNodes(), ak.NumNodes())
+	}
+}
+
+// Down-bisimilar nodes share all outgoing label paths up to length l.
+func TestPropertyDownBisimOutgoingPaths(t *testing.T) {
+	check := func(seed int64) bool {
+		g := gtest.Random(seed, 50, 3, 0.3)
+		const l = 2
+		ud := NewUD(g, 0, l)
+		ok := true
+		ud.Index().ForEachNode(func(n *index.Node) {
+			ext := n.Extent()
+			if len(ext) < 2 || !ok {
+				return
+			}
+			want := outgoingPaths(g, ext[0], l)
+			for _, v := range ext[1:] {
+				got := outgoingPaths(g, v, l)
+				if len(got) != len(want) {
+					ok = false
+					return
+				}
+				for s := range want {
+					if !got[s] {
+						ok = false
+						return
+					}
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func outgoingPaths(g *graph.Graph, v graph.NodeID, l int) map[string]bool {
+	out := map[string]bool{}
+	var walk func(v graph.NodeID, prefix string, depth int)
+	walk = func(v graph.NodeID, prefix string, depth int) {
+		p := prefix + g.NodeLabelName(v)
+		out[p] = true
+		if depth == 0 {
+			return
+		}
+		for _, c := range g.Children(v) {
+			walk(c, p+"/", depth-1)
+		}
+	}
+	walk(v, "", l)
+	return out
+}
+
+func TestQueryBranchingGroundTruth(t *testing.T) {
+	g := graph.PaperFigure1()
+	in := pathexpr.MustParse("//auctions/auction")
+	out := pathexpr.MustParse("//auction/bidder/person")
+	want := EvalBranchingData(g, in, out)
+	// Auctions that have a bidder referencing a person: only auction 10, 11?
+	// 10 has bidder 16 -> person 8; 11 has bidder 17 -> person 8.
+	if !reflect.DeepEqual(want, []graph.NodeID{10, 11}) {
+		t.Fatalf("ground truth = %v", want)
+	}
+	ud := NewUD(g, 1, 2)
+	res := ud.QueryBranching(in, out)
+	if !reflect.DeepEqual(res.Answer, want) {
+		t.Errorf("UD answer = %v, want %v", res.Answer, want)
+	}
+	if !res.Precise {
+		t.Error("UD(1,2) should answer //auctions/auction[bidder/person] precisely")
+	}
+	if res.Cost.DataNodes != 0 {
+		t.Error("precise branching query paid validation")
+	}
+}
+
+func TestQueryBranchingValidatesBeyondL(t *testing.T) {
+	g := gtest.Random(19, 150, 4, 0.3)
+	in := pathexpr.MustParse("//l0")
+	out := pathexpr.MustParse("//l0/l1/l2/l3")
+	want := EvalBranchingData(g, in, out)
+	ud := NewUD(g, 0, 1) // l too small: must validate the out part
+	res := ud.QueryBranching(in, out)
+	if !reflect.DeepEqual(res.Answer, want) {
+		t.Errorf("answer %v want %v", res.Answer, want)
+	}
+	if len(want) > 0 && res.Precise {
+		t.Error("UD(0,1) cannot be precise for an outgoing path of length 3")
+	}
+}
+
+// Property: branching queries agree with ground truth for all (k, l).
+func TestPropertyBranchingAgrees(t *testing.T) {
+	pairs := [][2]string{
+		{"//l0", "//l0/l1"},
+		{"//l1/l2", "//l2/l0"},
+		{"//l2", "//l2/l1/l0"},
+		{"//l0/l1", "//l1/l1"},
+	}
+	check := func(seed int64) bool {
+		g := gtest.Random(seed, 70, 4, 0.3)
+		for _, kl := range [][2]int{{0, 0}, {1, 1}, {2, 2}, {1, 3}} {
+			ud := NewUD(g, kl[0], kl[1])
+			for _, pq := range pairs {
+				in, out := pathexpr.MustParse(pq[0]), pathexpr.MustParse(pq[1])
+				want := EvalBranchingData(g, in, out)
+				got := ud.QueryBranching(in, out)
+				if len(want) == 0 && len(got.Answer) == 0 {
+					continue
+				}
+				if !reflect.DeepEqual(got.Answer, want) {
+					t.Logf("seed %d UD(%d,%d) %s[%s]: got %v want %v",
+						seed, kl[0], kl[1], pq[0], pq[1], got.Answer, want)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The UD paper's headline: for branching expressions within (k, l), the
+// UD index answers without validation while the A(k) route must validate
+// the outgoing part against the data graph.
+func TestUDBeatsAKOnBranching(t *testing.T) {
+	g := gtest.Random(3, 400, 5, 0.25)
+	in := pathexpr.MustParse("//l0/l1")
+	out := pathexpr.MustParse("//l1/l2")
+	ud := NewUD(g, 1, 1)
+	res := ud.QueryBranching(in, out)
+	if !res.Precise {
+		t.Fatal("UD(1,1) should be precise here")
+	}
+	// Same query via A(1) + data-graph filtering of the out-part.
+	ak := AK(g, 1)
+	inRes := query.EvalIndex(ak, in)
+	dv := query.NewDownValidator(g, out)
+	var answer []graph.NodeID
+	for _, o := range inRes.Answer {
+		if dv.Matches(o) {
+			answer = append(answer, o)
+		}
+	}
+	if !reflect.DeepEqual(answer, res.Answer) {
+		t.Fatalf("A(1)+validation answer %v != UD answer %v", answer, res.Answer)
+	}
+	if dv.Visited() == 0 {
+		t.Fatal("A(k) route should have paid data-graph validation")
+	}
+	if res.Cost.DataNodes != 0 {
+		t.Fatal("UD route should not touch the data graph")
+	}
+}
+
+func TestAPEXCacheBehaviour(t *testing.T) {
+	g := graph.PaperFigure1()
+	d := query.NewDataIndex(g)
+	ax := NewAPEX(g)
+	fup := pathexpr.MustParse("//auctions/auction/bidder")
+	other := pathexpr.MustParse("//auctions/auction/seller")
+
+	// Before support: both fall back to the coarse summary with validation.
+	if res := ax.Query(fup); res.Precise {
+		t.Error("uncached length-2 query cannot be precise on A(0)")
+	}
+	ax.Support(fup)
+	if ax.CachedFUPs() != 1 {
+		t.Fatalf("cache size = %d", ax.CachedFUPs())
+	}
+
+	hit := ax.Query(fup)
+	if !hit.Precise || hit.Cost.IndexNodes != 1 || hit.Cost.DataNodes != 0 {
+		t.Errorf("cache hit: %+v", hit.Cost)
+	}
+	if !reflect.DeepEqual(hit.Answer, d.Eval(fup)) {
+		t.Error("cached answer wrong")
+	}
+
+	// The paper's criticism: a different expression over the same data gets
+	// no help from the cache.
+	miss := ax.Query(other)
+	if miss.Cost.DataNodes == 0 {
+		t.Error("cache miss should pay validation")
+	}
+	if !reflect.DeepEqual(miss.Answer, d.Eval(other)) {
+		t.Error("fallback answer wrong")
+	}
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"mrx/internal/graph"
+	"mrx/internal/gtest"
+	"mrx/internal/pathexpr"
+	"mrx/internal/query"
+)
+
+// Supporting a FUP with an empty data-graph target set must still leave the
+// index sound: any index instance of the FUP is a false instance and the
+// PROMOTE'/PROMOTE* pass must break or refine it.
+func TestSupportEmptyTargetFUP(t *testing.T) {
+	// r -> a -> b and r -> c -> b': //a/c has no instance but both labels
+	// exist, and //c/b has instances only under c.
+	g := graph.MustBuildSimple(
+		[]string{"r", "a", "c", "b", "b"},
+		[][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 4}},
+		nil)
+	for _, s := range []string{"//a/c", "//a/c/b"} {
+		e := pathexpr.MustParse(s)
+
+		mk := NewMK(g)
+		mk.Support(e)
+		if err := mk.Index().Validate(true); err != nil {
+			t.Fatalf("M(k) %s: %v", s, err)
+		}
+		if res := mk.Query(e); len(res.Answer) != 0 {
+			t.Errorf("M(k) %s: non-empty answer %v", s, res.Answer)
+		}
+
+		ms := NewMStar(g)
+		ms.Support(e)
+		if err := ms.Validate(true); err != nil {
+			t.Fatalf("M*(k) %s: %v", s, err)
+		}
+		if res := ms.Query(e); len(res.Answer) != 0 {
+			t.Errorf("M*(k) %s: non-empty answer %v", s, res.Answer)
+		}
+	}
+}
+
+func TestSupportWildcardFUP(t *testing.T) {
+	g := gtest.Random(31, 120, 4, 0.25)
+	d := query.NewDataIndex(g)
+	e := pathexpr.MustParse("//l0/*/l2")
+
+	mk := NewMK(g)
+	mk.Support(e)
+	if err := mk.Index().Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	if res := mk.Query(e); !reflect.DeepEqual(res.Answer, d.Eval(e)) {
+		t.Error("M(k) wildcard FUP wrong answer")
+	}
+
+	ms := NewMStar(g)
+	ms.Support(e)
+	if err := ms.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	if res := ms.Query(e); !reflect.DeepEqual(res.Answer, d.Eval(e)) {
+		t.Error("M*(k) wildcard FUP wrong answer")
+	}
+}
+
+func TestSupportRootedFUP(t *testing.T) {
+	g := graph.PaperFigure1()
+	d := query.NewDataIndex(g)
+	e := pathexpr.MustParse("/site/people/person")
+
+	mk := NewMK(g)
+	mk.Support(e)
+	if err := mk.Index().Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	res := mk.Query(e)
+	if !res.Precise {
+		t.Error("M(k) rooted FUP not precise after Support")
+	}
+	if !reflect.DeepEqual(res.Answer, d.Eval(e)) {
+		t.Error("M(k) rooted FUP wrong answer")
+	}
+
+	ms := NewMStar(g)
+	ms.Support(e)
+	if err := ms.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	if got := ms.Query(e); !reflect.DeepEqual(got.Answer, d.Eval(e)) {
+		t.Error("M*(k) rooted FUP wrong answer")
+	}
+}
+
+func TestSupportIdempotent(t *testing.T) {
+	g := gtest.Random(17, 120, 4, 0.25)
+	e := pathexpr.MustParse("//l0/l1/l2")
+	mk := NewMK(g)
+	mk.Support(e)
+	nodes := mk.Index().NumNodes()
+	mk.Support(e) // second refinement for the same FUP must be a no-op
+	if mk.Index().NumNodes() != nodes {
+		t.Errorf("M(k) re-support changed size: %d -> %d", nodes, mk.Index().NumNodes())
+	}
+
+	ms := NewMStar(g)
+	ms.Support(e)
+	sz := ms.Sizes()
+	ms.Support(e)
+	if ms.Sizes() != sz {
+		t.Errorf("M*(k) re-support changed size: %+v -> %+v", sz, ms.Sizes())
+	}
+}
+
+func TestSingleNodeGraph(t *testing.T) {
+	g := graph.MustBuildSimple([]string{"root"}, nil, nil)
+	mk := NewMK(g)
+	mk.Support(pathexpr.MustParse("//root"))
+	if err := mk.Index().Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	ms := NewMStar(g)
+	ms.Support(pathexpr.MustParse("//root"))
+	if err := ms.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	if res := ms.Query(pathexpr.MustParse("//missing")); len(res.Answer) != 0 {
+		t.Error("missing label matched")
+	}
+}
+
+// Cyclic reference chains: refinement must terminate and stay sound when a
+// FUP traverses a cycle longer than the graph's simple paths.
+func TestCyclicReferences(t *testing.T) {
+	g := graph.MustBuildSimple(
+		[]string{"root", "a", "b", "a", "b"},
+		[][2]int{{0, 1}, {1, 2}, {0, 3}, {3, 4}},
+		[][2]int{{2, 3}, {4, 1}}) // a->b->a->b->a cycle
+	d := query.NewDataIndex(g)
+	e := pathexpr.MustParse("//a/b/a/b/a/b")
+	mk := NewMK(g)
+	mk.Support(e)
+	if err := mk.Index().Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	if res := mk.Query(e); !reflect.DeepEqual(res.Answer, d.Eval(e)) {
+		t.Error("M(k) cyclic FUP wrong answer")
+	}
+	ms := NewMStar(g)
+	ms.Support(e)
+	if err := ms.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	if res := ms.Query(e); !reflect.DeepEqual(res.Answer, d.Eval(e)) {
+		t.Error("M*(k) cyclic FUP wrong answer")
+	}
+}
+
+// Regression: the seed that exposed the missing v.Dead() regroup in the
+// M*(k) parent-refinement loop (P3 violation in component I2).
+func TestMStarRegressionDeadNodeRegroup(t *testing.T) {
+	g := gtest.Random(4859765876506540546, 60, 4, 0.3)
+	ms := NewMStar(g)
+	for _, s := range []string{"//l0/l1", "//l1/l2/l0"} {
+		ms.Support(pathexpr.MustParse(s))
+		if err := ms.Validate(true); err != nil {
+			t.Fatalf("after %s: %v", s, err)
+		}
+	}
+}
+
+// Descendant-axis expressions fall back to naive evaluation on every M*
+// strategy and are skipped by refinement, but stay correct end to end.
+func TestDescendantAxisOnMStar(t *testing.T) {
+	g := gtest.Random(47, 150, 4, 0.3)
+	d := query.NewDataIndex(g)
+	ms := NewMStar(g)
+	ms.Support(pathexpr.MustParse("//l0/l1/l2"))
+	mk := NewMK(g)
+	mk.Support(pathexpr.MustParse("//l0/l1/l2"))
+
+	for _, s := range []string{"//l0//l2", "//l1//l0/l2", "//l2//*//l1"} {
+		e := pathexpr.MustParse(s)
+		want := d.Eval(e)
+		for name, got := range map[string][]graph.NodeID{
+			"topdown":  ms.QueryTopDown(e).Answer,
+			"naive":    ms.QueryNaive(e).Answer,
+			"bottomup": ms.QueryBottomUp(e).Answer,
+			"hybrid":   ms.QueryHybrid(e, -1).Answer,
+			"subpath":  ms.QuerySubpath(e, 0, 1).Answer,
+			"mk":       mk.Query(e).Answer,
+		} {
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s via %s: got %v want %v", s, name, got, want)
+			}
+		}
+		if res, _ := ms.QueryAuto(e); !reflect.DeepEqual(res.Answer, want) {
+			t.Errorf("%s via auto: wrong answer", s)
+		}
+
+		// Refinement must be a no-op, not a runaway component build.
+		before := ms.NumComponents()
+		ms.Support(e)
+		if ms.NumComponents() != before {
+			t.Fatalf("%s: Support materialized components for an unbounded FUP", s)
+		}
+		mkNodes := mk.Index().NumNodes()
+		mk.Support(e)
+		if mk.Index().NumNodes() != mkNodes {
+			t.Fatalf("%s: M(k) refined for an unbounded FUP", s)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"testing"
+
+	"mrx/internal/gtest"
+	"mrx/internal/pathexpr"
+)
+
+// TestLiteralModeCanViolateP1 documents the deviation described in DESIGN.md:
+// the paper-literal REFINENODE merge can place riders (members with parents
+// in unqualified index nodes) into kept pieces, breaking Property 1. The
+// default rider-eviction mode repairs this; this test pins down a seed where
+// the literal variant is provably unsound while the default stays valid.
+func TestLiteralModeCanViolateP1(t *testing.T) {
+	exprs := []string{"//l0/l1", "//l1/l2/l0", "//l2", "//l0/l0", "//l3/l1", "//l1/l0/l2/l1"}
+	violated := false
+	for seed := int64(0); seed < 40 && !violated; seed++ {
+		g := gtest.Random(seed, 70, 4, 0.3)
+		lit := NewMK(g)
+		lit.Literal = true
+		def := NewMK(g)
+		for _, s := range exprs {
+			e := pathexpr.MustParse(s)
+			lit.Support(e)
+			def.Support(e)
+			if err := def.Index().Validate(true); err != nil {
+				t.Fatalf("seed %d: default mode violated invariants after %s: %v", seed, s, err)
+			}
+			if err := lit.Index().Validate(true); err != nil {
+				violated = true
+				break
+			}
+		}
+	}
+	if !violated {
+		t.Error("expected at least one P1 violation from the paper-literal variant across 40 seeds; " +
+			"if refinement changed, re-check whether Literal mode is still meaningfully different")
+	}
+}

@@ -1,0 +1,288 @@
+// Package core implements the paper's contributions: the M(k)-index
+// (workload-adaptive, never over-refined for irrelevant index or data nodes)
+// and the M*(k)-index (a multiresolution hierarchy of M(k)-indexes that also
+// eliminates over-refinement due to overqualified parents).
+//
+// Both indexes start as an A(0)-index and are refined incrementally for each
+// frequently-used path expression (FUP) extracted from the query workload,
+// following the operational loop of Figure 5 in the paper: answer queries on
+// the index (validating when imprecise), extract FUPs, refine, repeat.
+package core
+
+import (
+	"mrx/internal/graph"
+	"mrx/internal/index"
+	"mrx/internal/partition"
+	"mrx/internal/pathexpr"
+	"mrx/internal/query"
+)
+
+// MK is the M(k)-index: a single-resolution-per-node adaptive structural
+// index refined with the target-set-aware REFINE procedure of §3.2.
+type MK struct {
+	ig *index.Graph
+
+	// Literal selects the paper-literal REFINENODE split, which can violate
+	// Property 1: a data node that matches the relevant nodes' membership
+	// pattern across the qualified parents, but also has a parent in an
+	// unqualified index node, rides into a kept piece without being
+	// k-bisimilar to it. The default (false) evicts such riders into the
+	// remainder node, which restores P1 at negligible cost and never evicts
+	// relevant data nodes (all their parents are in qualified nodes by
+	// definition of Pred(relevantData)). See DESIGN.md §"Deviations".
+	Literal bool
+}
+
+// NewMK initializes the M(k)-index of g as an A(0)-index (step 1 of the
+// paper's operational overview).
+func NewMK(g *graph.Graph) *MK {
+	p := partition.ByLabel(g)
+	return &MK{ig: index.FromPartition(g, p, func(partition.BlockID) int { return 0 })}
+}
+
+// Index exposes the underlying index graph for querying and metrics.
+func (m *MK) Index() *index.Graph { return m.ig }
+
+// Query evaluates e on the current index, validating under-refined answers
+// against the data graph, and returns the paper's cost breakdown.
+func (m *MK) Query(e *pathexpr.Expr) query.Result { return query.EvalIndex(m.ig, e) }
+
+// Support refines the index so that the FUP e is answered precisely. It
+// first evaluates e to obtain S (the target set in the index graph) and T
+// (the validated target set in the data graph) and then runs REFINE(e, S, T).
+func (m *MK) Support(e *pathexpr.Expr) {
+	res := query.EvalIndex(m.ig, e)
+	m.Refine(e, res.Targets, res.Answer)
+}
+
+// Refine is the paper's REFINE(l, S, T): for each index node in the target
+// set S, raise its local similarity to length(l) while passing down only the
+// relevant data nodes (those in T), then break any remaining instance of l
+// that leads to under-refined nodes using PROMOTE'.
+func (m *MK) Refine(e *pathexpr.Expr, s []*index.Node, t []graph.NodeID) {
+	if e.HasDescendantStep() {
+		return // unbounded path lengths: no finite resolution supports them
+	}
+	k := e.RequiredK()
+	// Capture each target's relevant data up front: refining one target can
+	// split another before we reach it, and refineNode regroups by the
+	// current owner of each relevant data node when that happens.
+	relevants := make([][]graph.NodeID, len(s))
+	for i, v := range s {
+		relevants[i] = graph.Intersect(v.Extent(), t)
+	}
+	for i, v := range s {
+		if len(relevants[i]) == 0 {
+			continue
+		}
+		m.refineNode(v, k, relevants[i])
+	}
+	// Lines 3-4 of REFINE: break surviving instances of l that lead to
+	// false positives.
+	for {
+		v := m.underRefinedTarget(e, k)
+		if v == nil {
+			return
+		}
+		m.promotePrime(v, k, func() bool { return m.underRefinedTarget(e, k) == nil })
+	}
+}
+
+// underRefinedTarget returns some index node that has e as an incoming path
+// and local similarity below k, or nil.
+func (m *MK) underRefinedTarget(e *pathexpr.Expr, k int) *index.Node {
+	for _, v := range query.TargetNodes(m.ig, e) {
+		if v.K() < k {
+			return v
+		}
+	}
+	return nil
+}
+
+// refineRegrouped re-dispatches refinement for relevant data nodes whose
+// index node was retired mid-refinement (possible on cyclic graphs): group
+// them by their current index node and refine each group.
+func (m *MK) refineRegrouped(k int, relevant []graph.NodeID) {
+	groups := make(map[index.NodeID][]graph.NodeID)
+	var order []index.NodeID
+	for _, o := range relevant {
+		n := m.ig.NodeOf(o)
+		if _, ok := groups[n.ID()]; !ok {
+			order = append(order, n.ID())
+		}
+		groups[n.ID()] = append(groups[n.ID()], o)
+	}
+	for _, id := range order {
+		m.refineNode(m.ig.Node(id), k, groups[id])
+	}
+}
+
+// refineNode is the paper's REFINENODE(v, k, relevantData): recursively
+// refine the parents that can reach the relevant data, then split v by the
+// successors of those parents only, and merge all pieces containing no
+// relevant data back into a single remainder node that keeps the old local
+// similarity. This is what makes the M(k)-index immune to over-refinement
+// for irrelevant index and data nodes.
+func (m *MK) refineNode(v *index.Node, k int, relevant []graph.NodeID) {
+	if v.Dead() {
+		m.refineRegrouped(k, relevant)
+		return
+	}
+	if v.K() >= k {
+		return
+	}
+	data := m.ig.Data()
+	predAll := data.Pred(relevant)
+
+	// Lines 2-7: recursively refine qualified parents (those whose extent
+	// contains a parent of a relevant data node) to k-1. Splits during the
+	// recursion can change v's parent set, so rescan until stable.
+	for {
+		if v.Dead() {
+			m.refineRegrouped(k, relevant)
+			return
+		}
+		var u *index.Node
+		var predData []graph.NodeID
+		for _, p := range m.ig.Parents(v) {
+			if p.K() >= k-1 {
+				continue
+			}
+			if pd := graph.Intersect(p.Extent(), predAll); len(pd) > 0 {
+				u, predData = p, pd
+				break
+			}
+		}
+		if u == nil {
+			break
+		}
+		m.refineNode(u, k-1, predData)
+	}
+
+	// Lines 9-17: split v by Succ of each qualified parent.
+	kold := v.K()
+	qualified := make(map[index.NodeID]bool)
+	pieces := [][]graph.NodeID{v.Extent()}
+	for _, u := range m.ig.Parents(v) {
+		if !graph.Intersects(u.Extent(), predAll) {
+			continue
+		}
+		qualified[u.ID()] = true
+		succ := data.Succ(u.Extent())
+		next := pieces[:0:0]
+		for _, w := range pieces {
+			if in := graph.Intersect(w, succ); len(in) > 0 {
+				next = append(next, in)
+			}
+			if out := graph.Subtract(w, succ); len(out) > 0 {
+				next = append(next, out)
+			}
+		}
+		pieces = next
+	}
+
+	// Lines 19-26: merge pieces without relevant data into one remainder
+	// node that keeps the old local similarity. Unless running in Literal
+	// mode, additionally evict riders — members with a parent in an
+	// unqualified index node — from kept pieces into the remainder, since
+	// they are not guaranteed k-bisimilar to the relevant members.
+	var kept [][]graph.NodeID
+	var ks []int
+	var rest []graph.NodeID
+	for _, w := range pieces {
+		if !graph.Intersects(w, relevant) {
+			rest = graph.Union(rest, w)
+			continue
+		}
+		if !m.Literal {
+			var keep, evict []graph.NodeID
+			for _, o := range w {
+				if m.hasUnqualifiedParent(o, qualified) {
+					evict = append(evict, o)
+				} else {
+					keep = append(keep, o)
+				}
+			}
+			if len(evict) > 0 {
+				rest = graph.Union(rest, evict)
+				w = keep
+			}
+		}
+		kept = append(kept, w)
+		ks = append(ks, k)
+	}
+	if len(rest) > 0 {
+		kept = append(kept, rest)
+		ks = append(ks, kold)
+	}
+	m.ig.Split(v, kept, ks)
+}
+
+// hasUnqualifiedParent reports whether data node o has a parent whose index
+// node is not in the qualified set.
+func (m *MK) hasUnqualifiedParent(o graph.NodeID, qualified map[index.NodeID]bool) bool {
+	for _, p := range m.ig.Data().Parents(o) {
+		if !qualified[m.ig.NodeOf(p).ID()] {
+			return true
+		}
+	}
+	return false
+}
+
+// promotePrime is PROMOTE' (§3.2): the D(k) PROMOTE procedure augmented with
+// an early-exit check. Its purpose is not refinement per se but breaking a
+// false instance of the FUP; as soon as stop() reports that no instance
+// leads to an under-refined node, the whole recursion unwinds. It returns
+// true when the stop condition fired.
+func (m *MK) promotePrime(v *index.Node, kv int, stop func() bool) bool {
+	PromotePrimeCalls++
+	if stop() {
+		return true
+	}
+	if v.Dead() || v.K() >= kv {
+		return false
+	}
+	// Promote parents to kv-1, checking the exit condition as we go.
+	for {
+		if v.Dead() {
+			return false
+		}
+		var u *index.Node
+		for _, p := range m.ig.Parents(v) {
+			if p.K() < kv-1 {
+				u = p
+				break
+			}
+		}
+		if u == nil {
+			break
+		}
+		if m.promotePrime(u, kv-1, stop) {
+			return true
+		}
+	}
+	// Split v by the successors of each parent; all pieces get kv.
+	pieces := [][]graph.NodeID{v.Extent()}
+	for _, u := range m.ig.Parents(v) {
+		succ := m.ig.Data().Succ(u.Extent())
+		next := pieces[:0:0]
+		for _, w := range pieces {
+			if in := graph.Intersect(w, succ); len(in) > 0 {
+				next = append(next, in)
+			}
+			if out := graph.Subtract(w, succ); len(out) > 0 {
+				next = append(next, out)
+			}
+		}
+		pieces = next
+	}
+	ks := make([]int, len(pieces))
+	for i := range ks {
+		ks[i] = kv
+	}
+	m.ig.Split(v, pieces, ks)
+	return stop()
+}
+
+// PromotePrimeCalls counts PROMOTE' invocations for diagnostics and tests.
+var PromotePrimeCalls int

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"mrx/internal/baseline"
+	"mrx/internal/graph"
+	"mrx/internal/gtest"
+	"mrx/internal/index"
+	"mrx/internal/pathexpr"
+	"mrx/internal/query"
+)
+
+func TestMKStartsAsA0(t *testing.T) {
+	g := graph.PaperFigure1()
+	mk := NewMK(g)
+	if err := mk.Index().Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	if mk.Index().NumNodes() != g.NumLabels() {
+		t.Fatalf("initial nodes = %d, want %d", mk.Index().NumNodes(), g.NumLabels())
+	}
+	mk.Index().ForEachNode(func(n *index.Node) {
+		if n.K() != 0 {
+			t.Errorf("initial k = %d", n.K())
+		}
+	})
+}
+
+func TestMKFigure3NoOverRefinement(t *testing.T) {
+	// Figure 3(d): supporting r/a/b refines only the relevant b node {4};
+	// all irrelevant b's stay together in one k=0 node.
+	g := graph.PaperFigure3()
+	mk := NewMK(g)
+	mk.Support(pathexpr.MustParse("r/a/b"))
+	ig := mk.Index()
+	if err := ig.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	bLabel, _ := g.LabelIDOf("b")
+	bNodes := ig.NodesWithLabel(bLabel)
+	if len(bNodes) != 2 {
+		t.Fatalf("M(k) should produce exactly 2 b nodes, got %d", len(bNodes))
+	}
+	byK := map[int][]graph.NodeID{}
+	for _, n := range bNodes {
+		byK[n.K()] = n.Extent()
+	}
+	if !reflect.DeepEqual(byK[2], []graph.NodeID{4}) {
+		t.Errorf("relevant piece = %v, want [4] at k=2", byK[2])
+	}
+	if !reflect.DeepEqual(byK[0], []graph.NodeID{5, 6, 7, 8, 9}) {
+		t.Errorf("remainder = %v, want [5..9] at k=0", byK[0])
+	}
+	// 6 index nodes total (figure 3(d)): r, a, c, d, b{4}, b{5..9}.
+	if ig.NumNodes() != 6 {
+		t.Errorf("nodes = %d, want 6", ig.NumNodes())
+	}
+	// Contrast with D(k)-promote on the same FUP: strictly more nodes.
+	dk := baseline.NewDKPromote(g)
+	dk.Support(pathexpr.MustParse("r/a/b"))
+	if dk.Index().NumNodes() <= ig.NumNodes() {
+		t.Errorf("D(k)-promote (%d nodes) should exceed M(k) (%d nodes)",
+			dk.Index().NumNodes(), ig.NumNodes())
+	}
+}
+
+func TestMKFigure6RefinedExtents(t *testing.T) {
+	// Our reconstruction of figure 6: supporting r/a/b/c yields the index of
+	// figure 6(c): a{1} k=1, a{5} k=0, b{4} k=2, b{3,8} k=0, c{7} k=3,
+	// c{6} k=0, plus r and d.
+	g := graph.PaperFigure6()
+	mk := NewMK(g)
+	mk.Support(pathexpr.MustParse("r/a/b/c"))
+	ig := mk.Index()
+	if err := ig.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	type nk struct {
+		ext string
+		k   int
+	}
+	var got []nk
+	ig.ForEachNode(func(n *index.Node) {
+		got = append(got, nk{extString(n.Extent()), n.K()})
+	})
+	want := map[nk]bool{
+		{"0", 0}: true, {"2", 0}: true,
+		{"1", 1}: true, {"5", 0}: true,
+		{"4", 2}: true, {"3,8", 0}: true,
+		{"7", 3}: true, {"6", 0}: true,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d nodes %v, want %d", len(got), got, len(want))
+	}
+	for _, n := range got {
+		if !want[n] {
+			t.Errorf("unexpected node %v", n)
+		}
+	}
+}
+
+func extString(ext []graph.NodeID) string {
+	s := ""
+	for i, o := range ext {
+		if i > 0 {
+			s += ","
+		}
+		s += string(rune('0' + int(o)))
+	}
+	return s
+}
+
+func TestMKFigure4SuffersOverqualifiedParents(t *testing.T) {
+	// The paper notes M(k) still over-refines under overqualified parents.
+	// Start from figure 4(b)'s pre-split state and refine c to k=1 with both
+	// data nodes relevant: the overqualified b parents split c{4,5} apart
+	// even though 4 and 5 are 1-bisimilar.
+	g := graph.PaperFigure4()
+	mk := NewMK(g)
+	ig := mk.Index()
+	bLabel, _ := g.LabelIDOf("b")
+	ig.Split(ig.NodesWithLabel(bLabel)[0], [][]graph.NodeID{{2}, {3}}, []int{2, 2})
+	aLabel, _ := g.LabelIDOf("a")
+	ig.SetK(ig.NodesWithLabel(aLabel)[0], 1)
+	ig.SetK(ig.Root(), 1)
+
+	e := pathexpr.MustParse("//b/c")
+	res := query.EvalIndex(ig, e)
+	mk.Refine(e, res.Targets, res.Answer)
+	if err := ig.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	cLabel, _ := g.LabelIDOf("c")
+	if got := len(ig.NodesWithLabel(cLabel)); got != 2 {
+		t.Fatalf("M(k) with overqualified parents should split c into 2 nodes, got %d", got)
+	}
+}
+
+func TestMKSupportsWorkloadPrecisely(t *testing.T) {
+	g := gtest.Random(9, 250, 5, 0.25)
+	d := query.NewDataIndex(g)
+	mk := NewMK(g)
+	fups := []*pathexpr.Expr{
+		pathexpr.MustParse("//l0/l1"),
+		pathexpr.MustParse("//l2/l3/l4"),
+		pathexpr.MustParse("//l1/l1"),
+		pathexpr.MustParse("//l4/l0/l2"),
+		pathexpr.MustParse("//l3"),
+	}
+	for _, e := range fups {
+		mk.Support(e)
+		if err := mk.Index().Validate(true); err != nil {
+			t.Fatalf("after %s: %v", e, err)
+		}
+	}
+	for _, e := range fups {
+		res := mk.Query(e)
+		if !res.Precise {
+			t.Errorf("%s not precise after refinement", e)
+		}
+		if want := d.Eval(e); !reflect.DeepEqual(res.Answer, want) {
+			t.Errorf("%s: answer %v want %v", e, res.Answer, want)
+		}
+	}
+}
+
+func TestMKNeverLargerThanDKPromote(t *testing.T) {
+	// The M(k)-index avoids over-refinement for irrelevant data nodes, so on
+	// identical FUP sequences it should not exceed D(k)-promote in size.
+	for seed := int64(0); seed < 5; seed++ {
+		g := gtest.Random(seed, 150, 5, 0.3)
+		fups := []*pathexpr.Expr{
+			pathexpr.MustParse("//l0/l1/l2"),
+			pathexpr.MustParse("//l2/l0"),
+			pathexpr.MustParse("//l3/l4/l0"),
+		}
+		mk := NewMK(g)
+		dk := baseline.NewDKPromote(g)
+		for _, e := range fups {
+			mk.Support(e)
+			dk.Support(e)
+		}
+		if mk.Index().NumNodes() > dk.Index().NumNodes() {
+			t.Errorf("seed %d: M(k) %d nodes > D(k)-promote %d nodes",
+				seed, mk.Index().NumNodes(), dk.Index().NumNodes())
+		}
+	}
+}
+
+// Property: after supporting random FUP sequences on random graphs, the
+// M(k)-index keeps all invariants (including P1 k-bisimilarity) and answers
+// every supported FUP precisely and correctly.
+func TestPropertyMKRefinement(t *testing.T) {
+	exprs := []string{"//l0/l1", "//l1/l2/l0", "//l2", "//l0/l0", "//l3/l1", "//l1/l0/l2/l1"}
+	check := func(seed int64) bool {
+		g := gtest.Random(seed, 70, 4, 0.3)
+		d := query.NewDataIndex(g)
+		mk := NewMK(g)
+		for _, s := range exprs {
+			e := pathexpr.MustParse(s)
+			mk.Support(e)
+			if err := mk.Index().Validate(true); err != nil {
+				t.Logf("seed %d after %s: %v", seed, s, err)
+				return false
+			}
+		}
+		for _, s := range exprs {
+			e := pathexpr.MustParse(s)
+			res := mk.Query(e)
+			if !res.Precise {
+				t.Logf("seed %d: %s imprecise", seed, s)
+				return false
+			}
+			if !reflect.DeepEqual(res.Answer, d.Eval(e)) {
+				t.Logf("seed %d: %s wrong answer", seed, s)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,356 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"mrx/internal/graph"
+	"mrx/internal/gtest"
+	"mrx/internal/index"
+	"mrx/internal/pathexpr"
+	"mrx/internal/query"
+)
+
+func TestMStarInitial(t *testing.T) {
+	g := graph.PaperFigure1()
+	ms := NewMStar(g)
+	if ms.NumComponents() != 1 {
+		t.Fatalf("components = %d", ms.NumComponents())
+	}
+	if err := ms.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	s := ms.Sizes()
+	if s.Nodes != g.NumLabels() || s.CrossLinks != 0 {
+		t.Fatalf("sizes = %+v", s)
+	}
+}
+
+// TestMStarFigure7 reproduces the paper's Figure 7 exactly: supporting
+// //b/a/c on the example graph yields three components with the drawn
+// partitions and local similarities.
+func TestMStarFigure7(t *testing.T) {
+	g := graph.PaperFigure7()
+	ms := NewMStar(g)
+	e := pathexpr.MustParse("//b/a/c")
+
+	// Ground truth first: the target set must be {5}.
+	d := query.NewDataIndex(g)
+	if want := d.Eval(e); !reflect.DeepEqual(want, []graph.NodeID{5}) {
+		t.Fatalf("ground truth = %v, want [5]", want)
+	}
+
+	ms.Support(e)
+	if err := ms.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	if ms.NumComponents() != 3 {
+		t.Fatalf("components = %d, want 3", ms.NumComponents())
+	}
+
+	describe := func(comp *index.Graph) map[string]int {
+		out := map[string]int{}
+		comp.ForEachNode(func(n *index.Node) {
+			out[fmt.Sprintf("%s%v", g.LabelName(n.Label()), n.Extent())] = n.K()
+		})
+		return out
+	}
+
+	i0 := describe(ms.Component(0))
+	want0 := map[string]int{"r[0]": 0, "a[1 2]": 0, "b[3]": 0, "c[4 5 6 7]": 0}
+	if !reflect.DeepEqual(i0, want0) {
+		t.Errorf("I0 = %v, want %v", i0, want0)
+	}
+	i1 := describe(ms.Component(1))
+	want1 := map[string]int{"r[0]": 0, "a[1]": 1, "a[2]": 1, "b[3]": 0, "c[4 5]": 1, "c[6 7]": 0}
+	if !reflect.DeepEqual(i1, want1) {
+		t.Errorf("I1 = %v, want %v", i1, want1)
+	}
+	i2 := describe(ms.Component(2))
+	want2 := map[string]int{"r[0]": 0, "a[1]": 1, "a[2]": 1, "b[3]": 0, "c[5]": 2, "c[4]": 1, "c[6 7]": 0}
+	if !reflect.DeepEqual(i2, want2) {
+		t.Errorf("I2 = %v, want %v", i2, want2)
+	}
+
+	// Top-down evaluation of //b/a/c now answers precisely from the index.
+	res := ms.QueryTopDown(e)
+	if !res.Precise || !reflect.DeepEqual(res.Answer, []graph.NodeID{5}) {
+		t.Errorf("top-down: precise=%v answer=%v", res.Precise, res.Answer)
+	}
+}
+
+func TestMStarFigure7DedupSizes(t *testing.T) {
+	g := graph.PaperFigure7()
+	ms := NewMStar(g)
+	ms.Support(pathexpr.MustParse("//b/a/c"))
+	s := ms.Sizes()
+	// Deduplicated node count per the paper's accounting: I0 has 4 nodes;
+	// I1 adds a[1], a[2], c[4 5], c[6 7] (r and b are single-subnode
+	// duplicates); I2 adds c[5] and c[4]. Total 10.
+	if s.Nodes != 10 {
+		t.Errorf("dedup nodes = %d, want 10 (stats %+v)", s.Nodes, s)
+	}
+	if s.LogicalNodes != 4+6+7 {
+		t.Errorf("logical nodes = %d, want 17", s.LogicalNodes)
+	}
+	if s.CrossLinks != 6 {
+		t.Errorf("cross links = %d, want 6", s.CrossLinks)
+	}
+	if s.Components != 3 {
+		t.Errorf("components = %d", s.Components)
+	}
+	if s.Edges <= s.CrossLinks {
+		t.Errorf("edges = %d suspiciously small", s.Edges)
+	}
+}
+
+func TestMStarFigure4NoOverqualifiedOverRefinement(t *testing.T) {
+	// The M*(k)-index avoids the figure-4 over-refinement: even when the
+	// fine component has b split at high k, splitting c for k=1 uses the
+	// coarse component's b node, which is "perfectly qualified", so c{4,5}
+	// stays together.
+	g := graph.PaperFigure4()
+	ms := NewMStar(g)
+	// First support a FUP that distinguishes nothing for c but deepens b:
+	// //r/a/b has length 2, so components I1, I2 are built.
+	ms.Support(pathexpr.MustParse("//r/a/b"))
+	if err := ms.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	// Now support //b/c (c at k=1).
+	ms.Support(pathexpr.MustParse("//b/c"))
+	if err := ms.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	cLabel, _ := g.LabelIDOf("c")
+	for i := 0; i < ms.NumComponents(); i++ {
+		cNodes := ms.Component(i).NodesWithLabel(cLabel)
+		if len(cNodes) != 1 {
+			t.Errorf("component I%d: c split into %d nodes; 4 and 5 are 1-bisimilar and must stay together", i, len(cNodes))
+		}
+	}
+	// And the M(k)-index, set up the same way via D(k)-style pre-splitting,
+	// would split them (shown in TestMKFigure4SuffersOverqualifiedParents).
+}
+
+func TestMStarSupportsWorkload(t *testing.T) {
+	g := gtest.Random(13, 250, 5, 0.25)
+	d := query.NewDataIndex(g)
+	ms := NewMStar(g)
+	fups := []*pathexpr.Expr{
+		pathexpr.MustParse("//l0/l1"),
+		pathexpr.MustParse("//l2/l3/l4"),
+		pathexpr.MustParse("//l1/l1"),
+		pathexpr.MustParse("//l4/l0/l2"),
+		pathexpr.MustParse("//l3"),
+	}
+	for _, e := range fups {
+		ms.Support(e)
+		if err := ms.Validate(true); err != nil {
+			t.Fatalf("after %s: %v", e, err)
+		}
+	}
+	for _, e := range fups {
+		res := ms.QueryTopDown(e)
+		if !res.Precise {
+			t.Errorf("%s not precise after refinement", e)
+		}
+		if want := d.Eval(e); !reflect.DeepEqual(res.Answer, want) {
+			t.Errorf("%s: answer %v want %v", e, res.Answer, want)
+		}
+	}
+}
+
+func TestMStarStrategiesAgree(t *testing.T) {
+	g := gtest.Random(17, 200, 4, 0.3)
+	d := query.NewDataIndex(g)
+	ms := NewMStar(g)
+	for _, s := range []string{"//l0/l1", "//l1/l2/l3", "//l2/l0"} {
+		ms.Support(pathexpr.MustParse(s))
+	}
+	queries := []string{"//l0", "//l0/l1", "//l1/l2/l3", "//l3/l2", "//l0/l1/l2/l3", "//l2/*/l1"}
+	for _, s := range queries {
+		e := pathexpr.MustParse(s)
+		want := d.Eval(e)
+		naive := ms.QueryNaive(e)
+		top := ms.QueryTopDown(e)
+		if !reflect.DeepEqual(naive.Answer, want) {
+			t.Errorf("%s: naive answer %v want %v", s, naive.Answer, want)
+		}
+		if !reflect.DeepEqual(top.Answer, want) {
+			t.Errorf("%s: top-down answer %v want %v", s, top.Answer, want)
+		}
+		if !e.HasWildcard() {
+			for start := 0; start <= e.Length(); start++ {
+				for end := start; end <= e.Length(); end++ {
+					sp := ms.QuerySubpath(e, start, end)
+					if !reflect.DeepEqual(sp.Answer, want) {
+						t.Errorf("%s: subpath[%d..%d] answer %v want %v", s, start, end, sp.Answer, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMStarRootedQueriesFallBack(t *testing.T) {
+	g := graph.PaperFigure1()
+	d := query.NewDataIndex(g)
+	ms := NewMStar(g)
+	ms.Support(pathexpr.MustParse("//site/people/person"))
+	e := pathexpr.MustParse("/site/people/person")
+	res := ms.Query(e)
+	if want := d.Eval(e); !reflect.DeepEqual(res.Answer, want) {
+		t.Errorf("rooted query answer %v want %v", res.Answer, want)
+	}
+}
+
+func TestMStarSupernodeSubnodes(t *testing.T) {
+	g := graph.PaperFigure7()
+	ms := NewMStar(g)
+	ms.Support(pathexpr.MustParse("//b/a/c"))
+	cLabel, _ := g.LabelIDOf("c")
+	// c[4 5] in I1 has two subnodes in I2 and one supernode in I0.
+	var c45 *index.Node
+	for _, n := range ms.Component(1).NodesWithLabel(cLabel) {
+		if n.Size() == 2 && n.Extent()[0] == 4 {
+			c45 = n
+		}
+	}
+	if c45 == nil {
+		t.Fatal("c[4 5] not found in I1")
+	}
+	super := ms.Supernode(c45, 0)
+	if super.Size() != 4 {
+		t.Errorf("supernode extent %v", super.Extent())
+	}
+	subs := ms.Subnodes(c45, 2)
+	if len(subs) != 2 {
+		t.Fatalf("subnodes = %d", len(subs))
+	}
+	var sizes []int
+	for _, s := range subs {
+		sizes = append(sizes, s.Size())
+	}
+	sort.Ints(sizes)
+	if !reflect.DeepEqual(sizes, []int{1, 1}) {
+		t.Errorf("subnode sizes %v", sizes)
+	}
+}
+
+// Property: random FUP sequences on random graphs keep all M*(k) invariants
+// and answer supported FUPs precisely; all strategies agree with ground
+// truth on arbitrary queries.
+func TestPropertyMStar(t *testing.T) {
+	exprs := []string{"//l0/l1", "//l1/l2/l0", "//l2", "//l0/l0", "//l3/l1", "//l1/l0/l2/l1"}
+	check := func(seed int64) bool {
+		g := gtest.Random(seed, 60, 4, 0.3)
+		d := query.NewDataIndex(g)
+		ms := NewMStar(g)
+		for _, s := range exprs {
+			e := pathexpr.MustParse(s)
+			ms.Support(e)
+			if err := ms.Validate(true); err != nil {
+				t.Logf("seed %d after %s: %v", seed, s, err)
+				return false
+			}
+		}
+		for _, s := range exprs {
+			e := pathexpr.MustParse(s)
+			res := ms.QueryTopDown(e)
+			if !res.Precise {
+				t.Logf("seed %d: %s imprecise", seed, s)
+				return false
+			}
+			want := d.Eval(e)
+			if !reflect.DeepEqual(res.Answer, want) {
+				t.Logf("seed %d: %s wrong answer", seed, s)
+				return false
+			}
+			if nv := ms.QueryNaive(e); !reflect.DeepEqual(nv.Answer, want) {
+				t.Logf("seed %d: %s naive mismatch", seed, s)
+				return false
+			}
+			if bu := ms.QueryBottomUp(e); !reflect.DeepEqual(bu.Answer, want) {
+				t.Logf("seed %d: %s bottom-up mismatch", seed, s)
+				return false
+			}
+			if e.Length() >= 1 {
+				if sp := ms.QuerySubpath(e, 1, e.Length()); !reflect.DeepEqual(sp.Answer, want) {
+					t.Logf("seed %d: %s subpath mismatch", seed, s)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMStarBottomUpAgrees(t *testing.T) {
+	g := gtest.Random(23, 180, 4, 0.3)
+	d := query.NewDataIndex(g)
+	ms := NewMStar(g)
+	for _, s := range []string{"//l0/l1", "//l1/l2/l3", "//l2/l0"} {
+		ms.Support(pathexpr.MustParse(s))
+	}
+	for _, s := range []string{"//l0", "//l0/l1", "//l1/l2/l3", "//l3/l2", "//l0/l1/l2/l3", "//l2/*/l1", "/l0/l1"} {
+		e := pathexpr.MustParse(s)
+		want := d.Eval(e)
+		got := ms.QueryBottomUp(e)
+		if !reflect.DeepEqual(got.Answer, want) {
+			t.Errorf("%s: bottom-up answer %v want %v", s, got.Answer, want)
+		}
+		if got.Cost.Total() <= 0 && len(want) > 0 {
+			t.Errorf("%s: no cost recorded", s)
+		}
+	}
+}
+
+func TestQueryAutoCorrectAndNamed(t *testing.T) {
+	g := gtest.Random(37, 200, 4, 0.3)
+	d := query.NewDataIndex(g)
+	ms := NewMStar(g)
+	for _, s := range []string{"//l0/l1", "//l1/l2/l3", "//l2/l0"} {
+		ms.Support(pathexpr.MustParse(s))
+	}
+	valid := map[string]bool{StrategyNaive: true, StrategyTopDown: true, StrategySubpath: true}
+	for _, s := range []string{"//l0", "//l0/l1", "//l1/l2/l3", "//l3/l2/l1/l0", "/l0/l1"} {
+		e := pathexpr.MustParse(s)
+		res, chosen := ms.QueryAuto(e)
+		if !valid[chosen] {
+			t.Fatalf("%s: unknown strategy %q", s, chosen)
+		}
+		if want := d.Eval(e); !reflect.DeepEqual(res.Answer, want) {
+			t.Errorf("%s via %s: answer %v want %v", s, chosen, res.Answer, want)
+		}
+	}
+	// A single-label query should never pick subpath (there is no window).
+	if _, chosen := ms.QueryAuto(pathexpr.MustParse("//l1")); chosen == StrategySubpath {
+		t.Error("single label routed to subpath")
+	}
+}
+
+func TestMStarHybridAgrees(t *testing.T) {
+	g := gtest.Random(41, 180, 4, 0.3)
+	d := query.NewDataIndex(g)
+	ms := NewMStar(g)
+	for _, s := range []string{"//l0/l1", "//l1/l2/l3", "//l2/l0"} {
+		ms.Support(pathexpr.MustParse(s))
+	}
+	for _, s := range []string{"//l0", "//l0/l1", "//l1/l2/l3", "//l3/l2", "//l0/l1/l2/l3", "//l2/*/l1", "/l0/l1"} {
+		e := pathexpr.MustParse(s)
+		want := d.Eval(e)
+		for meet := -1; meet <= e.Length()+1; meet++ {
+			got := ms.QueryHybrid(e, meet)
+			if !reflect.DeepEqual(got.Answer, want) {
+				t.Errorf("%s meet=%d: hybrid answer %v want %v", s, meet, got.Answer, want)
+			}
+		}
+	}
+}

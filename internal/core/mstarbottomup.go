@@ -1,0 +1,165 @@
+package core
+
+import (
+	"mrx/internal/index"
+	"mrx/internal/pathexpr"
+	"mrx/internal/query"
+)
+
+// QueryBottomUp implements the bottom-up strategy discussed in §4.1:
+// evaluate progressively longer suffixes of the expression in progressively
+// finer components, walking parent edges upward. Indexes based on
+// k-bisimilarity guarantee nothing about outgoing paths, so every move to a
+// finer component re-checks downward that the suffix still exists below the
+// candidate — the overhead that makes bottom-up generally lose to top-down,
+// which this implementation exists to demonstrate (see the strategies
+// ablation). Rooted expressions fall back to naive evaluation.
+func (ms *MStar) QueryBottomUp(e *pathexpr.Expr) query.Result {
+	if e.Rooted || e.HasDescendantStep() {
+		return ms.QueryNaive(e)
+	}
+	var res query.Result
+	res.Precise = true
+	j := e.Length()
+	maxLvl := len(ms.comps) - 1
+
+	// Suffix holders at suffix length 0: nodes carrying the last label, I0.
+	var frontier []*index.Node
+	last := e.Steps[j]
+	if last.Wildcard {
+		ms.comps[0].ForEachNode(func(n *index.Node) { frontier = append(frontier, n) })
+	} else if l, ok := ms.data.LabelIDOf(last.Label); ok {
+		frontier = ms.comps[0].NodesWithLabel(l)
+	}
+	res.Cost.IndexNodes += len(frontier)
+
+	prev := 0
+	for i := 1; i <= j && len(frontier) > 0; i++ {
+		lvl := i
+		if lvl > maxLvl {
+			lvl = maxLvl
+		}
+		if lvl != prev {
+			frontier = ms.descend(frontier, lvl)
+			res.Cost.IndexNodes += len(frontier)
+			prev = lvl
+		}
+		comp := ms.comps[lvl]
+		step := e.Steps[j-i]
+		suffix := e.Steps[j-i:]
+		check := newSuffixChecker(ms, comp, &res.Cost)
+		seen := make(map[index.NodeID]bool)
+		var next []*index.Node
+		for _, c := range frontier {
+			for _, p := range comp.Parents(c) {
+				res.Cost.IndexNodes++
+				if seen[p.ID()] || !step.Matches(ms.data.LabelName(p.Label())) {
+					continue
+				}
+				seen[p.ID()] = true
+				// Downward check: the suffix must exist below p in this
+				// (finer) component, since subnodes may have fewer outgoing
+				// paths than their supernodes.
+				if check.has(p, suffix) {
+					next = append(next, p)
+				}
+			}
+		}
+		frontier = next
+	}
+
+	// frontier now holds verified path *starters* (position 0). Collect the
+	// path *ends* (the target set) with a forward pass in the finest needed
+	// component, restricted to the verified starters.
+	lvl := j
+	if lvl > maxLvl {
+		lvl = maxLvl
+	}
+	if lvl != prev {
+		frontier = ms.descend(frontier, lvl)
+		res.Cost.IndexNodes += len(frontier)
+	}
+	comp := ms.comps[lvl]
+	for i := 1; i <= j && len(frontier) > 0; i++ {
+		seen := make(map[index.NodeID]bool)
+		var next []*index.Node
+		for _, u := range frontier {
+			for _, c := range comp.Children(u) {
+				res.Cost.IndexNodes++
+				if !seen[c.ID()] && e.Steps[i].Matches(ms.data.LabelName(c.Label())) {
+					seen[c.ID()] = true
+					next = append(next, c)
+				}
+			}
+		}
+		frontier = next
+	}
+	sortNodes(frontier)
+	res.Targets = frontier
+
+	var validator *query.Validator
+	for _, v := range frontier {
+		if v.K() >= e.RequiredK() {
+			res.Answer = append(res.Answer, v.Extent()...)
+			continue
+		}
+		res.Precise = false
+		if validator == nil {
+			validator = query.NewValidator(ms.data, e)
+		}
+		for _, o := range v.Extent() {
+			if validator.Matches(o) {
+				res.Answer = append(res.Answer, o)
+			}
+		}
+	}
+	if validator != nil {
+		res.Cost.DataNodes = validator.Visited()
+	}
+	res.Answer = sortIDs(res.Answer)
+	return res
+}
+
+// suffixChecker memoizes "does an outgoing instance of steps[i:] start at
+// node v" within one component, counting node visits.
+type suffixChecker struct {
+	ms   *MStar
+	comp *index.Graph
+	cost *query.Cost
+	memo map[suffixState]bool
+}
+
+type suffixState struct {
+	id   index.NodeID
+	step int
+}
+
+func newSuffixChecker(ms *MStar, comp *index.Graph, cost *query.Cost) *suffixChecker {
+	return &suffixChecker{ms: ms, comp: comp, cost: cost, memo: make(map[suffixState]bool)}
+}
+
+// has reports whether an outgoing path matching steps starts at v (whose
+// label must match steps[0]).
+func (sc *suffixChecker) has(v *index.Node, steps []pathexpr.Step) bool {
+	if !steps[0].Matches(sc.ms.data.LabelName(v.Label())) {
+		return false
+	}
+	if len(steps) == 1 {
+		return true
+	}
+	key := suffixState{v.ID(), len(steps)}
+	if r, ok := sc.memo[key]; ok {
+		return r
+	}
+	sc.memo[key] = false // cut cycles along reference edges
+	ok := false
+	for _, c := range sc.comp.Children(v) {
+		sc.cost.IndexNodes++
+		if sc.has(c, steps[1:]) {
+			ok = true
+			break
+		}
+	}
+	sc.memo[key] = ok
+	return ok
+}

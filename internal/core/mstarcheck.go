@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+
+	"mrx/internal/index"
+)
+
+// Validate checks every invariant of the M*(k)-index (§4, Properties 1-5):
+//
+//	P1*: each component is a valid index graph (index.Graph.Validate,
+//	     including k-bisimilar extents when checkBisim is set);
+//	P2*: the maximum local similarity in component Ii is i;
+//	P3*: Ii+1 refines Ii — every node's extent is contained in exactly one
+//	     supernode extent (nested partitions make the disjoint-union
+//	     requirement equivalent to subset containment);
+//	P4*: supernode.k ≤ subnode.k ≤ supernode.k + 1;
+//	P5*: if a node's k is below its component's resolution, all its subnodes
+//	     have the same k.
+func (ms *MStar) Validate(checkBisim bool) error {
+	for i, comp := range ms.comps {
+		if err := comp.Validate(checkBisim); err != nil {
+			return fmt.Errorf("component I%d: %w", i, err)
+		}
+		maxK := 0
+		comp.ForEachNode(func(n *index.Node) {
+			if n.K() > maxK {
+				maxK = n.K()
+			}
+		})
+		if maxK > i {
+			return fmt.Errorf("component I%d: max local similarity %d exceeds resolution (P2)", i, maxK)
+		}
+		if i == 0 {
+			continue
+		}
+		coarse := ms.comps[i-1]
+		var err error
+		comp.ForEachNode(func(n *index.Node) {
+			if err != nil {
+				return
+			}
+			super := coarse.NodeOf(n.Extent()[0])
+			for _, o := range n.Extent() {
+				if coarse.NodeOf(o) != super {
+					err = fmt.Errorf("component I%d node %d straddles I%d nodes (P3)", i, n.ID(), i-1)
+					return
+				}
+			}
+			if n.K() < super.K() || n.K() > super.K()+1 {
+				err = fmt.Errorf("component I%d node %d: k=%d but supernode k=%d (P4)", i, n.ID(), n.K(), super.K())
+				return
+			}
+			if super.K() < i-1 && n.K() != super.K() {
+				err = fmt.Errorf("component I%d node %d: k=%d differs from non-saturated supernode k=%d (P5)",
+					i, n.ID(), n.K(), super.K())
+				return
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

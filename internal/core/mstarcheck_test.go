@@ -1,0 +1,99 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"mrx/internal/graph"
+	"mrx/internal/index"
+	"mrx/internal/pathexpr"
+)
+
+// The M*(k) validator is the oracle for every property test, so check the
+// oracle itself: each deliberately broken hierarchy must be caught with the
+// right property name.
+func TestMStarValidatorCatchesViolations(t *testing.T) {
+	g := graph.PaperFigure7()
+
+	build := func() *MStar {
+		ms := NewMStar(g)
+		ms.Support(pathexpr.MustParse("//b/a/c"))
+		return ms
+	}
+
+	// P2: a component whose node claims k above the component's resolution.
+	// The root node has no parents, so raising its k trips P2 rather than
+	// the in-component parent constraint.
+	ms := build()
+	ms.Component(1).SetK(ms.Component(1).Root(), 2)
+	if err := ms.Validate(false); err == nil || !strings.Contains(err.Error(), "P2") {
+		t.Errorf("P2 violation not caught: %v", err)
+	}
+
+	// P3: a finer component that is not a refinement. Splitting a coarse
+	// node without propagating leaves the finer components straddling.
+	ms = build()
+	i0 := ms.Component(0)
+	cLabel, _ := g.LabelIDOf("c")
+	cNode := i0.NodesWithLabel(cLabel)[0]
+	i0.Split(cNode, [][]graph.NodeID{{4, 6}, {5, 7}}, []int{0, 0})
+	if err := ms.Validate(false); err == nil || !strings.Contains(err.Error(), "P3") {
+		t.Errorf("P3 violation not caught: %v", err)
+	}
+
+	// P4: subnode k more than one above its supernode's.
+	ms = build()
+	var c5 *index.Node
+	ms.Component(2).ForEachNode(func(n *index.Node) {
+		if n.Size() == 1 && n.Extent()[0] == 5 {
+			c5 = n
+		}
+	})
+	// c5 has k=2; its I1 supernode c[4 5] has k=1. Dropping the supernode to
+	// k=0 makes the gap 2.
+	super := ms.Supernode(c5, 1)
+	ms.Component(1).SetK(super, 0)
+	if err := ms.Validate(false); err == nil || !strings.Contains(err.Error(), "P") {
+		t.Errorf("P4/P5 violation not caught: %v", err)
+	}
+
+	// A valid index still validates.
+	if err := build().Validate(true); err != nil {
+		t.Errorf("valid index rejected: %v", err)
+	}
+}
+
+func TestMStarFromComponentsErrors(t *testing.T) {
+	g := graph.PaperFigure7()
+	ms := NewMStar(g)
+	ms.Support(pathexpr.MustParse("//b/a/c"))
+
+	if _, err := MStarFromComponents(g, nil); err == nil {
+		t.Error("empty component list accepted")
+	}
+
+	other := graph.PaperFigure1()
+	otherMS := NewMStar(other)
+	if _, err := MStarFromComponents(g, []*index.Graph{otherMS.Component(0)}); err == nil {
+		t.Error("component over different graph accepted")
+	}
+
+	// Components out of order violate the refinement property.
+	bad := []*index.Graph{ms.Component(2).Clone(), ms.Component(0).Clone()}
+	if _, err := MStarFromComponents(g, bad); err == nil {
+		t.Error("non-nested components accepted")
+	}
+
+	// The legitimate component list round-trips.
+	comps := make([]*index.Graph, ms.NumComponents())
+	for i := range comps {
+		comps[i] = ms.Component(i).Clone()
+	}
+	got, err := MStarFromComponents(g, comps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Sizes() != ms.Sizes() {
+		t.Error("rebuilt index sizes differ")
+	}
+}

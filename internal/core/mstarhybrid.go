@@ -1,0 +1,128 @@
+package core
+
+import (
+	"mrx/internal/index"
+	"mrx/internal/pathexpr"
+	"mrx/internal/query"
+)
+
+// QueryHybrid combines top-down and bottom-up evaluation as §4.1 sketches:
+// the prefix up to a meeting point is evaluated top-down through the
+// component hierarchy, the candidates are verified in the fine component,
+// and the remaining suffix is expanded forward with bottom-up style
+// pruning — children that cannot complete the suffix (checked downward with
+// memoization) are never expanded. meet is the 0-based step position where
+// the two directions meet; out-of-range values are clamped to the middle.
+// Rooted expressions fall back to naive evaluation.
+func (ms *MStar) QueryHybrid(e *pathexpr.Expr, meet int) query.Result {
+	if e.Rooted || e.HasDescendantStep() {
+		return ms.QueryNaive(e)
+	}
+	j := e.Length()
+	if meet < 0 || meet > j {
+		meet = j / 2
+	}
+	var res query.Result
+	res.Precise = true
+	maxLvl := len(ms.comps) - 1
+
+	// Top-down over the prefix e[0..meet].
+	var frontier []*index.Node
+	if e.Steps[0].Wildcard {
+		ms.comps[0].ForEachNode(func(n *index.Node) { frontier = append(frontier, n) })
+	} else if l, ok := ms.data.LabelIDOf(e.Steps[0].Label); ok {
+		frontier = ms.comps[0].NodesWithLabel(l)
+	}
+	res.Cost.IndexNodes += len(frontier)
+	prev := 0
+	for i := 1; i <= meet && len(frontier) > 0; i++ {
+		lvl := i
+		if lvl > maxLvl {
+			lvl = maxLvl
+		}
+		if lvl != prev {
+			frontier = ms.descend(frontier, lvl)
+			res.Cost.IndexNodes += len(frontier)
+			prev = lvl
+		}
+		comp := ms.comps[lvl]
+		seen := make(map[index.NodeID]bool)
+		var next []*index.Node
+		for _, u := range frontier {
+			for _, c := range comp.Children(u) {
+				res.Cost.IndexNodes++
+				if !seen[c.ID()] && e.Steps[i].Matches(ms.data.LabelName(c.Label())) {
+					seen[c.ID()] = true
+					next = append(next, c)
+				}
+			}
+		}
+		frontier = next
+	}
+
+	// Meet in the fine component: re-establish genuine prefix instances
+	// there, then expand the suffix with downward pruning.
+	lvl := e.RequiredK()
+	if lvl > maxLvl {
+		lvl = maxLvl
+	}
+	if lvl != prev {
+		frontier = ms.descend(frontier, lvl)
+		res.Cost.IndexNodes += len(frontier)
+	}
+	comp := ms.comps[lvl]
+	if meet > 0 {
+		memo := make(map[prefixState]bool)
+		var kept []*index.Node
+		for _, c := range frontier {
+			if ms.hasPrefixInto(comp, c, e.Steps[:meet+1], memo, &res.Cost) {
+				kept = append(kept, c)
+			}
+		}
+		frontier = kept
+	}
+	check := newSuffixChecker(ms, comp, &res.Cost)
+	for i := meet + 1; i <= j && len(frontier) > 0; i++ {
+		seen := make(map[index.NodeID]bool)
+		var next []*index.Node
+		for _, u := range frontier {
+			for _, c := range comp.Children(u) {
+				res.Cost.IndexNodes++
+				if seen[c.ID()] || !e.Steps[i].Matches(ms.data.LabelName(c.Label())) {
+					continue
+				}
+				seen[c.ID()] = true
+				// Bottom-up style pruning: only expand children below which
+				// the remaining suffix can still complete.
+				if check.has(c, e.Steps[i:]) {
+					next = append(next, c)
+				}
+			}
+		}
+		frontier = next
+	}
+	sortNodes(frontier)
+	res.Targets = frontier
+
+	var validator *query.Validator
+	for _, v := range frontier {
+		if v.K() >= e.RequiredK() {
+			res.Answer = append(res.Answer, v.Extent()...)
+			continue
+		}
+		res.Precise = false
+		if validator == nil {
+			validator = query.NewValidator(ms.data, e)
+		}
+		for _, o := range v.Extent() {
+			if validator.Matches(o) {
+				res.Answer = append(res.Answer, o)
+			}
+		}
+	}
+	if validator != nil {
+		res.Cost.DataNodes = validator.Visited()
+	}
+	res.Answer = sortIDs(res.Answer)
+	return res
+}

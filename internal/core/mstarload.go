@@ -1,0 +1,30 @@
+package core
+
+import (
+	"errors"
+
+	"mrx/internal/graph"
+	"mrx/internal/index"
+)
+
+// MStarFromComponents reassembles an M*(k)-index from pre-built component
+// index graphs (for example, ones loaded selectively from disk by package
+// store). The components must share the data graph and satisfy the M*(k)
+// invariants, which are verified structurally (refinement nesting, k caps
+// and the P4/P5 relations); pass the result to Validate(true) to also check
+// extent bisimilarity.
+func MStarFromComponents(g *graph.Graph, comps []*index.Graph) (*MStar, error) {
+	if len(comps) == 0 {
+		return nil, errors.New("mstar: no components")
+	}
+	for _, c := range comps {
+		if c.Data() != g {
+			return nil, errors.New("mstar: component built over a different data graph")
+		}
+	}
+	ms := &MStar{data: g, comps: comps}
+	if err := ms.Validate(false); err != nil {
+		return nil, err
+	}
+	return ms, nil
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"mrx/internal/pathexpr"
+	"mrx/internal/query"
+)
+
+// Strategy names returned by QueryAuto.
+const (
+	StrategyNaive   = "naive"
+	StrategyTopDown = "top-down"
+	StrategySubpath = "subpath"
+)
+
+// QueryAuto addresses the query-optimization question §4.1 leaves open:
+// which evaluation strategy to use for a given expression. It estimates the
+// index-node visits of each strategy from per-component label cardinalities
+// (no traversal, no data access), runs the cheapest, and reports which one
+// it chose. The estimator is intentionally simple — frontier sizes are
+// approximated by label counts — but it is enough to route single-label
+// queries to the coarse components and selective long queries to subpath
+// pre-filtering.
+func (ms *MStar) QueryAuto(e *pathexpr.Expr) (query.Result, string) {
+	if e.Rooted || e.HasDescendantStep() {
+		return ms.QueryNaive(e), StrategyNaive
+	}
+	naive := ms.estimateNaive(e)
+	top := ms.estimateTopDown(e)
+	sub, start, end := ms.estimateBestSubpath(e)
+
+	switch {
+	case sub < naive && sub < top:
+		return ms.QuerySubpath(e, start, end), StrategySubpath
+	case top <= naive:
+		return ms.QueryTopDown(e), StrategyTopDown
+	default:
+		return ms.QueryNaive(e), StrategyNaive
+	}
+}
+
+// countAt estimates the number of index nodes matching one step in a
+// component.
+func (ms *MStar) countAt(level int, s pathexpr.Step) int {
+	comp := ms.comps[level]
+	if s.Wildcard {
+		return comp.NumNodes()
+	}
+	l, ok := ms.data.LabelIDOf(s.Label)
+	if !ok {
+		return 0
+	}
+	return comp.CountLabel(l)
+}
+
+func (ms *MStar) clampLevel(i int) int {
+	if i > len(ms.comps)-1 {
+		return len(ms.comps) - 1
+	}
+	return i
+}
+
+// estimateNaive approximates the traversal cost of evaluating e entirely in
+// the finest needed component: the sum of per-step label cardinalities there.
+func (ms *MStar) estimateNaive(e *pathexpr.Expr) int {
+	lvl := ms.clampLevel(e.RequiredK())
+	total := 0
+	for _, s := range e.Steps {
+		total += ms.countAt(lvl, s)
+	}
+	return total
+}
+
+// estimateTopDown approximates the top-down cost: each step is matched in
+// the coarsest component that supports the prefix, so step i contributes its
+// cardinality in component min(i, finest).
+func (ms *MStar) estimateTopDown(e *pathexpr.Expr) int {
+	total := 0
+	for i, s := range e.Steps {
+		total += ms.countAt(ms.clampLevel(i), s)
+	}
+	return total
+}
+
+// estimateBestSubpath scans all windows of length up to 2 and returns the
+// estimated cost of the best one: the window's cardinality in its coarse
+// component, plus the backward prefix verification (bounded by the fine
+// cardinalities of all steps up to the window end, since the shared memo
+// visits each (node, step) state at most once), plus the forward suffix.
+func (ms *MStar) estimateBestSubpath(e *pathexpr.Expr) (best, bestStart, bestEnd int) {
+	lvl := ms.clampLevel(e.RequiredK())
+	best = int(^uint(0) >> 1)
+	for w := 1; w <= 2 && w <= e.Length(); w++ {
+		for start := 0; start+w < len(e.Steps); start++ {
+			end := start + w
+			cost := ms.countAt(ms.clampLevel(w), e.Steps[end])
+			for i, s := range e.Steps {
+				if i <= end && end > 0 {
+					cost += ms.countAt(lvl, s) // prefix verification bound
+				} else if i > end {
+					cost += ms.countAt(lvl, s) // forward suffix
+				}
+			}
+			if cost < best {
+				best, bestStart, bestEnd = cost, start, end
+			}
+		}
+	}
+	return best, bestStart, bestEnd
+}

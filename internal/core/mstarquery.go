@@ -1,0 +1,289 @@
+package core
+
+import (
+	"sort"
+
+	"mrx/internal/graph"
+	"mrx/internal/index"
+	"mrx/internal/pathexpr"
+	"mrx/internal/query"
+)
+
+// Query evaluates e with the default strategy (top-down, §4.1), validating
+// under-refined answers against the data graph.
+func (ms *MStar) Query(e *pathexpr.Expr) query.Result { return ms.QueryTopDown(e) }
+
+// QueryNaive evaluates e entirely in component I_min(length, finest): the
+// "naive evaluation" strategy of §4.1.
+func (ms *MStar) QueryNaive(e *pathexpr.Expr) query.Result {
+	lvl := e.RequiredK()
+	if lvl >= len(ms.comps) {
+		lvl = len(ms.comps) - 1
+	}
+	return query.EvalIndex(ms.comps[lvl], e)
+}
+
+// QueryTopDown is the paper's QUERYTOPDOWN: evaluate each prefix of e in the
+// coarsest component that can support it, descending through the partition
+// hierarchy via subnode links. Rooted expressions fall back to naive
+// evaluation (the paper's workloads are descendant-anchored).
+func (ms *MStar) QueryTopDown(e *pathexpr.Expr) query.Result {
+	if e.Rooted || e.HasDescendantStep() {
+		return ms.QueryNaive(e)
+	}
+	var res query.Result
+	res.Precise = true
+	maxLvl := len(ms.comps) - 1
+
+	// Line 1: initial frontier in I0.
+	var frontier []*index.Node
+	if e.Steps[0].Wildcard {
+		ms.comps[0].ForEachNode(func(n *index.Node) { frontier = append(frontier, n) })
+	} else if l, ok := ms.data.LabelIDOf(e.Steps[0].Label); ok {
+		frontier = ms.comps[0].NodesWithLabel(l)
+	}
+	res.Cost.IndexNodes += len(frontier)
+
+	// Lines 2-4: at step i, descend to component I_min(i, finest) and follow
+	// index edges there.
+	prev := 0
+	for i := 1; i < len(e.Steps) && len(frontier) > 0; i++ {
+		lvl := i
+		if lvl > maxLvl {
+			lvl = maxLvl
+		}
+		if lvl != prev {
+			frontier = ms.descend(frontier, lvl)
+			res.Cost.IndexNodes += len(frontier)
+			prev = lvl
+		}
+		comp := ms.comps[lvl]
+		seen := make(map[index.NodeID]bool)
+		var next []*index.Node
+		for _, u := range frontier {
+			for _, c := range comp.Children(u) {
+				res.Cost.IndexNodes++
+				if !seen[c.ID()] && e.Steps[i].Matches(ms.data.LabelName(c.Label())) {
+					seen[c.ID()] = true
+					next = append(next, c)
+				}
+			}
+		}
+		frontier = next
+	}
+	sortNodes(frontier)
+	res.Targets = frontier
+
+	// Lines 5-11: collect extents, validating under-refined nodes.
+	var validator *query.Validator
+	for _, v := range frontier {
+		if v.K() >= e.RequiredK() {
+			res.Answer = append(res.Answer, v.Extent()...)
+			continue
+		}
+		res.Precise = false
+		if validator == nil {
+			validator = query.NewValidator(ms.data, e)
+		}
+		for _, o := range v.Extent() {
+			if validator.Matches(o) {
+				res.Answer = append(res.Answer, o)
+			}
+		}
+	}
+	if validator != nil {
+		res.Cost.DataNodes = validator.Visited()
+	}
+	res.Answer = sortIDs(res.Answer)
+	return res
+}
+
+// descend maps a frontier of coarse-component nodes to their subnodes in
+// component Ilevel.
+func (ms *MStar) descend(frontier []*index.Node, level int) []*index.Node {
+	fine := ms.comps[level]
+	seen := make(map[index.NodeID]bool)
+	var out []*index.Node
+	for _, u := range frontier {
+		for _, o := range u.Extent() {
+			n := fine.NodeOf(o)
+			if !seen[n.ID()] {
+				seen[n.ID()] = true
+				out = append(out, n)
+			}
+		}
+	}
+	sortNodes(out)
+	return out
+}
+
+// QuerySubpath implements the subpath pre-filtering strategy of §4.1:
+// evaluate the subpath e[start..end] (0-based step indexes, inclusive) in
+// the coarse component I_(end-start), descend the matching nodes to the
+// finest component needed by e, then verify the prefix backwards and
+// evaluate the suffix forwards there, validating the final answers as usual.
+func (ms *MStar) QuerySubpath(e *pathexpr.Expr, start, end int) query.Result {
+	if e.Rooted || e.HasDescendantStep() || start < 0 || end >= len(e.Steps) || start > end {
+		return ms.QueryNaive(e)
+	}
+	var res query.Result
+	res.Precise = true
+
+	sub := &pathexpr.Expr{Steps: e.Steps[start : end+1]}
+	subLvl := sub.Length()
+	if subLvl > len(ms.comps)-1 {
+		subLvl = len(ms.comps) - 1
+	}
+	var subCost query.Cost
+	coarseHits := traverseComponent(ms.comps[subLvl], ms.data, sub, &subCost)
+	res.Cost.Add(subCost)
+
+	lvl := e.RequiredK()
+	if lvl > len(ms.comps)-1 {
+		lvl = len(ms.comps) - 1
+	}
+	comp := ms.comps[lvl]
+	candidates := ms.descend(coarseHits, lvl)
+	res.Cost.IndexNodes += len(candidates)
+
+	// Verify the full prefix e[0..end] backwards from the candidates (which
+	// sit at step position end). The coarse subpath match already filtered
+	// most nodes; this pass establishes a genuine index instance in the fine
+	// component, without which extents of high-k nodes could leak false
+	// positives. The memo is shared across candidates, so overlapping
+	// ancestor cones are walked once.
+	if end > 0 {
+		memo := make(map[prefixState]bool)
+		var kept []*index.Node
+		for _, c := range candidates {
+			if ms.hasPrefixInto(comp, c, e.Steps[:end+1], memo, &res.Cost) {
+				kept = append(kept, c)
+			}
+		}
+		candidates = kept
+	}
+
+	// Evaluate the suffix e[end..] forwards from the candidates.
+	frontier := candidates
+	for i := end + 1; i < len(e.Steps) && len(frontier) > 0; i++ {
+		seen := make(map[index.NodeID]bool)
+		var next []*index.Node
+		for _, u := range frontier {
+			for _, c := range comp.Children(u) {
+				res.Cost.IndexNodes++
+				if !seen[c.ID()] && e.Steps[i].Matches(ms.data.LabelName(c.Label())) {
+					seen[c.ID()] = true
+					next = append(next, c)
+				}
+			}
+		}
+		frontier = next
+	}
+	sortNodes(frontier)
+	res.Targets = frontier
+
+	var validator *query.Validator
+	for _, v := range frontier {
+		if v.K() >= e.RequiredK() {
+			res.Answer = append(res.Answer, v.Extent()...)
+			continue
+		}
+		res.Precise = false
+		if validator == nil {
+			validator = query.NewValidator(ms.data, e)
+		}
+		for _, o := range v.Extent() {
+			if validator.Matches(o) {
+				res.Answer = append(res.Answer, o)
+			}
+		}
+	}
+	if validator != nil {
+		res.Cost.DataNodes = validator.Visited()
+	}
+	res.Answer = sortIDs(res.Answer)
+	return res
+}
+
+// prefixState memoizes backward prefix checks per (node, step).
+type prefixState struct {
+	id   index.NodeID
+	step int
+}
+
+// hasPrefixInto reports whether some label path matching steps (a prefix
+// pattern ending at node v's step) leads into v in the component, walking
+// parent edges backwards; each node examined is counted in cost. The memo
+// is supplied by the caller so repeated checks share work.
+func (ms *MStar) hasPrefixInto(comp *index.Graph, v *index.Node, steps []pathexpr.Step, memo map[prefixState]bool, cost *query.Cost) bool {
+	var walk func(n *index.Node, step int) bool
+	walk = func(n *index.Node, step int) bool {
+		if !steps[step].Matches(ms.data.LabelName(n.Label())) {
+			return false
+		}
+		if step == 0 {
+			return true
+		}
+		key := prefixState{n.ID(), step}
+		if r, ok := memo[key]; ok {
+			return r
+		}
+		memo[key] = false
+		ok := false
+		for _, p := range comp.Parents(n) {
+			cost.IndexNodes++
+			if walk(p, step-1) {
+				ok = true
+				break
+			}
+		}
+		memo[key] = ok
+		return ok
+	}
+	return walk(v, len(steps)-1)
+}
+
+// traverseComponent evaluates a descendant expression over one component and
+// returns the matched nodes, accumulating traversal cost.
+func traverseComponent(comp *index.Graph, data *graph.Graph, e *pathexpr.Expr, cost *query.Cost) []*index.Node {
+	var frontier []*index.Node
+	if e.Steps[0].Wildcard {
+		comp.ForEachNode(func(n *index.Node) { frontier = append(frontier, n) })
+	} else if l, ok := data.LabelIDOf(e.Steps[0].Label); ok {
+		frontier = comp.NodesWithLabel(l)
+	}
+	cost.IndexNodes += len(frontier)
+	for i := 1; i < len(e.Steps) && len(frontier) > 0; i++ {
+		seen := make(map[index.NodeID]bool)
+		var next []*index.Node
+		for _, u := range frontier {
+			for _, c := range comp.Children(u) {
+				cost.IndexNodes++
+				if !seen[c.ID()] && e.Steps[i].Matches(data.LabelName(c.Label())) {
+					seen[c.ID()] = true
+					next = append(next, c)
+				}
+			}
+		}
+		frontier = next
+	}
+	sortNodes(frontier)
+	return frontier
+}
+
+// sortIDs returns a sorted, deduplicated copy of s.
+func sortIDs(s []graph.NodeID) []graph.NodeID {
+	if len(s) < 2 {
+		return s
+	}
+	out := append([]graph.NodeID(nil), s...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	w := 1
+	for i := 1; i < len(out); i++ {
+		if out[i] != out[i-1] {
+			out[w] = out[i]
+			w++
+		}
+	}
+	return out[:w]
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"mrx/internal/index"
+)
+
+// SizeStats reports the M*(k)-index sizes under both accountings used in the
+// paper's experiments (§5, "Cost metrics").
+type SizeStats struct {
+	// Nodes counts index nodes across all components, skipping duplicates:
+	// a node in Ii (i ≥ 1) whose supernode has only one subnode is a copy of
+	// that supernode and does not need to be stored.
+	Nodes int
+	// Edges counts index edges across all components, skipping edges whose
+	// two endpoints are both duplicates (such an edge is a copy of the
+	// corresponding coarser edge), plus the cross-component links from each
+	// supernode to its non-duplicate subnodes.
+	Edges int
+	// CrossLinks is the cross-component link portion of Edges.
+	CrossLinks int
+	// LogicalNodes and LogicalEdges count everything without deduplication,
+	// i.e. the cost of the naive "logical representation".
+	LogicalNodes int
+	LogicalEdges int
+	// Components is the number of materialized component indexes.
+	Components int
+}
+
+// Sizes computes the deduplicated and logical sizes of the index.
+func (ms *MStar) Sizes() SizeStats {
+	s := SizeStats{Components: len(ms.comps)}
+	for i, comp := range ms.comps {
+		s.LogicalNodes += comp.NumNodes()
+		s.LogicalEdges += comp.NumEdges()
+		if i == 0 {
+			s.Nodes += comp.NumNodes()
+			s.Edges += comp.NumEdges()
+			continue
+		}
+		coarse := ms.comps[i-1]
+		// A node is "new" iff its extent differs from its supernode's, which
+		// for nested partitions is simply a size difference.
+		isNew := func(n *index.Node) bool {
+			return n.Size() != coarse.NodeOf(n.Extent()[0]).Size()
+		}
+		comp.ForEachNode(func(n *index.Node) {
+			if isNew(n) {
+				s.Nodes++
+				s.CrossLinks++ // link from the supernode to this subnode
+			}
+			for _, c := range comp.Children(n) {
+				if isNew(n) || isNew(c) {
+					s.Edges++
+				}
+			}
+		})
+	}
+	s.Edges += s.CrossLinks
+	return s
+}

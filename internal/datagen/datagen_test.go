@@ -1,0 +1,158 @@
+package datagen
+
+import (
+	"bytes"
+	"testing"
+
+	"mrx/internal/graph"
+	"mrx/internal/pathexpr"
+	"mrx/internal/query"
+)
+
+func TestXMarkDeterministic(t *testing.T) {
+	a := XMark(0.02, 7)
+	b := XMark(0.02, 7)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different documents")
+	}
+	c := XMark(0.02, 8)
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical documents")
+	}
+}
+
+func TestXMarkScaleOne(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale generation in -short mode")
+	}
+	g := XMarkGraph(1.0, 42)
+	if n := g.NumNodes(); n < 110_000 || n > 130_000 {
+		t.Errorf("scale-1 XMark nodes = %d, want ~120k", n)
+	}
+	if g.NumRefEdges() == 0 {
+		t.Error("no reference edges")
+	}
+}
+
+func TestXMarkStructure(t *testing.T) {
+	g := XMarkGraph(0.05, 3)
+	d := query.NewDataIndex(g)
+	checks := []struct {
+		expr     string
+		nonEmpty bool
+	}{
+		{"/site/regions/africa/item", true},
+		{"/site/regions/*/item/description", true},
+		{"/site/people/person/profile/interest/category", true}, // IDREF hop
+		{"//open_auction/bidder/personref/person", true},
+		{"//closed_auction/itemref/item", true},
+		{"//watch/open_auction", true},
+		{"//catgraph/edge/category", true},
+		{"//annotation/author/person", true},
+		{"//person/item", false}, // no such edge
+	}
+	for _, c := range checks {
+		got := d.Eval(pathexpr.MustParse(c.expr))
+		if (len(got) > 0) != c.nonEmpty {
+			t.Errorf("%s: got %d results, want nonEmpty=%v", c.expr, len(got), c.nonEmpty)
+		}
+	}
+}
+
+func TestNASADeterministic(t *testing.T) {
+	a := NASA(0.02, 7)
+	b := NASA(0.02, 7)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different documents")
+	}
+}
+
+func TestNASAScaleOne(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale generation in -short mode")
+	}
+	g := NASAGraph(1.0, 42)
+	if n := g.NumNodes(); n < 80_000 || n > 100_000 {
+		t.Errorf("scale-1 NASA nodes = %d, want ~90k", n)
+	}
+}
+
+func TestNASAStructure(t *testing.T) {
+	g := NASAGraph(0.05, 3)
+	d := query.NewDataIndex(g)
+	for _, expr := range []string{
+		"/datasets/dataset/tableHead/fields/field/name",
+		"//dataset/author/lastName",
+		"//journalref/journal/name",
+		"//relatedData/dataset",
+		"//revision/creator/lastName",
+		"//instrument/name",
+		"//telescope/name",
+		"//descriptions/description/textpanel/para",
+	} {
+		if got := d.Eval(pathexpr.MustParse(expr)); len(got) == 0 {
+			t.Errorf("%s: empty target set", expr)
+		}
+	}
+}
+
+// TestNASAIrregularity checks the properties the paper relies on: the NASA
+// dataset is deeper and reuses element names in more contexts than XMark.
+func TestNASANameReuse(t *testing.T) {
+	g := NASAGraph(0.05, 3)
+	nameLbl, ok := g.LabelIDOf("name")
+	if !ok {
+		t.Fatal("no name label")
+	}
+	contexts := map[graph.LabelID]bool{}
+	for _, v := range g.NodesWithLabel(nameLbl) {
+		for _, p := range g.Parents(v) {
+			contexts[g.Label(p)] = true
+		}
+	}
+	if len(contexts) < 7 {
+		t.Errorf("name appears under %d distinct parents, want >= 7", len(contexts))
+	}
+}
+
+func TestDepths(t *testing.T) {
+	depth := func(g *graph.Graph) int {
+		// longest tree-edge path from the root (reference edges excluded to
+		// avoid cycles).
+		memo := make([]int, g.NumNodes())
+		for v := g.NumNodes() - 1; v >= 0; v-- {
+			kids := g.Children(graph.NodeID(v))
+			kinds := g.ChildKinds(graph.NodeID(v))
+			for i, c := range kids {
+				if kinds[i] != graph.TreeEdge {
+					continue
+				}
+				if int(c) > v && memo[c]+1 > memo[v] {
+					memo[v] = memo[c] + 1
+				}
+			}
+		}
+		return memo[0]
+	}
+	xm := depth(XMarkGraph(0.05, 3))
+	na := depth(NASAGraph(0.05, 3))
+	if na < 8 {
+		t.Errorf("NASA depth = %d, want >= 8", na)
+	}
+	if xm < 6 {
+		t.Errorf("XMark depth = %d, want >= 6", xm)
+	}
+}
+
+func TestWriterBalanced(t *testing.T) {
+	w := &writer{}
+	w.open("a", "id", "x")
+	w.open("b")
+	w.leaf("c", "ref", "x")
+	w.closeN(2)
+	got := string(w.bytes())
+	want := `<a id="x"><b><c ref="x"/></b></a>`
+	if got != want {
+		t.Fatalf("writer output %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,252 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mrx/internal/graph"
+)
+
+// NASACounts are the entity counts of a NASA-like document. At scale 1.0 the
+// generated graph has roughly 90,000 nodes, matching the paper's dataset.
+type NASACounts struct {
+	Datasets int
+	Journals int
+}
+
+// DefaultNASACounts returns counts scaled so that scale 1.0 yields a graph
+// of about 90k nodes.
+func DefaultNASACounts(scale float64) NASACounts {
+	return NASACounts{
+		Datasets: scaled(1430, scale),
+		Journals: scaled(120, scale),
+	}
+}
+
+// NASA generates a NASA-like astronomical catalog document. Compared with
+// the XMark-like document it is deeper (up to nine levels below the root),
+// broader (more distinct element names), more irregular (most substructures
+// are optional and probabilistic), reuses element names across many contexts
+// (name appears under instrument, telescope, observatory, facility, journal,
+// source and field, like the seven contexts the paper mentions), and has a
+// higher density of reference edges (dataset cross-references, journal
+// references and revision back-references). The paper notes that the D(k)
+// evaluation removed more than half of the NASA references to keep index
+// sizes manageable but that He & Yang kept all of them; we keep all of them
+// too.
+func NASA(scale float64, seed int64) []byte {
+	return NASAWithCounts(DefaultNASACounts(scale), seed)
+}
+
+// NASAWithCounts generates a NASA-like document with explicit counts.
+func NASAWithCounts(c NASACounts, seed int64) []byte {
+	r := rand.New(rand.NewSource(seed))
+	w := &writer{}
+	w.open("datasets")
+
+	datasetID := func(i int) string { return fmt.Sprintf("dataset%d", i) }
+	journalID := func(i int) string { return fmt.Sprintf("journal%d", i) }
+
+	// Shared journal catalog referenced from dataset references.
+	w.open("journals")
+	for i := 0; i < c.Journals; i++ {
+		w.open("journal", "id", journalID(i))
+		w.leaf("name")
+		if pick(r, 0.5) {
+			w.leaf("publisher")
+		}
+		w.close()
+	}
+	w.close()
+
+	for i := 0; i < c.Datasets; i++ {
+		w.open("dataset", "id", datasetID(i), "subject", fmt.Sprintf("subj%d", r.Intn(30)))
+		w.leaf("title")
+		if pick(r, 0.4) {
+			w.leaf("subtitle")
+		}
+		for n := r.Intn(3); n > 0; n-- {
+			w.open("altname")
+			w.leaf("name")
+			w.close()
+		}
+		writeNASAAuthors(w, r, 1+r.Intn(3))
+
+		// references to the literature and to other datasets
+		for n := 1 + r.Intn(3); n > 0; n-- {
+			w.open("reference")
+			w.open("source")
+			if pick(r, 0.6) {
+				w.open("journalref", "journal", journalID(r.Intn(c.Journals)))
+				w.leaf("volume")
+				if pick(r, 0.6) {
+					w.leaf("page")
+				}
+				w.close()
+			} else {
+				w.open("other")
+				w.leaf("name")
+				writeNASAAuthors(w, r, 1)
+				w.close()
+			}
+			w.leaf("year")
+			if pick(r, 0.4) {
+				w.leaf("seeAlso", "dataset", datasetID(r.Intn(c.Datasets)))
+			}
+			w.close()
+			w.close()
+		}
+		for n := 3 + r.Intn(5); n > 0; n-- {
+			w.leaf("relatedData", "dataset", datasetID(r.Intn(c.Datasets)))
+		}
+
+		if pick(r, 0.7) {
+			w.open("keywords")
+			for n := 1 + r.Intn(4); n > 0; n-- {
+				w.leaf("keyword")
+			}
+			w.close()
+		}
+		if pick(r, 0.6) {
+			w.open("instrument")
+			w.leaf("name")
+			if pick(r, 0.4) {
+				w.open("observatory")
+				w.leaf("name")
+				w.close()
+			}
+			w.close()
+		}
+		if pick(r, 0.4) {
+			w.open("telescope")
+			w.leaf("name")
+			if pick(r, 0.3) {
+				w.open("facility")
+				w.leaf("name")
+				w.close()
+			}
+			w.close()
+		}
+		w.leaf("identifier")
+
+		if pick(r, 0.8) {
+			w.open("descriptions")
+			for n := 1 + r.Intn(2); n > 0; n-- {
+				w.open("description")
+				w.open("textpanel")
+				if pick(r, 0.4) {
+					w.leaf("title")
+				}
+				for m := 1 + r.Intn(3); m > 0; m-- {
+					w.open("para")
+					if pick(r, 0.2) {
+						w.leaf("footnote")
+					}
+					w.close()
+				}
+				w.close()
+				w.close()
+			}
+			w.close()
+		}
+
+		if pick(r, 0.7) {
+			w.open("tableHead")
+			if pick(r, 0.3) {
+				w.open("tableLinks")
+				for n := 1 + r.Intn(2); n > 0; n-- {
+					w.open("tableLink")
+					w.leaf("title")
+					w.close()
+				}
+				w.close()
+			}
+			w.open("fields")
+			for n := 2 + r.Intn(6); n > 0; n-- {
+				w.open("field")
+				w.leaf("name")
+				if pick(r, 0.5) {
+					w.open("definition")
+					w.open("para")
+					if pick(r, 0.15) {
+						w.leaf("footnote")
+					}
+					w.close()
+					w.close()
+				}
+				if pick(r, 0.3) {
+					w.leaf("units")
+				}
+				w.close()
+			}
+			w.close()
+			w.close()
+		}
+
+		if pick(r, 0.6) {
+			w.open("history")
+			w.open("ingest")
+			writeNASACreator(w, r)
+			writeNASADate(w, r)
+			w.close()
+			if pick(r, 0.4) {
+				w.open("revisions")
+				for n := 1 + r.Intn(3); n > 0; n-- {
+					w.open("revision")
+					writeNASACreator(w, r)
+					writeNASADate(w, r)
+					if pick(r, 0.5) {
+						w.leaf("supersedes", "dataset", datasetID(r.Intn(c.Datasets)))
+					}
+					if pick(r, 0.3) {
+						w.leaf("publishedIn", "journal", journalID(r.Intn(c.Journals)))
+					}
+					w.close()
+				}
+				w.close()
+			}
+			w.close()
+		}
+		w.close() // dataset
+	}
+	w.close() // datasets
+	return w.bytes()
+}
+
+func writeNASAAuthors(w *writer, r *rand.Rand, n int) {
+	for ; n > 0; n-- {
+		w.open("author")
+		if pick(r, 0.5) {
+			w.leaf("initial")
+		}
+		w.leaf("lastName")
+		if pick(r, 0.6) {
+			w.leaf("firstName")
+		}
+		w.close()
+	}
+}
+
+func writeNASACreator(w *writer, r *rand.Rand) {
+	w.open("creator")
+	w.leaf("lastName")
+	if pick(r, 0.5) {
+		w.leaf("firstName")
+	}
+	w.close()
+}
+
+func writeNASADate(w *writer, r *rand.Rand) {
+	w.open("date")
+	w.leaf("year")
+	w.leaf("month")
+	if pick(r, 0.7) {
+		w.leaf("day")
+	}
+	w.close()
+}
+
+// NASAGraph generates and parses a NASA-like document.
+func NASAGraph(scale float64, seed int64) *graph.Graph {
+	return mustGraph(NASA(scale, seed))
+}

@@ -1,0 +1,265 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mrx/internal/graph"
+)
+
+// XMarkCounts are the entity counts of an XMark-like document. At scale 1.0
+// the generated graph has roughly 120,000 nodes, matching the document the
+// paper used.
+type XMarkCounts struct {
+	Categories     int
+	Items          int // per region; there are six regions
+	Persons        int
+	OpenAuctions   int
+	ClosedAuctions int
+}
+
+// DefaultXMarkCounts returns counts scaled so that scale 1.0 yields a graph
+// of about 120k nodes.
+func DefaultXMarkCounts(scale float64) XMarkCounts {
+	return XMarkCounts{
+		Categories:     scaled(360, scale),
+		Items:          scaled(520, scale), // ×6 regions
+		Persons:        scaled(2450, scale),
+		OpenAuctions:   scaled(1150, scale),
+		ClosedAuctions: scaled(940, scale),
+	}
+}
+
+var xmarkRegions = []string{"africa", "asia", "australia", "europe", "namerica", "samerica"}
+
+// XMark generates an XMark-like auction document. The element hierarchy and
+// reference structure follow the XMark benchmark DTD: regions with items,
+// people, open and closed auctions, categories and the category graph, with
+// IDREF attributes wiring bidders and sellers to persons, auctions to items,
+// and items/people to categories.
+func XMark(scale float64, seed int64) []byte {
+	return XMarkWithCounts(DefaultXMarkCounts(scale), seed)
+}
+
+// XMarkWithCounts generates an XMark-like document with explicit counts.
+func XMarkWithCounts(c XMarkCounts, seed int64) []byte {
+	r := rand.New(rand.NewSource(seed))
+	w := &writer{}
+	w.open("site")
+
+	totalItems := c.Items * len(xmarkRegions)
+	itemID := func(i int) string { return fmt.Sprintf("item%d", i) }
+	personID := func(i int) string { return fmt.Sprintf("person%d", i) }
+	categoryID := func(i int) string { return fmt.Sprintf("category%d", i) }
+	auctionID := func(i int) string { return fmt.Sprintf("open_auction%d", i) }
+
+	// regions
+	w.open("regions")
+	item := 0
+	for _, region := range xmarkRegions {
+		w.open(region)
+		for i := 0; i < c.Items; i++ {
+			w.open("item", "id", itemID(item))
+			w.leaf("location")
+			w.leaf("quantity")
+			w.leaf("name")
+			w.open("payment")
+			w.close()
+			writeDescription(w, r, 0)
+			w.leaf("shipping")
+			for n := 1 + r.Intn(2); n > 0; n-- {
+				w.leaf("incategory", "category", categoryID(r.Intn(c.Categories)))
+			}
+			if pick(r, 0.7) {
+				w.open("mailbox")
+				for n := r.Intn(3); n > 0; n-- {
+					w.open("mail")
+					w.leaf("from")
+					w.leaf("to")
+					w.leaf("date")
+					writeText(w, r)
+					w.close()
+				}
+				w.close()
+			}
+			w.close() // item
+			item++
+		}
+		w.close()
+	}
+	w.close() // regions
+
+	// categories
+	w.open("categories")
+	for i := 0; i < c.Categories; i++ {
+		w.open("category", "id", categoryID(i))
+		w.leaf("name")
+		writeDescription(w, r, 0)
+		w.close()
+	}
+	w.close()
+
+	// catgraph
+	w.open("catgraph")
+	for i := 0; i < c.Categories; i++ {
+		w.leaf("edge", "from", categoryID(r.Intn(c.Categories)), "to", categoryID(r.Intn(c.Categories)))
+	}
+	w.close()
+
+	// people
+	w.open("people")
+	for i := 0; i < c.Persons; i++ {
+		w.open("person", "id", personID(i))
+		w.leaf("name")
+		w.leaf("emailaddress")
+		if pick(r, 0.5) {
+			w.leaf("phone")
+		}
+		if pick(r, 0.4) {
+			w.open("address")
+			w.leaf("street")
+			w.leaf("city")
+			w.leaf("country")
+			w.leaf("zipcode")
+			w.close()
+		}
+		if pick(r, 0.3) {
+			w.leaf("homepage")
+		}
+		if pick(r, 0.3) {
+			w.leaf("creditcard")
+		}
+		if pick(r, 0.6) {
+			w.open("profile")
+			for n := r.Intn(3); n > 0; n-- {
+				w.leaf("interest", "category", categoryID(r.Intn(c.Categories)))
+			}
+			if pick(r, 0.5) {
+				w.leaf("education")
+			}
+			if pick(r, 0.8) {
+				w.leaf("gender")
+			}
+			w.leaf("business")
+			if pick(r, 0.7) {
+				w.leaf("age")
+			}
+			w.close()
+		}
+		if pick(r, 0.4) && c.OpenAuctions > 0 {
+			w.open("watches")
+			for n := 1 + r.Intn(3); n > 0; n-- {
+				w.leaf("watch", "open_auction", auctionID(r.Intn(c.OpenAuctions)))
+			}
+			w.close()
+		}
+		w.close()
+	}
+	w.close()
+
+	// open_auctions
+	w.open("open_auctions")
+	for i := 0; i < c.OpenAuctions; i++ {
+		w.open("open_auction", "id", auctionID(i))
+		w.leaf("initial")
+		if pick(r, 0.4) {
+			w.leaf("reserve")
+		}
+		for n := r.Intn(5); n > 0; n-- {
+			w.open("bidder")
+			w.leaf("date")
+			w.leaf("time")
+			w.leaf("personref", "person", personID(r.Intn(c.Persons)))
+			w.leaf("increase")
+			w.close()
+		}
+		w.leaf("current")
+		if pick(r, 0.2) {
+			w.leaf("privacy")
+		}
+		w.leaf("itemref", "item", itemID(r.Intn(totalItems)))
+		w.leaf("seller", "person", personID(r.Intn(c.Persons)))
+		writeAnnotation(w, r, c)
+		w.leaf("quantity")
+		w.leaf("type")
+		w.open("interval")
+		w.leaf("start")
+		w.leaf("end")
+		w.close()
+		w.close()
+	}
+	w.close()
+
+	// closed_auctions
+	w.open("closed_auctions")
+	for i := 0; i < c.ClosedAuctions; i++ {
+		w.open("closed_auction")
+		w.leaf("seller", "person", personID(r.Intn(c.Persons)))
+		w.leaf("buyer", "person", personID(r.Intn(c.Persons)))
+		w.leaf("itemref", "item", itemID(r.Intn(totalItems)))
+		w.leaf("price")
+		w.leaf("date")
+		w.leaf("quantity")
+		w.leaf("type")
+		writeAnnotation(w, r, c)
+		w.close()
+	}
+	w.close()
+
+	w.close() // site
+	return w.bytes()
+}
+
+// writeDescription emits XMark's recursive description content model:
+// either text or a parlist of listitems, which may nest.
+func writeDescription(w *writer, r *rand.Rand, depth int) {
+	w.open("description")
+	if depth < 2 && pick(r, 0.3) {
+		w.open("parlist")
+		for n := 1 + r.Intn(2); n > 0; n-- {
+			w.open("listitem")
+			if depth < 1 && pick(r, 0.3) {
+				w.open("parlist")
+				w.open("listitem")
+				writeText(w, r)
+				w.closeN(2)
+			} else {
+				writeText(w, r)
+			}
+			w.close()
+		}
+		w.close()
+	} else {
+		writeText(w, r)
+	}
+	w.close()
+}
+
+func writeText(w *writer, r *rand.Rand) {
+	w.open("text")
+	if pick(r, 0.2) {
+		w.leaf("bold")
+	}
+	if pick(r, 0.1) {
+		w.leaf("keyword")
+	}
+	if pick(r, 0.1) {
+		w.leaf("emph")
+	}
+	w.close()
+}
+
+func writeAnnotation(w *writer, r *rand.Rand, c XMarkCounts) {
+	w.open("annotation")
+	w.leaf("author", "person", fmt.Sprintf("person%d", r.Intn(c.Persons)))
+	writeDescription(w, r, 1)
+	if pick(r, 0.5) {
+		w.leaf("happiness")
+	}
+	w.close()
+}
+
+// XMarkGraph generates and parses an XMark-like document.
+func XMarkGraph(scale float64, seed int64) *graph.Graph {
+	return mustGraph(XMark(scale, seed))
+}

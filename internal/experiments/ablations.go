@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"mrx/internal/baseline"
+	"mrx/internal/core"
+	"mrx/internal/pathexpr"
+	"mrx/internal/query"
+)
+
+// StrategyRow compares one M*(k) query-evaluation strategy.
+type StrategyRow struct {
+	Strategy string
+	AvgCost  float64
+	AvgIndex float64
+	AvgData  float64
+}
+
+// RunStrategies is the ablation for §4.1: after refining an M*(k)-index for
+// the workload, replay it under each evaluation strategy. The subpath
+// strategy uses the middle window of length min(2, length) as its
+// pre-filter, a simple stand-in for the selectivity-driven choice the paper
+// leaves as future query-optimization work.
+func RunStrategies(ds Dataset, queries []*pathexpr.Expr, progress Progress) []StrategyRow {
+	ms := core.NewMStar(ds.Graph)
+	for _, q := range queries {
+		ms.Support(q)
+	}
+	progress.log("M*(k) refined: %d components", ms.NumComponents())
+
+	eval := map[string]func(*pathexpr.Expr) query.Cost{
+		"naive":     func(q *pathexpr.Expr) query.Cost { return ms.QueryNaive(q).Cost },
+		"top-down":  func(q *pathexpr.Expr) query.Cost { return ms.QueryTopDown(q).Cost },
+		"bottom-up": func(q *pathexpr.Expr) query.Cost { return ms.QueryBottomUp(q).Cost },
+		"hybrid":    func(q *pathexpr.Expr) query.Cost { return ms.QueryHybrid(q, -1).Cost },
+		"subpath": func(q *pathexpr.Expr) query.Cost {
+			start, end := subpathWindow(q)
+			return ms.QuerySubpath(q, start, end).Cost
+		},
+		"auto": func(q *pathexpr.Expr) query.Cost {
+			res, _ := ms.QueryAuto(q)
+			return res.Cost
+		},
+	}
+	var rows []StrategyRow
+	for _, name := range []string{"naive", "top-down", "bottom-up", "hybrid", "subpath", "auto"} {
+		row := StrategyRow{Strategy: name}
+		row.AvgCost, row.AvgIndex, row.AvgData = averageCost(queries, eval[name])
+		rows = append(rows, row)
+		progress.log("strategy %s: avg cost %.1f", name, row.AvgCost)
+	}
+	return rows
+}
+
+// subpathWindow picks the pre-filter window for the subpath strategy: the
+// centered window of length min(2, query length).
+func subpathWindow(q *pathexpr.Expr) (start, end int) {
+	n := q.Length()
+	w := 2
+	if n < w {
+		w = n
+	}
+	start = (n - w) / 2
+	return start, start + w
+}
+
+// LiteralRow compares the default (rider-evicting) M(k) refinement with the
+// paper-literal variant.
+type LiteralRow struct {
+	Variant    string
+	Nodes      int
+	Edges      int
+	AvgCost    float64
+	P1Violated bool
+}
+
+// RunLiteralAblation quantifies the DESIGN.md deviation: the paper-literal
+// REFINENODE merge versus the rider-evicting default, in index size, query
+// cost and Property-1 validity.
+func RunLiteralAblation(ds Dataset, queries []*pathexpr.Expr, progress Progress) []LiteralRow {
+	var rows []LiteralRow
+	for _, literal := range []bool{false, true} {
+		mk := core.NewMK(ds.Graph)
+		mk.Literal = literal
+		for _, q := range queries {
+			mk.Support(q)
+		}
+		name := "strict (default)"
+		if literal {
+			name = "paper-literal"
+		}
+		row := LiteralRow{Variant: name, Nodes: mk.Index().NumNodes(), Edges: mk.Index().NumEdges()}
+		row.AvgCost, _, _ = averageCost(queries, func(q *pathexpr.Expr) query.Cost {
+			return mk.Query(q).Cost
+		})
+		row.P1Violated = mk.Index().Validate(true) != nil
+		rows = append(rows, row)
+		progress.log("M(k) %s: %d nodes, avg cost %.1f, P1 violated: %v",
+			name, row.Nodes, row.AvgCost, row.P1Violated)
+	}
+	return rows
+}
+
+// MStarAccountingRow contrasts the logical and deduplicated M*(k) sizes.
+type MStarAccountingRow struct {
+	Nodes, Edges, LogicalNodes, LogicalEdges, CrossLinks, Components int
+}
+
+// RunMStarAccounting refines an M*(k)-index for the workload and reports its
+// size under both accountings (§4's space discussion).
+func RunMStarAccounting(ds Dataset, queries []*pathexpr.Expr, progress Progress) MStarAccountingRow {
+	ms := core.NewMStar(ds.Graph)
+	for _, q := range queries {
+		ms.Support(q)
+	}
+	sz := ms.Sizes()
+	progress.log("M*(k): dedup %d nodes / %d edges, logical %d / %d",
+		sz.Nodes, sz.Edges, sz.LogicalNodes, sz.LogicalEdges)
+	return MStarAccountingRow{
+		Nodes: sz.Nodes, Edges: sz.Edges,
+		LogicalNodes: sz.LogicalNodes, LogicalEdges: sz.LogicalEdges,
+		CrossLinks: sz.CrossLinks, Components: sz.Components,
+	}
+}
+
+// WriteStrategyTable renders the strategy ablation.
+func WriteStrategyTable(w io.Writer, rows []StrategyRow) {
+	fmt.Fprintf(w, "%-10s %12s %12s %12s\n", "strategy", "avg cost", "idx part", "valid part")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %12.1f %12.1f %12.1f\n", r.Strategy, r.AvgCost, r.AvgIndex, r.AvgData)
+	}
+}
+
+// WriteLiteralTable renders the literal-mode ablation.
+func WriteLiteralTable(w io.Writer, rows []LiteralRow) {
+	fmt.Fprintf(w, "%-18s %10s %10s %12s %12s\n", "variant", "nodes", "edges", "avg cost", "P1 violated")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-18s %10d %10d %12.1f %12v\n", r.Variant, r.Nodes, r.Edges, r.AvgCost, r.P1Violated)
+	}
+}
+
+// APEXRow compares the APEX-like FUP cache with the M*(k)-index on the
+// supported workload and on an unseen workload of the same distribution.
+type APEXRow struct {
+	Index       string
+	Nodes       int
+	AvgSeen     float64 // avg cost on the workload used as FUPs
+	AvgUnseen   float64 // avg cost on a fresh workload (different seed)
+	UnseenValid float64 // validation portion of the unseen cost
+}
+
+// RunAPEXAblation quantifies §2's characterization of APEX as a cache of
+// answers: perfect on exact FUP hits, unable to generalize to unseen path
+// expressions, versus the structural generalization of the M*(k)-index.
+func RunAPEXAblation(ds Dataset, seen, unseen []*pathexpr.Expr, progress Progress) []APEXRow {
+	var rows []APEXRow
+
+	ax := baseline.NewAPEX(ds.Graph)
+	for _, q := range seen {
+		ax.Support(q)
+	}
+	row := APEXRow{Index: "APEX-like cache", Nodes: ax.Summary().NumNodes() + ax.CachedFUPs()}
+	row.AvgSeen, _, _ = averageCost(seen, func(q *pathexpr.Expr) query.Cost { return ax.Query(q).Cost })
+	var unseenValid float64
+	row.AvgUnseen, _, unseenValid = averageCost(unseen, func(q *pathexpr.Expr) query.Cost { return ax.Query(q).Cost })
+	row.UnseenValid = unseenValid
+	rows = append(rows, row)
+	progress.log("APEX-like: seen %.1f, unseen %.1f", row.AvgSeen, row.AvgUnseen)
+
+	ms := core.NewMStar(ds.Graph)
+	for _, q := range seen {
+		ms.Support(q)
+	}
+	row = APEXRow{Index: "M*(k)", Nodes: ms.Sizes().Nodes}
+	row.AvgSeen, _, _ = averageCost(seen, func(q *pathexpr.Expr) query.Cost { return ms.QueryTopDown(q).Cost })
+	row.AvgUnseen, _, row.UnseenValid = averageCost(unseen, func(q *pathexpr.Expr) query.Cost { return ms.QueryTopDown(q).Cost })
+	rows = append(rows, row)
+	progress.log("M*(k): seen %.1f, unseen %.1f", row.AvgSeen, row.AvgUnseen)
+	return rows
+}
+
+// WriteAPEXTable renders the APEX ablation.
+func WriteAPEXTable(w io.Writer, rows []APEXRow) {
+	fmt.Fprintf(w, "%-18s %10s %12s %14s %14s\n", "index", "nodes", "seen cost", "unseen cost", "unseen valid")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-18s %10d %12.1f %14.1f %14.1f\n", r.Index, r.Nodes, r.AvgSeen, r.AvgUnseen, r.UnseenValid)
+	}
+}

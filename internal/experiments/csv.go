@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"mrx/internal/workload"
+)
+
+// WriteCostCSV emits a cost-versus-size result as CSV for external plotting.
+func WriteCostCSV(w io.Writer, res CostVsSizeResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"index", "nodes", "edges", "avg_cost", "index_part", "validation_part"}); err != nil {
+		return err
+	}
+	for _, r := range res.Rows {
+		rec := []string{
+			r.Index,
+			strconv.Itoa(r.Nodes),
+			strconv.Itoa(r.Edges),
+			fmt.Sprintf("%.3f", r.AvgCost),
+			fmt.Sprintf("%.3f", r.AvgIndex),
+			fmt.Sprintf("%.3f", r.AvgData),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteGrowthCSV emits a growth result as CSV: one row per sample point,
+// with node and edge columns per adaptive index.
+func WriteGrowthCSV(w io.Writer, res GrowthResult) error {
+	cw := csv.NewWriter(w)
+	order := []string{"D(k)-promote", "M(k)", "M*(k)"}
+	header := []string{"queries"}
+	for _, s := range order {
+		header = append(header, s+"_nodes", s+"_edges")
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i := range res.Series[order[0]] {
+		rec := []string{strconv.Itoa(res.Series[order[0]][i].Queries)}
+		for _, s := range order {
+			p := res.Series[s][i]
+			rec = append(rec, strconv.Itoa(p.Nodes), strconv.Itoa(p.Edges))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteHistCSV emits a query-length histogram as CSV.
+func WriteHistCSV(w io.Writer, hist []float64) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"length", "fraction"}); err != nil {
+		return err
+	}
+	for l, f := range hist {
+		if err := cw.Write([]string{strconv.Itoa(l), fmt.Sprintf("%.4f", f)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// RenderFigureCSV executes one figure's experiment and writes its data as
+// CSV.
+func RenderFigureCSV(id int, cfg Config, w io.Writer, progress Progress) error {
+	spec, ok := FigureByID(id)
+	if !ok {
+		return fmt.Errorf("experiments: no figure %d", id)
+	}
+	ds, err := LoadDataset(spec.Dataset, cfg.Scale, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	queries := NewWorkload(ds, cfg.NumQueries, spec.MaxQueryLen, cfg.Seed)
+	switch spec.Kind {
+	case "hist":
+		return WriteHistCSV(w, workload.LengthHistogram(queries))
+	case "cost-nodes", "cost-edges":
+		res := RunCostVsSize(ds, queries, spec.MaxA, progress)
+		if spec.Subset {
+			var rows []CostRow
+			for _, r := range res.Rows {
+				switch r.Index {
+				case "A(0)", "A(1)", "D(k)-promote", "M(k)":
+					continue
+				}
+				rows = append(rows, r)
+			}
+			res.Rows = rows
+		}
+		return WriteCostCSV(w, res)
+	case "growth-nodes", "growth-edges":
+		return WriteGrowthCSV(w, RunGrowth(ds, queries, cfg.GrowthStep, progress))
+	default:
+		return fmt.Errorf("experiments: unknown figure kind %q", spec.Kind)
+	}
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"mrx/internal/workload"
+)
+
+// FigureSpec describes one figure of the paper's evaluation section.
+type FigureSpec struct {
+	ID          int
+	Title       string
+	Dataset     string // "xmark", "nasa", or "" (workload-only figures)
+	MaxQueryLen int
+	MaxA        int    // largest A(k) in the figure
+	Kind        string // "hist", "cost-nodes", "cost-edges", "growth-nodes", "growth-edges"
+	Subset      bool   // figures 19-20 omit A(0..1), D(k)-promote and M(k)
+}
+
+// Figures indexes every figure of §5 by ID.
+var Figures = []FigureSpec{
+	{ID: 8, Title: "Query distribution on NASA dataset (max path length: 9)", Dataset: "nasa", MaxQueryLen: 9, Kind: "hist"},
+	{ID: 9, Title: "Query distribution on NASA dataset (max path length: 4)", Dataset: "nasa", MaxQueryLen: 4, Kind: "hist"},
+	{ID: 10, Title: "Query cost vs number of index nodes on XMark (max len 9)", Dataset: "xmark", MaxQueryLen: 9, MaxA: 7, Kind: "cost-nodes"},
+	{ID: 11, Title: "Query cost vs number of index edges on XMark (max len 9)", Dataset: "xmark", MaxQueryLen: 9, MaxA: 7, Kind: "cost-edges"},
+	{ID: 12, Title: "Query cost vs number of index nodes on NASA (max len 9)", Dataset: "nasa", MaxQueryLen: 9, MaxA: 7, Kind: "cost-nodes"},
+	{ID: 13, Title: "Query cost vs number of index edges on NASA (max len 9)", Dataset: "nasa", MaxQueryLen: 9, MaxA: 7, Kind: "cost-edges"},
+	{ID: 14, Title: "Index node size growth over queries on XMark (max len 9)", Dataset: "xmark", MaxQueryLen: 9, Kind: "growth-nodes"},
+	{ID: 15, Title: "Index edge size growth over queries on XMark (max len 9)", Dataset: "xmark", MaxQueryLen: 9, Kind: "growth-edges"},
+	{ID: 16, Title: "Index node size growth over queries on NASA (max len 9)", Dataset: "nasa", MaxQueryLen: 9, Kind: "growth-nodes"},
+	{ID: 17, Title: "Index edge size growth over queries on NASA (max len 9)", Dataset: "nasa", MaxQueryLen: 9, Kind: "growth-edges"},
+	{ID: 18, Title: "Query cost vs number of index nodes on XMark (max len 4)", Dataset: "xmark", MaxQueryLen: 4, MaxA: 4, Kind: "cost-nodes"},
+	{ID: 19, Title: "Query cost vs index nodes on XMark, zoomed (max len 4)", Dataset: "xmark", MaxQueryLen: 4, MaxA: 4, Kind: "cost-nodes", Subset: true},
+	{ID: 20, Title: "Query cost vs index edges on XMark, zoomed (max len 4)", Dataset: "xmark", MaxQueryLen: 4, MaxA: 4, Kind: "cost-edges", Subset: true},
+	{ID: 21, Title: "Query cost vs number of index nodes on NASA (max len 4)", Dataset: "nasa", MaxQueryLen: 4, MaxA: 4, Kind: "cost-nodes"},
+	{ID: 22, Title: "Query cost vs number of index edges on NASA (max len 4)", Dataset: "nasa", MaxQueryLen: 4, MaxA: 4, Kind: "cost-edges"},
+	{ID: 23, Title: "Index node size growth over queries on XMark (max len 4)", Dataset: "xmark", MaxQueryLen: 4, Kind: "growth-nodes"},
+	{ID: 24, Title: "Index edge size growth over queries on XMark (max len 4)", Dataset: "xmark", MaxQueryLen: 4, Kind: "growth-edges"},
+	{ID: 25, Title: "Index node size growth over queries on NASA (max len 4)", Dataset: "nasa", MaxQueryLen: 4, Kind: "growth-nodes"},
+	{ID: 26, Title: "Index edge size growth over queries on NASA (max len 4)", Dataset: "nasa", MaxQueryLen: 4, Kind: "growth-edges"},
+}
+
+// FigureByID looks up a figure specification.
+func FigureByID(id int) (FigureSpec, bool) {
+	for _, f := range Figures {
+		if f.ID == id {
+			return f, true
+		}
+	}
+	return FigureSpec{}, false
+}
+
+// Config controls a figure run.
+type Config struct {
+	Scale      float64 // dataset scale; 1.0 = paper size
+	NumQueries int     // paper: 500
+	Seed       int64
+	GrowthStep int // paper: 50
+}
+
+// DefaultConfig matches the paper's setup at the given scale.
+func DefaultConfig(scale float64) Config {
+	return Config{Scale: scale, NumQueries: 500, Seed: 1, GrowthStep: 50}
+}
+
+// RunFigure executes one figure's experiment and writes its data series as
+// a text table to w.
+func RunFigure(id int, cfg Config, w io.Writer, progress Progress) error {
+	spec, ok := FigureByID(id)
+	if !ok {
+		return fmt.Errorf("experiments: no figure %d", id)
+	}
+	fmt.Fprintf(w, "Figure %d: %s\n", spec.ID, spec.Title)
+	ds, err := LoadDataset(spec.Dataset, cfg.Scale, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	progress.log("dataset %s: %d nodes, %d edges (%d refs)",
+		ds.Name, ds.Graph.NumNodes(), ds.Graph.NumEdges(), ds.Graph.NumRefEdges())
+	queries := NewWorkload(ds, cfg.NumQueries, spec.MaxQueryLen, cfg.Seed)
+
+	switch spec.Kind {
+	case "hist":
+		hist := workload.LengthHistogram(queries)
+		fmt.Fprintf(w, "%-8s %10s\n", "length", "fraction")
+		for l, f := range hist {
+			fmt.Fprintf(w, "%-8d %10.3f\n", l, f)
+		}
+	case "cost-nodes", "cost-edges":
+		res := RunCostVsSize(ds, queries, spec.MaxA, progress)
+		if spec.Subset {
+			var rows []CostRow
+			for _, r := range res.Rows {
+				switch r.Index {
+				case "A(0)", "A(1)", "D(k)-promote", "M(k)":
+					continue
+				}
+				rows = append(rows, r)
+			}
+			res.Rows = rows
+		}
+		WriteCostTable(w, res)
+	case "growth-nodes", "growth-edges":
+		res := RunGrowth(ds, queries, cfg.GrowthStep, progress)
+		WriteGrowthTable(w, res)
+	default:
+		return fmt.Errorf("experiments: unknown figure kind %q", spec.Kind)
+	}
+	return nil
+}

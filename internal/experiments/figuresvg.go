@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"mrx/internal/svgplot"
+	"mrx/internal/workload"
+)
+
+// CostChart converts a cost-versus-size result into the paper's scatter
+// form: the A(k) family as one connected series with per-point k labels,
+// and each adaptive index as a labeled single-point series.
+func CostChart(res CostVsSizeResult, title string, edges bool) *svgplot.Chart {
+	c := &svgplot.Chart{
+		Title:  title,
+		YLabel: "average cost per query",
+		XLabel: "number of index nodes",
+	}
+	if edges {
+		c.XLabel = "number of index edges"
+	}
+	xOf := func(r CostRow) float64 {
+		if edges {
+			return float64(r.Edges)
+		}
+		return float64(r.Nodes)
+	}
+	var ak svgplot.Series
+	ak.Name = "A(k)"
+	for _, r := range res.Rows {
+		if strings.HasPrefix(r.Index, "A(") {
+			ak.Points = append(ak.Points, svgplot.Point{X: xOf(r), Y: r.AvgCost, Label: r.Index})
+			continue
+		}
+		c.Series = append(c.Series, svgplot.Series{
+			Name:    r.Index,
+			Scatter: true,
+			Points:  []svgplot.Point{{X: xOf(r), Y: r.AvgCost}},
+		})
+	}
+	if len(ak.Points) > 0 {
+		c.Series = append([]svgplot.Series{ak}, c.Series...)
+	}
+	svgplot.SortSeriesPoints(c.Series[:1]) // A(k) series ordered by size
+	return c
+}
+
+// GrowthChart converts a growth result into a three-line chart.
+func GrowthChart(res GrowthResult, title string, edges bool) *svgplot.Chart {
+	c := &svgplot.Chart{
+		Title:  title,
+		XLabel: "number of queries",
+		YLabel: "number of index nodes",
+	}
+	if edges {
+		c.YLabel = "number of index edges"
+	}
+	for _, name := range []string{"D(k)-promote", "M(k)", "M*(k)"} {
+		s := svgplot.Series{Name: name}
+		for _, p := range res.Series[name] {
+			y := float64(p.Nodes)
+			if edges {
+				y = float64(p.Edges)
+			}
+			s.Points = append(s.Points, svgplot.Point{X: float64(p.Queries), Y: y})
+		}
+		c.Series = append(c.Series, s)
+	}
+	return c
+}
+
+// HistChart converts a workload length histogram into a bar chart.
+func HistChart(hist []float64, title string) *svgplot.Chart {
+	s := svgplot.Series{Name: "fraction of queries"}
+	for l, f := range hist {
+		s.Points = append(s.Points, svgplot.Point{X: float64(l), Y: f, Label: fmt.Sprintf("%d", l)})
+	}
+	return &svgplot.Chart{
+		Title:  title,
+		XLabel: "query length",
+		YLabel: "fraction of queries",
+		Bars:   true,
+		Series: []svgplot.Series{s},
+	}
+}
+
+// RenderFigureSVG executes one figure's experiment and writes it as an SVG
+// chart instead of a text table.
+func RenderFigureSVG(id int, cfg Config, w io.Writer, progress Progress) error {
+	spec, ok := FigureByID(id)
+	if !ok {
+		return fmt.Errorf("experiments: no figure %d", id)
+	}
+	ds, err := LoadDataset(spec.Dataset, cfg.Scale, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	queries := NewWorkload(ds, cfg.NumQueries, spec.MaxQueryLen, cfg.Seed)
+	title := fmt.Sprintf("Figure %d: %s", spec.ID, spec.Title)
+
+	var chart *svgplot.Chart
+	switch spec.Kind {
+	case "hist":
+		chart = HistChart(workload.LengthHistogram(queries), title)
+	case "cost-nodes", "cost-edges":
+		res := RunCostVsSize(ds, queries, spec.MaxA, progress)
+		if spec.Subset {
+			var rows []CostRow
+			for _, r := range res.Rows {
+				switch r.Index {
+				case "A(0)", "A(1)", "D(k)-promote", "M(k)":
+					continue
+				}
+				rows = append(rows, r)
+			}
+			res.Rows = rows
+		}
+		chart = CostChart(res, title, spec.Kind == "cost-edges")
+	case "growth-nodes", "growth-edges":
+		res := RunGrowth(ds, queries, cfg.GrowthStep, progress)
+		chart = GrowthChart(res, title, spec.Kind == "growth-edges")
+	default:
+		return fmt.Errorf("experiments: unknown figure kind %q", spec.Kind)
+	}
+	return chart.WriteSVG(w)
+}

@@ -1,0 +1,140 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates nodes and edges and produces a compact Graph.
+// The zero value is not usable; call NewBuilder.
+type Builder struct {
+	labels   []string
+	labelIDs map[string]LabelID
+	nodeLbl  []LabelID
+	edges    []Edge
+	frozen   bool
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{labelIDs: make(map[string]LabelID)}
+}
+
+// Label interns a label and returns its ID.
+func (b *Builder) Label(name string) LabelID {
+	if id, ok := b.labelIDs[name]; ok {
+		return id
+	}
+	id := LabelID(len(b.labels))
+	b.labels = append(b.labels, name)
+	b.labelIDs[name] = id
+	return id
+}
+
+// AddNode creates a node with the given label and returns its ID.
+// The first node added becomes the root.
+func (b *Builder) AddNode(label string) NodeID {
+	id := NodeID(len(b.nodeLbl))
+	b.nodeLbl = append(b.nodeLbl, b.Label(label))
+	return id
+}
+
+// NumNodes returns the number of nodes added so far.
+func (b *Builder) NumNodes() int { return len(b.nodeLbl) }
+
+// AddEdge adds a directed edge from parent to child.
+func (b *Builder) AddEdge(from, to NodeID, kind EdgeKind) {
+	b.edges = append(b.edges, Edge{From: from, To: to, Kind: kind})
+}
+
+// Freeze validates the accumulated structure and returns the compact Graph.
+// It fails if the graph is empty, an edge endpoint is out of range, or an
+// edge points at the root (node 0 must have in-degree 0 so it is the unique
+// entry point for rooted path expressions).
+func (b *Builder) Freeze() (*Graph, error) {
+	if b.frozen {
+		return nil, errors.New("graph: builder already frozen")
+	}
+	n := len(b.nodeLbl)
+	if n == 0 {
+		return nil, errors.New("graph: empty graph")
+	}
+	for _, e := range b.edges {
+		if e.From < 0 || int(e.From) >= n || e.To < 0 || int(e.To) >= n {
+			return nil, fmt.Errorf("graph: edge %d->%d out of range (n=%d)", e.From, e.To, n)
+		}
+		if e.To == 0 {
+			return nil, fmt.Errorf("graph: edge %d->0 targets the root", e.From)
+		}
+		if e.From == e.To {
+			return nil, fmt.Errorf("graph: self-loop on node %d", e.From)
+		}
+	}
+	b.frozen = true
+
+	// Sort edges by (From, To) for deterministic CSR layout; keep duplicates
+	// out (parallel edges add nothing to bisimilarity or path semantics).
+	sort.Slice(b.edges, func(i, j int) bool {
+		if b.edges[i].From != b.edges[j].From {
+			return b.edges[i].From < b.edges[j].From
+		}
+		if b.edges[i].To != b.edges[j].To {
+			return b.edges[i].To < b.edges[j].To
+		}
+		return b.edges[i].Kind < b.edges[j].Kind
+	})
+	edges := b.edges[:0]
+	for i, e := range b.edges {
+		if i > 0 && e.From == b.edges[i-1].From && e.To == b.edges[i-1].To {
+			continue
+		}
+		edges = append(edges, e)
+	}
+
+	g := &Graph{
+		labels:    b.labels,
+		labelIDs:  b.labelIDs,
+		nodeLabel: b.nodeLbl,
+		numEdges:  len(edges),
+	}
+
+	g.childStart = make([]int32, n+1)
+	g.parentStart = make([]int32, n+1)
+	for _, e := range edges {
+		g.childStart[e.From+1]++
+		g.parentStart[e.To+1]++
+		if e.Kind == RefEdge {
+			g.numRef++
+		}
+	}
+	for i := 0; i < n; i++ {
+		g.childStart[i+1] += g.childStart[i]
+		g.parentStart[i+1] += g.parentStart[i]
+	}
+	g.children = make([]NodeID, len(edges))
+	g.childKind = make([]EdgeKind, len(edges))
+	g.parents = make([]NodeID, len(edges))
+	cpos := make([]int32, n)
+	ppos := make([]int32, n)
+	for _, e := range edges {
+		ci := g.childStart[e.From] + cpos[e.From]
+		g.children[ci] = e.To
+		g.childKind[ci] = e.Kind
+		cpos[e.From]++
+		pi := g.parentStart[e.To] + ppos[e.To]
+		g.parents[pi] = e.From
+		ppos[e.To]++
+	}
+	return g, nil
+}
+
+// MustFreeze is Freeze that panics on error; for tests and generators whose
+// construction is correct by design.
+func (b *Builder) MustFreeze() *Graph {
+	g, err := b.Freeze()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

@@ -1,0 +1,37 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders the graph in Graphviz DOT format. Tree edges are solid,
+// reference edges dashed, mirroring the figures in the paper.
+func (g *Graph) WriteDOT(w io.Writer, name string) error {
+	if name == "" {
+		name = "datagraph"
+	}
+	if _, err := fmt.Fprintf(w, "digraph %q {\n", name); err != nil {
+		return err
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		if _, err := fmt.Fprintf(w, "  n%d [label=\"%d:%s\"];\n", v, v, g.NodeLabelName(NodeID(v))); err != nil {
+			return err
+		}
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		kids := g.Children(NodeID(v))
+		kinds := g.ChildKinds(NodeID(v))
+		for i, c := range kids {
+			style := ""
+			if kinds[i] == RefEdge {
+				style = " [style=dashed]"
+			}
+			if _, err := fmt.Fprintf(w, "  n%d -> n%d%s;\n", v, c, style); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,183 @@
+package graph
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestBuilderBasics(t *testing.T) {
+	b := NewBuilder()
+	r := b.AddNode("r")
+	a := b.AddNode("a")
+	c := b.AddNode("c")
+	b.AddEdge(r, a, TreeEdge)
+	b.AddEdge(a, c, TreeEdge)
+	b.AddEdge(r, c, RefEdge)
+	g, err := b.Freeze()
+	if err != nil {
+		t.Fatalf("Freeze: %v", err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 3 || g.NumRefEdges() != 1 {
+		t.Fatalf("got nodes=%d edges=%d refs=%d", g.NumNodes(), g.NumEdges(), g.NumRefEdges())
+	}
+	if g.Root() != r {
+		t.Fatalf("root = %d", g.Root())
+	}
+	if g.NodeLabelName(c) != "c" {
+		t.Fatalf("label of c = %q", g.NodeLabelName(c))
+	}
+	if got := g.Children(r); !reflect.DeepEqual(got, []NodeID{a, c}) {
+		t.Fatalf("children(r) = %v", got)
+	}
+	if got := g.Parents(c); !reflect.DeepEqual(got, []NodeID{r, a}) {
+		t.Fatalf("parents(c) = %v", got)
+	}
+	if g.OutDegree(r) != 2 || g.InDegree(c) != 2 || g.InDegree(r) != 0 {
+		t.Fatal("degree mismatch")
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	if _, err := NewBuilder().Freeze(); err == nil {
+		t.Error("empty graph should fail")
+	}
+
+	b := NewBuilder()
+	b.AddNode("r")
+	b.AddEdge(0, 5, TreeEdge)
+	if _, err := b.Freeze(); err == nil {
+		t.Error("out-of-range edge should fail")
+	}
+
+	b = NewBuilder()
+	b.AddNode("r")
+	b.AddNode("a")
+	b.AddEdge(1, 0, TreeEdge)
+	if _, err := b.Freeze(); err == nil {
+		t.Error("edge into root should fail")
+	}
+
+	b = NewBuilder()
+	b.AddNode("r")
+	b.AddNode("a")
+	b.AddEdge(1, 1, TreeEdge)
+	if _, err := b.Freeze(); err == nil {
+		t.Error("self loop should fail")
+	}
+
+	b = NewBuilder()
+	b.AddNode("r")
+	b.AddNode("a")
+	b.AddEdge(0, 1, TreeEdge)
+	if _, err := b.Freeze(); err != nil {
+		t.Fatalf("first freeze: %v", err)
+	}
+	if _, err := b.Freeze(); err == nil {
+		t.Error("double freeze should fail")
+	}
+}
+
+func TestDuplicateEdgesCollapse(t *testing.T) {
+	b := NewBuilder()
+	r := b.AddNode("r")
+	a := b.AddNode("a")
+	b.AddEdge(r, a, TreeEdge)
+	b.AddEdge(r, a, RefEdge)
+	b.AddEdge(r, a, TreeEdge)
+	g := b.MustFreeze()
+	if g.NumEdges() != 1 {
+		t.Fatalf("parallel edges not collapsed: %d", g.NumEdges())
+	}
+}
+
+func TestSuccPred(t *testing.T) {
+	g := PaperFigure1()
+	// Succ of the two auction nodes covers sellers, bidders and items.
+	succ := g.Succ([]NodeID{10, 11})
+	want := []NodeID{15, 16, 17, 18, 19, 20}
+	if !reflect.DeepEqual(succ, want) {
+		t.Fatalf("Succ = %v, want %v", succ, want)
+	}
+	// Pred of person 8 includes its tree parent 3 and referencing bidders 16, 17.
+	pred := g.Pred([]NodeID{8})
+	want = []NodeID{3, 16, 17}
+	if !reflect.DeepEqual(pred, want) {
+		t.Fatalf("Pred = %v, want %v", pred, want)
+	}
+	// Pred/Succ of an empty set is empty.
+	if got := g.Pred(nil); len(got) != 0 {
+		t.Fatalf("Pred(nil) = %v", got)
+	}
+}
+
+func TestLabelInterning(t *testing.T) {
+	g := PaperFigure1()
+	id, ok := g.LabelIDOf("person")
+	if !ok {
+		t.Fatal("person label missing")
+	}
+	nodes := g.NodesWithLabel(id)
+	if !reflect.DeepEqual(nodes, []NodeID{7, 8, 9}) {
+		t.Fatalf("persons = %v", nodes)
+	}
+	counts := g.LabelCounts()
+	if counts[id] != 3 {
+		t.Fatalf("person count = %d", counts[id])
+	}
+	if _, ok := g.LabelIDOf("nonexistent"); ok {
+		t.Fatal("nonexistent label found")
+	}
+}
+
+func TestPaperFigures(t *testing.T) {
+	for name, g := range map[string]*Graph{
+		"fig1": PaperFigure1(), "fig3": PaperFigure3(), "fig4": PaperFigure4(),
+		"fig6": PaperFigure6(), "fig7": PaperFigure7(),
+	} {
+		if g.NumNodes() == 0 {
+			t.Errorf("%s: empty", name)
+		}
+		if g.InDegree(g.Root()) != 0 {
+			t.Errorf("%s: root has parents", name)
+		}
+	}
+	if g := PaperFigure1(); g.NumNodes() != 21 || g.NumRefEdges() != 5 {
+		t.Fatalf("fig1 shape: nodes=%d refs=%d", g.NumNodes(), g.NumRefEdges())
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	var buf bytes.Buffer
+	if err := PaperFigure4().WriteDOT(&buf, "fig4"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"digraph \"fig4\"", "n0 [label=\"0:r\"]", "n1 -> n2", "}"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	var refBuf bytes.Buffer
+	if err := PaperFigure7().WriteDOT(&refBuf, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(refBuf.String(), "style=dashed") {
+		t.Error("reference edge not dashed")
+	}
+}
+
+func TestDedupe(t *testing.T) {
+	in := []NodeID{5, 3, 5, 1, 3, 3}
+	out := dedupe(in)
+	if !reflect.DeepEqual(out, []NodeID{1, 3, 5}) {
+		t.Fatalf("dedupe = %v", out)
+	}
+	if got := dedupe([]NodeID{7}); !reflect.DeepEqual(got, []NodeID{7}) {
+		t.Fatalf("singleton = %v", got)
+	}
+	if got := dedupe(nil); len(got) != 0 {
+		t.Fatalf("nil = %v", got)
+	}
+}

@@ -1,0 +1,104 @@
+package graph
+
+// Intersect returns the intersection of two sorted node sets as a new slice.
+func Intersect(a, b []NodeID) []NodeID {
+	var out []NodeID
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Subtract returns a \ b for sorted node sets as a new slice.
+func Subtract(a, b []NodeID) []NodeID {
+	var out []NodeID
+	j := 0
+	for _, x := range a {
+		for j < len(b) && b[j] < x {
+			j++
+		}
+		if j < len(b) && b[j] == x {
+			continue
+		}
+		out = append(out, x)
+	}
+	return out
+}
+
+// Intersects reports whether two sorted node sets share an element.
+func Intersects(a, b []NodeID) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// Union returns the union of two sorted node sets as a new slice.
+func Union(a, b []NodeID) []NodeID {
+	out := make([]NodeID, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// Contains reports whether sorted set a contains x.
+func Contains(a []NodeID, x NodeID) bool {
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if a[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(a) && a[lo] == x
+}
+
+// IsSubset reports whether sorted set a is a subset of sorted set b.
+func IsSubset(a, b []NodeID) bool {
+	j := 0
+	for _, x := range a {
+		for j < len(b) && b[j] < x {
+			j++
+		}
+		if j >= len(b) || b[j] != x {
+			return false
+		}
+		j++
+	}
+	return true
+}

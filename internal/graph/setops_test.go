@@ -1,0 +1,121 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func ids(xs ...int) []NodeID {
+	out := make([]NodeID, len(xs))
+	for i, x := range xs {
+		out[i] = NodeID(x)
+	}
+	return out
+}
+
+func TestSetOpsBasics(t *testing.T) {
+	a := ids(1, 3, 5, 7)
+	b := ids(3, 4, 5, 9)
+	if got := Intersect(a, b); !reflect.DeepEqual(got, ids(3, 5)) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := Subtract(a, b); !reflect.DeepEqual(got, ids(1, 7)) {
+		t.Errorf("Subtract = %v", got)
+	}
+	if got := Union(a, b); !reflect.DeepEqual(got, ids(1, 3, 4, 5, 7, 9)) {
+		t.Errorf("Union = %v", got)
+	}
+	if !Intersects(a, b) || Intersects(ids(1, 2), ids(3, 4)) {
+		t.Error("Intersects wrong")
+	}
+	if !Contains(a, 5) || Contains(a, 4) || Contains(nil, 1) {
+		t.Error("Contains wrong")
+	}
+	if !IsSubset(ids(3, 5), a) || IsSubset(ids(3, 4), a) || !IsSubset(nil, a) {
+		t.Error("IsSubset wrong")
+	}
+}
+
+func TestSetOpsEmpty(t *testing.T) {
+	a := ids(1, 2)
+	if got := Intersect(a, nil); len(got) != 0 {
+		t.Errorf("Intersect with nil = %v", got)
+	}
+	if got := Subtract(a, nil); !reflect.DeepEqual(got, a) {
+		t.Errorf("Subtract nil = %v", got)
+	}
+	if got := Union(nil, a); !reflect.DeepEqual(got, a) {
+		t.Errorf("Union nil = %v", got)
+	}
+}
+
+// Property test: set ops agree with map-based reference implementations.
+func TestSetOpsAgainstMaps(t *testing.T) {
+	gen := func(r *rand.Rand) []NodeID {
+		n := r.Intn(20)
+		m := map[NodeID]bool{}
+		for i := 0; i < n; i++ {
+			m[NodeID(r.Intn(30))] = true
+		}
+		var out []NodeID
+		for k := range m {
+			out = append(out, k)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := gen(r), gen(r)
+		inB := map[NodeID]bool{}
+		for _, x := range b {
+			inB[x] = true
+		}
+		var wantI, wantS []NodeID
+		for _, x := range a {
+			if inB[x] {
+				wantI = append(wantI, x)
+			} else {
+				wantS = append(wantS, x)
+			}
+		}
+		un := map[NodeID]bool{}
+		for _, x := range a {
+			un[x] = true
+		}
+		for _, x := range b {
+			un[x] = true
+		}
+		gotU := Union(a, b)
+		if len(gotU) != len(un) {
+			return false
+		}
+		for _, x := range gotU {
+			if !un[x] {
+				return false
+			}
+		}
+		return equalSets(Intersect(a, b), wantI) &&
+			equalSets(Subtract(a, b), wantS) &&
+			Intersects(a, b) == (len(wantI) > 0) &&
+			IsSubset(a, b) == (len(wantS) == 0)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func equalSets(a, b []NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,104 @@
+package graph
+
+// BuildSimple constructs a graph from parallel slices: labels[i] is the label
+// of node i (node 0 is the root), and each pair {from, to} in tree/ref is an
+// edge. It is a convenience for tests, examples and documentation; real
+// documents come from packages xmlload and datagen.
+func BuildSimple(labels []string, tree, ref [][2]int) (*Graph, error) {
+	b := NewBuilder()
+	for _, l := range labels {
+		b.AddNode(l)
+	}
+	for _, e := range tree {
+		b.AddEdge(NodeID(e[0]), NodeID(e[1]), TreeEdge)
+	}
+	for _, e := range ref {
+		b.AddEdge(NodeID(e[0]), NodeID(e[1]), RefEdge)
+	}
+	return b.Freeze()
+}
+
+// MustBuildSimple is BuildSimple that panics on error.
+func MustBuildSimple(labels []string, tree, ref [][2]int) *Graph {
+	g, err := BuildSimple(labels, tree, ref)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// PaperFigure1 returns the example data graph of Figure 1 in the paper: an
+// auction site with regions, people and auctions, including reference edges
+// from sellers/bidders to persons and from auctions to items.
+func PaperFigure1() *Graph {
+	labels := []string{
+		0: "root", 1: "site", 2: "regions", 3: "people", 4: "auctions",
+		5: "africa", 6: "asia", 7: "person", 8: "person", 9: "person",
+		10: "auction", 11: "auction", 12: "item", 13: "item", 14: "item",
+		15: "seller", 16: "bidder", 17: "bidder", 18: "seller", 19: "item", 20: "item",
+	}
+	tree := [][2]int{
+		{0, 1}, {1, 2}, {1, 3}, {1, 4},
+		{2, 5}, {2, 6}, {3, 7}, {3, 8}, {3, 9}, {4, 10}, {4, 11},
+		{5, 12}, {5, 13}, {6, 14},
+		{10, 15}, {10, 16}, {11, 17}, {11, 18}, {11, 19}, {10, 20},
+	}
+	ref := [][2]int{
+		{15, 7}, {16, 8}, {17, 8}, {18, 9}, {19, 14},
+	}
+	return MustBuildSimple(labels, tree, ref)
+}
+
+// PaperFigure3 returns the data graph of Figure 3(a): the running example for
+// comparing D(k)- and M(k)-index refinement on the FUP r/a/b.
+func PaperFigure3() *Graph {
+	labels := []string{0: "r", 1: "a", 2: "c", 3: "d", 4: "b", 5: "b", 6: "b", 7: "b", 8: "b", 9: "b"}
+	tree := [][2]int{
+		{0, 1}, {0, 2}, {0, 3},
+		{1, 4}, {2, 5}, {2, 6}, {3, 7}, {3, 8}, {3, 9},
+	}
+	return MustBuildSimple(labels, tree, nil)
+}
+
+// PaperFigure4 returns the data graph of Figure 4(a): the overqualified-parent
+// example, where nodes 4 and 5 (label c) are 1-bisimilar but D(k)'s PROMOTE
+// splits them apart.
+func PaperFigure4() *Graph {
+	labels := []string{0: "r", 1: "a", 2: "b", 3: "b", 4: "c", 5: "c"}
+	tree := [][2]int{
+		{0, 1}, {1, 2}, {1, 3}, {2, 4}, {3, 5},
+	}
+	return MustBuildSimple(labels, tree, nil)
+}
+
+// PaperFigure6 returns a data graph reconstructed from Figure 6(a) (the
+// figure's exact edge list is not fully recoverable from the text, but this
+// topology reproduces the refined index of Figure 6(c) node for node when the
+// FUP r/a/b/c is supported: a{1} k=1, a{5} k=0, b{4} k=2, b{3,8} k=0,
+// c{7} k=3, c{6} k=0).
+func PaperFigure6() *Graph {
+	labels := []string{0: "r", 1: "a", 2: "d", 3: "b", 4: "b", 5: "a", 6: "c", 7: "c", 8: "b"}
+	tree := [][2]int{
+		{0, 1}, {0, 2},
+		{2, 5}, {2, 3}, {1, 4}, {5, 8},
+		{4, 7}, {8, 6},
+	}
+	return MustBuildSimple(labels, tree, nil)
+}
+
+// PaperFigure7 returns the data graph of Figure 7(a): the example used to
+// illustrate the M*(k)-index component hierarchy for the FUP //b/a/c.
+// Node 5 has two parents (1 and 2); the 2->5 edge is a reference edge.
+// Supporting //b/a/c yields exactly the component indexes drawn in
+// Figure 7(b): I1 splits a{1,2} into a{1},a{2} (both k=1) and c{4,5,6,7}
+// into c{4,5} (k=1) and c{6,7} (k=0); I2 further splits c{4,5} into c{5}
+// (k=2) and c{4} (k=1).
+func PaperFigure7() *Graph {
+	labels := []string{0: "r", 1: "a", 2: "a", 3: "b", 4: "c", 5: "c", 6: "c", 7: "c"}
+	tree := [][2]int{
+		{0, 1}, {0, 3}, {0, 6}, {0, 7},
+		{3, 2}, {1, 4}, {1, 5},
+	}
+	ref := [][2]int{{2, 5}}
+	return MustBuildSimple(labels, tree, ref)
+}

@@ -1,0 +1,67 @@
+// Package gtest provides deterministic random data graphs for tests and
+// property-based checks across the repository.
+package gtest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mrx/internal/graph"
+)
+
+// Random generates a random rooted data graph with n nodes and about
+// nLabels distinct labels. Every non-root node gets a tree edge from an
+// earlier node (so everything is reachable from the root) and extra
+// reference edges are added with probability refProb per node; reference
+// edges may point backwards, creating cycles, as ID/IDREF edges do in real
+// XML. The result is deterministic for a given seed.
+func Random(seed int64, n, nLabels int, refProb float64) *graph.Graph {
+	if n < 1 {
+		n = 1
+	}
+	if nLabels < 1 {
+		nLabels = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder()
+	b.AddNode("root")
+	for v := 1; v < n; v++ {
+		b.AddNode(fmt.Sprintf("l%d", rng.Intn(nLabels)))
+		parent := graph.NodeID(rng.Intn(v))
+		b.AddEdge(parent, graph.NodeID(v), graph.TreeEdge)
+	}
+	for v := 1; v < n; v++ {
+		if rng.Float64() < refProb {
+			to := graph.NodeID(1 + rng.Intn(n-1))
+			if to != graph.NodeID(v) {
+				b.AddEdge(graph.NodeID(v), to, graph.RefEdge)
+			}
+		}
+	}
+	return b.MustFreeze()
+}
+
+// RandomShallow generates a random graph biased toward wide, shallow trees
+// with heavy label reuse, which stresses index splitting (many nodes share
+// labels but differ structurally).
+func RandomShallow(seed int64, n, nLabels int) *graph.Graph {
+	if n < 1 {
+		n = 1
+	}
+	if nLabels < 1 {
+		nLabels = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder()
+	b.AddNode("root")
+	for v := 1; v < n; v++ {
+		b.AddNode(fmt.Sprintf("l%d", rng.Intn(nLabels)))
+		// Bias parents toward low IDs: shallow and wide.
+		parent := graph.NodeID(rng.Intn(v))
+		if parent > 0 && rng.Intn(2) == 0 {
+			parent = graph.NodeID(rng.Intn(int(parent)))
+		}
+		b.AddEdge(parent, graph.NodeID(v), graph.TreeEdge)
+	}
+	return b.MustFreeze()
+}

@@ -1,0 +1,173 @@
+package index
+
+import (
+	"fmt"
+
+	"mrx/internal/graph"
+	"mrx/internal/partition"
+)
+
+// Validate checks the structural invariants of the index graph:
+//
+//   - the live extents are a disjoint cover of the data nodes and agree with
+//     the data-node mapping;
+//   - every extent is label-homogeneous and matches the node's label;
+//   - P2: index edges correspond exactly to data edges between extents;
+//   - P3: for every edge (u, v), u.k ≥ v.k − 1;
+//   - node and edge counters match reality.
+//
+// With checkBisim set, it additionally verifies P1 — every extent is
+// k-bisimilar for the node's k — by computing k-bisimulations of the data
+// graph up to the maximum k in use. This is expensive and intended for tests.
+func (ig *Graph) Validate(checkBisim bool) error {
+	seen := make(map[graph.NodeID]NodeID)
+	live := 0
+	for _, n := range ig.nodes {
+		if n == nil || n.dead {
+			continue
+		}
+		live++
+		if len(n.extent) == 0 {
+			return fmt.Errorf("node %d: empty extent", n.id)
+		}
+		if n.k < 0 {
+			return fmt.Errorf("node %d: negative k %d", n.id, n.k)
+		}
+		for i, o := range n.extent {
+			if i > 0 && n.extent[i-1] >= o {
+				return fmt.Errorf("node %d: extent not sorted/unique", n.id)
+			}
+			if prev, dup := seen[o]; dup {
+				return fmt.Errorf("data node %d in extents of %d and %d", o, prev, n.id)
+			}
+			seen[o] = n.id
+			if ig.nodeOf[o] != n.id {
+				return fmt.Errorf("nodeOf[%d]=%d, want %d", o, ig.nodeOf[o], n.id)
+			}
+			if ig.data.Label(o) != n.label {
+				return fmt.Errorf("node %d: mixed labels in extent", n.id)
+			}
+		}
+		if _, ok := ig.byLabel[n.label][n.id]; !ok {
+			return fmt.Errorf("node %d missing from label bucket", n.id)
+		}
+	}
+	if live != ig.liveNodes {
+		return fmt.Errorf("liveNodes=%d, actual %d", ig.liveNodes, live)
+	}
+	if len(seen) != ig.data.NumNodes() {
+		return fmt.Errorf("extents cover %d of %d data nodes", len(seen), ig.data.NumNodes())
+	}
+
+	// P2 and edge-count: recompute the edge set from the data graph.
+	type pair struct{ from, to NodeID }
+	wantEdges := make(map[pair]struct{})
+	for v := 0; v < ig.data.NumNodes(); v++ {
+		from := ig.nodeOf[v]
+		for _, c := range ig.data.Children(graph.NodeID(v)) {
+			wantEdges[pair{from, ig.nodeOf[c]}] = struct{}{}
+		}
+	}
+	gotEdges := 0
+	for _, n := range ig.nodes {
+		if n == nil || n.dead {
+			continue
+		}
+		for cid := range n.children {
+			c := ig.nodes[cid]
+			if c == nil || c.dead {
+				return fmt.Errorf("edge %d->%d targets dead node", n.id, cid)
+			}
+			if _, ok := wantEdges[pair{n.id, cid}]; !ok {
+				return fmt.Errorf("spurious index edge %d->%d", n.id, cid)
+			}
+			if _, ok := c.parents[n.id]; !ok {
+				return fmt.Errorf("edge %d->%d missing reverse link", n.id, cid)
+			}
+			gotEdges++
+		}
+		for pid := range n.parents {
+			p := ig.nodes[pid]
+			if p == nil || p.dead {
+				return fmt.Errorf("parent link %d->%d from dead node", pid, n.id)
+			}
+			if _, ok := p.children[n.id]; !ok {
+				return fmt.Errorf("parent link %d->%d missing forward edge", pid, n.id)
+			}
+			// P3.
+			if p.k < n.k-1 {
+				return fmt.Errorf("P3 violated: parent %d(k=%d) of %d(k=%d)", pid, p.k, n.id, n.k)
+			}
+		}
+	}
+	if gotEdges != len(wantEdges) {
+		return fmt.Errorf("index has %d edges, data implies %d", gotEdges, len(wantEdges))
+	}
+	if gotEdges != ig.liveEdges {
+		return fmt.Errorf("liveEdges=%d, actual %d", ig.liveEdges, gotEdges)
+	}
+
+	if checkBisim {
+		// Compute k-bisimulations lazily and stop at the fixpoint, so nodes
+		// with very large k (e.g. the 1-index's KInfinity) stay cheap.
+		parts := []*partition.Partition{partition.ByLabel(ig.data)}
+		stable := false
+		partAt := func(k int) *partition.Partition {
+			for len(parts) <= k && !stable {
+				next, changed := partition.RefineOnce(ig.data, parts[len(parts)-1], nil)
+				if !changed {
+					stable = true
+					break
+				}
+				parts = append(parts, next)
+			}
+			if k >= len(parts) {
+				return parts[len(parts)-1]
+			}
+			return parts[k]
+		}
+		for _, n := range ig.nodes {
+			if n == nil || n.dead || len(n.extent) < 2 {
+				continue
+			}
+			p := partAt(n.k)
+			first := p.BlockOf(n.extent[0])
+			for _, o := range n.extent[1:] {
+				if p.BlockOf(o) != first {
+					return fmt.Errorf("P1 violated: node %d (k=%d) extent not %d-bisimilar (nodes %d, %d)",
+						n.id, n.k, n.k, n.extent[0], o)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Stats summarizes an index graph for reporting.
+type Stats struct {
+	Nodes    int
+	Edges    int
+	MaxK     int
+	AvgK     float64
+	MaxExt   int
+	DataSize int
+}
+
+// ComputeStats gathers summary statistics.
+func (ig *Graph) ComputeStats() Stats {
+	s := Stats{Nodes: ig.liveNodes, Edges: ig.liveEdges, DataSize: ig.data.NumNodes()}
+	sumK := 0
+	ig.ForEachNode(func(n *Node) {
+		if n.k > s.MaxK {
+			s.MaxK = n.k
+		}
+		if len(n.extent) > s.MaxExt {
+			s.MaxExt = len(n.extent)
+		}
+		sumK += n.k
+	})
+	if ig.liveNodes > 0 {
+		s.AvgK = float64(sumK) / float64(ig.liveNodes)
+	}
+	return s
+}

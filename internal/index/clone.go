@@ -1,0 +1,49 @@
+package index
+
+import "mrx/internal/graph"
+
+// Clone returns a deep copy of the index graph sharing only the (immutable)
+// data graph and extent slices. Node IDs, including dead slots, are
+// preserved so that clones evolve independently but deterministically.
+// Extent slices are shared because they are never mutated in place: Split
+// allocates fresh slices for pieces.
+func (ig *Graph) Clone() *Graph {
+	c := &Graph{
+		data:      ig.data,
+		nodes:     make([]*Node, len(ig.nodes)),
+		nodeOf:    make([]NodeID, len(ig.nodeOf)),
+		byLabel:   make(map[graph.LabelID]map[NodeID]struct{}, len(ig.byLabel)),
+		liveNodes: ig.liveNodes,
+		liveEdges: ig.liveEdges,
+	}
+	copy(c.nodeOf, ig.nodeOf)
+	for i, n := range ig.nodes {
+		if n == nil {
+			continue
+		}
+		cn := &Node{
+			id:       n.id,
+			label:    n.label,
+			k:        n.k,
+			extent:   n.extent,
+			dead:     n.dead,
+			parents:  make(map[NodeID]struct{}, len(n.parents)),
+			children: make(map[NodeID]struct{}, len(n.children)),
+		}
+		for id := range n.parents {
+			cn.parents[id] = struct{}{}
+		}
+		for id := range n.children {
+			cn.children[id] = struct{}{}
+		}
+		c.nodes[i] = cn
+	}
+	for l, bucket := range ig.byLabel {
+		nb := make(map[NodeID]struct{}, len(bucket))
+		for id := range bucket {
+			nb[id] = struct{}{}
+		}
+		c.byLabel[l] = nb
+	}
+	return c
+}

@@ -1,0 +1,127 @@
+package index
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"mrx/internal/graph"
+	"mrx/internal/gtest"
+	"mrx/internal/partition"
+)
+
+func TestCloneIndependentEvolution(t *testing.T) {
+	g := gtest.Random(2, 100, 4, 0.2)
+	orig := FromPartition(g, partition.ByLabel(g), func(partition.BlockID) int { return 0 })
+	clone := orig.Clone()
+	if err := clone.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	if clone.NumNodes() != orig.NumNodes() || clone.NumEdges() != orig.NumEdges() {
+		t.Fatal("clone sizes differ")
+	}
+
+	// Split a node in the clone; the original must be untouched.
+	var big *Node
+	clone.ForEachNode(func(n *Node) {
+		if big == nil || n.Size() > big.Size() {
+			big = n
+		}
+	})
+	ext := big.Extent()
+	clone.Split(big, [][]graph.NodeID{append([]graph.NodeID(nil), ext[:1]...), append([]graph.NodeID(nil), ext[1:]...)}, []int{0, 0})
+	if err := clone.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	if err := orig.Validate(true); err != nil {
+		t.Fatalf("original corrupted by clone split: %v", err)
+	}
+	if clone.NumNodes() != orig.NumNodes()+1 {
+		t.Fatalf("clone=%d orig=%d", clone.NumNodes(), orig.NumNodes())
+	}
+	// And vice versa: split in the original does not touch the clone.
+	var big2 *Node
+	orig.ForEachNode(func(n *Node) {
+		if n.Size() >= 2 && (big2 == nil || n.Size() > big2.Size()) {
+			big2 = n
+		}
+	})
+	ext2 := big2.Extent()
+	nClone := clone.NumNodes()
+	orig.Split(big2, [][]graph.NodeID{append([]graph.NodeID(nil), ext2[:1]...), append([]graph.NodeID(nil), ext2[1:]...)}, []int{0, 0})
+	if clone.NumNodes() != nClone {
+		t.Fatal("original split leaked into clone")
+	}
+}
+
+func TestFromExtentsRoundTrip(t *testing.T) {
+	g := gtest.Random(8, 120, 4, 0.25)
+	p := partition.KBisim(g, 2)
+	orig := FromPartition(g, p, func(partition.BlockID) int { return 2 })
+	var extents [][]graph.NodeID
+	var ks []int
+	orig.ForEachNode(func(n *Node) {
+		extents = append(extents, n.Extent())
+		ks = append(ks, n.K())
+	})
+	got, err := FromExtents(g, extents, ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != orig.NumNodes() || got.NumEdges() != orig.NumEdges() {
+		t.Fatal("sizes differ after extent round trip")
+	}
+	// Per-data-node membership is preserved.
+	for v := 0; v < g.NumNodes(); v++ {
+		a := orig.NodeOf(graph.NodeID(v)).Extent()
+		b := got.NodeOf(graph.NodeID(v)).Extent()
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("node %d in different extents: %v vs %v", v, a, b)
+		}
+	}
+}
+
+func TestFromExtentsErrors(t *testing.T) {
+	g := graph.PaperFigure4() // labels r a b b c c
+	cases := []struct {
+		name    string
+		extents [][]graph.NodeID
+		ks      []int
+	}{
+		{"length mismatch", [][]graph.NodeID{{0}}, []int{0, 0}},
+		{"empty extent", [][]graph.NodeID{{0}, {}, {1}, {2, 3}, {4, 5}}, []int{0, 0, 0, 0, 0}},
+		{"negative k", [][]graph.NodeID{{0}, {1}, {2, 3}, {4, 5}}, []int{0, -1, 0, 0}},
+		{"duplicate member", [][]graph.NodeID{{0}, {1}, {2, 3, 3}, {4, 5}}, []int{0, 0, 0, 0}},
+		{"overlap", [][]graph.NodeID{{0}, {1}, {2, 3}, {3, 4, 5}}, []int{0, 0, 0, 0}},
+		{"missing member", [][]graph.NodeID{{0}, {1}, {2, 3}, {4}}, []int{0, 0, 0, 0}},
+		{"mixed labels", [][]graph.NodeID{{0}, {1, 2}, {3}, {4, 5}}, []int{0, 0, 0, 0}},
+		{"out of range", [][]graph.NodeID{{0}, {1}, {2, 3}, {4, 99}}, []int{0, 0, 0, 0}},
+	}
+	for _, c := range cases {
+		if _, err := FromExtents(g, c.extents, c.ks); err == nil {
+			t.Errorf("%s: no error", c.name)
+		}
+	}
+	// The valid partition works.
+	if _, err := FromExtents(g, [][]graph.NodeID{{0}, {1}, {2, 3}, {4, 5}}, []int{0, 0, 0, 0}); err != nil {
+		t.Errorf("valid extents rejected: %v", err)
+	}
+}
+
+func TestIndexWriteDOT(t *testing.T) {
+	g := graph.PaperFigure3()
+	ig := FromPartition(g, partition.ByLabel(g), func(partition.BlockID) int { return 0 })
+	var buf strings.Builder
+	if err := ig.WriteDOT(&buf, "", 3); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"digraph \"index\"", "k=0", "[6 nodes]", "->", "}"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package index
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders the index graph in Graphviz DOT format, in the style of
+// the paper's figures: each node shows its extent and local similarity.
+// Extents larger than maxExtent members are elided with a count.
+func (ig *Graph) WriteDOT(w io.Writer, name string, maxExtent int) error {
+	if name == "" {
+		name = "index"
+	}
+	if maxExtent <= 0 {
+		maxExtent = 8
+	}
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  node [shape=box];\n", name); err != nil {
+		return err
+	}
+	var werr error
+	ig.ForEachNode(func(n *Node) {
+		if werr != nil {
+			return
+		}
+		label := ig.data.LabelName(n.Label())
+		ext := ""
+		if n.Size() <= maxExtent {
+			ext = fmt.Sprintf("%v", n.Extent())
+		} else {
+			ext = fmt.Sprintf("[%d nodes]", n.Size())
+		}
+		_, werr = fmt.Fprintf(w, "  i%d [label=\"%s %s k=%d\"];\n", n.ID(), label, ext, n.K())
+	})
+	if werr != nil {
+		return werr
+	}
+	ig.ForEachNode(func(n *Node) {
+		if werr != nil {
+			return
+		}
+		for _, c := range ig.Children(n) {
+			if _, err := fmt.Fprintf(w, "  i%d -> i%d;\n", n.ID(), c.ID()); err != nil {
+				werr = err
+				return
+			}
+		}
+	})
+	if werr != nil {
+		return werr
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

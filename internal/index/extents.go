@@ -1,0 +1,74 @@
+package index
+
+import (
+	"fmt"
+	"sort"
+
+	"mrx/internal/graph"
+)
+
+// FromExtents reconstructs an index graph from explicit extents and local
+// similarities, validating that the extents form a disjoint cover of the
+// data nodes and are label-homogeneous. It is the inverse of enumerating
+// (Extent, K) pairs with ForEachNode, used by the persistence layer.
+// Structural invariants that depend only on shape (P2, counters) are
+// rebuilt; semantic ones (P1, P3) can be checked afterwards with Validate.
+func FromExtents(data *graph.Graph, extents [][]graph.NodeID, ks []int) (*Graph, error) {
+	if len(extents) != len(ks) {
+		return nil, fmt.Errorf("index: %d extents but %d k values", len(extents), len(ks))
+	}
+	ig := &Graph{
+		data:    data,
+		nodeOf:  make([]NodeID, data.NumNodes()),
+		byLabel: make(map[graph.LabelID]map[NodeID]struct{}),
+	}
+	for i := range ig.nodeOf {
+		ig.nodeOf[i] = -1
+	}
+	for bi, extent := range extents {
+		if len(extent) == 0 {
+			return nil, fmt.Errorf("index: extent %d is empty", bi)
+		}
+		if ks[bi] < 0 {
+			return nil, fmt.Errorf("index: extent %d has negative k", bi)
+		}
+		extent = append([]graph.NodeID(nil), extent...)
+		sort.Slice(extent, func(a, b int) bool { return extent[a] < extent[b] })
+		label := data.Label(extent[0])
+		n := &Node{
+			id:       NodeID(bi),
+			label:    label,
+			k:        ks[bi],
+			extent:   extent,
+			parents:  make(map[NodeID]struct{}),
+			children: make(map[NodeID]struct{}),
+		}
+		for _, o := range extent {
+			if o < 0 || int(o) >= data.NumNodes() {
+				return nil, fmt.Errorf("index: extent %d references data node %d out of range", bi, o)
+			}
+			if ig.nodeOf[o] != -1 {
+				return nil, fmt.Errorf("index: data node %d in two extents", o)
+			}
+			if data.Label(o) != label {
+				return nil, fmt.Errorf("index: extent %d mixes labels", bi)
+			}
+			ig.nodeOf[o] = n.id
+		}
+		ig.nodes = append(ig.nodes, n)
+		ig.addToLabelBucket(n)
+		ig.liveNodes++
+	}
+	for v := 0; v < data.NumNodes(); v++ {
+		if ig.nodeOf[v] == -1 {
+			return nil, fmt.Errorf("index: data node %d not covered by any extent", v)
+		}
+	}
+	for v := 0; v < data.NumNodes(); v++ {
+		from := ig.nodeOf[v]
+		for _, c := range data.Children(graph.NodeID(v)) {
+			ig.addEdge(from, ig.nodeOf[c])
+		}
+	}
+	return ig, nil
+}

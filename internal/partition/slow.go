@@ -1,0 +1,47 @@
+package partition
+
+import "mrx/internal/graph"
+
+// SlowKBisimilar decides u ≈k v by direct recursion on Definition 2 with
+// memoization. It is exponential-free but far slower than the round-based
+// refinement; it exists as an independent reference implementation for
+// property tests, which check it against KBisim on random graphs.
+func SlowKBisimilar(g *graph.Graph, u, v graph.NodeID, k int) bool {
+	memo := make(map[[3]int32]bool)
+	return slowK(g, u, v, k, memo)
+}
+
+func slowK(g *graph.Graph, u, v graph.NodeID, k int, memo map[[3]int32]bool) bool {
+	if g.Label(u) != g.Label(v) {
+		return false
+	}
+	if k == 0 || u == v {
+		return true
+	}
+	if u > v {
+		u, v = v, u
+	}
+	key := [3]int32{int32(u), int32(v), int32(k)}
+	if r, ok := memo[key]; ok {
+		return r
+	}
+	// Recursion always decreases k, so there are no cycles to cut.
+	ok := slowCovers(g, u, v, k, memo) && slowCovers(g, v, u, k, memo)
+	memo[key] = ok
+	return ok
+}
+
+// slowCovers reports whether every parent of u has a (k-1)-bisimilar parent
+// of v.
+func slowCovers(g *graph.Graph, u, v graph.NodeID, k int, memo map[[3]int32]bool) bool {
+outer:
+	for _, up := range g.Parents(u) {
+		for _, vp := range g.Parents(v) {
+			if slowK(g, up, vp, k-1, memo) {
+				continue outer
+			}
+		}
+		return false
+	}
+	return true
+}

@@ -1,0 +1,185 @@
+package pathexpr
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseDescendant(t *testing.T) {
+	e := MustParse("//site/people/person")
+	if e.Rooted {
+		t.Error("should be descendant")
+	}
+	if e.Length() != 2 || e.RequiredK() != 2 {
+		t.Errorf("length=%d requiredK=%d", e.Length(), e.RequiredK())
+	}
+	if got := e.String(); got != "//site/people/person" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestParseRooted(t *testing.T) {
+	e := MustParse("/site/regions")
+	if !e.Rooted {
+		t.Error("should be rooted")
+	}
+	if e.Length() != 1 || e.RequiredK() != 2 {
+		t.Errorf("length=%d requiredK=%d", e.Length(), e.RequiredK())
+	}
+	if got := e.String(); got != "/site/regions" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestParseBareLabelPath(t *testing.T) {
+	e := MustParse("r/a/b")
+	if e.Rooted {
+		t.Error("bare path should be descendant-anchored")
+	}
+	if !reflect.DeepEqual(e.Labels(), []string{"r", "a", "b"}) {
+		t.Errorf("labels = %v", e.Labels())
+	}
+}
+
+func TestParseWildcard(t *testing.T) {
+	e := MustParse("/site/regions/*/item")
+	if !e.HasWildcard() {
+		t.Error("wildcard lost")
+	}
+	if !e.Steps[2].Matches("africa") || !e.Steps[2].Matches("asia") {
+		t.Error("wildcard should match anything")
+	}
+	if e.Steps[3].Matches("mail") {
+		t.Error("literal step matched wrong label")
+	}
+	if got := e.String(); got != "/site/regions/*/item" {
+		t.Errorf("String = %q", got)
+	}
+	if MustParse("//a").HasWildcard() {
+		t.Error("no wildcard expected")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{"", "/", "//", "///a", "//a///b", "/a/", "//a b/c", "//a//"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+func TestSingleLabel(t *testing.T) {
+	e := MustParse("//person")
+	if e.Length() != 0 || e.RequiredK() != 0 {
+		t.Errorf("single label: length=%d requiredK=%d", e.Length(), e.RequiredK())
+	}
+}
+
+func TestPrefixSuffix(t *testing.T) {
+	e := MustParse("//a/b/c/d")
+	p := e.Prefix(1)
+	if p.String() != "//a/b" {
+		t.Errorf("Prefix = %q", p)
+	}
+	s := e.Suffix(1)
+	if s.String() != "//c/d" {
+		t.Errorf("Suffix = %q", s)
+	}
+	if full := e.Prefix(e.Length()); !full.Equal(e) {
+		t.Error("full prefix != expr")
+	}
+}
+
+func TestFromLabelsAndEqual(t *testing.T) {
+	e := FromLabels([]string{"a", "b"})
+	if !e.Equal(MustParse("//a/b")) {
+		t.Error("FromLabels mismatch")
+	}
+	if e.Equal(MustParse("/a/b")) {
+		t.Error("rooted vs descendant should differ")
+	}
+	if e.Equal(MustParse("//a/b/c")) {
+		t.Error("lengths differ")
+	}
+	if e.Equal(MustParse("//a/c")) {
+		t.Error("labels differ")
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	MustParse("//")
+}
+
+func TestParseDescendantAxis(t *testing.T) {
+	e := MustParse("//a//b/c")
+	if !e.HasDescendantStep() {
+		t.Fatal("descendant step lost")
+	}
+	if e.Steps[1].Descendant != true || e.Steps[0].Descendant || e.Steps[2].Descendant {
+		t.Fatalf("descendant flags wrong: %+v", e.Steps)
+	}
+	if got := e.String(); got != "//a//b/c" {
+		t.Errorf("String = %q", got)
+	}
+	if e.RequiredK() != Unbounded {
+		t.Errorf("RequiredK = %d, want Unbounded", e.RequiredK())
+	}
+	r := MustParse("/site//name")
+	if !r.Rooted || !r.Steps[1].Descendant {
+		t.Error("rooted descendant parse wrong")
+	}
+	if r.String() != "/site//name" {
+		t.Errorf("String = %q", r.String())
+	}
+	if MustParse("//a/b").HasDescendantStep() {
+		t.Error("plain path reported descendant step")
+	}
+	if MustParse("//a//*/b").String() != "//a//*/b" {
+		t.Error("descendant wildcard roundtrip failed")
+	}
+}
+
+func TestParseBranching(t *testing.T) {
+	in, out, err := ParseBranching("//open_auction[bidder/personref]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.String() != "//open_auction" {
+		t.Errorf("in = %s", in)
+	}
+	if out.String() != "//open_auction/bidder/personref" {
+		t.Errorf("out = %s", out)
+	}
+
+	// Descendant-axis predicate.
+	_, out, err = ParseBranching("//person[//open_auction]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "//person//open_auction" {
+		t.Errorf("descendant predicate out = %s", out)
+	}
+	if !out.Steps[1].Descendant {
+		t.Error("descendant flag lost")
+	}
+
+	// Wildcard match step.
+	_, out, err = ParseBranching("//regions/*[item]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "//*/item" {
+		t.Errorf("wildcard out = %s", out)
+	}
+
+	for _, bad := range []string{"//a", "//a[]", "//a[b", "//a]b[", "[b]", "//a[b]c"} {
+		if _, _, err := ParseBranching(bad); err == nil {
+			t.Errorf("ParseBranching(%q) should fail", bad)
+		}
+	}
+}

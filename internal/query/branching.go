@@ -1,0 +1,202 @@
+package query
+
+import (
+	"sort"
+
+	"mrx/internal/graph"
+	"mrx/internal/index"
+	"mrx/internal/pathexpr"
+)
+
+// BranchingResult is the outcome of a branching query //p[q]: data nodes
+// that terminate an instance of the incoming path p and start an instance
+// of the outgoing path q.
+type BranchingResult struct {
+	Answer  []graph.NodeID
+	Cost    Cost
+	Precise bool
+}
+
+// EvalBranching evaluates //p[q] over an index graph. The incoming part is
+// evaluated like any simple path expression (validating under-refined
+// nodes). The outgoing predicate is first checked on the index graph —
+// safe for any index, since every data edge has an index edge — and then
+// validated against the data graph unless the index guarantees outgoing
+// paths up to length downGuarantee (the l of a UD(k,l)-index; pass 0 for
+// up-only indexes such as 1-index, A(k), D(k) and M(k)).
+func EvalBranching(ig *index.Graph, in, out *pathexpr.Expr, downGuarantee int) BranchingResult {
+	var res BranchingResult
+	inRes := EvalIndex(ig, in)
+	res.Cost = inRes.Cost
+	res.Precise = inRes.Precise
+
+	checker := newOutChecker(ig)
+	var dv *DownValidator
+	for _, o := range inRes.Answer {
+		if !checker.has(ig.NodeOf(o), out.Steps, &res.Cost) {
+			continue // safe: no outgoing index path, no outgoing data path
+		}
+		if !out.HasDescendantStep() && out.Length() <= downGuarantee {
+			res.Answer = append(res.Answer, o)
+			continue
+		}
+		res.Precise = false
+		if dv == nil {
+			dv = NewDownValidator(ig.Data(), out)
+		}
+		if dv.Matches(o) {
+			res.Answer = append(res.Answer, o)
+		}
+	}
+	if dv != nil {
+		res.Cost.DataNodes += dv.Visited()
+	}
+	sort.Slice(res.Answer, func(i, j int) bool { return res.Answer[i] < res.Answer[j] })
+	return res
+}
+
+// EvalBranchingData computes the ground truth of //p[q] on the data graph.
+func EvalBranchingData(g *graph.Graph, in, out *pathexpr.Expr) []graph.NodeID {
+	d := NewDataIndex(g)
+	dv := NewDownValidator(g, out)
+	var answer []graph.NodeID
+	for _, o := range d.Eval(in) {
+		if dv.Matches(o) {
+			answer = append(answer, o)
+		}
+	}
+	return answer
+}
+
+// outChecker decides "does an outgoing index path matching steps start at
+// node n", memoized per (node, remaining steps), with descendant-axis
+// support (closure over index children).
+type outChecker struct {
+	ig   *index.Graph
+	memo map[outState]bool
+}
+
+type outState struct {
+	id   index.NodeID
+	rest int
+}
+
+func newOutChecker(ig *index.Graph) *outChecker {
+	return &outChecker{ig: ig, memo: make(map[outState]bool)}
+}
+
+func (oc *outChecker) has(n *index.Node, steps []pathexpr.Step, cost *Cost) bool {
+	if !steps[0].Matches(oc.ig.Data().LabelName(n.Label())) {
+		return false
+	}
+	if len(steps) == 1 {
+		return true
+	}
+	key := outState{n.ID(), len(steps)}
+	if r, ok := oc.memo[key]; ok {
+		return r
+	}
+	oc.memo[key] = false // cut cycles through reference edges
+	ok := false
+	if steps[1].Descendant {
+		// Descendant hop: any strict descendant may carry the rest.
+		visited := map[index.NodeID]bool{}
+		queue := []*index.Node{n}
+		for len(queue) > 0 && !ok {
+			v := queue[0]
+			queue = queue[1:]
+			for _, c := range oc.ig.Children(v) {
+				if visited[c.ID()] {
+					continue
+				}
+				visited[c.ID()] = true
+				cost.IndexNodes++
+				if oc.has(c, steps[1:], cost) {
+					ok = true
+					break
+				}
+				queue = append(queue, c)
+			}
+		}
+	} else {
+		for _, c := range oc.ig.Children(n) {
+			cost.IndexNodes++
+			if oc.has(c, steps[1:], cost) {
+				ok = true
+				break
+			}
+		}
+	}
+	oc.memo[key] = ok
+	return ok
+}
+
+// DownValidator checks outgoing data paths — the downward dual of Validator
+// — counting first visits of (node, remaining-steps) states.
+type DownValidator struct {
+	g       *graph.Graph
+	e       *pathexpr.Expr
+	memo    map[downValState]bool
+	visited int
+}
+
+type downValState struct {
+	node graph.NodeID
+	rest int
+}
+
+// NewDownValidator prepares a downward validator for e over g.
+func NewDownValidator(g *graph.Graph, e *pathexpr.Expr) *DownValidator {
+	return &DownValidator{g: g, e: e, memo: make(map[downValState]bool)}
+}
+
+// Matches reports whether an instance of the expression starts at o.
+func (dv *DownValidator) Matches(o graph.NodeID) bool { return dv.match(o, dv.e.Steps) }
+
+// Visited returns the cumulative number of data nodes visited.
+func (dv *DownValidator) Visited() int { return dv.visited }
+
+func (dv *DownValidator) match(v graph.NodeID, steps []pathexpr.Step) bool {
+	if !steps[0].Matches(dv.g.NodeLabelName(v)) {
+		return false
+	}
+	if len(steps) == 1 {
+		return true
+	}
+	key := downValState{v, len(steps)}
+	if r, ok := dv.memo[key]; ok {
+		return r
+	}
+	dv.memo[key] = false // cut cycles through reference edges
+	dv.visited++
+	ok := false
+	if steps[1].Descendant {
+		visited := map[graph.NodeID]bool{}
+		queue := []graph.NodeID{v}
+		for len(queue) > 0 && !ok {
+			u := queue[0]
+			queue = queue[1:]
+			for _, c := range dv.g.Children(u) {
+				if visited[c] {
+					continue
+				}
+				visited[c] = true
+				dv.visited++
+				if dv.match(c, steps[1:]) {
+					ok = true
+					break
+				}
+				queue = append(queue, c)
+			}
+		}
+	} else {
+		for _, c := range dv.g.Children(v) {
+			if dv.match(c, steps[1:]) {
+				ok = true
+				break
+			}
+		}
+	}
+	dv.memo[key] = ok
+	return ok
+}

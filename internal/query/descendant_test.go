@@ -1,0 +1,212 @@
+package query
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"mrx/internal/graph"
+	"mrx/internal/gtest"
+	"mrx/internal/pathexpr"
+)
+
+func TestEvalDataDescendantAxis(t *testing.T) {
+	g := graph.PaperFigure1()
+	d := NewDataIndex(g)
+	// //site//item: every item, however deep (including via references).
+	got := d.Eval(pathexpr.MustParse("//site//item"))
+	want := d.Eval(pathexpr.MustParse("//item"))
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("//site//item = %v, want all items %v", got, want)
+	}
+	// //regions//item: only region items, not auction-referenced ones...
+	// except item 14, which is also referenced from auction item 19.
+	got = d.Eval(pathexpr.MustParse("//regions//item"))
+	if !reflect.DeepEqual(got, ids(12, 13, 14)) {
+		t.Errorf("//regions//item = %v", got)
+	}
+	// Rooted with descendant axis.
+	got = d.Eval(pathexpr.MustParse("/site//person"))
+	if !reflect.DeepEqual(got, ids(7, 8, 9)) {
+		t.Errorf("/site//person = %v", got)
+	}
+	// //auctions//person: persons reached through the auction subtree's
+	// reference edges.
+	got = d.Eval(pathexpr.MustParse("//auctions//person"))
+	if !reflect.DeepEqual(got, ids(7, 8, 9)) {
+		t.Errorf("//auctions//person = %v", got)
+	}
+}
+
+// bruteForceEval enumerates node paths directly (exponential; tiny graphs
+// only) as an independent reference for descendant-axis semantics.
+func bruteForceEval(g *graph.Graph, e *pathexpr.Expr) []graph.NodeID {
+	matched := make(map[graph.NodeID]bool)
+	var walk func(v graph.NodeID, step int, hops int, onPath map[graph.NodeID]bool)
+	walk = func(v graph.NodeID, step int, hops int, onPath map[graph.NodeID]bool) {
+		// At (v, step): v must eventually match steps[step] after `hops`
+		// prior hops when the step is a descendant one.
+		if e.Steps[step].Matches(g.NodeLabelName(v)) {
+			if step == len(e.Steps)-1 {
+				matched[v] = true
+			} else {
+				for _, c := range g.Children(v) {
+					walk(c, step+1, 0, map[graph.NodeID]bool{})
+				}
+			}
+		}
+		// Descendant steps may also consume extra hops before matching.
+		if e.Steps[step].Descendant && hops < g.NumNodes() && !onPath[v] {
+			onPath[v] = true
+			for _, c := range g.Children(v) {
+				walk(c, step, hops+1, onPath)
+			}
+			delete(onPath, v)
+		}
+	}
+	if e.Rooted {
+		for _, c := range g.Children(g.Root()) {
+			walk(c, 0, 0, map[graph.NodeID]bool{})
+		}
+	} else {
+		for v := 0; v < g.NumNodes(); v++ {
+			walk(graph.NodeID(v), 0, 0, map[graph.NodeID]bool{})
+		}
+	}
+	var out []graph.NodeID
+	for v := 0; v < g.NumNodes(); v++ {
+		if matched[graph.NodeID(v)] {
+			out = append(out, graph.NodeID(v))
+		}
+	}
+	return out
+}
+
+func TestPropertyDescendantAgainstBruteForce(t *testing.T) {
+	exprs := []string{"//l0//l1", "//l1//l2/l0", "//l0/l1//l2", "//l0//*//l1", "/l0//l2"}
+	check := func(seed int64) bool {
+		g := gtest.Random(seed, 30, 3, 0.3)
+		d := NewDataIndex(g)
+		for _, s := range exprs {
+			e := pathexpr.MustParse(s)
+			got := d.Eval(e)
+			want := bruteForceEval(g, e)
+			if len(got) != len(want) {
+				t.Logf("seed %d %s: got %v want %v", seed, s, got, want)
+				return false
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Logf("seed %d %s: got %v want %v", seed, s, got, want)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Index evaluation with descendant axes must agree with ground truth on any
+// A(k)-index: traversal is a safe over-approximation and validation (always
+// required, since RequiredK is Unbounded) removes the false positives.
+func TestPropertyDescendantIndexEval(t *testing.T) {
+	exprs := []string{"//l0//l1", "//l1//l2/l0", "//l0/l1//l2"}
+	check := func(seed int64) bool {
+		g := gtest.Random(seed, 60, 4, 0.3)
+		d := NewDataIndex(g)
+		for k := 0; k <= 2; k++ {
+			ig := buildAk(g, k)
+			for _, s := range exprs {
+				e := pathexpr.MustParse(s)
+				res := EvalIndex(ig, e)
+				if res.Precise && len(res.Targets) > 0 {
+					t.Logf("seed %d: %s claimed precise with matches", seed, s)
+					return false
+				}
+				if !reflect.DeepEqual(res.Answer, d.Eval(e)) {
+					t.Logf("seed %d k=%d: %s wrong answer", seed, k, s)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidatorDescendantAgrees(t *testing.T) {
+	g := gtest.Random(33, 80, 4, 0.3)
+	d := NewDataIndex(g)
+	for _, s := range []string{"//l0//l1", "//l2//l0//l1", "/l0//l3"} {
+		e := pathexpr.MustParse(s)
+		want := map[graph.NodeID]bool{}
+		for _, v := range d.Eval(e) {
+			want[v] = true
+		}
+		va := NewValidator(g, e)
+		for v := 0; v < g.NumNodes(); v++ {
+			if va.Matches(graph.NodeID(v)) != want[graph.NodeID(v)] {
+				t.Errorf("%s: validator disagrees on node %d", s, v)
+			}
+		}
+	}
+}
+
+// Branching over arbitrary indexes: property-check EvalBranching against
+// ground truth for plain A(k) indexes (downGuarantee 0) including
+// descendant-axis predicates.
+func TestPropertyBranchingOnPlainIndexes(t *testing.T) {
+	pairs := [][2]string{
+		{"//l0", "//l0/l1"},
+		{"//l1/l2", "//l2//l0"},
+		{"//l2", "//l2/l1/l0"},
+		{"//l0//l1", "//l1/l1"},
+	}
+	check := func(seed int64) bool {
+		g := gtest.Random(seed, 60, 4, 0.3)
+		for k := 0; k <= 2; k++ {
+			ig := buildAk(g, k)
+			for _, pq := range pairs {
+				in, out := pathexpr.MustParse(pq[0]), pathexpr.MustParse(pq[1])
+				want := EvalBranchingData(g, in, out)
+				got := EvalBranching(ig, in, out, 0)
+				if len(want) != len(got.Answer) {
+					t.Logf("seed %d A(%d) %s[%s]: got %v want %v", seed, k, pq[0], pq[1], got.Answer, want)
+					return false
+				}
+				for i := range want {
+					if want[i] != got.Answer[i] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDownValidatorDescendant(t *testing.T) {
+	g := graph.PaperFigure1()
+	dv := NewDownValidator(g, pathexpr.MustParse("//site//person"))
+	if !dv.Matches(1) {
+		t.Error("site should reach persons via //")
+	}
+	if dv.Matches(7) {
+		t.Error("a person is not a site")
+	}
+	dv2 := NewDownValidator(g, pathexpr.MustParse("//auction/bidder/person"))
+	if !dv2.Matches(10) || dv2.Matches(12) {
+		t.Error("down validation wrong")
+	}
+	if dv2.Visited() == 0 {
+		t.Error("no visits recorded")
+	}
+}

@@ -1,0 +1,236 @@
+package query
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"mrx/internal/graph"
+	"mrx/internal/gtest"
+	"mrx/internal/index"
+	"mrx/internal/partition"
+	"mrx/internal/pathexpr"
+)
+
+func ids(xs ...int) []graph.NodeID {
+	out := make([]graph.NodeID, len(xs))
+	for i, x := range xs {
+		out[i] = graph.NodeID(x)
+	}
+	return out
+}
+
+func TestEvalDataPaperExamples(t *testing.T) {
+	g := graph.PaperFigure1()
+	d := NewDataIndex(g)
+	// The two examples from §2 of the paper.
+	if got := d.Eval(pathexpr.MustParse("/site/people/person")); !reflect.DeepEqual(got, ids(7, 8, 9)) {
+		t.Errorf("/site/people/person = %v", got)
+	}
+	if got := d.Eval(pathexpr.MustParse("/site/regions/*/item")); !reflect.DeepEqual(got, ids(12, 13, 14)) {
+		t.Errorf("/site/regions/*/item = %v", got)
+	}
+	// Descendant queries traverse reference edges too: bidder->person.
+	if got := d.Eval(pathexpr.MustParse("//bidder/person")); !reflect.DeepEqual(got, ids(8)) {
+		t.Errorf("//bidder/person = %v", got)
+	}
+	// //item includes referenced and auction-local items.
+	if got := d.Eval(pathexpr.MustParse("//item")); !reflect.DeepEqual(got, ids(12, 13, 14, 19, 20)) {
+		t.Errorf("//item = %v", got)
+	}
+	if got := d.Eval(pathexpr.MustParse("//nonexistent")); len(got) != 0 {
+		t.Errorf("//nonexistent = %v", got)
+	}
+	if got := d.Eval(pathexpr.MustParse("/person")); len(got) != 0 {
+		t.Errorf("/person rooted = %v (persons are not root children)", got)
+	}
+}
+
+func TestValidatorAgreesWithEval(t *testing.T) {
+	g := graph.PaperFigure1()
+	d := NewDataIndex(g)
+	for _, s := range []string{"/site/people/person", "//bidder/person", "//item", "/site/regions/*/item", "//auction/seller/person"} {
+		e := pathexpr.MustParse(s)
+		want := map[graph.NodeID]bool{}
+		for _, v := range d.Eval(e) {
+			want[v] = true
+		}
+		va := NewValidator(g, e)
+		for v := 0; v < g.NumNodes(); v++ {
+			if va.Matches(graph.NodeID(v)) != want[graph.NodeID(v)] {
+				t.Errorf("%s: validator disagrees on node %d", s, v)
+			}
+		}
+		if va.Visited() == 0 {
+			t.Errorf("%s: validator visited nothing", s)
+		}
+	}
+}
+
+func buildAk(g *graph.Graph, k int) *index.Graph {
+	return index.FromPartition(g, partition.KBisim(g, k), func(partition.BlockID) int { return k })
+}
+
+func TestEvalIndexPreciseOnHighK(t *testing.T) {
+	g := graph.PaperFigure1()
+	d := NewDataIndex(g)
+	ig := buildAk(g, 3)
+	for _, s := range []string{"//person", "//site/people/person", "//auction/bidder", "/site/regions"} {
+		e := pathexpr.MustParse(s)
+		res := EvalIndex(ig, e)
+		if !res.Precise {
+			t.Errorf("%s: expected precise on A(3)", s)
+		}
+		if res.Cost.DataNodes != 0 {
+			t.Errorf("%s: precise query paid validation", s)
+		}
+		if want := d.Eval(e); !reflect.DeepEqual(res.Answer, want) {
+			t.Errorf("%s: answer %v, want %v", s, res.Answer, want)
+		}
+	}
+}
+
+func TestEvalIndexValidatesOnLowK(t *testing.T) {
+	g := graph.PaperFigure1()
+	d := NewDataIndex(g)
+	ig := buildAk(g, 0) // A(0): label partition, precise only for length 0
+	e := pathexpr.MustParse("//auction/seller/person")
+	res := EvalIndex(ig, e)
+	if res.Precise {
+		t.Error("A(0) cannot be precise for length-2 path")
+	}
+	if res.Cost.DataNodes == 0 {
+		t.Error("validation should visit data nodes")
+	}
+	if want := d.Eval(e); !reflect.DeepEqual(res.Answer, want) {
+		t.Errorf("answer %v, want %v", res.Answer, want)
+	}
+}
+
+// Safety and correctness property: for random graphs, random k, and random
+// expressions, EvalIndex equals ground truth (safety = no false negatives;
+// after validation also no false positives).
+func TestPropertyIndexEvalMatchesGroundTruth(t *testing.T) {
+	check := func(seed int64) bool {
+		g := gtest.Random(seed, 80, 4, 0.3)
+		d := NewDataIndex(g)
+		for k := 0; k <= 3; k++ {
+			ig := buildAk(g, k)
+			for _, s := range []string{"//l0", "//l1/l2", "//l0/l1/l2", "//l2/*/l1", "/l0/l1"} {
+				e := pathexpr.MustParse(s)
+				res := EvalIndex(ig, e)
+				want := d.Eval(e)
+				if !reflect.DeepEqual(res.Answer, want) {
+					t.Logf("seed=%d k=%d expr=%s: got %v want %v", seed, k, s, res.Answer, want)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The raw index target set must be safe: it always contains the true answer
+// (Property: safety, §3).
+func TestPropertySafety(t *testing.T) {
+	check := func(seed int64) bool {
+		g := gtest.Random(seed, 60, 3, 0.25)
+		d := NewDataIndex(g)
+		ig := buildAk(g, 1)
+		for _, s := range []string{"//l0/l1/l2", "//l1/l0"} {
+			e := pathexpr.MustParse(s)
+			targets := TargetNodes(ig, e)
+			inTargets := map[graph.NodeID]bool{}
+			for _, n := range targets {
+				for _, o := range n.Extent() {
+					inTargets[o] = true
+				}
+			}
+			for _, o := range d.Eval(e) {
+				if !inTargets[o] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCostAccounting(t *testing.T) {
+	g := graph.PaperFigure1()
+	ig := buildAk(g, 0)
+	e := pathexpr.MustParse("//person")
+	res := EvalIndex(ig, e)
+	if res.Cost.IndexNodes != 1 {
+		t.Errorf("//person on A(0) should visit exactly the person node, got %d", res.Cost.IndexNodes)
+	}
+	if res.Cost.Total() != res.Cost.IndexNodes+res.Cost.DataNodes {
+		t.Error("Total mismatch")
+	}
+	var c Cost
+	c.Add(Cost{IndexNodes: 2, DataNodes: 3})
+	c.Add(Cost{IndexNodes: 1, DataNodes: 1})
+	if c.IndexNodes != 3 || c.DataNodes != 4 {
+		t.Errorf("Add = %+v", c)
+	}
+}
+
+func TestEvalIndexWildcardStart(t *testing.T) {
+	g := graph.PaperFigure1()
+	d := NewDataIndex(g)
+	ig := buildAk(g, 2)
+	e := pathexpr.MustParse("//*/person")
+	if want := d.Eval(e); !reflect.DeepEqual(EvalIndex(ig, e).Answer, want) {
+		t.Errorf("wildcard start mismatch")
+	}
+}
+
+func TestRootedTraversalCostsCountRoot(t *testing.T) {
+	g := graph.PaperFigure1()
+	ig := buildAk(g, 2)
+	res := EvalIndex(ig, pathexpr.MustParse("/site"))
+	// Visits: the root node plus its children examined.
+	if res.Cost.IndexNodes < 2 {
+		t.Errorf("rooted traversal cost = %d", res.Cost.IndexNodes)
+	}
+	if len(res.Answer) != 1 {
+		t.Errorf("answer = %v", res.Answer)
+	}
+}
+
+func TestValidatorRootedAnchoring(t *testing.T) {
+	g := graph.PaperFigure1()
+	// /person must match nothing: persons are not children of the root.
+	va := NewValidator(g, pathexpr.MustParse("/person"))
+	for v := 0; v < g.NumNodes(); v++ {
+		if va.Matches(graph.NodeID(v)) {
+			t.Fatalf("node %d matched rooted /person", v)
+		}
+	}
+	// /site matches exactly the site element.
+	va = NewValidator(g, pathexpr.MustParse("/site"))
+	matches := 0
+	for v := 0; v < g.NumNodes(); v++ {
+		if va.Matches(graph.NodeID(v)) {
+			matches++
+		}
+	}
+	if matches != 1 {
+		t.Fatalf("rooted /site matched %d nodes", matches)
+	}
+}
+
+func TestEvalIndexEmptyWorkloadSafety(t *testing.T) {
+	g := graph.PaperFigure1()
+	ig := buildAk(g, 1)
+	res := EvalIndex(ig, pathexpr.MustParse("//person/item/person"))
+	if len(res.Answer) != 0 {
+		t.Errorf("impossible path matched %v", res.Answer)
+	}
+}

@@ -1,0 +1,177 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+
+	"math/rand"
+	"testing"
+
+	"mrx/internal/baseline"
+	"mrx/internal/core"
+	"mrx/internal/gtest"
+	"mrx/internal/pathexpr"
+)
+
+// Every strict prefix of a serialized artifact must fail to load with an
+// error, never a panic.
+func TestTruncatedInputsError(t *testing.T) {
+	g := gtest.Random(6, 80, 4, 0.2)
+	ig := baseline.AK(g, 1)
+	ms := core.NewMStar(g)
+	ms.Support(pathexpr.MustParse("//l0/l1"))
+
+	var gb, ib, mb bytes.Buffer
+	if err := WriteGraph(&gb, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteIndex(&ib, ig); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMStar(&mb, ms); err != nil {
+		t.Fatal(err)
+	}
+
+	try := func(name string, data []byte, load func([]byte) error) {
+		step := len(data)/120 + 1
+		for cut := 0; cut < len(data); cut += step {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("%s: panic at cut %d: %v", name, cut, r)
+					}
+				}()
+				if err := load(data[:cut]); err == nil {
+					t.Fatalf("%s: truncation at %d of %d accepted", name, cut, len(data))
+				}
+			}()
+		}
+		if err := load(data); err != nil {
+			t.Fatalf("%s: full data rejected: %v", name, err)
+		}
+	}
+	try("graph", gb.Bytes(), func(b []byte) error {
+		_, err := ReadGraph(bytes.NewReader(b))
+		return err
+	})
+	try("index", ib.Bytes(), func(b []byte) error {
+		_, err := ReadIndex(bytes.NewReader(b), g)
+		return err
+	})
+	try("mstar", mb.Bytes(), func(b []byte) error {
+		_, err := ReadMStar(bytes.NewReader(b), g)
+		return err
+	})
+}
+
+// Random single-byte corruption must never panic: either an error or a
+// well-formed (if different) result.
+func TestCorruptedInputsNoPanic(t *testing.T) {
+	g := gtest.Random(9, 60, 3, 0.2)
+	var gb bytes.Buffer
+	if err := WriteGraph(&gb, g); err != nil {
+		t.Fatal(err)
+	}
+	data := gb.Bytes()
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 300; trial++ {
+		corrupt := append([]byte(nil), data...)
+		pos := rng.Intn(len(corrupt))
+		corrupt[pos] ^= byte(1 + rng.Intn(255))
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on corruption at byte %d: %v", pos, r)
+				}
+			}()
+			g2, err := ReadGraph(bytes.NewReader(corrupt))
+			if err == nil && g2.NumNodes() == 0 {
+				t.Fatal("corrupted read produced empty graph without error")
+			}
+		}()
+	}
+}
+
+// failWriter errors after n bytes, covering every write error path.
+type failWriter struct{ left int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.left <= 0 {
+		return 0, errors.New("disk full")
+	}
+	if len(p) > f.left {
+		n := f.left
+		f.left = 0
+		return n, errors.New("disk full")
+	}
+	f.left -= len(p)
+	return len(p), nil
+}
+
+func TestWriteFailuresPropagate(t *testing.T) {
+	g := gtest.Random(12, 60, 3, 0.2)
+	ig := baseline.AK(g, 1)
+	ms := core.NewMStar(g)
+	ms.Support(pathexpr.MustParse("//l0/l1"))
+
+	check := func(name string, write func(w *failWriter) error) {
+		cw := &failWriter{left: 1 << 30}
+		if err := write(cw); err != nil {
+			t.Fatalf("%s: unconstrained write failed: %v", name, err)
+		}
+		size := 1<<30 - cw.left
+		for _, budget := range []int{0, 1, 3, size / 2, size - 1} {
+			if err := write(&failWriter{left: budget}); err == nil {
+				t.Errorf("%s with %d-byte budget (of %d) succeeded", name, budget, size)
+			}
+		}
+	}
+	check("WriteGraph", func(w *failWriter) error { return WriteGraph(w, g) })
+	check("WriteIndex", func(w *failWriter) error { return WriteIndex(w, ig) })
+	check("WriteMStar", func(w *failWriter) error { return WriteMStar(w, ms) })
+}
+
+func TestLoadUpToClampAndReuse(t *testing.T) {
+	g := gtest.Random(15, 80, 4, 0.2)
+	ms := core.NewMStar(g)
+	ms.Support(pathexpr.MustParse("//l0/l1/l2"))
+	var buf bytes.Buffer
+	if err := WriteMStar(&buf, ms); err != nil {
+		t.Fatal(err)
+	}
+	mr, err := OpenMStar(bytes.NewReader(buf.Bytes()), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Out-of-range j clamps to the last component.
+	all, err := mr.LoadUpTo(99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.NumComponents() != ms.NumComponents() {
+		t.Fatalf("clamped load got %d components", all.NumComponents())
+	}
+	// Re-loading a smaller prefix reuses materialized components.
+	sub, err := mr.LoadUpTo(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumComponents() != 1 {
+		t.Fatalf("prefix load got %d components", sub.NumComponents())
+	}
+	if sub.Component(0) != all.Component(0) {
+		t.Error("components not shared between loads")
+	}
+}
+
+func TestStringSanityLimit(t *testing.T) {
+	// A graph header claiming a gigantic label must be rejected, not
+	// allocated.
+	var buf bytes.Buffer
+	buf.WriteString(graphMagic)
+	buf.Write([]byte{1})                            // one label
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff, 0x7f}) // absurd length
+	if _, err := ReadGraph(&buf); err == nil {
+		t.Fatal("absurd label length accepted")
+	}
+}

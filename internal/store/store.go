@@ -1,0 +1,413 @@
+// Package store persists data graphs and structural indexes in a compact
+// binary format, implementing the direction the paper lists as future work:
+// "how to make the M*(k)-index I/O-efficient by turning it into a
+// disk-resident structure that can be loaded into memory selectively and
+// incrementally during query processing."
+//
+// The M*(k) format stores each component index as an independent section
+// with a length-prefixed header, so a reader can materialize only the
+// coarse components I0..Ij it needs: a query of length j is answered
+// precisely by components up to Ij, and finer components can be loaded
+// later without re-reading the coarse ones (see ReadMStarUpTo and
+// MStarReader).
+//
+// All integers are unsigned varints; node IDs inside extents are
+// delta-encoded (extents are sorted), which keeps files small: the format
+// is typically a few bytes per index node plus one or two bytes per extent
+// member.
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"mrx/internal/core"
+	"mrx/internal/graph"
+	"mrx/internal/index"
+)
+
+const (
+	graphMagic = "mrxG1\n"
+	indexMagic = "mrxI1\n"
+	mstarMagic = "mrxM1\n"
+)
+
+type countingWriter struct {
+	w *bufio.Writer
+	n int64
+}
+
+func (cw *countingWriter) uvarint(x uint64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], x)
+	cw.n += int64(n)
+	_, err := cw.w.Write(buf[:n])
+	return err
+}
+
+func (cw *countingWriter) str(s string) error {
+	if err := cw.uvarint(uint64(len(s))); err != nil {
+		return err
+	}
+	cw.n += int64(len(s))
+	_, err := cw.w.WriteString(s)
+	return err
+}
+
+type reader struct {
+	r *bufio.Reader
+}
+
+func (rd *reader) uvarint() (uint64, error) { return binary.ReadUvarint(rd.r) }
+
+func (rd *reader) str() (string, error) {
+	n, err := rd.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<24 {
+		return "", fmt.Errorf("store: string of %d bytes exceeds sanity limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(rd.r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func expectMagic(rd *reader, magic string) error {
+	buf := make([]byte, len(magic))
+	if _, err := io.ReadFull(rd.r, buf); err != nil {
+		return err
+	}
+	if string(buf) != magic {
+		return fmt.Errorf("store: bad magic %q, want %q", buf, magic)
+	}
+	return nil
+}
+
+// WriteGraph serializes a data graph.
+func WriteGraph(w io.Writer, g *graph.Graph) error {
+	cw := &countingWriter{w: bufio.NewWriter(w)}
+	if _, err := cw.w.WriteString(graphMagic); err != nil {
+		return err
+	}
+	if err := cw.uvarint(uint64(g.NumLabels())); err != nil {
+		return err
+	}
+	for l := 0; l < g.NumLabels(); l++ {
+		if err := cw.str(g.LabelName(graph.LabelID(l))); err != nil {
+			return err
+		}
+	}
+	if err := cw.uvarint(uint64(g.NumNodes())); err != nil {
+		return err
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		if err := cw.uvarint(uint64(g.Label(graph.NodeID(v)))); err != nil {
+			return err
+		}
+	}
+	// Edges: per node, out-degree then (delta-coded child, kind) pairs.
+	for v := 0; v < g.NumNodes(); v++ {
+		kids := g.Children(graph.NodeID(v))
+		kinds := g.ChildKinds(graph.NodeID(v))
+		if err := cw.uvarint(uint64(len(kids))); err != nil {
+			return err
+		}
+		prev := int64(0)
+		for i, c := range kids {
+			if err := cw.uvarint(uint64(int64(c) - prev)); err != nil {
+				return err
+			}
+			prev = int64(c)
+			if err := cw.uvarint(uint64(kinds[i])); err != nil {
+				return err
+			}
+		}
+	}
+	return cw.w.Flush()
+}
+
+// ReadGraph deserializes a data graph.
+func ReadGraph(r io.Reader) (*graph.Graph, error) {
+	rd := &reader{r: bufio.NewReader(r)}
+	if err := expectMagic(rd, graphMagic); err != nil {
+		return nil, err
+	}
+	nLabels, err := rd.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	labels := make([]string, nLabels)
+	for i := range labels {
+		if labels[i], err = rd.str(); err != nil {
+			return nil, err
+		}
+	}
+	nNodes, err := rd.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nNodes > 1<<31 {
+		return nil, errors.New("store: node count exceeds sanity limit")
+	}
+	b := graph.NewBuilder()
+	for v := uint64(0); v < nNodes; v++ {
+		li, err := rd.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if li >= nLabels {
+			return nil, fmt.Errorf("store: node %d has label %d out of range", v, li)
+		}
+		b.AddNode(labels[li])
+	}
+	for v := uint64(0); v < nNodes; v++ {
+		deg, err := rd.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if deg > nNodes {
+			return nil, fmt.Errorf("store: node %d has degree %d out of range", v, deg)
+		}
+		prev := int64(0)
+		for i := uint64(0); i < deg; i++ {
+			delta, err := rd.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			child := prev + int64(delta)
+			prev = child
+			kind, err := rd.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if kind > uint64(graph.RefEdge) {
+				return nil, fmt.Errorf("store: bad edge kind %d", kind)
+			}
+			b.AddEdge(graph.NodeID(v), graph.NodeID(child), graph.EdgeKind(kind))
+		}
+	}
+	return b.Freeze()
+}
+
+// writeIndexBody serializes the live nodes of an index graph (extents and
+// local similarities); adjacency is rebuilt at load time.
+func writeIndexBody(cw *countingWriter, ig *index.Graph) error {
+	var werr error
+	if werr = cw.uvarint(uint64(ig.NumNodes())); werr != nil {
+		return werr
+	}
+	ig.ForEachNode(func(n *index.Node) {
+		if werr != nil {
+			return
+		}
+		if werr = cw.uvarint(uint64(n.K())); werr != nil {
+			return
+		}
+		if werr = cw.uvarint(uint64(n.Size())); werr != nil {
+			return
+		}
+		prev := int64(0)
+		for _, o := range n.Extent() {
+			if werr = cw.uvarint(uint64(int64(o) - prev)); werr != nil {
+				return
+			}
+			prev = int64(o)
+		}
+	})
+	return werr
+}
+
+func readIndexBody(rd *reader, g *graph.Graph) (*index.Graph, error) {
+	nNodes, err := rd.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nNodes > uint64(g.NumNodes()) {
+		return nil, fmt.Errorf("store: %d index nodes for %d data nodes", nNodes, g.NumNodes())
+	}
+	extents := make([][]graph.NodeID, nNodes)
+	ks := make([]int, nNodes)
+	for i := uint64(0); i < nNodes; i++ {
+		k, err := rd.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		ks[i] = int(k)
+		size, err := rd.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if size == 0 || size > uint64(g.NumNodes()) {
+			return nil, fmt.Errorf("store: extent %d has bad size %d", i, size)
+		}
+		extent := make([]graph.NodeID, size)
+		prev := int64(0)
+		for j := range extent {
+			delta, err := rd.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			prev += int64(delta)
+			extent[j] = graph.NodeID(prev)
+		}
+		extents[i] = extent
+	}
+	return index.FromExtents(g, extents, ks)
+}
+
+// WriteIndex serializes a single structural index (1-index, A(k), D(k) or
+// M(k)). The data graph is not embedded; supply it again at load time.
+func WriteIndex(w io.Writer, ig *index.Graph) error {
+	cw := &countingWriter{w: bufio.NewWriter(w)}
+	if _, err := cw.w.WriteString(indexMagic); err != nil {
+		return err
+	}
+	if err := cw.uvarint(uint64(ig.Data().NumNodes())); err != nil {
+		return err
+	}
+	if err := writeIndexBody(cw, ig); err != nil {
+		return err
+	}
+	return cw.w.Flush()
+}
+
+// ReadIndex deserializes an index over the given data graph.
+func ReadIndex(r io.Reader, g *graph.Graph) (*index.Graph, error) {
+	rd := &reader{r: bufio.NewReader(r)}
+	if err := expectMagic(rd, indexMagic); err != nil {
+		return nil, err
+	}
+	n, err := rd.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n != uint64(g.NumNodes()) {
+		return nil, fmt.Errorf("store: index built over %d data nodes, graph has %d", n, g.NumNodes())
+	}
+	return readIndexBody(rd, g)
+}
+
+// WriteMStar serializes an M*(k)-index as independent per-component
+// sections, each preceded by its byte length so readers can skip or stop.
+func WriteMStar(w io.Writer, ms *core.MStar) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(mstarMagic); err != nil {
+		return err
+	}
+	head := &countingWriter{w: bw}
+	if err := head.uvarint(uint64(ms.Data().NumNodes())); err != nil {
+		return err
+	}
+	if err := head.uvarint(uint64(ms.NumComponents())); err != nil {
+		return err
+	}
+	for i := 0; i < ms.NumComponents(); i++ {
+		// Serialize the component to an in-memory section first so its byte
+		// length can prefix it.
+		var section sectionBuffer
+		cw := &countingWriter{w: bufio.NewWriter(&section)}
+		if err := writeIndexBody(cw, ms.Component(i)); err != nil {
+			return err
+		}
+		if err := cw.w.Flush(); err != nil {
+			return err
+		}
+		if err := head.uvarint(uint64(len(section))); err != nil {
+			return err
+		}
+		if _, err := bw.Write(section); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+type sectionBuffer []byte
+
+func (s *sectionBuffer) Write(p []byte) (int, error) {
+	*s = append(*s, p...)
+	return len(p), nil
+}
+
+// MStarReader loads M*(k) components selectively: coarse components first,
+// finer ones on demand, without re-reading earlier sections.
+type MStarReader struct {
+	rd         *reader
+	g          *graph.Graph
+	total      int
+	nextToLoad int
+	comps      []*index.Graph
+}
+
+// OpenMStar prepares selective loading of an M*(k)-index over g.
+// It reads only the header.
+func OpenMStar(r io.Reader, g *graph.Graph) (*MStarReader, error) {
+	rd := &reader{r: bufio.NewReader(r)}
+	if err := expectMagic(rd, mstarMagic); err != nil {
+		return nil, err
+	}
+	n, err := rd.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n != uint64(g.NumNodes()) {
+		return nil, fmt.Errorf("store: M*(k)-index built over %d data nodes, graph has %d", n, g.NumNodes())
+	}
+	total, err := rd.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if total == 0 || total > 64 {
+		return nil, fmt.Errorf("store: implausible component count %d", total)
+	}
+	return &MStarReader{rd: rd, g: g, total: int(total)}, nil
+}
+
+// NumComponents returns the number of components in the file.
+func (mr *MStarReader) NumComponents() int { return mr.total }
+
+// Loaded returns how many components have been materialized so far.
+func (mr *MStarReader) Loaded() int { return len(mr.comps) }
+
+// LoadUpTo materializes components I0..Ij (inclusive) and returns an
+// M*(k)-index over them. Components already loaded are reused; the returned
+// index answers queries of length ≤ j exactly as the full index would
+// (longer queries fall back to validated evaluation in Ij).
+func (mr *MStarReader) LoadUpTo(j int) (*core.MStar, error) {
+	if j >= mr.total {
+		j = mr.total - 1
+	}
+	for len(mr.comps) <= j {
+		size, err := mr.rd.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		section := &reader{r: bufio.NewReader(io.LimitReader(mr.rd.r, int64(size)))}
+		comp, err := readIndexBody(section, mr.g)
+		if err != nil {
+			return nil, err
+		}
+		// Drain any buffered remainder of the section.
+		if _, err := io.Copy(io.Discard, section.r); err != nil {
+			return nil, err
+		}
+		mr.comps = append(mr.comps, comp)
+		mr.nextToLoad++
+	}
+	return core.MStarFromComponents(mr.g, mr.comps[:j+1])
+}
+
+// ReadMStar loads a complete M*(k)-index.
+func ReadMStar(r io.Reader, g *graph.Graph) (*core.MStar, error) {
+	mr, err := OpenMStar(r, g)
+	if err != nil {
+		return nil, err
+	}
+	return mr.LoadUpTo(mr.total - 1)
+}

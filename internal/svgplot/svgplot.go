@@ -1,0 +1,288 @@
+// Package svgplot renders the experiment figures as standalone SVG charts,
+// so the benchmark harness regenerates the paper's plots and not just their
+// data tables.
+//
+// The charts follow a small, fixed design system: a validated categorical
+// palette assigned to series in a fixed order (never cycled), thin 2px
+// lines with ≥8px markers, one y-axis, a recessive grid, a legend plus a
+// direct label at each series' last point (the palette's low-contrast slots
+// require that relief), text in text colors rather than series colors, and
+// native SVG <title> tooltips on every marker.
+package svgplot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// The categorical palette (light mode), validated with the six-checks
+// validator: lightness band, chroma floor and CVD separation pass; the
+// aqua and yellow slots sit below 3:1 contrast on the surface, which is
+// why every series also carries a direct label.
+var seriesColors = []string{
+	"#2a78d6", // blue
+	"#1baf7a", // aqua
+	"#eda100", // yellow
+	"#008300", // green
+	"#4a3aa7", // violet
+	"#e34948", // red
+	"#e87ba4", // magenta
+	"#eb6834", // orange
+}
+
+const (
+	surface       = "#fcfcfb"
+	textPrimary   = "#0b0b0b"
+	textSecondary = "#52514e"
+	gridColor     = "#e4e3df"
+)
+
+// Point is one data point.
+type Point struct {
+	X, Y  float64
+	Label string // optional per-point annotation (e.g. "A(3)")
+}
+
+// Series is a named sequence of points.
+type Series struct {
+	Name   string
+	Points []Point
+	// Scatter suppresses the connecting line (markers only).
+	Scatter bool
+}
+
+// Chart is a single-plot figure.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// Bars switches to a single-series bar chart (histogram); only the
+	// first series is drawn and the categorical palette is not used.
+	Bars bool
+}
+
+const (
+	chartW  = 760
+	chartH  = 480
+	marginL = 72
+	marginR = 150
+	marginT = 48
+	marginB = 56
+)
+
+// WriteSVG renders the chart.
+func (c *Chart) WriteSVG(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="system-ui, sans-serif">`,
+		chartW, chartH, chartW, chartH)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="%s"/>`, chartW, chartH, surface)
+	fmt.Fprintf(&b, `<text x="%d" y="28" font-size="16" fill="%s">%s</text>`, marginL, textPrimary, esc(c.Title))
+
+	plotW := chartW - marginL - marginR
+	plotH := chartH - marginT - marginB
+	if c.Bars {
+		c.renderBars(&b, plotW, plotH)
+	} else {
+		c.renderLines(&b, plotW, plotH)
+	}
+
+	// Axis labels.
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="12" fill="%s" text-anchor="middle">%s</text>`,
+		marginL+plotW/2, chartH-12, textSecondary, esc(c.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%d" font-size="12" fill="%s" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`,
+		marginT+plotH/2, textSecondary, marginT+plotH/2, esc(c.YLabel))
+	b.WriteString(`</svg>`)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func (c *Chart) dataBounds() (xmin, xmax, ymin, ymax float64) {
+	xmin, ymin = math.Inf(1), math.Inf(1)
+	xmax, ymax = math.Inf(-1), math.Inf(-1)
+	for _, s := range c.Series {
+		for _, p := range s.Points {
+			xmin, xmax = math.Min(xmin, p.X), math.Max(xmax, p.X)
+			ymin, ymax = math.Min(ymin, p.Y), math.Max(ymax, p.Y)
+		}
+	}
+	if xmin > xmax { // no data
+		return 0, 1, 0, 1
+	}
+	if xmin == xmax {
+		xmax = xmin + 1
+	}
+	// Anchor magnitudes at zero, as the paper's figures do.
+	if ymin > 0 {
+		ymin = 0
+	}
+	if ymin == ymax {
+		ymax = ymin + 1
+	}
+	return
+}
+
+func (c *Chart) renderLines(b *strings.Builder, plotW, plotH int) {
+	xmin, xmax, ymin, ymax := c.dataBounds()
+	sx := func(x float64) float64 { return marginL + (x-xmin)/(xmax-xmin)*float64(plotW) }
+	sy := func(y float64) float64 { return float64(marginT+plotH) - (y-ymin)/(ymax-ymin)*float64(plotH) }
+
+	c.grid(b, plotW, plotH, xmin, xmax, ymin, ymax, sx, sy, false)
+
+	for si, s := range c.Series {
+		color := seriesColors[si%len(seriesColors)]
+		if !s.Scatter && len(s.Points) > 1 {
+			var path strings.Builder
+			for i, p := range s.Points {
+				cmd := "L"
+				if i == 0 {
+					cmd = "M"
+				}
+				fmt.Fprintf(&path, "%s%.1f %.1f", cmd, sx(p.X), sy(p.Y))
+			}
+			fmt.Fprintf(b, `<path d="%s" fill="none" stroke="%s" stroke-width="2" stroke-linejoin="round"/>`,
+				path.String(), color)
+		}
+		for _, p := range s.Points {
+			fmt.Fprintf(b, `<circle cx="%.1f" cy="%.1f" r="4" fill="%s" stroke="%s" stroke-width="2">`,
+				sx(p.X), sy(p.Y), color, surface)
+			fmt.Fprintf(b, `<title>%s: (%s, %s)</title></circle>`, esc(s.Name), num(p.X), num(p.Y))
+			if p.Label != "" {
+				fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-size="10" fill="%s">%s</text>`,
+					sx(p.X)+6, sy(p.Y)-6, textSecondary, esc(p.Label))
+			}
+		}
+		// Direct label at the last point (the relief the palette requires),
+		// plus the legend entry. Series whose points carry their own labels
+		// (the A(k) family) are already identified in place.
+		if n := len(s.Points); n > 0 && s.Points[n-1].Label == "" {
+			last := s.Points[n-1]
+			fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-size="11" fill="%s">%s</text>`,
+				sx(last.X)+8, sy(last.Y)+4, textPrimary, esc(s.Name))
+		}
+	}
+	c.legend(b)
+}
+
+func (c *Chart) renderBars(b *strings.Builder, plotW, plotH int) {
+	if len(c.Series) == 0 || len(c.Series[0].Points) == 0 {
+		return
+	}
+	pts := c.Series[0].Points
+	ymax := 0.0
+	for _, p := range pts {
+		ymax = math.Max(ymax, p.Y)
+	}
+	if ymax == 0 {
+		ymax = 1
+	}
+	sy := func(y float64) float64 { return float64(marginT+plotH) - y/ymax*float64(plotH) }
+	c.grid(b, plotW, plotH, 0, float64(len(pts)), 0, ymax, nil, sy, true)
+
+	// One magnitude series: a single hue, 2px surface gaps between bars via
+	// the bar spacing, 4px rounded data-ends.
+	slot := float64(plotW) / float64(len(pts))
+	barW := slot * 0.7
+	for i, p := range pts {
+		x := float64(marginL) + slot*float64(i) + (slot-barW)/2
+		top := sy(p.Y)
+		h := float64(marginT+plotH) - top
+		if h < 0.5 {
+			h = 0.5
+		}
+		fmt.Fprintf(b, `<path d="M%.1f %.1f h%.1f v%.1f q0 -4 -4 -4 h%.1f q-4 0 -4 4 z" fill="%s">`,
+			x+4, float64(marginT+plotH), barW-8, -h+4, -(barW - 16), seriesColors[0])
+		fmt.Fprintf(b, `<title>%s: %s</title></path>`, esc(p.Label), num(p.Y))
+		fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-size="11" fill="%s" text-anchor="middle">%s</text>`,
+			x+barW/2, float64(marginT+plotH)+16, textSecondary, esc(p.Label))
+		fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-size="10" fill="%s" text-anchor="middle">%s</text>`,
+			x+barW/2, top-6, textPrimary, num(p.Y))
+	}
+}
+
+func (c *Chart) grid(b *strings.Builder, plotW, plotH int, xmin, xmax, ymin, ymax float64,
+	sx func(float64) float64, sy func(float64) float64, bars bool) {
+	// Horizontal gridlines at ~5 ticks.
+	for _, t := range ticks(ymin, ymax, 5) {
+		y := sy(t)
+		fmt.Fprintf(b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="%s" stroke-width="1"/>`,
+			marginL, y, marginL+plotW, y, gridColor)
+		fmt.Fprintf(b, `<text x="%d" y="%.1f" font-size="10" fill="%s" text-anchor="end">%s</text>`,
+			marginL-6, y+3, textSecondary, num(t))
+	}
+	// Baseline axis.
+	fmt.Fprintf(b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="1"/>`,
+		marginL, marginT+plotH, marginL+plotW, marginT+plotH, textSecondary)
+	if !bars && sx != nil {
+		for _, t := range ticks(xmin, xmax, 6) {
+			x := sx(t)
+			fmt.Fprintf(b, `<text x="%.1f" y="%d" font-size="10" fill="%s" text-anchor="middle">%s</text>`,
+				x, marginT+plotH+16, textSecondary, num(t))
+		}
+	}
+}
+
+func (c *Chart) legend(b *strings.Builder) {
+	if len(c.Series) < 2 {
+		return // a single series is named by the title
+	}
+	x := chartW - marginR + 12
+	y := marginT + 8
+	for si, s := range c.Series {
+		color := seriesColors[si%len(seriesColors)]
+		fmt.Fprintf(b, `<circle cx="%d" cy="%d" r="4" fill="%s"/>`, x, y, color)
+		fmt.Fprintf(b, `<text x="%d" y="%d" font-size="11" fill="%s">%s</text>`,
+			x+10, y+4, textPrimary, esc(s.Name))
+		y += 18
+	}
+}
+
+// ticks returns ~n round tick values covering [lo, hi].
+func ticks(lo, hi float64, n int) []float64 {
+	if hi <= lo || n < 1 {
+		return []float64{lo}
+	}
+	raw := (hi - lo) / float64(n)
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	var step float64
+	for _, m := range []float64{1, 2, 5, 10} {
+		step = m * mag
+		if step >= raw {
+			break
+		}
+	}
+	var out []float64
+	for t := math.Ceil(lo/step) * step; t <= hi+step/1e6; t += step {
+		out = append(out, t)
+	}
+	return out
+}
+
+func num(v float64) string {
+	a := math.Abs(v)
+	switch {
+	case a >= 10000:
+		return fmt.Sprintf("%.0fk", v/1000)
+	case a >= 1000:
+		return fmt.Sprintf("%.1fk", v/1000)
+	case v == math.Trunc(v):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.2f", v), "0"), ".")
+	}
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// SortSeriesPoints orders each series by X, which line rendering assumes.
+func SortSeriesPoints(ss []Series) {
+	for i := range ss {
+		sort.Slice(ss[i].Points, func(a, b int) bool { return ss[i].Points[a].X < ss[i].Points[b].X })
+	}
+}

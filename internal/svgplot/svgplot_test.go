@@ -1,0 +1,161 @@
+package svgplot
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func lineChart() *Chart {
+	return &Chart{
+		Title:  "test chart",
+		XLabel: "x axis",
+		YLabel: "y axis",
+		Series: []Series{
+			{Name: "alpha", Points: []Point{{X: 0, Y: 10}, {X: 50, Y: 40}, {X: 100, Y: 20}}},
+			{Name: "beta", Points: []Point{{X: 0, Y: 5}, {X: 50, Y: 15}, {X: 100, Y: 60}}},
+			{Name: "gamma", Scatter: true, Points: []Point{{X: 70, Y: 33, Label: "G"}}},
+		},
+	}
+}
+
+func render(t *testing.T, c *Chart) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestWriteSVGWellFormed(t *testing.T) {
+	out := render(t, lineChart())
+	// The output must be well-formed XML.
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG not well-formed: %v", err)
+		}
+	}
+}
+
+func TestWriteSVGContent(t *testing.T) {
+	out := render(t, lineChart())
+	for _, want := range []string{
+		"test chart", "x axis", "y axis",
+		"alpha", "beta", "gamma",
+		`stroke-width="2"`, // 2px line marks
+		"<title>",          // hover tooltips
+		seriesColors[0], seriesColors[1], seriesColors[2],
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// The scatter series has no connecting path: count paths (2 line series).
+	if got := strings.Count(out, `<path d="M`); got != 2 {
+		t.Errorf("paths = %d, want 2", got)
+	}
+	// Legend present for >= 2 series.
+	if !strings.Contains(out, `cx="622"`) {
+		t.Error("legend missing")
+	}
+}
+
+func TestSingleSeriesNoLegend(t *testing.T) {
+	c := &Chart{Title: "one", Series: []Series{{Name: "only", Points: []Point{{X: 1, Y: 2}, {X: 2, Y: 3}}}}}
+	out := render(t, c)
+	if strings.Contains(out, `cx="622"`) {
+		t.Error("single series should have no legend box")
+	}
+}
+
+func TestBarsChart(t *testing.T) {
+	c := &Chart{
+		Title: "hist",
+		Bars:  true,
+		Series: []Series{{Name: "fractions", Points: []Point{
+			{X: 0, Y: 0.35, Label: "0"}, {X: 1, Y: 0.25, Label: "1"}, {X: 2, Y: 0.1, Label: "2"},
+		}}},
+	}
+	out := render(t, c)
+	if strings.Count(out, "<path") != 3 {
+		t.Errorf("bars = %d, want 3", strings.Count(out, "<path"))
+	}
+	if !strings.Contains(out, "0.35") {
+		t.Error("bar value label missing")
+	}
+	// Single magnitude series: one hue only.
+	for _, c := range seriesColors[1:] {
+		if strings.Contains(out, c) {
+			t.Errorf("bar chart uses extra categorical color %s", c)
+		}
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	c := &Chart{Title: `<&">`, Series: []Series{{Name: "M*(k) <cool>", Points: []Point{{X: 1, Y: 1}}}}}
+	out := render(t, c)
+	if strings.Contains(out, "<cool>") || strings.Contains(out, `<&">`) {
+		t.Error("unescaped text in SVG")
+	}
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyChart(t *testing.T) {
+	out := render(t, &Chart{Title: "empty"})
+	if !strings.Contains(out, "</svg>") {
+		t.Error("empty chart should still close")
+	}
+	out = render(t, &Chart{Title: "empty bars", Bars: true})
+	if !strings.Contains(out, "</svg>") {
+		t.Error("empty bar chart should still close")
+	}
+}
+
+func TestTicks(t *testing.T) {
+	ts := ticks(0, 100, 5)
+	if len(ts) < 4 || ts[0] != 0 {
+		t.Errorf("ticks(0,100,5) = %v", ts)
+	}
+	for i := 1; i < len(ts); i++ {
+		if ts[i] <= ts[i-1] {
+			t.Fatalf("non-increasing ticks %v", ts)
+		}
+	}
+	if got := ticks(5, 5, 4); len(got) != 1 {
+		t.Errorf("degenerate ticks = %v", got)
+	}
+}
+
+func TestNumFormatting(t *testing.T) {
+	cases := map[float64]string{
+		0:      "0",
+		42:     "42",
+		1500:   "1.5k",
+		25000:  "25k",
+		0.35:   "0.35",
+		0.3001: "0.3",
+	}
+	for in, want := range cases {
+		if got := num(in); got != want {
+			t.Errorf("num(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSortSeriesPoints(t *testing.T) {
+	ss := []Series{{Points: []Point{{X: 3}, {X: 1}, {X: 2}}}}
+	SortSeriesPoints(ss)
+	if ss[0].Points[0].X != 1 || ss[0].Points[2].X != 3 {
+		t.Errorf("unsorted: %v", ss[0].Points)
+	}
+}

@@ -1,0 +1,152 @@
+// Package workload generates the synthetic query workloads of the paper's
+// experiments (§5): enumerate all label paths of length up to a limit in
+// the data graph, then form each query by extracting a subsequence of a
+// randomly chosen path, with random start position and length, prefixed by
+// the self-or-descendant axis (//).
+//
+// Because the start position is uniform, short queries are more likely than
+// long ones, reproducing the decreasing length distributions of Figures 8
+// and 9 (about 30% of queries have length 0).
+package workload
+
+import (
+	"math/rand"
+	"sort"
+
+	"mrx/internal/baseline"
+	"mrx/internal/graph"
+	"mrx/internal/index"
+	"mrx/internal/pathexpr"
+)
+
+// EnumerateLabelPaths returns every distinct label path of length up to
+// maxLen (edge count) that starts at a child of the root, in deterministic
+// order. Paths are enumerated over the 1-index rather than the data graph —
+// bisimulation preserves the label-path language exactly, and the 1-index
+// is far smaller. The length limit prevents paths along reference-edge
+// cycles from being generated forever, as in the paper.
+func EnumerateLabelPaths(g *graph.Graph, maxLen int) [][]string {
+	ig, _ := baseline.OneIndex(g)
+	root := ig.Root()
+
+	// Initial frontier: children of the root grouped by label.
+	var out [][]string
+	var dfs func(prefix []string, frontier []*index.Node)
+	dfs = func(prefix []string, frontier []*index.Node) {
+		path := append([]string(nil), prefix...)
+		out = append(out, path)
+		if len(prefix) > maxLen { // length = len(prefix)-1 edges
+			return
+		}
+		byLabel := make(map[string][]*index.Node)
+		for _, n := range frontier {
+			for _, c := range ig.Children(n) {
+				l := g.LabelName(c.Label())
+				byLabel[l] = append(byLabel[l], c)
+			}
+		}
+		labels := make([]string, 0, len(byLabel))
+		for l := range byLabel {
+			labels = append(labels, l)
+		}
+		sort.Strings(labels)
+		for _, l := range labels {
+			dfs(append(prefix, l), dedupeNodes(byLabel[l]))
+		}
+	}
+
+	byLabel := make(map[string][]*index.Node)
+	for _, c := range ig.Children(root) {
+		l := g.LabelName(c.Label())
+		byLabel[l] = append(byLabel[l], c)
+	}
+	labels := make([]string, 0, len(byLabel))
+	for l := range byLabel {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		dfs([]string{l}, dedupeNodes(byLabel[l]))
+	}
+	return out
+}
+
+func dedupeNodes(ns []*index.Node) []*index.Node {
+	seen := make(map[index.NodeID]bool, len(ns))
+	out := ns[:0]
+	for _, n := range ns {
+		if !seen[n.ID()] {
+			seen[n.ID()] = true
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Options configures workload generation.
+type Options struct {
+	// NumQueries is the number of queries to generate (paper: 500).
+	NumQueries int
+	// MaxPathLen bounds enumerated label-path length (paper: 9).
+	MaxPathLen int
+	// MaxQueryLen bounds the extracted subsequence length (paper: 9 or 4).
+	MaxQueryLen int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// DefaultOptions mirrors the paper's primary workload: 500 queries over
+// paths of length up to 9, query length up to 9.
+func DefaultOptions(seed int64) Options {
+	return Options{NumQueries: 500, MaxPathLen: 9, MaxQueryLen: 9, Seed: seed}
+}
+
+// Generate produces a query workload for g.
+func Generate(g *graph.Graph, opts Options) []*pathexpr.Expr {
+	paths := EnumerateLabelPaths(g, opts.MaxPathLen)
+	return FromPaths(paths, opts)
+}
+
+// FromPaths samples queries from a pre-enumerated path set: pick a path
+// uniformly at random, then a start position uniformly, then a length
+// uniformly in [0, min(MaxQueryLen, remaining)], and prefix with //.
+func FromPaths(paths [][]string, opts Options) []*pathexpr.Expr {
+	if len(paths) == 0 {
+		return nil // a root-only graph has no label paths to sample from
+	}
+	r := rand.New(rand.NewSource(opts.Seed))
+	out := make([]*pathexpr.Expr, 0, opts.NumQueries)
+	for len(out) < opts.NumQueries {
+		p := paths[r.Intn(len(paths))]
+		start := r.Intn(len(p))
+		maxLen := len(p) - 1 - start
+		if maxLen > opts.MaxQueryLen {
+			maxLen = opts.MaxQueryLen
+		}
+		qlen := 0
+		if maxLen > 0 {
+			qlen = r.Intn(maxLen + 1)
+		}
+		out = append(out, pathexpr.FromLabels(p[start:start+qlen+1]))
+	}
+	return out
+}
+
+// LengthHistogram returns the fraction of queries at each length,
+// indexed by length (the data behind Figures 8 and 9).
+func LengthHistogram(queries []*pathexpr.Expr) []float64 {
+	maxLen := 0
+	for _, q := range queries {
+		if q.Length() > maxLen {
+			maxLen = q.Length()
+		}
+	}
+	hist := make([]float64, maxLen+1)
+	for _, q := range queries {
+		hist[q.Length()]++
+	}
+	for i := range hist {
+		hist[i] /= float64(len(queries))
+	}
+	return hist
+}

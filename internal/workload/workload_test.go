@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"mrx/internal/datagen"
+	"mrx/internal/graph"
+	"mrx/internal/pathexpr"
+	"mrx/internal/query"
+)
+
+func TestEnumerateLabelPathsFigure1(t *testing.T) {
+	g := graph.PaperFigure1()
+	paths := EnumerateLabelPaths(g, 2)
+	asStrings := make(map[string]bool)
+	for _, p := range paths {
+		asStrings[strings.Join(p, "/")] = true
+	}
+	for _, want := range []string{
+		"site",
+		"site/people",
+		"site/people/person",
+		"site/regions/africa",
+		"site/auctions/auction",
+	} {
+		if !asStrings[want] {
+			t.Errorf("missing path %s (have %d paths)", want, len(paths))
+		}
+	}
+	if asStrings["site/people/person/name"] {
+		t.Error("path longer than limit enumerated")
+	}
+	if asStrings["people"] {
+		t.Error("non-root-anchored path enumerated")
+	}
+	// Every enumerated path must be realizable in the data graph.
+	d := query.NewDataIndex(g)
+	for _, p := range paths {
+		e := "/" + strings.Join(p, "/")
+		pe, err := pathexpr.Parse(e)
+		if err != nil {
+			t.Fatalf("parse %s: %v", e, err)
+		}
+		if len(d.Eval(pe)) == 0 {
+			t.Errorf("enumerated path %s has no instance", e)
+		}
+	}
+}
+
+func TestEnumerateCycleBounded(t *testing.T) {
+	// A reference cycle a->b->a must not loop forever.
+	g := graph.MustBuildSimple([]string{"root", "a", "b"},
+		[][2]int{{0, 1}, {1, 2}}, [][2]int{{2, 1}})
+	paths := EnumerateLabelPaths(g, 5)
+	maxLen := 0
+	for _, p := range paths {
+		if len(p)-1 > maxLen {
+			maxLen = len(p) - 1
+		}
+	}
+	if maxLen != 5 {
+		t.Errorf("max enumerated length = %d, want 5", maxLen)
+	}
+}
+
+func TestGenerateDeterministicAndBounded(t *testing.T) {
+	g := datagen.XMarkGraph(0.02, 1)
+	opts := Options{NumQueries: 200, MaxPathLen: 9, MaxQueryLen: 4, Seed: 5}
+	q1 := Generate(g, opts)
+	q2 := Generate(g, opts)
+	if len(q1) != 200 {
+		t.Fatalf("got %d queries", len(q1))
+	}
+	for i := range q1 {
+		if !q1[i].Equal(q2[i]) {
+			t.Fatal("same seed produced different workloads")
+		}
+		if q1[i].Length() > 4 {
+			t.Fatalf("query %s exceeds MaxQueryLen", q1[i])
+		}
+		if q1[i].Rooted {
+			t.Fatalf("query %s should be descendant-anchored", q1[i])
+		}
+	}
+}
+
+// TestLengthDistribution reproduces the shape of Figures 8 and 9: the
+// fraction of length-0 queries is around 0.3 and frequencies decrease
+// with length.
+func TestLengthDistribution(t *testing.T) {
+	g := datagen.NASAGraph(0.05, 2)
+	for _, maxQ := range []int{9, 4} {
+		opts := Options{NumQueries: 4000, MaxPathLen: 9, MaxQueryLen: maxQ, Seed: 11}
+		hist := LengthHistogram(Generate(g, opts))
+		if len(hist) != maxQ+1 {
+			t.Fatalf("maxQ=%d: hist has %d buckets: %v", maxQ, len(hist), hist)
+		}
+		if hist[0] < 0.2 || hist[0] > 0.45 {
+			t.Errorf("maxQ=%d: P(len=0) = %.3f, want ~0.3", maxQ, hist[0])
+		}
+		// Broadly decreasing: each bucket at most slightly above its
+		// predecessor (sampling noise tolerance).
+		for i := 1; i < len(hist); i++ {
+			if hist[i] > hist[i-1]+0.03 {
+				t.Errorf("maxQ=%d: histogram not decreasing at %d: %v", maxQ, i, hist)
+			}
+		}
+	}
+}
+
+func TestQueriesHaveInstances(t *testing.T) {
+	g := datagen.XMarkGraph(0.02, 3)
+	d := query.NewDataIndex(g)
+	qs := Generate(g, Options{NumQueries: 100, MaxPathLen: 6, MaxQueryLen: 6, Seed: 9})
+	for _, q := range qs {
+		if len(d.Eval(q)) == 0 {
+			t.Errorf("workload query %s has empty target set", q)
+		}
+	}
+}
+
+func TestFromPathsEmpty(t *testing.T) {
+	if qs := FromPaths(nil, Options{NumQueries: 10, MaxQueryLen: 4, Seed: 1}); len(qs) != 0 {
+		t.Fatalf("expected no queries from empty path set, got %d", len(qs))
+	}
+	// A root-only graph generates an empty workload rather than panicking.
+	g := graph.MustBuildSimple([]string{"root"}, nil, nil)
+	if qs := Generate(g, Options{NumQueries: 5, MaxPathLen: 4, MaxQueryLen: 4, Seed: 1}); len(qs) != 0 {
+		t.Fatalf("root-only graph produced %d queries", len(qs))
+	}
+}

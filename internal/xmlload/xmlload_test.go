@@ -1,0 +1,150 @@
+package xmlload
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"mrx/internal/graph"
+	"mrx/internal/pathexpr"
+	"mrx/internal/query"
+)
+
+const tinyAuction = `<?xml version="1.0"?>
+<site>
+  <regions>
+    <africa><item id="item0"><name/></item></africa>
+    <asia><item id="item1"><name/></item></asia>
+  </regions>
+  <people>
+    <person id="person0"><name/><emailaddress/></person>
+    <person id="person1"><name/></person>
+  </people>
+  <open_auctions>
+    <open_auction id="auction0">
+      <seller person="person0"/>
+      <bidder><personref person="person1"/></bidder>
+      <itemref item="item1"/>
+    </open_auction>
+  </open_auctions>
+</site>`
+
+func TestLoadBasics(t *testing.T) {
+	res, err := Load(strings.NewReader(tinyAuction), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := res.Graph
+	if res.Elements != 20 {
+		t.Errorf("elements = %d, want 20", res.Elements)
+	}
+	if res.Refs != 3 {
+		t.Errorf("refs = %d, want 3", res.Refs)
+	}
+	if res.UnresolvedRefs != 0 {
+		t.Errorf("unresolved = %d", res.UnresolvedRefs)
+	}
+	if g.NumNodes() != res.Elements+1 { // +1 synthetic root
+		t.Errorf("nodes = %d", g.NumNodes())
+	}
+	if g.NodeLabelName(g.Root()) != "root" {
+		t.Errorf("root label %q", g.NodeLabelName(g.Root()))
+	}
+
+	d := query.NewDataIndex(g)
+	// The document element hangs under the synthetic root.
+	if got := d.Eval(pathexpr.MustParse("/site")); len(got) != 1 {
+		t.Errorf("/site = %v", got)
+	}
+	// Reference edges are traversable: seller -> person.
+	sellers := d.Eval(pathexpr.MustParse("//seller/person"))
+	if len(sellers) != 1 {
+		t.Fatalf("//seller/person = %v", sellers)
+	}
+	if g.NodeLabelName(sellers[0]) != "person" {
+		t.Error("seller ref resolved to wrong node")
+	}
+	// itemref item="item1" points at the asia item.
+	items := d.Eval(pathexpr.MustParse("//itemref/item"))
+	asiaItems := d.Eval(pathexpr.MustParse("//asia/item"))
+	if !reflect.DeepEqual(items, asiaItems) {
+		t.Errorf("itemref item %v != asia item %v", items, asiaItems)
+	}
+}
+
+func TestLoadCustomOptions(t *testing.T) {
+	doc := `<r><a key="k1"/><b data-ref="k1" other="zzz"/></r>`
+	res, err := Load(strings.NewReader(doc), &Options{RootLabel: "top", IDAttr: "key"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Graph.NodeLabelName(res.Graph.Root()) != "top" {
+		t.Error("custom root label ignored")
+	}
+	if res.Refs != 1 || res.UnresolvedRefs != 1 {
+		t.Errorf("refs=%d unresolved=%d", res.Refs, res.UnresolvedRefs)
+	}
+}
+
+func TestLoadIncludeAttributes(t *testing.T) {
+	doc := `<r><a color="red"/></r>`
+	res, err := Load(strings.NewReader(doc), &Options{IncludeAttributes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, ok := res.Graph.LabelIDOf("@color")
+	if !ok {
+		t.Fatal("attribute node missing")
+	}
+	if nodes := res.Graph.NodesWithLabel(l); len(nodes) != 1 {
+		t.Fatalf("attr nodes = %v", nodes)
+	}
+}
+
+func TestLoadSelfReferenceIgnored(t *testing.T) {
+	doc := `<r><a id="x" self="x"/></r>`
+	res, err := Load(strings.NewReader(doc), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Refs != 0 {
+		t.Errorf("self reference should not create an edge, refs=%d", res.Refs)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	for _, doc := range []string{"", "<a><b></a></b>", "not xml at all <"} {
+		if _, err := Load(strings.NewReader(doc), nil); err == nil {
+			t.Errorf("Load(%q) should fail", doc)
+		}
+	}
+}
+
+func TestLoadNamespacesSkipped(t *testing.T) {
+	doc := `<r xmlns:x="http://example.com"><x:a id="1"/><b r="1"/></r>`
+	res, err := Load(strings.NewReader(doc), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Refs != 1 {
+		t.Errorf("refs = %d", res.Refs)
+	}
+	if _, ok := res.Graph.LabelIDOf("a"); !ok {
+		t.Error("namespaced element lost its local name")
+	}
+}
+
+func TestLoadBytesMatchesLoad(t *testing.T) {
+	r1, err := LoadBytes([]byte(tinyAuction), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Load(strings.NewReader(tinyAuction), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Graph.NumNodes() != r2.Graph.NumNodes() || r1.Refs != r2.Refs {
+		t.Error("LoadBytes differs from Load")
+	}
+	var _ graph.NodeID // document intent of import
+}

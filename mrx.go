@@ -1,0 +1,133 @@
+// Package mrx is a Go implementation of multiresolution structural XML
+// indexing, reproducing He & Yang, "Multiresolution Indexing of XML for
+// Frequent Queries" (ICDE 2004).
+//
+// XML documents (or arbitrary labeled directed graphs) are summarized by
+// structural indexes that partition data nodes into equivalence classes
+// under k-bisimilarity. The package provides the paper's contributions —
+// the workload-adaptive M(k)-index and the multiresolution M*(k)-index —
+// alongside the baselines they are evaluated against: the 1-index, the
+// A(k)-index family, and the D(k)-index in both its construction and
+// promotion forms.
+//
+// A typical session:
+//
+//	g, _ := mrx.LoadXML(file)                 // data graph with ID/IDREF edges
+//	ms := mrx.NewMStar(g)                     // adaptive M*(k)-index
+//	q := mrx.MustParsePath("//people/person") // simple path expression
+//	res := ms.Query(q)                        // answer + paper-metric cost
+//	ms.Support(q)                             // refine so q becomes precise
+//
+// The internal packages implementing the algorithms are re-exported here by
+// type alias, so everything returned by this package is fully usable by
+// downstream code.
+package mrx
+
+import (
+	"io"
+
+	"mrx/internal/graph"
+	"mrx/internal/pathexpr"
+	"mrx/internal/query"
+	"mrx/internal/xmlload"
+)
+
+// Graph is a labeled directed data graph: XML elements are nodes, nesting
+// yields tree edges and ID/IDREF pairs yield reference edges.
+type Graph = graph.Graph
+
+// NodeID identifies a data node; the root is node 0.
+type NodeID = graph.NodeID
+
+// LabelID identifies an interned element label.
+type LabelID = graph.LabelID
+
+// Builder constructs data graphs programmatically.
+type Builder = graph.Builder
+
+// EdgeKind distinguishes tree edges from reference edges.
+type EdgeKind = graph.EdgeKind
+
+// Edge kinds.
+const (
+	TreeEdge = graph.TreeEdge
+	RefEdge  = graph.RefEdge
+)
+
+// NewBuilder returns an empty graph builder.
+func NewBuilder() *Builder { return graph.NewBuilder() }
+
+// LoadOptions configures XML parsing; see package xmlload for details.
+type LoadOptions = xmlload.Options
+
+// LoadResult carries the parsed graph and reference-resolution statistics.
+type LoadResult = xmlload.Result
+
+// LoadXML parses an XML document into a data graph with default options:
+// a synthetic "root" node above the document element, "id" attributes
+// declaring IDs, and any attribute value matching a declared ID producing a
+// reference edge.
+func LoadXML(r io.Reader) (*Graph, error) {
+	res, err := xmlload.Load(r, nil)
+	if err != nil {
+		return nil, err
+	}
+	return res.Graph, nil
+}
+
+// LoadXMLBytes is LoadXML over an in-memory document.
+func LoadXMLBytes(data []byte) (*Graph, error) {
+	res, err := xmlload.LoadBytes(data, nil)
+	if err != nil {
+		return nil, err
+	}
+	return res.Graph, nil
+}
+
+// LoadXMLDetailed parses with explicit options and returns reference-
+// resolution statistics alongside the graph.
+func LoadXMLDetailed(r io.Reader, opts *LoadOptions) (*LoadResult, error) {
+	return xmlload.Load(r, opts)
+}
+
+// PathExpr is a parsed simple path expression: /a/b, //a/b, //a/*/c.
+type PathExpr = pathexpr.Expr
+
+// PathStep is one step of a path expression.
+type PathStep = pathexpr.Step
+
+// ParsePath parses a simple path expression.
+func ParsePath(s string) (*PathExpr, error) { return pathexpr.Parse(s) }
+
+// MustParsePath is ParsePath that panics on error.
+func MustParsePath(s string) *PathExpr { return pathexpr.MustParse(s) }
+
+// PathFromLabels builds a descendant-anchored expression from labels.
+func PathFromLabels(labels []string) *PathExpr { return pathexpr.FromLabels(labels) }
+
+// Cost is the paper's query cost: index nodes visited during index
+// traversal plus data nodes visited during validation.
+type Cost = query.Cost
+
+// Result is the outcome of evaluating an expression over an index.
+type Result = query.Result
+
+// DataIndex caches label buckets of a graph for repeated ground-truth
+// evaluation.
+type DataIndex = query.DataIndex
+
+// NewDataIndex prepares g for ground-truth evaluation.
+func NewDataIndex(g *Graph) *DataIndex { return query.NewDataIndex(g) }
+
+// Eval computes the exact answer of e on the data graph (ground truth).
+func Eval(g *Graph, e *PathExpr) []NodeID {
+	return query.NewDataIndex(g).Eval(e)
+}
+
+// ParseBranchingPath parses a branching expression p[q] (for example
+// //open_auction[bidder/personref]) into the incoming path p and the
+// outgoing predicate expression anchored at p's final step; evaluate the
+// pair with QueryIndexBranching or UD.QueryBranching.
+func ParseBranchingPath(s string) (in, out *PathExpr, err error) {
+	return pathexpr.ParseBranching(s)
+}

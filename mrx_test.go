@@ -1,0 +1,228 @@
+package mrx_test
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mrx"
+)
+
+const doc = `<site>
+  <people>
+    <person id="p1"><name/></person>
+    <person id="p2"><name/></person>
+  </people>
+  <auctions>
+    <auction><seller person="p1"/></auction>
+  </auctions>
+</site>`
+
+func TestFacadeLoadAndEval(t *testing.T) {
+	g, err := mrx.LoadXML(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := mrx.Eval(g, mrx.MustParsePath("//people/person"))
+	if len(got) != 2 {
+		t.Fatalf("persons = %v", got)
+	}
+	if ref := mrx.Eval(g, mrx.MustParsePath("//seller/person")); len(ref) != 1 {
+		t.Fatalf("seller ref = %v", ref)
+	}
+}
+
+func TestFacadeIndexes(t *testing.T) {
+	g := mrx.XMarkGraph(0.01, 1)
+	e := mrx.MustParsePath("//open_auction/bidder/personref")
+	want := mrx.Eval(g, e)
+
+	a2 := mrx.BuildAK(g, 2)
+	if res := mrx.QueryIndex(a2, e); !reflect.DeepEqual(res.Answer, want) {
+		t.Error("A(2) wrong answer")
+	}
+
+	one, depth := mrx.Build1Index(g)
+	if depth <= 0 {
+		t.Error("bisimulation depth")
+	}
+	if res := mrx.QueryIndex(one, e); !res.Precise {
+		t.Error("1-index should be precise")
+	}
+
+	dk, err := mrx.BuildDK(g, []*mrx.PathExpr{e})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := mrx.QueryIndex(dk, e); !res.Precise {
+		t.Error("D(k)-construct should be precise for its FUP")
+	}
+
+	dp := mrx.NewDKPromote(g)
+	dp.Support(e)
+	if res := mrx.QueryIndex(dp.Index(), e); !res.Precise {
+		t.Error("D(k)-promote should be precise after Support")
+	}
+
+	mk := mrx.NewMK(g)
+	mk.Support(e)
+	if res := mk.Query(e); !res.Precise || !reflect.DeepEqual(res.Answer, want) {
+		t.Error("M(k) wrong after Support")
+	}
+
+	ms := mrx.NewMStar(g)
+	before := ms.Query(e)
+	if !reflect.DeepEqual(before.Answer, want) {
+		t.Error("M*(k) wrong before refinement")
+	}
+	ms.Support(e)
+	after := ms.Query(e)
+	if !after.Precise || !reflect.DeepEqual(after.Answer, want) {
+		t.Error("M*(k) wrong after Support")
+	}
+	if after.Cost.Total() > before.Cost.Total() {
+		t.Errorf("refinement made the FUP more expensive: %d -> %d",
+			before.Cost.Total(), after.Cost.Total())
+	}
+}
+
+func TestFacadeWorkload(t *testing.T) {
+	g := mrx.NASAGraph(0.01, 2)
+	qs := mrx.GenerateWorkload(g, mrx.WorkloadOptions{NumQueries: 50, MaxPathLen: 6, MaxQueryLen: 4, Seed: 3})
+	if len(qs) != 50 {
+		t.Fatalf("queries = %d", len(qs))
+	}
+	hist := mrx.WorkloadHistogram(qs)
+	if len(hist) == 0 || hist[0] == 0 {
+		t.Errorf("histogram %v", hist)
+	}
+	paths := mrx.EnumerateLabelPaths(g, 3)
+	if len(paths) == 0 {
+		t.Error("no paths")
+	}
+}
+
+func TestFacadeBuilder(t *testing.T) {
+	b := mrx.NewBuilder()
+	r := b.AddNode("r")
+	a := b.AddNode("a")
+	b.AddEdge(r, a, mrx.TreeEdge)
+	g, err := b.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 2 {
+		t.Fatal("builder facade broken")
+	}
+}
+
+func TestFacadePersistence(t *testing.T) {
+	g := mrx.XMarkGraph(0.01, 4)
+	var gb bytes.Buffer
+	if err := mrx.WriteGraph(&gb, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := mrx.ReadGraph(bytes.NewReader(gb.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() {
+		t.Fatal("graph round trip size mismatch")
+	}
+
+	e := mrx.MustParsePath("//open_auction/bidder/personref")
+	ig := mrx.BuildAK(g, 2)
+	var ib bytes.Buffer
+	if err := mrx.WriteIndex(&ib, ig); err != nil {
+		t.Fatal(err)
+	}
+	ig2, err := mrx.ReadIndex(bytes.NewReader(ib.Bytes()), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(mrx.QueryIndex(ig2, e).Answer, mrx.QueryIndex(ig, e).Answer) {
+		t.Fatal("index round trip answer mismatch")
+	}
+
+	ms := mrx.NewMStar(g)
+	ms.Support(e)
+	var mb bytes.Buffer
+	if err := mrx.WriteMStar(&mb, ms); err != nil {
+		t.Fatal(err)
+	}
+	mr, err := mrx.OpenMStar(bytes.NewReader(mb.Bytes()), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial, err := mr.LoadUpTo(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if partial.NumComponents() != 2 {
+		t.Fatalf("partial components = %d", partial.NumComponents())
+	}
+	if !reflect.DeepEqual(partial.Query(e).Answer, ms.Query(e).Answer) {
+		t.Fatal("partial M* answer mismatch")
+	}
+}
+
+func TestFacadeUDAndBranching(t *testing.T) {
+	g := mrx.XMarkGraph(0.01, 6)
+	ud := mrx.NewUD(g, 1, 1)
+	in := mrx.MustParsePath("//open_auctions/open_auction")
+	out := mrx.MustParsePath("//open_auction/bidder")
+	res := ud.QueryBranching(in, out)
+	want := mrx.EvalBranching(g, in, out)
+	if len(res.Answer) != len(want) {
+		t.Fatalf("branching answer %d want %d", len(res.Answer), len(want))
+	}
+	if !res.Precise {
+		t.Error("UD(1,1) should answer this branching query precisely")
+	}
+}
+
+func TestFacadeMisc(t *testing.T) {
+	g, err := mrx.LoadXMLDetailed(strings.NewReader(doc), &mrx.LoadOptions{RootLabel: "top"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Graph.NodeLabelName(g.Graph.Root()) != "top" {
+		t.Error("LoadXMLDetailed options ignored")
+	}
+	if g.Refs != 1 {
+		t.Errorf("refs = %d", g.Refs)
+	}
+	e := mrx.PathFromLabels([]string{"people", "person"})
+	if e.String() != "//people/person" {
+		t.Errorf("PathFromLabels = %s", e)
+	}
+	d := mrx.NewDataIndex(g.Graph)
+	if got := d.Eval(e); len(got) != 2 {
+		t.Errorf("DataIndex eval = %v", got)
+	}
+	opts := mrx.DefaultWorkloadOptions(3)
+	if opts.NumQueries != 500 || opts.MaxPathLen != 9 {
+		t.Errorf("default workload options = %+v", opts)
+	}
+}
+
+func TestFacadeMStarStrategies(t *testing.T) {
+	g := mrx.XMarkGraph(0.01, 8)
+	ms := mrx.NewMStar(g)
+	e := mrx.MustParsePath("//person/watches/watch")
+	ms.Support(e)
+	want := mrx.Eval(g, e)
+	if got := ms.QueryBottomUp(e); len(got.Answer) != len(want) {
+		t.Error("bottom-up mismatch")
+	}
+	if got := ms.QueryHybrid(e, 1); len(got.Answer) != len(want) {
+		t.Error("hybrid mismatch")
+	}
+	if got, name := ms.QueryAuto(e); len(got.Answer) != len(want) || name == "" {
+		t.Error("auto mismatch")
+	}
+	if got := ms.QuerySubpath(e, 0, 1); len(got.Answer) != len(want) {
+		t.Error("subpath mismatch")
+	}
+}

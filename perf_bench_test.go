@@ -1,0 +1,101 @@
+// Micro-benchmarks for the individual operations underlying the figure
+// experiments: parsing, partition refinement, index construction, adaptive
+// refinement and query evaluation.
+package mrx_test
+
+import (
+	"testing"
+
+	"mrx"
+	"mrx/internal/baseline"
+	"mrx/internal/core"
+	"mrx/internal/partition"
+	"mrx/internal/query"
+)
+
+func BenchmarkLoadXMarkXML(b *testing.B) {
+	doc := mrx.GenerateXMark(0.1, 1)
+	b.SetBytes(int64(len(doc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mrx.LoadXMLBytes(doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKBisimulationRound(b *testing.B) {
+	g := mrx.XMarkGraph(0.1, 1)
+	p := partition.ByLabel(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		partition.RefineOnce(g, p, nil)
+	}
+}
+
+func BenchmarkBuildA3XMark(b *testing.B) {
+	g := mrx.XMarkGraph(0.1, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		baseline.AK(g, 3)
+	}
+}
+
+func BenchmarkBuild1IndexXMark(b *testing.B) {
+	g := mrx.XMarkGraph(0.1, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		baseline.OneIndex(g)
+	}
+}
+
+func BenchmarkMKSupportFUP(b *testing.B) {
+	g := mrx.XMarkGraph(0.1, 1)
+	e := mrx.MustParsePath("//open_auction/bidder/personref/person/name")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mk := core.NewMK(g)
+		mk.Support(e)
+	}
+}
+
+func BenchmarkMStarSupportFUP(b *testing.B) {
+	g := mrx.XMarkGraph(0.1, 1)
+	e := mrx.MustParsePath("//open_auction/bidder/personref/person/name")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ms := core.NewMStar(g)
+		ms.Support(e)
+	}
+}
+
+func BenchmarkQueryA3Validated(b *testing.B) {
+	g := mrx.XMarkGraph(0.1, 1)
+	ig := baseline.AK(g, 3)
+	e := mrx.MustParsePath("//person/watches/watch/open_auction/itemref")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		query.EvalIndex(ig, e)
+	}
+}
+
+func BenchmarkQueryMStarTopDown(b *testing.B) {
+	g := mrx.XMarkGraph(0.1, 1)
+	ms := core.NewMStar(g)
+	e := mrx.MustParsePath("//person/watches/watch/open_auction/itemref")
+	ms.Support(e)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ms.QueryTopDown(e)
+	}
+}
+
+func BenchmarkGroundTruthEval(b *testing.B) {
+	g := mrx.XMarkGraph(0.1, 1)
+	d := query.NewDataIndex(g)
+	e := mrx.MustParsePath("//open_auction/bidder/personref/person")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Eval(e)
+	}
+}
