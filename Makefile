@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all build vet test race check bench
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is what CI runs: static analysis, a full build, and the test suite
+# under the race detector (the Engine's concurrency tests need it).
+check: vet build race
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

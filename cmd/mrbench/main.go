@@ -18,6 +18,7 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"time"
 
 	"mrx/internal/experiments"
@@ -25,7 +26,9 @@ import (
 
 func main() {
 	fig := flag.String("fig", "", "figure to reproduce: 8..26 or all")
-	ablation := flag.String("ablation", "", "ablation to run: strategies, literal, accounting, apex")
+	ablation := flag.String("ablation", "", "ablation to run: strategies, literal, accounting, apex, engine")
+	readers := flag.String("readers", "1,4,8", "reader-goroutine counts for -ablation engine")
+	passes := flag.Int("passes", 2, "workload replays per reader for -ablation engine")
 	dataset := flag.String("dataset", "xmark", "dataset for ablations: xmark or nasa")
 	scale := flag.Float64("scale", 0.1, "dataset scale (1.0 = paper size)")
 	queries := flag.Int("queries", 500, "workload size (paper: 500)")
@@ -56,7 +59,7 @@ func main() {
 
 	switch {
 	case *ablation != "":
-		runAblation(*ablation, *dataset, cfg, *maxQueryLen, progress)
+		runAblation(*ablation, *dataset, cfg, *maxQueryLen, *readers, *passes, progress)
 	case *fig == "all":
 		for _, f := range experiments.Figures {
 			if err := runOne(f.ID, cfg, *svgDir, *csvDir, progress); err != nil {
@@ -113,7 +116,7 @@ func runOne(id int, cfg experiments.Config, svgDir, csvDir string, progress expe
 	})
 }
 
-func runAblation(name, dataset string, cfg experiments.Config, maxQueryLen int, progress experiments.Progress) {
+func runAblation(name, dataset string, cfg experiments.Config, maxQueryLen int, readers string, passes int, progress experiments.Progress) {
 	ds, err := experiments.LoadDataset(dataset, cfg.Scale, cfg.Seed)
 	if err != nil {
 		fail(err)
@@ -131,6 +134,15 @@ func runAblation(name, dataset string, cfg experiments.Config, maxQueryLen int, 
 		fmt.Printf("APEX-like cache vs M*(k) on %s (scale %g, %d seen + %d unseen queries)\n",
 			dataset, cfg.Scale, len(queries), len(unseen))
 		experiments.WriteAPEXTable(os.Stdout, experiments.RunAPEXAblation(ds, queries, unseen, progress))
+	case "engine":
+		counts, err := parseReaderCounts(readers)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("concurrent engine serving on %s (scale %g, %d queries, %d passes/reader)\n",
+			dataset, cfg.Scale, len(queries), passes)
+		experiments.WriteEngineTable(os.Stdout,
+			experiments.RunEngineAblation(ds, queries, counts, passes, progress))
 	case "accounting":
 		row := experiments.RunMStarAccounting(ds, queries, progress)
 		fmt.Printf("M*(k) size accounting on %s (scale %g, %d queries)\n", dataset, cfg.Scale, len(queries))
@@ -140,8 +152,21 @@ func runAblation(name, dataset string, cfg experiments.Config, maxQueryLen int, 
 		fmt.Printf("%-14s %10d %10d\n", "logical", row.LogicalNodes, row.LogicalEdges)
 		fmt.Printf("cross-links: %d\n", row.CrossLinks)
 	default:
-		fail(fmt.Errorf("unknown ablation %q (want strategies, literal, accounting or apex)", name))
+		fail(fmt.Errorf("unknown ablation %q (want strategies, literal, accounting, apex or engine)", name))
 	}
+}
+
+// parseReaderCounts parses the -readers flag: comma-separated positive ints.
+func parseReaderCounts(s string) ([]int, error) {
+	var counts []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -readers value %q (want e.g. 1,4,8)", s)
+		}
+		counts = append(counts, n)
+	}
+	return counts, nil
 }
 
 func fail(err error) {

@@ -6,13 +6,16 @@
 //
 //	mrquery -in doc.xml -index a2 '//people/person' '//item/name'
 //	mrquery -in doc.xml -index mstar -refine '//open_auction/bidder'
+//	mrquery -in doc.xml -index engine -refine -stats '//person/name'
 //	mrgen -dataset xmark | mrquery -index mk -refine '//person/name'
 //
 // Index choices: a<k> (e.g. a0, a3), 1index, dk (construct for the given
-// queries), dkpromote, mk, mstar, ud<k>,<l> (e.g. ud2,2). With -refine,
-// adaptive indexes (dkpromote, mk, mstar) are refined to support each query
-// before it is re-evaluated. Queries may be simple path expressions
-// (//a/b, /a//b) or branching expressions (//a[b/c]).
+// queries), dkpromote, mk, mstar, engine (the concurrent serving engine over
+// an adaptive M*(k)), ud<k>,<l> (e.g. ud2,2). Every index is served through
+// the same mrx.Querier interface. With -refine, adaptive indexes (dkpromote,
+// mk, mstar, engine) are refined to support each query before it is
+// re-evaluated. Queries may be simple path expressions (//a/b, /a//b) or
+// branching expressions (//a[b/c]).
 package main
 
 import (
@@ -28,8 +31,10 @@ import (
 
 func main() {
 	in := flag.String("in", "", "input XML file (default stdin)")
-	indexName := flag.String("index", "a2", "index: a<k>, 1index, dk, dkpromote, mk, mstar, ud<k>,<l>")
+	indexName := flag.String("index", "a2", "index: a<k>, 1index, dk, dkpromote, mk, mstar, engine, ud<k>,<l>")
 	refine := flag.Bool("refine", false, "refine adaptive indexes to support each query")
+	parallel := flag.Int("parallel", 0, "validation workers for -index engine (default GOMAXPROCS)")
+	stats := flag.Bool("stats", false, "dump engine serving stats at exit (engine index only)")
 	showAnswers := flag.Bool("answers", false, "print the answer node IDs (can be large)")
 	maxAnswers := flag.Int("max-answers", 20, "max answer IDs to print with -answers")
 	dotOut := flag.String("dot", "", "write the index graph in Graphviz DOT format to this file")
@@ -78,13 +83,13 @@ func main() {
 		order = append(order, q)
 	}
 
-	eval, evalBranching, dot := buildIndex(g, *indexName, queries, *refine)
+	b := buildIndex(g, *indexName, queries, *refine, *parallel)
 	if *dotOut != "" {
 		f, err := os.Create(*dotOut)
 		if err != nil {
 			fail(err)
 		}
-		if err := dot(f); err != nil {
+		if err := b.dot(f); err != nil {
 			f.Close()
 			fail(err)
 		}
@@ -96,19 +101,26 @@ func main() {
 	for _, item := range order {
 		switch q := item.(type) {
 		case *mrx.PathExpr:
-			res := eval(q)
+			res := b.querier.Query(q)
 			fmt.Printf("%s: %d answers, cost %d (index %d + validation %d), precise=%v\n",
 				q, len(res.Answer), res.Cost.Total(), res.Cost.IndexNodes, res.Cost.DataNodes, res.Precise)
 			if *showAnswers {
 				printAnswers(res.Answer, *maxAnswers)
 			}
 		case branching:
-			res := evalBranching(q.in, q.out)
+			res := b.branching(q.in, q.out)
 			fmt.Printf("%s[%s]: %d answers, cost %d (index %d + validation %d), precise=%v\n",
 				q.in, q.out, len(res.Answer), res.Cost.Total(), res.Cost.IndexNodes, res.Cost.DataNodes, res.Precise)
 			if *showAnswers {
 				printAnswers(res.Answer, *maxAnswers)
 			}
+		}
+	}
+	if *stats {
+		if b.engine == nil {
+			fmt.Fprintln(os.Stderr, "mrquery: -stats requires -index engine")
+		} else {
+			b.engine.Stats().WriteTo(os.Stdout)
 		}
 	}
 }
@@ -117,16 +129,27 @@ type branchEval = func(in, out *mrx.PathExpr) mrx.BranchingResult
 
 type dotWriter = func(io.Writer) error
 
-func buildIndex(g *mrx.Graph, name string, queries []*mrx.PathExpr, refine bool) (func(*mrx.PathExpr) mrx.Result, branchEval, dotWriter) {
+// built bundles the Querier serving the simple-path queries with the
+// branching evaluator and DOT writer for the chosen index.
+type built struct {
+	querier   mrx.Querier
+	branching branchEval
+	dot       dotWriter
+	engine    *mrx.Engine // non-nil for -index engine
+}
+
+func buildIndex(g *mrx.Graph, name string, queries []*mrx.PathExpr, refine bool, parallel int) built {
 	dotFor := func(ig *mrx.Index) dotWriter {
 		return func(w io.Writer) error { return ig.WriteDOT(w, name, 8) }
 	}
-	onIndex := func(ig *mrx.Index, downL int) (func(*mrx.PathExpr) mrx.Result, branchEval, dotWriter) {
-		return func(q *mrx.PathExpr) mrx.Result { return mrx.QueryIndex(ig, q) },
-			func(in, out *mrx.PathExpr) mrx.BranchingResult {
+	onIndex := func(ig *mrx.Index, downL int) built {
+		return built{
+			querier: mrx.AsQuerier(ig),
+			branching: func(in, out *mrx.PathExpr) mrx.BranchingResult {
 				return mrx.QueryIndexBranching(ig, in, out, downL)
 			},
-			dotFor(ig)
+			dot: dotFor(ig),
+		}
 	}
 	switch {
 	case strings.HasPrefix(name, "ud"):
@@ -136,7 +159,26 @@ func buildIndex(g *mrx.Graph, name string, queries []*mrx.PathExpr, refine bool)
 		}
 		ud := mrx.NewUD(g, k, l)
 		report(ud.Index().NumNodes(), ud.Index().NumEdges(), name)
-		return ud.Query, ud.QueryBranching, dotFor(ud.Index())
+		return built{querier: ud, branching: ud.QueryBranching, dot: dotFor(ud.Index())}
+	case name == "engine":
+		en := mrx.NewEngine(g, mrx.EngineOptions{Parallelism: parallel})
+		if refine {
+			for _, q := range queries {
+				en.Support(q)
+			}
+		}
+		sz := en.Snapshot().Sizes()
+		fmt.Printf("index engine: %d nodes, %d edges (%d components, generation %d)\n",
+			sz.Nodes, sz.Edges, sz.Components, en.Generation())
+		fine := en.Snapshot().Finest()
+		return built{
+			querier: en,
+			branching: func(in, out *mrx.PathExpr) mrx.BranchingResult {
+				return mrx.QueryIndexBranching(fine, in, out, 0)
+			},
+			dot:    dotFor(fine),
+			engine: en,
+		}
 	case strings.HasPrefix(name, "a"):
 		k, err := strconv.Atoi(name[1:])
 		if err != nil || k < 0 {
@@ -165,7 +207,9 @@ func buildIndex(g *mrx.Graph, name string, queries []*mrx.PathExpr, refine bool)
 			}
 		}
 		report(dk.Index().NumNodes(), dk.Index().NumEdges(), name)
-		return onIndex(dk.Index(), 0)
+		b := onIndex(dk.Index(), 0)
+		b.querier = dk
+		return b
 	case name == "mk":
 		mk := mrx.NewMK(g)
 		if refine {
@@ -174,8 +218,9 @@ func buildIndex(g *mrx.Graph, name string, queries []*mrx.PathExpr, refine bool)
 			}
 		}
 		report(mk.Index().NumNodes(), mk.Index().NumEdges(), name)
-		_, be, dw := onIndex(mk.Index(), 0)
-		return mk.Query, be, dw
+		b := onIndex(mk.Index(), 0)
+		b.querier = mk
+		return b
 	case name == "mstar":
 		ms := mrx.NewMStar(g)
 		if refine {
@@ -186,11 +231,12 @@ func buildIndex(g *mrx.Graph, name string, queries []*mrx.PathExpr, refine bool)
 		sz := ms.Sizes()
 		fmt.Printf("index mstar: %d nodes, %d edges (%d components, %d cross-links)\n",
 			sz.Nodes, sz.Edges, sz.Components, sz.CrossLinks)
-		_, be, dw := onIndex(ms.Finest(), 0)
-		return ms.Query, be, dw
+		b := onIndex(ms.Finest(), 0)
+		b.querier = ms
+		return b
 	default:
 		fail(fmt.Errorf("unknown index %q", name))
-		return nil, nil, nil
+		return built{}
 	}
 }
 

@@ -1,0 +1,30 @@
+package mrx
+
+import (
+	"mrx/internal/engine"
+)
+
+// Engine serves structural-index queries to many goroutines concurrently
+// while the index keeps adapting to the workload, realizing the paper's
+// operational loop (Figure 5: serve, extract FUPs, refine, repeat) under
+// concurrent load.
+//
+// Readers never block: Query evaluates against an immutable generation-
+// numbered snapshot of the M*(k)-index loaded through an atomic pointer.
+// Refinement (Support) clones the snapshot, refines the private copy, and
+// publishes it atomically; concurrent Support calls serialize. Validation
+// inside a query fans out across a bounded worker pool. See package
+// mrx/internal/engine for the full concurrency model.
+type Engine = engine.Engine
+
+// EngineOptions configures an Engine: the adaptive index's options and the
+// validation worker-pool size (default GOMAXPROCS).
+type EngineOptions = engine.Options
+
+// EngineStats is a point-in-time copy of an engine's serving counters:
+// queries served, validation work, refinements applied, snapshots
+// published, and per-strategy latency histograms.
+type EngineStats = engine.StatsSnapshot
+
+// NewEngine creates a concurrent serving engine over g.
+func NewEngine(g *Graph, opts EngineOptions) *Engine { return engine.New(g, opts) }

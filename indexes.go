@@ -64,13 +64,48 @@ type MStar = core.MStar
 // and the naive logical accounting.
 type MStarSizes = core.SizeStats
 
-// NewMStar initializes an M*(k)-index with the single component I0.
+// MStarOptions configures an M*(k)-index built with NewMStarOpts: a
+// resolution cap (MaxK), the query strategy, and the validation worker-pool
+// size.
+type MStarOptions = core.MStarOptions
+
+// Strategy names an M*(k) query-evaluation strategy for MStarOptions and
+// EngineOptions; the zero value selects the default (top-down).
+type Strategy = core.Strategy
+
+// Query-evaluation strategies.
+const (
+	StrategyTopDown  = core.StrategyTopDown
+	StrategyNaive    = core.StrategyNaive
+	StrategySubpath  = core.StrategySubpath
+	StrategyBottomUp = core.StrategyBottomUp
+	StrategyHybrid   = core.StrategyHybrid
+	StrategyAuto     = core.StrategyAuto
+)
+
+// NewMStar initializes an M*(k)-index with the single component I0 and
+// default options.
 func NewMStar(g *Graph) *MStar { return core.NewMStar(g) }
+
+// NewMStarOpts initializes an M*(k)-index with the single component I0 and
+// explicit options.
+func NewMStarOpts(g *Graph, opts MStarOptions) *MStar { return core.NewMStarOpts(g, opts) }
+
+// Querier is the uniform query interface implemented by every index in the
+// package: single-graph indexes via AsQuerier, the adaptive indexes
+// (DKPromote, MK, MStar, UD) directly, and the concurrent Engine.
+type Querier = query.Querier
+
+// AsQuerier wraps a single-graph structural index (1-index, A(k),
+// D(k)-construct, or an adaptive index's underlying graph) as a Querier.
+func AsQuerier(ig *Index) Querier { return query.AsQuerier(ig) }
 
 // QueryIndex evaluates e over any single-graph structural index (1-index,
 // A(k), D(k), M(k)), validating under-refined answers against the data
-// graph and reporting the paper's cost metric. For the M*(k)-index use its
-// own Query/QueryTopDown/QueryNaive/QuerySubpath methods.
+// graph and reporting the paper's cost metric.
+//
+// Deprecated: use AsQuerier(ig).Query(e), which serves every index type
+// through the same Querier interface.
 func QueryIndex(ig *Index, e *PathExpr) Result { return query.EvalIndex(ig, e) }
 
 // UD is the UD(k,l)-index (Wu et al., WAIM 2003), discussed in §2/§4.1 of

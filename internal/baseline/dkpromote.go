@@ -24,6 +24,11 @@ func NewDKPromote(g *graph.Graph) *DKPromote {
 // Index exposes the underlying index graph (for querying and metrics).
 func (d *DKPromote) Index() *index.Graph { return d.ig }
 
+// Query evaluates e on the current index, validating under-refined answers
+// against the data graph; it makes DKPromote a query.Querier like the other
+// adaptive indexes.
+func (d *DKPromote) Query(e *pathexpr.Expr) query.Result { return query.EvalIndex(d.ig, e) }
+
 // Support refines the index so that the FUP e is answered precisely:
 // while some index node reachable by e has insufficient local similarity,
 // PROMOTE it. Unlike the M(k)-index refinement, PROMOTE ignores which data

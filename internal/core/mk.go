@@ -10,6 +10,8 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"mrx/internal/graph"
 	"mrx/internal/index"
 	"mrx/internal/partition"
@@ -235,7 +237,7 @@ func (m *MK) hasUnqualifiedParent(o graph.NodeID, qualified map[index.NodeID]boo
 // leads to an under-refined node, the whole recursion unwinds. It returns
 // true when the stop condition fired.
 func (m *MK) promotePrime(v *index.Node, kv int, stop func() bool) bool {
-	PromotePrimeCalls++
+	PromotePrimeCalls.Add(1)
 	if stop() {
 		return true
 	}
@@ -285,4 +287,5 @@ func (m *MK) promotePrime(v *index.Node, kv int, stop func() bool) bool {
 }
 
 // PromotePrimeCalls counts PROMOTE' invocations for diagnostics and tests.
-var PromotePrimeCalls int
+// It is atomic so refiners on distinct indexes may run concurrently.
+var PromotePrimeCalls atomic.Int64

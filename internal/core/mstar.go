@@ -26,6 +26,7 @@ import (
 type MStar struct {
 	data  *graph.Graph
 	comps []*index.Graph
+	opts  MStarOptions
 }
 
 // NewMStar initializes the M*(k)-index of g with the single component I0,
@@ -97,12 +98,17 @@ func (ms *MStar) Support(e *pathexpr.Expr) {
 // Refine is the paper's REFINE*(l, S, T): materialize components up to
 // length(l), refine the finest-component nodes containing target-set
 // members via REFINENODE*, then break surviving under-refined instances of
-// l with PROMOTE*.
+// l with PROMOTE*. When the index was built with MaxK > 0, the required
+// resolution is clamped to MaxK: the FUP is then supported at the capped
+// resolution only (queries keep validating the remainder).
 func (ms *MStar) Refine(e *pathexpr.Expr, t []graph.NodeID) {
 	if e.HasDescendantStep() {
 		return // unbounded path lengths: no finite resolution supports them
 	}
 	k := e.RequiredK()
+	if ms.opts.MaxK > 0 && k > ms.opts.MaxK {
+		k = ms.opts.MaxK
+	}
 	if k == 0 {
 		return // I0 answers single labels precisely by construction
 	}

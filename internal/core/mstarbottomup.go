@@ -15,8 +15,12 @@ import (
 // which this implementation exists to demonstrate (see the strategies
 // ablation). Rooted expressions fall back to naive evaluation.
 func (ms *MStar) QueryBottomUp(e *pathexpr.Expr) query.Result {
+	return ms.queryBottomUp(e, ms.validateOpts())
+}
+
+func (ms *MStar) queryBottomUp(e *pathexpr.Expr, opt query.ValidateOpts) query.Result {
 	if e.Rooted || e.HasDescendantStep() {
-		return ms.QueryNaive(e)
+		return ms.queryNaive(e, opt)
 	}
 	var res query.Result
 	res.Precise = true
@@ -96,27 +100,7 @@ func (ms *MStar) QueryBottomUp(e *pathexpr.Expr) query.Result {
 	}
 	sortNodes(frontier)
 	res.Targets = frontier
-
-	var validator *query.Validator
-	for _, v := range frontier {
-		if v.K() >= e.RequiredK() {
-			res.Answer = append(res.Answer, v.Extent()...)
-			continue
-		}
-		res.Precise = false
-		if validator == nil {
-			validator = query.NewValidator(ms.data, e)
-		}
-		for _, o := range v.Extent() {
-			if validator.Matches(o) {
-				res.Answer = append(res.Answer, o)
-			}
-		}
-	}
-	if validator != nil {
-		res.Cost.DataNodes = validator.Visited()
-	}
-	res.Answer = sortIDs(res.Answer)
+	ms.finish(&res, e, opt)
 	return res
 }
 

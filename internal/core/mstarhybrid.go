@@ -15,8 +15,12 @@ import (
 // the two directions meet; out-of-range values are clamped to the middle.
 // Rooted expressions fall back to naive evaluation.
 func (ms *MStar) QueryHybrid(e *pathexpr.Expr, meet int) query.Result {
+	return ms.queryHybrid(e, meet, ms.validateOpts())
+}
+
+func (ms *MStar) queryHybrid(e *pathexpr.Expr, meet int, opt query.ValidateOpts) query.Result {
 	if e.Rooted || e.HasDescendantStep() {
-		return ms.QueryNaive(e)
+		return ms.queryNaive(e, opt)
 	}
 	j := e.Length()
 	if meet < 0 || meet > j {
@@ -103,26 +107,6 @@ func (ms *MStar) QueryHybrid(e *pathexpr.Expr, meet int) query.Result {
 	}
 	sortNodes(frontier)
 	res.Targets = frontier
-
-	var validator *query.Validator
-	for _, v := range frontier {
-		if v.K() >= e.RequiredK() {
-			res.Answer = append(res.Answer, v.Extent()...)
-			continue
-		}
-		res.Precise = false
-		if validator == nil {
-			validator = query.NewValidator(ms.data, e)
-		}
-		for _, o := range v.Extent() {
-			if validator.Matches(o) {
-				res.Answer = append(res.Answer, o)
-			}
-		}
-	}
-	if validator != nil {
-		res.Cost.DataNodes = validator.Visited()
-	}
-	res.Answer = sortIDs(res.Answer)
+	ms.finish(&res, e, opt)
 	return res
 }

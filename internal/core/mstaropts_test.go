@@ -1,0 +1,114 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"mrx/internal/datagen"
+	"mrx/internal/pathexpr"
+	"mrx/internal/query"
+)
+
+// MaxK bounds the component hierarchy: a FUP requiring k=4 on an index
+// capped at 2 materializes components only up to I2 and stays imprecise.
+func TestMStarOptsMaxKCap(t *testing.T) {
+	g := datagen.XMarkGraph(0.01, 1)
+	e := pathexpr.MustParse("//open_auction/bidder/personref/person/name")
+	want := query.NewDataIndex(g).Eval(e)
+
+	capped := NewMStarOpts(g, MStarOptions{MaxK: 2})
+	capped.Support(e)
+	if n := capped.NumComponents(); n != 3 {
+		t.Errorf("capped components = %d, want 3 (I0..I2)", n)
+	}
+	res := capped.Query(e)
+	if res.Precise {
+		t.Error("k=4 FUP precise despite MaxK=2")
+	}
+	if !reflect.DeepEqual(res.Answer, want) {
+		t.Error("capped index returned wrong answer")
+	}
+
+	free := NewMStar(g)
+	free.Support(e)
+	if n := free.NumComponents(); n <= 3 {
+		t.Errorf("uncapped components = %d, want > 3", n)
+	}
+	if !free.Query(e).Precise {
+		t.Error("uncapped index should be precise after Support")
+	}
+}
+
+// The Strategy option routes Query through each evaluation strategy; all
+// strategies must agree with ground truth, and the zero value must match
+// QueryTopDown exactly.
+func TestMStarOptsStrategyDispatch(t *testing.T) {
+	g := datagen.XMarkGraph(0.01, 2)
+	e := pathexpr.MustParse("//person/watches/watch")
+	want := query.NewDataIndex(g).Eval(e)
+
+	for _, s := range []Strategy{"", StrategyNaive, StrategyTopDown, StrategyBottomUp,
+		StrategyHybrid, StrategySubpath, StrategyAuto} {
+		ms := NewMStarOpts(g, MStarOptions{Strategy: s})
+		ms.Support(pathexpr.MustParse("//person/watches")) // partial refinement
+		if got := ms.Query(e); !reflect.DeepEqual(got.Answer, want) {
+			t.Errorf("strategy %q: wrong answer (%d nodes, want %d)", s, len(got.Answer), len(want))
+		}
+	}
+
+	zero := NewMStar(g)
+	if got, td := zero.Query(e), zero.QueryTopDown(e); !reflect.DeepEqual(got, td) {
+		t.Error("zero-value strategy should be exactly top-down")
+	}
+}
+
+// Parallelism changes only the validation schedule, never the answer.
+func TestMStarOptsParallelismEquivalence(t *testing.T) {
+	g := datagen.XMarkGraph(0.02, 3)
+	queries := []string{"//open_auction/bidder", "//item/name", "//person/watches/watch"}
+	seq := NewMStar(g)
+	par := NewMStarOpts(g, MStarOptions{Parallelism: 4})
+	for _, s := range queries {
+		e := pathexpr.MustParse(s)
+		a, b := seq.Query(e), par.Query(e)
+		if !reflect.DeepEqual(a.Answer, b.Answer) || a.Precise != b.Precise {
+			t.Errorf("%s: parallel validation diverged", s)
+		}
+		if a.Cost.IndexNodes != b.Cost.IndexNodes {
+			t.Errorf("%s: index traversal cost changed: %d vs %d", s, a.Cost.IndexNodes, b.Cost.IndexNodes)
+		}
+	}
+}
+
+// Clone yields an independently refinable copy: refining the clone must not
+// change what the original serves, and vice versa.
+func TestMStarCloneIndependence(t *testing.T) {
+	g := datagen.XMarkGraph(0.01, 4)
+	e := pathexpr.MustParse("//open_auction/bidder/personref")
+	ms := NewMStar(g)
+	before := ms.Query(e)
+
+	cl := ms.Clone()
+	cl.Support(e)
+	if !cl.Query(e).Precise {
+		t.Fatal("clone not precise after Support")
+	}
+	if ms.NumComponents() != 1 {
+		t.Error("refining the clone grew the original's hierarchy")
+	}
+	after := ms.Query(e)
+	if !reflect.DeepEqual(before, after) {
+		t.Error("refining the clone changed the original's result")
+	}
+
+	ms.Support(pathexpr.MustParse("//item/name"))
+	if got := cl.Query(e); !got.Precise {
+		t.Error("refining the original disturbed the clone")
+	}
+	if err := cl.Validate(false); err != nil {
+		t.Errorf("clone invariants: %v", err)
+	}
+	if err := ms.Validate(false); err != nil {
+		t.Errorf("original invariants: %v", err)
+	}
+}

@@ -5,13 +5,6 @@ import (
 	"mrx/internal/query"
 )
 
-// Strategy names returned by QueryAuto.
-const (
-	StrategyNaive   = "naive"
-	StrategyTopDown = "top-down"
-	StrategySubpath = "subpath"
-)
-
 // QueryAuto addresses the query-optimization question §4.1 leaves open:
 // which evaluation strategy to use for a given expression. It estimates the
 // index-node visits of each strategy from per-component label cardinalities
@@ -21,8 +14,12 @@ const (
 // queries to the coarse components and selective long queries to subpath
 // pre-filtering.
 func (ms *MStar) QueryAuto(e *pathexpr.Expr) (query.Result, string) {
+	return ms.queryAuto(e, ms.validateOpts())
+}
+
+func (ms *MStar) queryAuto(e *pathexpr.Expr, opt query.ValidateOpts) (query.Result, Strategy) {
 	if e.Rooted || e.HasDescendantStep() {
-		return ms.QueryNaive(e), StrategyNaive
+		return ms.queryNaive(e, opt), StrategyNaive
 	}
 	naive := ms.estimateNaive(e)
 	top := ms.estimateTopDown(e)
@@ -30,11 +27,11 @@ func (ms *MStar) QueryAuto(e *pathexpr.Expr) (query.Result, string) {
 
 	switch {
 	case sub < naive && sub < top:
-		return ms.QuerySubpath(e, start, end), StrategySubpath
+		return ms.querySubpath(e, start, end, opt), StrategySubpath
 	case top <= naive:
-		return ms.QueryTopDown(e), StrategyTopDown
+		return ms.queryTopDown(e, opt), StrategyTopDown
 	default:
-		return ms.QueryNaive(e), StrategyNaive
+		return ms.queryNaive(e, opt), StrategyNaive
 	}
 }
 

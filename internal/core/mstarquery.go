@@ -1,26 +1,31 @@
 package core
 
 import (
-	"sort"
-
 	"mrx/internal/graph"
 	"mrx/internal/index"
 	"mrx/internal/pathexpr"
 	"mrx/internal/query"
 )
 
-// Query evaluates e with the default strategy (top-down, §4.1), validating
-// under-refined answers against the data graph.
-func (ms *MStar) Query(e *pathexpr.Expr) query.Result { return ms.QueryTopDown(e) }
+// Query evaluates e with the configured strategy (default top-down, §4.1),
+// validating under-refined answers against the data graph.
+func (ms *MStar) Query(e *pathexpr.Expr) query.Result {
+	res, _ := ms.QueryOpts(e, ms.validateOpts())
+	return res
+}
 
 // QueryNaive evaluates e entirely in component I_min(length, finest): the
 // "naive evaluation" strategy of §4.1.
 func (ms *MStar) QueryNaive(e *pathexpr.Expr) query.Result {
+	return ms.queryNaive(e, ms.validateOpts())
+}
+
+func (ms *MStar) queryNaive(e *pathexpr.Expr, opt query.ValidateOpts) query.Result {
 	lvl := e.RequiredK()
 	if lvl >= len(ms.comps) {
 		lvl = len(ms.comps) - 1
 	}
-	return query.EvalIndex(ms.comps[lvl], e)
+	return query.EvalIndexOpts(ms.comps[lvl], e, opt)
 }
 
 // QueryTopDown is the paper's QUERYTOPDOWN: evaluate each prefix of e in the
@@ -28,8 +33,12 @@ func (ms *MStar) QueryNaive(e *pathexpr.Expr) query.Result {
 // hierarchy via subnode links. Rooted expressions fall back to naive
 // evaluation (the paper's workloads are descendant-anchored).
 func (ms *MStar) QueryTopDown(e *pathexpr.Expr) query.Result {
+	return ms.queryTopDown(e, ms.validateOpts())
+}
+
+func (ms *MStar) queryTopDown(e *pathexpr.Expr, opt query.ValidateOpts) query.Result {
 	if e.Rooted || e.HasDescendantStep() {
-		return ms.QueryNaive(e)
+		return ms.queryNaive(e, opt)
 	}
 	var res query.Result
 	res.Precise = true
@@ -75,27 +84,15 @@ func (ms *MStar) QueryTopDown(e *pathexpr.Expr) query.Result {
 	res.Targets = frontier
 
 	// Lines 5-11: collect extents, validating under-refined nodes.
-	var validator *query.Validator
-	for _, v := range frontier {
-		if v.K() >= e.RequiredK() {
-			res.Answer = append(res.Answer, v.Extent()...)
-			continue
-		}
-		res.Precise = false
-		if validator == nil {
-			validator = query.NewValidator(ms.data, e)
-		}
-		for _, o := range v.Extent() {
-			if validator.Matches(o) {
-				res.Answer = append(res.Answer, o)
-			}
-		}
-	}
-	if validator != nil {
-		res.Cost.DataNodes = validator.Visited()
-	}
-	res.Answer = sortIDs(res.Answer)
+	ms.finish(&res, e, opt)
 	return res
+}
+
+// finish collects the answer from res.Targets, validating the extents of
+// under-refined nodes per opt; it fills Answer, the DataNodes cost and the
+// Precise flag. Every query strategy ends with this step.
+func (ms *MStar) finish(res *query.Result, e *pathexpr.Expr, opt query.ValidateOpts) {
+	res.Answer, res.Cost.DataNodes, res.Precise, _ = query.CollectAnswers(ms.data, e, res.Targets, opt)
 }
 
 // descend maps a frontier of coarse-component nodes to their subnodes in
@@ -123,8 +120,12 @@ func (ms *MStar) descend(frontier []*index.Node, level int) []*index.Node {
 // finest component needed by e, then verify the prefix backwards and
 // evaluate the suffix forwards there, validating the final answers as usual.
 func (ms *MStar) QuerySubpath(e *pathexpr.Expr, start, end int) query.Result {
+	return ms.querySubpath(e, start, end, ms.validateOpts())
+}
+
+func (ms *MStar) querySubpath(e *pathexpr.Expr, start, end int, opt query.ValidateOpts) query.Result {
 	if e.Rooted || e.HasDescendantStep() || start < 0 || end >= len(e.Steps) || start > end {
-		return ms.QueryNaive(e)
+		return ms.queryNaive(e, opt)
 	}
 	var res query.Result
 	res.Precise = true
@@ -181,27 +182,7 @@ func (ms *MStar) QuerySubpath(e *pathexpr.Expr, start, end int) query.Result {
 	}
 	sortNodes(frontier)
 	res.Targets = frontier
-
-	var validator *query.Validator
-	for _, v := range frontier {
-		if v.K() >= e.RequiredK() {
-			res.Answer = append(res.Answer, v.Extent()...)
-			continue
-		}
-		res.Precise = false
-		if validator == nil {
-			validator = query.NewValidator(ms.data, e)
-		}
-		for _, o := range v.Extent() {
-			if validator.Matches(o) {
-				res.Answer = append(res.Answer, o)
-			}
-		}
-	}
-	if validator != nil {
-		res.Cost.DataNodes = validator.Visited()
-	}
-	res.Answer = sortIDs(res.Answer)
+	ms.finish(&res, e, opt)
 	return res
 }
 
@@ -269,21 +250,4 @@ func traverseComponent(comp *index.Graph, data *graph.Graph, e *pathexpr.Expr, c
 	}
 	sortNodes(frontier)
 	return frontier
-}
-
-// sortIDs returns a sorted, deduplicated copy of s.
-func sortIDs(s []graph.NodeID) []graph.NodeID {
-	if len(s) < 2 {
-		return s
-	}
-	out := append([]graph.NodeID(nil), s...)
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	w := 1
-	for i := 1; i < len(out); i++ {
-		if out[i] != out[i-1] {
-			out[w] = out[i]
-			w++
-		}
-	}
-	return out[:w]
 }

@@ -1,0 +1,221 @@
+// Package engine serves structural-index queries to many goroutines
+// concurrently while the index keeps adapting to the workload.
+//
+// The concurrency model is copy-on-write with generation-numbered
+// snapshots. Readers never block: Query loads the current snapshot — an
+// immutable M*(k)-index — through an atomic pointer and evaluates against
+// it lock-free. Writers serialize on a mutex: Support clones the current
+// snapshot's index graphs (reusing the Clone machinery of package index),
+// applies REFINE* to the private copy, and publishes it with a single
+// atomic pointer swap that bumps the generation. A reader that loaded the
+// old snapshot mid-query finishes against a graph no one will ever mutate
+// again; the next query observes the refined generation. This realizes the
+// paper's operational loop (Figure 5: serve, extract FUPs, refine, repeat)
+// under concurrent load.
+//
+// Inside a single query, validation of under-refined answers — the dominant
+// cost term of the paper's metric — fans out across a bounded worker pool
+// (Options.Parallelism, default GOMAXPROCS); see query.ValidateOpts.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mrx/internal/core"
+	"mrx/internal/graph"
+	"mrx/internal/index"
+	"mrx/internal/pathexpr"
+	"mrx/internal/query"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// MStar configures the adaptive M*(k)-index the engine serves from
+	// (resolution cap, query strategy, per-index validation parallelism).
+	// A zero MStar.Parallelism inherits the engine's Parallelism.
+	MStar core.MStarOptions
+
+	// Parallelism bounds the validation worker pool per query. Values <= 0
+	// default to runtime.GOMAXPROCS(0).
+	Parallelism int
+}
+
+// snapshot is one immutable generation of the served index.
+type snapshot struct {
+	gen uint64
+	ms  *core.MStar
+}
+
+// Engine owns a data graph plus a set of structural indexes and serves
+// queries from many goroutines. See the package comment for the concurrency
+// model. The zero Engine is not usable; construct with New.
+type Engine struct {
+	data    *graph.Graph
+	di      *query.DataIndex // shared ground-truth evaluator
+	workers int
+
+	mu   sync.Mutex // serializes writers (Support/refinement)
+	snap atomic.Pointer[snapshot]
+
+	staticsMu sync.RWMutex
+	statics   map[string]query.Querier
+
+	stats stats
+}
+
+// New creates an engine serving queries over g through an adaptive
+// M*(k)-index initialized at component I0.
+func New(g *graph.Graph, opts Options) *Engine {
+	if opts.Parallelism <= 0 {
+		opts.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if opts.MStar.Parallelism == 0 {
+		opts.MStar.Parallelism = opts.Parallelism
+	}
+	en := &Engine{
+		data:    g,
+		di:      query.NewDataIndex(g),
+		workers: opts.Parallelism,
+		statics: make(map[string]query.Querier),
+	}
+	en.snap.Store(&snapshot{ms: core.NewMStarOpts(g, opts.MStar)})
+	return en
+}
+
+// Data returns the underlying data graph.
+func (en *Engine) Data() *graph.Graph { return en.data }
+
+// DataIndex returns the engine's shared ground-truth evaluator; it is safe
+// for concurrent use.
+func (en *Engine) DataIndex() *query.DataIndex { return en.di }
+
+// Snapshot returns the currently served M*(k)-index generation. The result
+// is immutable — refinement never mutates a published snapshot — so callers
+// may inspect it (sizes, components, validation) without coordination.
+func (en *Engine) Snapshot() *core.MStar { return en.snap.Load().ms }
+
+// Generation reports how many refined snapshots have been published.
+func (en *Engine) Generation() uint64 { return en.snap.Load().gen }
+
+// Query evaluates e against the current snapshot with the configured
+// strategy, validating under-refined answers across the worker pool. It is
+// safe to call from any number of goroutines.
+func (en *Engine) Query(e *pathexpr.Expr) query.Result {
+	res, _ := en.query(e, query.ValidateOpts{Workers: en.workers})
+	return res
+}
+
+// QueryCtx is Query with cancellation: validation polls ctx and aborts once
+// it is done, returning ctx's error. Traversal of the index graph itself is
+// not interruptible (it is the cheap part of the paper's cost metric).
+func (en *Engine) QueryCtx(ctx context.Context, e *pathexpr.Expr) (query.Result, error) {
+	if err := ctx.Err(); err != nil {
+		en.stats.canceled.Add(1)
+		return query.Result{}, err
+	}
+	res, _ := en.query(e, query.ValidateOpts{
+		Workers: en.workers,
+		Stop:    func() bool { return ctx.Err() != nil },
+	})
+	if err := ctx.Err(); err != nil {
+		en.stats.canceled.Add(1)
+		return query.Result{}, err
+	}
+	return res, nil
+}
+
+func (en *Engine) query(e *pathexpr.Expr, opt query.ValidateOpts) (query.Result, core.Strategy) {
+	s := en.snap.Load()
+	start := time.Now()
+	res, strategy := s.ms.QueryOpts(e, opt)
+	en.stats.recordQuery(strategy, res.Cost.IndexNodes, res.Cost.DataNodes, res.Precise, time.Since(start))
+	return res, strategy
+}
+
+// Register attaches a static (non-adaptive) index under a name, served
+// through QueryNamed; registering nil removes the name. Typical use is
+// serving an A(k)- or 1-index side by side with the adaptive snapshot for
+// comparison traffic.
+func (en *Engine) Register(name string, q query.Querier) {
+	en.staticsMu.Lock()
+	defer en.staticsMu.Unlock()
+	if q == nil {
+		delete(en.statics, name)
+		return
+	}
+	en.statics[name] = q
+}
+
+// QueryNamed evaluates e over the static index registered under name.
+func (en *Engine) QueryNamed(name string, e *pathexpr.Expr) (query.Result, error) {
+	en.staticsMu.RLock()
+	q, ok := en.statics[name]
+	en.staticsMu.RUnlock()
+	if !ok {
+		return query.Result{}, fmt.Errorf("engine: no index registered under %q", name)
+	}
+	start := time.Now()
+	res := q.Query(e)
+	en.stats.recordQuery(strategyStatic, res.Cost.IndexNodes, res.Cost.DataNodes, res.Precise, time.Since(start))
+	return res, nil
+}
+
+// Eval computes the exact answer of e on the data graph through the shared
+// DataIndex (ground truth; no index, no cost metric).
+func (en *Engine) Eval(e *pathexpr.Expr) []graph.NodeID { return en.di.Eval(e) }
+
+// Support refines the served index so the FUP e is answered precisely,
+// without blocking readers: the current snapshot is cloned, REFINE* runs on
+// the private copy, and the result is published atomically. Support calls
+// serialize with each other. It reports whether a new snapshot was
+// published: a FUP that is already precise — or whose refinement is a no-op
+// under the MaxK cap — skips the clone-and-publish entirely.
+func (en *Engine) Support(e *pathexpr.Expr) bool {
+	en.mu.Lock()
+	defer en.mu.Unlock()
+
+	cur := en.snap.Load()
+	res, _ := cur.ms.QueryOpts(e, query.ValidateOpts{Workers: en.workers})
+	if res.Precise {
+		en.stats.refinesSkipped.Add(1)
+		return false
+	}
+	clone := cur.ms.Clone()
+	before := fingerprint(clone)
+	clone.Refine(e, res.Answer)
+	if fingerprint(clone) == before {
+		// MaxK cap (or a descendant-axis FUP) made refinement a no-op;
+		// don't publish an identical snapshot.
+		en.stats.refinesSkipped.Add(1)
+		return false
+	}
+	en.snap.Store(&snapshot{gen: cur.gen + 1, ms: clone})
+	en.stats.refinements.Add(1)
+	en.stats.publishes.Add(1)
+	return true
+}
+
+// fingerprint summarizes an index's shape. Refinement only ever adds
+// components, splits nodes, or raises local similarities (it never merges or
+// lowers), so equal fingerprints mean nothing changed.
+type shape struct{ comps, nodes, ksum int }
+
+func fingerprint(ms *core.MStar) shape {
+	s := shape{comps: ms.NumComponents()}
+	for i := 0; i < ms.NumComponents(); i++ {
+		c := ms.Component(i)
+		s.nodes += c.NumNodes()
+		c.ForEachNode(func(n *index.Node) { s.ksum += n.K() })
+	}
+	return s
+}
+
+// Stats returns a point-in-time copy of the serving counters.
+func (en *Engine) Stats() StatsSnapshot {
+	return en.stats.snapshot(en.Generation())
+}

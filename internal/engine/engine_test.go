@@ -1,0 +1,288 @@
+package engine
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"mrx/internal/baseline"
+	"mrx/internal/core"
+	"mrx/internal/datagen"
+	"mrx/internal/gtest"
+	"mrx/internal/pathexpr"
+	"mrx/internal/query"
+)
+
+var testQueries = []string{
+	"//open_auction/bidder/personref",
+	"//person/name",
+	"//item/description",
+	"//closed_auction/price",
+	"//open_auction/bidder/personref/person",
+	"//person/watches/watch",
+}
+
+// TestConcurrentReadersOneRefiner is the acceptance test for the snapshot
+// scheme: 8 reader goroutines hammer Query while one writer applies
+// Support refinements, and every answer must equal the ground truth at all
+// times. Run under -race.
+func TestConcurrentReadersOneRefiner(t *testing.T) {
+	g := datagen.XMarkGraph(0.01, 1)
+	en := New(g, Options{Parallelism: 4})
+
+	exprs := make([]*pathexpr.Expr, len(testQueries))
+	truth := make([][]int, len(testQueries))
+	for i, s := range testQueries {
+		exprs[i] = pathexpr.MustParse(s)
+		ans := en.Eval(exprs[i])
+		truth[i] = make([]int, len(ans))
+		for j, o := range ans {
+			truth[i][j] = int(o)
+		}
+	}
+	check := func(qi int, res query.Result) bool {
+		if len(res.Answer) != len(truth[qi]) {
+			return false
+		}
+		for j, o := range res.Answer {
+			if int(o) != truth[qi][j] {
+				return false
+			}
+		}
+		return true
+	}
+
+	const readers = 8
+	const iterations = 150
+	var wg sync.WaitGroup
+	errc := make(chan string, readers)
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for it := 0; it < iterations; it++ {
+				qi := (r + it) % len(exprs)
+				if res := en.Query(exprs[qi]); !check(qi, res) {
+					select {
+					case errc <- testQueries[qi]:
+					default:
+					}
+					return
+				}
+			}
+		}(r)
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for pass := 0; pass < 2; pass++ {
+			for _, e := range exprs {
+				en.Support(e)
+			}
+		}
+	}()
+
+	wg.Wait()
+	select {
+	case q := <-errc:
+		t.Fatalf("reader observed a wrong answer for %s", q)
+	default:
+	}
+
+	if en.Generation() == 0 {
+		t.Fatal("no snapshot was ever published")
+	}
+	for i, e := range exprs {
+		res := en.Query(e)
+		if !res.Precise {
+			t.Errorf("%s still imprecise after refinement", testQueries[i])
+		}
+		if !check(i, res) {
+			t.Errorf("%s wrong answer after refinement", testQueries[i])
+		}
+	}
+
+	st := en.Stats()
+	if st.Queries < readers*iterations {
+		t.Errorf("queries served = %d, want >= %d", st.Queries, readers*iterations)
+	}
+	if st.SnapshotPublishes != st.Refinements || st.SnapshotPublishes == 0 {
+		t.Errorf("publishes = %d, refinements = %d", st.SnapshotPublishes, st.Refinements)
+	}
+	if st.Generation != st.SnapshotPublishes {
+		t.Errorf("generation = %d, publishes = %d", st.Generation, st.SnapshotPublishes)
+	}
+}
+
+// TestConcurrentReadersCyclicGraph repeats the readers×refiner check on a
+// random cyclic graph (reference edges), where refinement takes the
+// regrouping paths.
+func TestConcurrentReadersCyclicGraph(t *testing.T) {
+	g := gtest.Random(7, 3000, 10, 0.15)
+	en := New(g, Options{})
+	exprs := []*pathexpr.Expr{
+		pathexpr.FromLabels([]string{"l1", "l2"}),
+		pathexpr.FromLabels([]string{"l3", "l4", "l5"}),
+		pathexpr.FromLabels([]string{"l0", "l1", "l2", "l3"}),
+	}
+	truth := make([][]int, len(exprs))
+	for i, e := range exprs {
+		for _, o := range en.Eval(e) {
+			truth[i] = append(truth[i], int(o))
+		}
+	}
+
+	var wg sync.WaitGroup
+	fail := make(chan int, 8)
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for it := 0; it < 100; it++ {
+				qi := (r + it) % len(exprs)
+				res := en.Query(exprs[qi])
+				if len(res.Answer) != len(truth[qi]) {
+					select {
+					case fail <- qi:
+					default:
+					}
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, e := range exprs {
+			en.Support(e)
+		}
+	}()
+	wg.Wait()
+	select {
+	case qi := <-fail:
+		t.Fatalf("wrong answer for query %d", qi)
+	default:
+	}
+}
+
+func TestQueryCtx(t *testing.T) {
+	g := datagen.XMarkGraph(0.005, 2)
+	en := New(g, Options{})
+	e := pathexpr.MustParse("//open_auction/bidder/personref")
+
+	res, err := en.QueryCtx(context.Background(), e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answer) == 0 {
+		t.Fatal("no answer")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := en.QueryCtx(ctx, e); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if st := en.Stats(); st.Canceled == 0 {
+		t.Error("canceled counter did not advance")
+	}
+}
+
+func TestSupportSkipsAndNoops(t *testing.T) {
+	g := datagen.XMarkGraph(0.005, 3)
+	en := New(g, Options{})
+	e := pathexpr.MustParse("//open_auction/bidder")
+
+	if !en.Support(e) {
+		t.Fatal("first Support should publish")
+	}
+	gen := en.Generation()
+	if en.Support(e) {
+		t.Fatal("second Support of a precise FUP should be a no-op")
+	}
+	if en.Generation() != gen {
+		t.Fatal("no-op Support changed the generation")
+	}
+	// Descendant-axis FUPs cannot be refined: no publish.
+	if en.Support(pathexpr.MustParse("//person//watch")) {
+		t.Fatal("descendant-axis Support should be a no-op")
+	}
+	st := en.Stats()
+	if st.RefinesSkipped < 2 {
+		t.Errorf("refines skipped = %d, want >= 2", st.RefinesSkipped)
+	}
+}
+
+// TestMaxKCapsComponents verifies the resolution cap flows from Options
+// through refinement.
+func TestMaxKCapsComponents(t *testing.T) {
+	g := datagen.XMarkGraph(0.005, 4)
+	en := New(g, Options{MStar: core.MStarOptions{MaxK: 2}})
+	e := pathexpr.MustParse("//open_auction/bidder/personref/person/name")
+	en.Support(e)
+	if n := en.Snapshot().NumComponents(); n > 3 {
+		t.Fatalf("components = %d, want <= 3 under MaxK=2", n)
+	}
+}
+
+func TestRegisterAndQueryNamed(t *testing.T) {
+	g := datagen.XMarkGraph(0.005, 5)
+	en := New(g, Options{})
+	e := pathexpr.MustParse("//open_auction/bidder")
+
+	en.Register("a2", query.AsQuerier(baseline.AK(g, 2)))
+	res, err := en.QueryNamed("a2", e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Answer, en.Eval(e)) {
+		t.Fatal("static index answer mismatch")
+	}
+	if _, err := en.QueryNamed("missing", e); err == nil {
+		t.Fatal("unknown name should error")
+	}
+	en.Register("a2", nil)
+	if _, err := en.QueryNamed("a2", e); err == nil {
+		t.Fatal("unregistered name should error")
+	}
+}
+
+func TestStatsRendering(t *testing.T) {
+	g := datagen.XMarkGraph(0.005, 6)
+	en := New(g, Options{})
+	e := pathexpr.MustParse("//person/name")
+	en.Query(e)
+	en.Support(e)
+	out := en.Stats().String()
+	for _, want := range []string{"engine stats", "queries", "refinements", "latency"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSnapshotImmutability: a snapshot captured before refinement must not
+// change when the engine refines.
+func TestSnapshotImmutability(t *testing.T) {
+	g := datagen.XMarkGraph(0.005, 7)
+	en := New(g, Options{})
+	e := pathexpr.MustParse("//open_auction/bidder/personref")
+
+	old := en.Snapshot()
+	oldNodes := old.Finest().NumNodes()
+	oldComps := old.NumComponents()
+	if !en.Support(e) {
+		t.Fatal("Support should publish")
+	}
+	if old.Finest().NumNodes() != oldNodes || old.NumComponents() != oldComps {
+		t.Fatal("published refinement mutated the old snapshot")
+	}
+	if en.Snapshot() == old {
+		t.Fatal("snapshot pointer did not change on publish")
+	}
+}

@@ -1,0 +1,240 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"mrx/internal/core"
+)
+
+// latencyBuckets is the number of power-of-two microsecond buckets in a
+// latency histogram: bucket i counts samples in [2^i, 2^(i+1)) µs, so the
+// range spans <1µs up to ~2s before the last bucket overflows.
+const latencyBuckets = 21
+
+// histogram is a lock-free power-of-two latency histogram.
+type histogram struct {
+	buckets  [latencyBuckets]atomic.Uint64
+	count    atomic.Uint64
+	sumMicro atomic.Uint64
+	maxMicro atomic.Uint64
+}
+
+func (h *histogram) record(d time.Duration) {
+	us := uint64(d.Microseconds())
+	b := bits.Len64(us) // 0 for <1µs, i for [2^(i-1), 2^i)
+	if b >= latencyBuckets {
+		b = latencyBuckets - 1
+	}
+	h.buckets[b].Add(1)
+	h.count.Add(1)
+	h.sumMicro.Add(us)
+	for {
+		cur := h.maxMicro.Load()
+		if us <= cur || h.maxMicro.CompareAndSwap(cur, us) {
+			break
+		}
+	}
+}
+
+// quantile returns the upper bound of the bucket containing the q-quantile
+// sample (0 < q <= 1), as a duration. It is an approximation within a factor
+// of two, which is what a serving dashboard needs.
+func (h *histogram) quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen uint64
+	for i := 0; i < latencyBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen > rank {
+			return time.Duration(uint64(1)<<uint(i)) * time.Microsecond
+		}
+	}
+	return time.Duration(h.maxMicro.Load()) * time.Microsecond
+}
+
+func (h *histogram) summary() LatencySummary {
+	n := h.count.Load()
+	s := LatencySummary{Count: n}
+	if n == 0 {
+		return s
+	}
+	s.Mean = time.Duration(h.sumMicro.Load()/n) * time.Microsecond
+	s.P50 = h.quantile(0.50)
+	s.P90 = h.quantile(0.90)
+	s.P99 = h.quantile(0.99)
+	s.Max = time.Duration(h.maxMicro.Load()) * time.Microsecond
+	return s
+}
+
+// strategyStatic labels queries served from indexes attached with Register,
+// which bypass the adaptive snapshot's strategy dispatch.
+const strategyStatic core.Strategy = "static"
+
+// numStrategies is the number of histogram slots; keep in sync with
+// strategyNames (checked by an init assertion).
+const numStrategies = 7
+
+// strategyNames fixes the histogram slots; unknown strategy names fold into
+// the last slot.
+var strategyNames = [numStrategies]core.Strategy{
+	core.StrategyTopDown,
+	core.StrategyNaive,
+	core.StrategySubpath,
+	core.StrategyBottomUp,
+	core.StrategyHybrid,
+	core.StrategyAuto,
+	strategyStatic,
+}
+
+func strategySlot(s core.Strategy) int {
+	for i, n := range strategyNames {
+		if n == s {
+			return i
+		}
+	}
+	return len(strategyNames) - 1
+}
+
+// stats is the engine's internal counter block; all fields are atomics so
+// every serving goroutine can update them without coordination.
+type stats struct {
+	queries        atomic.Uint64
+	preciseQueries atomic.Uint64
+	indexVisits    atomic.Uint64
+	validations    atomic.Uint64
+	canceled       atomic.Uint64
+
+	refinements    atomic.Uint64
+	refinesSkipped atomic.Uint64
+	publishes      atomic.Uint64
+
+	latency [numStrategies]histogram
+}
+
+func (s *stats) recordQuery(strategy core.Strategy, indexNodes, dataNodes int, precise bool, d time.Duration) {
+	s.queries.Add(1)
+	if precise {
+		s.preciseQueries.Add(1)
+	}
+	s.indexVisits.Add(uint64(indexNodes))
+	s.validations.Add(uint64(dataNodes))
+	s.latency[strategySlot(strategy)].record(d)
+}
+
+// LatencySummary condenses one strategy's latency histogram.
+type LatencySummary struct {
+	Count              uint64
+	Mean, P50, P90, P99, Max time.Duration
+}
+
+// StatsSnapshot is a point-in-time copy of the engine counters, safe to
+// read, print and compare after the fact.
+type StatsSnapshot struct {
+	// Generation is the number of index snapshots published since New; it
+	// increments once per applied refinement.
+	Generation uint64
+	// Queries counts Query/QueryCtx/QueryNamed calls served.
+	Queries uint64
+	// PreciseQueries counts queries answered without any validation.
+	PreciseQueries uint64
+	// IndexNodesVisited and DataNodesValidated accumulate the paper's
+	// two-part cost metric over all queries served.
+	IndexNodesVisited  uint64
+	DataNodesValidated uint64
+	// Canceled counts queries aborted by context cancellation.
+	Canceled uint64
+	// Refinements counts applied (published) refinements; RefinesSkipped
+	// counts Support calls that were no-ops (already precise or no change).
+	Refinements    uint64
+	RefinesSkipped uint64
+	// SnapshotPublishes counts atomic snapshot swaps (== Refinements today,
+	// tracked separately so future batched publication stays observable).
+	SnapshotPublishes uint64
+	// Latency summarizes per-strategy query latency.
+	Latency map[core.Strategy]LatencySummary
+}
+
+func (s *stats) snapshot(generation uint64) StatsSnapshot {
+	out := StatsSnapshot{
+		Generation:         generation,
+		Queries:            s.queries.Load(),
+		PreciseQueries:     s.preciseQueries.Load(),
+		IndexNodesVisited:  s.indexVisits.Load(),
+		DataNodesValidated: s.validations.Load(),
+		Canceled:           s.canceled.Load(),
+		Refinements:        s.refinements.Load(),
+		RefinesSkipped:     s.refinesSkipped.Load(),
+		SnapshotPublishes:  s.publishes.Load(),
+		Latency:            make(map[core.Strategy]LatencySummary),
+	}
+	for i := range s.latency {
+		if sum := s.latency[i].summary(); sum.Count > 0 {
+			out.Latency[strategyNames[i]] = sum
+		}
+	}
+	return out
+}
+
+// WriteTo renders the snapshot as an aligned text block (cmd/mrquery -stats
+// and the mrbench engine ablation use it).
+func (s StatsSnapshot) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	pr := func(format string, args ...any) error {
+		m, err := fmt.Fprintf(w, format, args...)
+		n += int64(m)
+		return err
+	}
+	if err := pr("engine stats (generation %d)\n", s.Generation); err != nil {
+		return n, err
+	}
+	if err := pr("  queries          %10d  (precise %d, canceled %d)\n",
+		s.Queries, s.PreciseQueries, s.Canceled); err != nil {
+		return n, err
+	}
+	if err := pr("  cost             %10d index nodes + %d data nodes validated\n",
+		s.IndexNodesVisited, s.DataNodesValidated); err != nil {
+		return n, err
+	}
+	if err := pr("  refinements      %10d applied, %d skipped, %d snapshots published\n",
+		s.Refinements, s.RefinesSkipped, s.SnapshotPublishes); err != nil {
+		return n, err
+	}
+	names := make([]string, 0, len(s.Latency))
+	for name := range s.Latency {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		l := s.Latency[name]
+		if err := pr("  latency %-9s %10d queries  mean %-9v p50 %-9v p90 %-9v p99 %-9v max %v\n",
+			name, l.Count, l.Mean, l.P50, l.P90, l.P99, l.Max); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// String renders the snapshot as text.
+func (s StatsSnapshot) String() string {
+	var b writerBuffer
+	s.WriteTo(&b)
+	return string(b)
+}
+
+type writerBuffer []byte
+
+func (b *writerBuffer) Write(p []byte) (int, error) {
+	*b = append(*b, p...)
+	return len(p), nil
+}

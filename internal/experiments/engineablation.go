@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mrx/internal/engine"
+	"mrx/internal/pathexpr"
+)
+
+// EngineRow is one point of the concurrent-serving ablation: the workload
+// replayed by a fixed number of reader goroutines against one Engine while a
+// refiner concurrently applies Support for every workload query.
+type EngineRow struct {
+	Readers    int
+	Queries    int64 // total queries served across all readers
+	Elapsed    time.Duration
+	Throughput float64 // queries per second
+	Generation uint64  // snapshot generation after the run
+}
+
+// EngineAblationResult gathers the per-reader-count rows plus the serving
+// stats of the last (widest) run for dumping.
+type EngineAblationResult struct {
+	Rows  []EngineRow
+	Stats engine.StatsSnapshot
+}
+
+// RunEngineAblation measures concurrent query serving: for each reader
+// count, a fresh Engine serves the workload from that many goroutines
+// (each replaying it `passes` times) while one refiner goroutine applies
+// Support for every workload query. Readers run lock-free against published
+// snapshots, so their throughput is the headline number; the final
+// generation shows how many refinements were published mid-flight.
+func RunEngineAblation(ds Dataset, queries []*pathexpr.Expr, readerCounts []int, passes int, progress Progress) EngineAblationResult {
+	if passes <= 0 {
+		passes = 1
+	}
+	var res EngineAblationResult
+	for _, readers := range readerCounts {
+		if readers <= 0 {
+			continue
+		}
+		en := engine.New(ds.Graph, engine.Options{})
+		var served atomic.Int64
+		var wg sync.WaitGroup
+		start := time.Now()
+
+		// One refiner applies the whole workload as FUPs while readers run.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, q := range queries {
+				en.Support(q)
+			}
+		}()
+
+		for r := 0; r < readers; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				for p := 0; p < passes; p++ {
+					// Offset each reader so they don't march in lockstep
+					// over the same snapshot regions.
+					for i := range queries {
+						en.Query(queries[(i+r)%len(queries)])
+						served.Add(1)
+					}
+				}
+			}(r)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+
+		row := EngineRow{
+			Readers:    readers,
+			Queries:    served.Load(),
+			Elapsed:    elapsed,
+			Generation: en.Generation(),
+		}
+		if s := elapsed.Seconds(); s > 0 {
+			row.Throughput = float64(row.Queries) / s
+		}
+		res.Rows = append(res.Rows, row)
+		res.Stats = en.Stats()
+		progress.log("engine %d readers: %d queries in %v (%.0f q/s, generation %d)",
+			row.Readers, row.Queries, elapsed.Round(time.Millisecond), row.Throughput, row.Generation)
+	}
+	return res
+}
+
+// WriteEngineTable renders the concurrent-serving ablation.
+func WriteEngineTable(w io.Writer, res EngineAblationResult) {
+	fmt.Fprintf(w, "%-8s %10s %12s %12s %12s\n", "readers", "queries", "elapsed", "q/s", "generation")
+	for _, r := range res.Rows {
+		fmt.Fprintf(w, "%-8d %10d %12s %12.0f %12d\n",
+			r.Readers, r.Queries, r.Elapsed.Round(time.Millisecond), r.Throughput, r.Generation)
+	}
+	fmt.Fprintln(w)
+	res.Stats.WriteTo(w)
+}

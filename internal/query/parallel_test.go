@@ -1,0 +1,116 @@
+package query
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"mrx/internal/gtest"
+	"mrx/internal/pathexpr"
+)
+
+// Parallel validation must return exactly the sequential answer for every
+// worker-pool size, including sizes far above the candidate count.
+func TestEvalIndexOptsWorkerEquivalence(t *testing.T) {
+	g := gtest.Random(7, 4000, 4, 0.25)
+	ig := buildAk(g, 1)
+	for _, s := range []string{"//l0/l1/l2", "//l1/l2", "//l2/*/l1", "/l0/l1"} {
+		e := pathexpr.MustParse(s)
+		want := EvalIndex(ig, e)
+		for _, workers := range []int{1, 2, 4, 8, 1000} {
+			got := EvalIndexOpts(ig, e, ValidateOpts{Workers: workers})
+			if !reflect.DeepEqual(got.Answer, want.Answer) {
+				t.Errorf("%s workers=%d: answer diverged (%d vs %d nodes)",
+					s, workers, len(got.Answer), len(want.Answer))
+			}
+			if got.Precise != want.Precise {
+				t.Errorf("%s workers=%d: precise %v, want %v", s, workers, got.Precise, want.Precise)
+			}
+			if got.Cost.IndexNodes != want.Cost.IndexNodes {
+				t.Errorf("%s workers=%d: index cost %d, want %d",
+					s, workers, got.Cost.IndexNodes, want.Cost.IndexNodes)
+			}
+		}
+	}
+}
+
+// A zero ValidateOpts must reproduce EvalIndex exactly, including the
+// paper's data-node accounting (shared memo).
+func TestEvalIndexOptsZeroValueIsEvalIndex(t *testing.T) {
+	g := gtest.Random(11, 500, 4, 0.3)
+	ig := buildAk(g, 1)
+	e := pathexpr.MustParse("//l0/l1/l2")
+	a := EvalIndex(ig, e)
+	b := EvalIndexOpts(ig, e, ValidateOpts{})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("zero opts diverged: %+v vs %+v", a.Cost, b.Cost)
+	}
+}
+
+// Stop aborts validation early: the result is flagged stopped and the
+// answer may be partial, but never contains a false positive.
+func TestCollectAnswersStop(t *testing.T) {
+	g := gtest.Random(3, 2000, 4, 0.25)
+	ig := buildAk(g, 0)
+	e := pathexpr.MustParse("//l0/l1/l2")
+	targets := TargetNodes(ig, e)
+
+	full, _, _, stopped := CollectAnswers(g, e, targets, ValidateOpts{})
+	if stopped {
+		t.Fatal("unstopped run reported stopped")
+	}
+
+	// Stop immediately: nothing validated.
+	_, _, _, stopped = CollectAnswers(g, e, targets, ValidateOpts{Stop: func() bool { return true }})
+	if !stopped {
+		t.Error("immediate stop not reported")
+	}
+
+	// Stop after a few candidates, sequentially and in parallel: the partial
+	// answer must be a subset of the full one.
+	for _, workers := range []int{0, 4} {
+		var n atomic.Int64
+		partial, _, _, stopped := CollectAnswers(g, e, targets, ValidateOpts{
+			Workers: workers,
+			Stop:    func() bool { return n.Add(1) > 5 },
+		})
+		if !stopped {
+			t.Errorf("workers=%d: late stop not reported", workers)
+		}
+		inFull := map[int64]bool{}
+		for _, o := range full {
+			inFull[int64(o)] = true
+		}
+		for _, o := range partial {
+			if !inFull[int64(o)] {
+				t.Errorf("workers=%d: partial answer has false positive %d", workers, o)
+			}
+		}
+	}
+}
+
+// Concurrent EvalIndex calls over one shared index graph must be safe (the
+// DataIndex wildcard bucket and validator memos are the hazards); run under
+// -race this is the reader side of the engine's contract.
+func TestEvalIndexConcurrent(t *testing.T) {
+	g := gtest.Random(19, 1500, 4, 0.25)
+	ig := buildAk(g, 1)
+	e := pathexpr.MustParse("//l0/l1")
+	want := EvalIndex(ig, e)
+	done := make(chan bool)
+	for r := 0; r < 8; r++ {
+		go func() {
+			ok := true
+			for i := 0; i < 20; i++ {
+				res := EvalIndexOpts(ig, e, ValidateOpts{Workers: 4})
+				ok = ok && reflect.DeepEqual(res.Answer, want.Answer)
+			}
+			done <- ok
+		}()
+	}
+	for r := 0; r < 8; r++ {
+		if !<-done {
+			t.Fatal("concurrent evaluation diverged")
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package query
+
+import (
+	"mrx/internal/index"
+	"mrx/internal/pathexpr"
+)
+
+// Querier is the uniform query interface implemented by every index in the
+// repository: the single-graph indexes (1-index, A(k), D(k)-construct) via
+// AsQuerier, the adaptive indexes (D(k)-promote, M(k), M*(k), UD(k,l), APEX)
+// directly, and the concurrent serving engine. A Querier evaluates a simple
+// path expression and returns the validated answer together with the paper's
+// cost metric.
+type Querier interface {
+	Query(e *pathexpr.Expr) Result
+}
+
+// IndexQuerier adapts a bare structural index graph to the Querier
+// interface; it evaluates with EvalIndex semantics (sequential validation,
+// the paper's cost accounting).
+type IndexQuerier struct {
+	ig *index.Graph
+}
+
+// AsQuerier wraps a single-graph structural index as a Querier.
+func AsQuerier(ig *index.Graph) IndexQuerier { return IndexQuerier{ig: ig} }
+
+// Index returns the wrapped index graph.
+func (q IndexQuerier) Index() *index.Graph { return q.ig }
+
+// Query evaluates e over the wrapped index.
+func (q IndexQuerier) Query(e *pathexpr.Expr) Result { return EvalIndex(q.ig, e) }

@@ -9,6 +9,7 @@ package query
 
 import (
 	"sort"
+	"sync"
 
 	"mrx/internal/graph"
 	"mrx/internal/index"
@@ -31,10 +32,13 @@ func (c *Cost) Add(o Cost) {
 }
 
 // DataIndex caches per-label node buckets of a data graph so that ground-
-// truth evaluation does not rescan the node table for every query.
+// truth evaluation does not rescan the node table for every query. A
+// DataIndex is safe for concurrent use once built; Engine shares one across
+// all serving goroutines.
 type DataIndex struct {
 	g       *graph.Graph
 	byLabel [][]graph.NodeID
+	allOnce sync.Once
 	all     []graph.NodeID
 }
 
@@ -53,12 +57,12 @@ func (d *DataIndex) Graph() *graph.Graph { return d.g }
 
 func (d *DataIndex) nodesMatching(s pathexpr.Step) []graph.NodeID {
 	if s.Wildcard {
-		if d.all == nil {
+		d.allOnce.Do(func() {
 			d.all = make([]graph.NodeID, d.g.NumNodes())
 			for v := range d.all {
 				d.all[v] = graph.NodeID(v)
 			}
-		}
+		})
 		return d.all
 	}
 	l, ok := d.g.LabelIDOf(s.Label)
@@ -257,34 +261,11 @@ type Result struct {
 // EvalIndex evaluates e on the index graph ig: it traverses the index graph
 // to find the target index nodes, then returns extents directly for nodes
 // with k ≥ RequiredK(e) and validates the extents of under-refined nodes
-// against the data graph, counting costs per the paper's metric.
+// against the data graph, counting costs per the paper's metric. Validation
+// is sequential; use EvalIndexOpts for a bounded worker pool or
+// cancellation.
 func EvalIndex(ig *index.Graph, e *pathexpr.Expr) Result {
-	var res Result
-	res.Precise = true
-	targets := traverseIndex(ig, e, &res.Cost)
-	res.Targets = targets
-
-	var validator *Validator
-	for _, v := range targets {
-		if v.K() >= e.RequiredK() {
-			res.Answer = append(res.Answer, v.Extent()...)
-			continue
-		}
-		res.Precise = false
-		if validator == nil {
-			validator = NewValidator(ig.Data(), e)
-		}
-		for _, o := range v.Extent() {
-			if validator.Matches(o) {
-				res.Answer = append(res.Answer, o)
-			}
-		}
-	}
-	if validator != nil {
-		res.Cost.DataNodes = validator.Visited()
-	}
-	res.Answer = dedupeIDs(res.Answer)
-	return res
+	return EvalIndexOpts(ig, e, ValidateOpts{})
 }
 
 // TargetNodes evaluates only the index-graph traversal and returns the

@@ -120,6 +120,11 @@ type DataIndex = query.DataIndex
 func NewDataIndex(g *Graph) *DataIndex { return query.NewDataIndex(g) }
 
 // Eval computes the exact answer of e on the data graph (ground truth).
+//
+// Each call rebuilds the label buckets of g — O(number of nodes) before
+// evaluation even starts. For repeated evaluation over the same graph, build
+// a DataIndex once with NewDataIndex and call its Eval method (an Engine
+// does this internally and shares one DataIndex across all goroutines).
 func Eval(g *Graph, e *PathExpr) []NodeID {
 	return query.NewDataIndex(g).Eval(e)
 }

@@ -226,3 +226,76 @@ func TestFacadeMStarStrategies(t *testing.T) {
 		t.Error("subpath mismatch")
 	}
 }
+
+// Every index type in the package must be servable through the one Querier
+// interface and agree with ground truth.
+func TestFacadeQuerier(t *testing.T) {
+	g := mrx.XMarkGraph(0.01, 5)
+	e := mrx.MustParsePath("//open_auction/bidder/personref")
+	want := mrx.Eval(g, e)
+
+	one, _ := mrx.Build1Index(g)
+	dk, err := mrx.BuildDK(g, []*mrx.PathExpr{e})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp := mrx.NewDKPromote(g)
+	dp.Support(e)
+	mk := mrx.NewMK(g)
+	mk.Support(e)
+	ms := mrx.NewMStarOpts(g, mrx.MStarOptions{Strategy: mrx.StrategyAuto})
+	ms.Support(e)
+	en := mrx.NewEngine(g, mrx.EngineOptions{})
+
+	queriers := map[string]mrx.Querier{
+		"a2":        mrx.AsQuerier(mrx.BuildAK(g, 2)),
+		"1index":    mrx.AsQuerier(one),
+		"dk":        mrx.AsQuerier(dk),
+		"dkpromote": dp,
+		"mk":        mk,
+		"mstar":     ms,
+		"ud":        mrx.NewUD(g, 2, 1),
+		"engine":    en,
+	}
+	for name, q := range queriers {
+		res := q.Query(e)
+		if !reflect.DeepEqual(res.Answer, want) {
+			t.Errorf("%s via Querier: %d answers, want %d", name, len(res.Answer), len(want))
+		}
+	}
+
+	// The deprecated entry point must keep matching the Querier path.
+	ig := mrx.BuildAK(g, 2)
+	if !reflect.DeepEqual(mrx.QueryIndex(ig, e), mrx.AsQuerier(ig).Query(e)) {
+		t.Error("QueryIndex diverged from AsQuerier(ig).Query")
+	}
+}
+
+// The facade Engine serves, refines and reports stats end to end.
+func TestFacadeEngine(t *testing.T) {
+	g := mrx.XMarkGraph(0.01, 6)
+	e := mrx.MustParsePath("//person/watches/watch")
+	want := mrx.Eval(g, e)
+
+	en := mrx.NewEngine(g, mrx.EngineOptions{Parallelism: 2})
+	if res := en.Query(e); !reflect.DeepEqual(res.Answer, want) {
+		t.Fatal("engine wrong before refinement")
+	}
+	en.Support(e)
+	res := en.Query(e)
+	if !res.Precise || !reflect.DeepEqual(res.Answer, want) {
+		t.Fatal("engine wrong after Support")
+	}
+	if en.Generation() == 0 {
+		t.Error("Support published no snapshot")
+	}
+
+	var st mrx.EngineStats = en.Stats()
+	if st.Queries != 2 || st.Refinements == 0 {
+		t.Errorf("stats: %d queries, %d refinements", st.Queries, st.Refinements)
+	}
+	var buf bytes.Buffer
+	if _, err := st.WriteTo(&buf); err != nil || !strings.Contains(buf.String(), "queries") {
+		t.Errorf("stats rendering: %v %q", err, buf.String())
+	}
+}

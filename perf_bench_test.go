@@ -4,11 +4,13 @@
 package mrx_test
 
 import (
+	"fmt"
 	"testing"
 
 	"mrx"
 	"mrx/internal/baseline"
 	"mrx/internal/core"
+	"mrx/internal/engine"
 	"mrx/internal/partition"
 	"mrx/internal/query"
 )
@@ -97,5 +99,50 @@ func BenchmarkGroundTruthEval(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		d.Eval(e)
+	}
+}
+
+// Parallel validation of one expensive under-refined query at increasing
+// worker-pool sizes. On a multi-core machine the wall time should drop with
+// workers; on a single core it measures the pool's overhead.
+func BenchmarkParallelValidation(b *testing.B) {
+	g := mrx.XMarkGraph(0.1, 1)
+	ig := baseline.AK(g, 1)
+	e := mrx.MustParsePath("//person/watches/watch/open_auction/itemref")
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				query.EvalIndexOpts(ig, e, query.ValidateOpts{Workers: workers})
+			}
+		})
+	}
+}
+
+// Engine serving throughput under concurrent readers: b.RunParallel spreads
+// the query mix across GOMAXPROCS goroutines hitting one refined engine.
+func BenchmarkEngineServing(b *testing.B) {
+	g := mrx.XMarkGraph(0.1, 1)
+	queries := []*mrx.PathExpr{
+		mrx.MustParsePath("//open_auction/bidder/personref"),
+		mrx.MustParsePath("//person/name"),
+		mrx.MustParsePath("//item/description"),
+		mrx.MustParsePath("//person/watches/watch"),
+	}
+	for _, readers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("readers=%d", readers), func(b *testing.B) {
+			en := engine.New(g, engine.Options{})
+			for _, q := range queries {
+				en.Support(q)
+			}
+			b.SetParallelism(readers) // readers × GOMAXPROCS goroutines
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					en.Query(queries[i%len(queries)])
+					i++
+				}
+			})
+		})
 	}
 }
