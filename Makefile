@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench
+.PHONY: all build vet test race check bench fuzz cover
 
 all: check
 
@@ -22,3 +22,20 @@ check: vet build race
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Native fuzzing smoke: each target runs for FUZZTIME on top of its
+# committed seed corpus (testdata/fuzz/<FuzzName>/ in each package, which
+# plain `make test` already replays). New crashers are written there too —
+# commit them as regression inputs.
+FUZZTIME ?= 15s
+
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/pathexpr/
+	$(GO) test -run='^$$' -fuzz=FuzzStoreGraph -fuzztime=$(FUZZTIME) ./internal/store/
+	$(GO) test -run='^$$' -fuzz=FuzzStoreIndex -fuzztime=$(FUZZTIME) ./internal/store/
+	$(GO) test -run='^$$' -fuzz=FuzzStoreMStar -fuzztime=$(FUZZTIME) ./internal/store/
+	$(GO) test -run='^$$' -fuzz=FuzzDifferential -fuzztime=$(FUZZTIME) ./internal/difftest/
+
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -n 1

@@ -1,0 +1,139 @@
+package difftest
+
+import (
+	"testing"
+
+	"mrx/internal/core"
+	"mrx/internal/graph"
+	"mrx/internal/gtest"
+	"mrx/internal/pathexpr"
+	"mrx/internal/query"
+)
+
+func newRefinedMStar(g *graph.Graph, fup string) *core.MStar {
+	ms := core.NewMStar(g)
+	ms.Support(pathexpr.MustParse(fup))
+	return ms
+}
+
+// TestDifferentialAll is the acceptance run: ≥50 randomized (graph,
+// workload, refinement-schedule) cases, each cross-checking every serving
+// path — 1-index, A(k), D(k) construct + promote, UD(k,l), M(k), M*(k)
+// under every strategy plus a MaxK cap, and the concurrent engine — against
+// the slow reference evaluator, with full invariant checks (including P1
+// k-bisimilarity) after every refinement step.
+func TestDifferentialAll(t *testing.T) {
+	cases := 56
+	if testing.Short() {
+		cases = 12
+	}
+	Run(t, Config{Cases: cases, Seed: 1, MinNodes: 25, MaxNodes: 80, CheckBisim: true})
+}
+
+// A couple of hand-picked shapes the random generator hits rarely: a
+// single-node graph, a root with no matching children, and a pure cycle.
+func TestDifferentialDegenerate(t *testing.T) {
+	o := RandomCase(99, 2, 2, true)
+	RunCase(t, o)
+
+	o = RandomCase(100, 3, 3, true)
+	o.Graph.RefProb = 1
+	RunCase(t, o)
+}
+
+// The reference evaluator must agree with the production ground-truth
+// evaluator (query.DataIndex) on every expression class, including ones the
+// random workload generates rarely.
+func TestSlowEvalMatchesDataIndex(t *testing.T) {
+	exprs := []string{
+		"//root", "/l0", "//l0", "//l0/l1", "/l0/l1/l2", "//*", "/*",
+		"//l0/*/l1", "//l0//l1", "/l0//l2", "//*//l1", "//l1/l1/l1",
+		"//zz", "/zz/l0", "//l0/zz",
+	}
+	for seed := int64(0); seed < 25; seed++ {
+		o := RandomCase(seed, 20, 120, false)
+		g := gtest.New(seed, o.Graph)
+		di := query.NewDataIndex(g)
+		all := append([]string(nil), exprs...)
+		all = append(all, gtest.RandomWorkload(seed, g, gtest.WorkloadOptions{
+			Size: 15, MaxLen: 5, Adversarial: 0.3, Rooted: 0.3, Wildcard: 0.2, DescAxis: 0.2,
+		})...)
+		for _, s := range all {
+			e, err := pathexpr.Parse(s)
+			if err != nil {
+				t.Fatalf("%q: %v", s, err)
+			}
+			slow := SlowEval(g, e)
+			fast := di.Eval(e)
+			if !equalIDs(slow, fast) {
+				t.Fatalf("seed %d: %s: SlowEval %v, DataIndex.Eval %v", seed, e, slow, fast)
+			}
+		}
+	}
+}
+
+// Hand-checked fixture: SlowEval on a graph small enough to verify by eye,
+// so the oracle itself is anchored to something other than the code under
+// test.
+func TestSlowEvalFixture(t *testing.T) {
+	// root -> a(1) -> b(2) -> c(3)
+	//      -> b(4) -> c(5)
+	//      a(1) -ref-> c(5)
+	b := graph.NewBuilder()
+	b.AddNode("root")
+	b.AddNode("a")
+	b.AddNode("b")
+	b.AddNode("c")
+	b.AddNode("b")
+	b.AddNode("c")
+	b.AddEdge(0, 1, graph.TreeEdge)
+	b.AddEdge(1, 2, graph.TreeEdge)
+	b.AddEdge(2, 3, graph.TreeEdge)
+	b.AddEdge(0, 4, graph.TreeEdge)
+	b.AddEdge(4, 5, graph.TreeEdge)
+	b.AddEdge(1, 5, graph.RefEdge)
+	g := b.MustFreeze()
+
+	for _, tc := range []struct {
+		expr string
+		want []graph.NodeID
+	}{
+		{"//a/b", []graph.NodeID{2}},
+		{"//b/c", []graph.NodeID{3, 5}},
+		{"/a/b/c", []graph.NodeID{3}},
+		{"//a/c", []graph.NodeID{5}}, // via the reference edge
+		{"/b", []graph.NodeID{4}},
+		{"//a//c", []graph.NodeID{3, 5}},
+		{"//root//c", []graph.NodeID{3, 5}},
+		{"/c", nil},
+		{"//x", nil},
+		{"//*/c", []graph.NodeID{3, 5}},
+	} {
+		got := SlowEval(g, pathexpr.MustParse(tc.expr))
+		if !equalIDs(got, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.expr, got, tc.want)
+		}
+	}
+}
+
+// Fingerprint must be sensitive to refinement (the immutability check
+// depends on it) and stable across no-ops.
+func TestFingerprint(t *testing.T) {
+	g := gtest.Random(5, 60, 4, 0.2)
+	ms := newRefinedMStar(g, "//l0/l1")
+	fp1 := Fingerprint(ms)
+	if fp2 := Fingerprint(ms); fp2 != fp1 {
+		t.Fatal("fingerprint not deterministic")
+	}
+	ms2 := ms.Clone()
+	if Fingerprint(ms2) != fp1 {
+		t.Fatal("clone changed fingerprint")
+	}
+	ms2.Support(pathexpr.MustParse("//l1/l2/l3"))
+	if Fingerprint(ms2) == fp1 && ms2.NumComponents() != ms.NumComponents() {
+		t.Fatal("refinement did not change fingerprint")
+	}
+	if Fingerprint(ms) != fp1 {
+		t.Fatal("refining a clone mutated the original")
+	}
+}

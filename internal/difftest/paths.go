@@ -1,0 +1,228 @@
+package difftest
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+
+	"mrx/internal/baseline"
+	"mrx/internal/core"
+	"mrx/internal/engine"
+	"mrx/internal/graph"
+	"mrx/internal/index"
+	"mrx/internal/pathexpr"
+	"mrx/internal/query"
+)
+
+// ServingPath is one way of answering queries that the differential runner
+// cross-checks against SlowEval: a static index, an adaptive index, one
+// M*(k) evaluation strategy, or the concurrent engine.
+type ServingPath struct {
+	// Name identifies the path in failure messages (e.g. "mstar/subpath").
+	Name string
+	// Querier answers simple path expressions.
+	Querier query.Querier
+	// Support refines the index for a FUP; nil for static indexes. The
+	// runner only passes wildcard-free expressions with a finite RequiredK
+	// (the paper's FUP class).
+	Support func(*pathexpr.Expr)
+	// Check verifies the path's structural invariants; the runner calls it
+	// after every refinement step. checkBisim additionally verifies P1
+	// (extents k-bisimilar), which is expensive and meant for small graphs.
+	Check func(checkBisim bool) error
+	// Finish runs end-of-case checks (e.g. engine snapshot immutability).
+	Finish func() error
+}
+
+// PathsOptions configures BuildPaths.
+type PathsOptions struct {
+	// AK is the A(k)-index resolution (default 2).
+	AK int
+	// UDK, UDL are the UD(k,l)-index resolutions (defaults 2, 2).
+	UDK, UDL int
+	// MaxK is the resolution cap of the capped M*(k) instance (default 2).
+	MaxK int
+	// Parallelism is the engine's validation worker-pool size (default 2,
+	// so worker-pool validation is exercised without oversubscription).
+	Parallelism int
+}
+
+func (o *PathsOptions) defaults() {
+	if o.AK <= 0 {
+		o.AK = 2
+	}
+	if o.UDK <= 0 {
+		o.UDK = 2
+	}
+	if o.UDL <= 0 {
+		o.UDL = 2
+	}
+	if o.MaxK <= 0 {
+		o.MaxK = 2
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = 2
+	}
+}
+
+// BuildPaths constructs every serving path of the repository over g:
+// the 1-index, A(k), D(k) in both forms (workload construction and
+// incremental promotion), UD(k,l), M(k), M*(k) under every evaluation
+// strategy plus a MaxK-capped instance, and the concurrent engine. fups
+// seeds the D(k) construction (only its wildcard-free bounded members are
+// used; D(k)-construct supports nothing else).
+func BuildPaths(g *graph.Graph, fups []*pathexpr.Expr, o PathsOptions) ([]*ServingPath, error) {
+	o.defaults()
+	var out []*ServingPath
+
+	staticPath := func(name string, ig *index.Graph) {
+		out = append(out, &ServingPath{
+			Name:    name,
+			Querier: query.AsQuerier(ig),
+			Check:   ig.Validate,
+		})
+	}
+
+	one, _ := baseline.OneIndex(g)
+	staticPath("1index", one)
+	staticPath(fmt.Sprintf("a%d", o.AK), baseline.AK(g, o.AK))
+
+	dk, err := baseline.DKConstruct(g, Supportable(fups))
+	if err != nil {
+		return nil, fmt.Errorf("difftest: D(k) construction: %w", err)
+	}
+	staticPath("dk", dk)
+
+	ud := baseline.NewUD(g, o.UDK, o.UDL)
+	out = append(out, &ServingPath{
+		Name:    fmt.Sprintf("ud%d,%d", o.UDK, o.UDL),
+		Querier: ud,
+		Check:   ud.Index().Validate,
+	})
+
+	dkp := baseline.NewDKPromote(g)
+	out = append(out, &ServingPath{
+		Name:    "dkpromote",
+		Querier: dkp,
+		Support: dkp.Support,
+		Check:   dkp.Index().Validate,
+	})
+
+	mk := core.NewMK(g)
+	out = append(out, &ServingPath{
+		Name:    "mk",
+		Querier: mk,
+		Support: mk.Support,
+		Check:   mk.Index().Validate,
+	})
+
+	for _, strat := range []core.Strategy{
+		core.StrategyNaive, core.StrategyTopDown, core.StrategySubpath,
+		core.StrategyBottomUp, core.StrategyHybrid, core.StrategyAuto,
+	} {
+		ms := core.NewMStarOpts(g, core.MStarOptions{Strategy: strat})
+		out = append(out, &ServingPath{
+			Name:    "mstar/" + strat,
+			Querier: ms,
+			Support: ms.Support,
+			Check:   ms.Validate,
+		})
+	}
+
+	capped := core.NewMStarOpts(g, core.MStarOptions{MaxK: o.MaxK})
+	out = append(out, &ServingPath{
+		Name:    fmt.Sprintf("mstar/maxk%d", o.MaxK),
+		Querier: capped,
+		Support: capped.Support,
+		Check: func(checkBisim bool) error {
+			if err := capped.Validate(checkBisim); err != nil {
+				return err
+			}
+			if got := capped.NumComponents() - 1; got > o.MaxK {
+				return fmt.Errorf("MaxK=%d index materialized resolution %d", o.MaxK, got)
+			}
+			return nil
+		},
+	})
+
+	out = append(out, enginePath(g, o))
+	return out, nil
+}
+
+// enginePath wraps the concurrent engine and tracks every published
+// snapshot: Check validates the current snapshot after each refinement and
+// Finish re-fingerprints all historical generations, failing if refinement
+// ever mutated an already-published (immutable by contract) snapshot.
+func enginePath(g *graph.Graph, o PathsOptions) *ServingPath {
+	en := engine.New(g, engine.Options{Parallelism: o.Parallelism})
+	type published struct {
+		gen uint64
+		ms  *core.MStar
+		fp  uint64
+	}
+	record := func() published {
+		ms := en.Snapshot()
+		return published{gen: en.Generation(), ms: ms, fp: Fingerprint(ms)}
+	}
+	history := []published{record()}
+	return &ServingPath{
+		Name:    "engine",
+		Querier: en,
+		Support: func(e *pathexpr.Expr) {
+			if en.Support(e) {
+				history = append(history, record())
+			}
+		},
+		Check: func(checkBisim bool) error {
+			return en.Snapshot().Validate(checkBisim)
+		},
+		Finish: func() error {
+			for _, p := range history {
+				if Fingerprint(p.ms) != p.fp {
+					return fmt.Errorf("engine snapshot generation %d mutated after publication", p.gen)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// Supportable filters an expression set down to the paper's FUP class:
+// wildcard-free expressions with a finite required resolution. Only these
+// are passed to Support and to the D(k) construction.
+func Supportable(es []*pathexpr.Expr) []*pathexpr.Expr {
+	var out []*pathexpr.Expr
+	for _, e := range es {
+		if !e.HasWildcard() && e.RequiredK() != pathexpr.Unbounded {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Fingerprint hashes the complete observable state of an M*(k)-index —
+// per component: every live node's ID, local similarity, extent, and child
+// list — so any mutation of a supposedly immutable snapshot changes it.
+func Fingerprint(ms *core.MStar) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	w := func(x int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(x))
+		h.Write(buf[:])
+	}
+	for i := 0; i < ms.NumComponents(); i++ {
+		comp := ms.Component(i)
+		w(int64(i))
+		comp.ForEachNode(func(n *index.Node) {
+			w(int64(n.ID()))
+			w(int64(n.K()))
+			for _, o := range n.Extent() {
+				w(int64(o))
+			}
+			for _, c := range comp.Children(n) {
+				w(int64(c.ID()))
+			}
+		})
+	}
+	return h.Sum64()
+}

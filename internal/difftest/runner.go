@@ -1,0 +1,218 @@
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mrx/internal/graph"
+	"mrx/internal/gtest"
+	"mrx/internal/pathexpr"
+)
+
+// CaseOptions fully determines one differential case: a random graph, a
+// random workload, and a randomized schedule interleaving queries with
+// refinement steps across every serving path.
+type CaseOptions struct {
+	// Seed drives the graph (Seed), workload (Seed+1), and schedule
+	// (Seed+2) generators.
+	Seed     int64
+	Graph    gtest.Options
+	Workload gtest.WorkloadOptions
+	Paths    PathsOptions
+	// QueriesPerExpr is how many times each workload expression is queried
+	// across the schedule (min 1; refinement steps are shuffled in
+	// between, so repeats observe different index states).
+	QueriesPerExpr int
+	// CheckBisim extends the invariant checks run after every refinement
+	// step with the expensive P1 verification (extents k-bisimilar).
+	CheckBisim bool
+}
+
+// RandomCase derives a randomized CaseOptions from a seed: graph shape
+// (tree / DAG / cyclic), size, label count and skew, reference density, and
+// workload composition all vary with the seed. Node count is clamped to
+// [minNodes, maxNodes].
+func RandomCase(seed int64, minNodes, maxNodes int, checkBisim bool) CaseOptions {
+	if minNodes < 2 {
+		minNodes = 2
+	}
+	if maxNodes < minNodes {
+		maxNodes = minNodes
+	}
+	rng := rand.New(rand.NewSource(seed))
+	shapes := []gtest.Shape{gtest.Cyclic, gtest.Tree, gtest.DAG}
+	o := CaseOptions{
+		Seed: seed,
+		Graph: gtest.Options{
+			Nodes:       minNodes + rng.Intn(maxNodes-minNodes+1),
+			Labels:      2 + rng.Intn(5),
+			RefProb:     rng.Float64() * 0.35,
+			Shape:       shapes[rng.Intn(len(shapes))],
+			ShallowBias: rng.Intn(3) == 0,
+		},
+		Workload: gtest.WorkloadOptions{
+			Size:        6 + rng.Intn(4),
+			MaxLen:      1 + rng.Intn(4),
+			Adversarial: 0.25,
+			Rooted:      0.25,
+			Wildcard:    0.15,
+			DescAxis:    0.1,
+		},
+		QueriesPerExpr: 2,
+		CheckBisim:     checkBisim,
+	}
+	if rng.Intn(2) == 0 {
+		o.Graph.Skew = 1.5
+	}
+	return o
+}
+
+// op is one schedule entry: query workload expression expr on every path,
+// or refine every adaptive path for it.
+type op struct {
+	support bool
+	expr    int
+}
+
+// RunCase builds every serving path over the case's graph and executes its
+// randomized schedule, failing tb on any divergence from the reference
+// evaluator or any violated structural invariant.
+func RunCase(tb testing.TB, o CaseOptions) {
+	tb.Helper()
+	g := gtest.New(o.Seed, o.Graph)
+	exprs := parseAll(tb, gtest.RandomWorkload(o.Seed+1, g, o.Workload))
+	paths, err := BuildPaths(g, exprs, o.Paths)
+	if err != nil {
+		tb.Fatalf("seed %d: %v", o.Seed, err)
+	}
+
+	oracle := make(map[string][]graph.NodeID)
+	truth := func(e *pathexpr.Expr) []graph.NodeID {
+		key := e.String()
+		if _, ok := oracle[key]; !ok {
+			oracle[key] = SlowEval(g, e)
+		}
+		return oracle[key]
+	}
+	queryAll := func(e *pathexpr.Expr) {
+		want := truth(e)
+		for _, p := range paths {
+			res := p.Querier.Query(e)
+			if err := sortedUnique(res.Answer); err != nil {
+				tb.Fatalf("seed %d: %s: %s: %v", o.Seed, p.Name, e, err)
+			}
+			if !equalIDs(res.Answer, want) {
+				tb.Fatalf("seed %d: %s: %s: answer %v, reference %v",
+					o.Seed, p.Name, e, res.Answer, want)
+			}
+		}
+	}
+
+	supportable := make(map[int]bool)
+	for i, e := range exprs {
+		supportable[i] = !e.HasWildcard() && e.RequiredK() != pathexpr.Unbounded
+	}
+
+	qn := o.QueriesPerExpr
+	if qn < 1 {
+		qn = 1
+	}
+	var ops []op
+	for i := range exprs {
+		for q := 0; q < qn; q++ {
+			ops = append(ops, op{expr: i})
+		}
+		if supportable[i] {
+			ops = append(ops, op{support: true, expr: i})
+		}
+	}
+	rng := rand.New(rand.NewSource(o.Seed + 2))
+	rng.Shuffle(len(ops), func(i, j int) { ops[i], ops[j] = ops[j], ops[i] })
+
+	for _, step := range ops {
+		e := exprs[step.expr]
+		if !step.support {
+			queryAll(e)
+			continue
+		}
+		for _, p := range paths {
+			if p.Support == nil {
+				continue
+			}
+			p.Support(e)
+			if p.Check != nil {
+				if err := p.Check(o.CheckBisim); err != nil {
+					tb.Fatalf("seed %d: %s: invariants after Support(%s): %v",
+						o.Seed, p.Name, e, err)
+				}
+			}
+			// Refinement must preserve the answer it just made precise.
+			res := p.Querier.Query(e)
+			if !equalIDs(res.Answer, truth(e)) {
+				tb.Fatalf("seed %d: %s: answer changed by Support(%s): %v, reference %v",
+					o.Seed, p.Name, e, res.Answer, truth(e))
+			}
+		}
+	}
+	for _, p := range paths {
+		if p.Finish != nil {
+			if err := p.Finish(); err != nil {
+				tb.Fatalf("seed %d: %s: %v", o.Seed, p.Name, err)
+			}
+		}
+	}
+}
+
+// Run executes cfg.Cases randomized differential cases as subtests.
+type Config struct {
+	Cases              int
+	Seed               int64
+	MinNodes, MaxNodes int
+	CheckBisim         bool
+}
+
+// Run derives one RandomCase per index and runs them as parallel subtests.
+func Run(t *testing.T, cfg Config) {
+	for i := 0; i < cfg.Cases; i++ {
+		o := RandomCase(cfg.Seed+int64(i), cfg.MinNodes, cfg.MaxNodes, cfg.CheckBisim)
+		t.Run(fmt.Sprintf("case%03d_%s", i, o.Graph.Shape), func(t *testing.T) {
+			t.Parallel()
+			RunCase(t, o)
+		})
+	}
+}
+
+func parseAll(tb testing.TB, ws []string) []*pathexpr.Expr {
+	tb.Helper()
+	out := make([]*pathexpr.Expr, len(ws))
+	for i, s := range ws {
+		e, err := pathexpr.Parse(s)
+		if err != nil {
+			tb.Fatalf("workload generated unparseable expression %q: %v", s, err)
+		}
+		out[i] = e
+	}
+	return out
+}
+
+func sortedUnique(ids []graph.NodeID) error {
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			return fmt.Errorf("answer not sorted/unique at %d: %v", i, ids)
+		}
+	}
+	return nil
+}
+
+func equalIDs(a, b []graph.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

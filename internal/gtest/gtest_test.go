@@ -1,0 +1,111 @@
+package gtest
+
+import (
+	"testing"
+
+	"mrx/internal/graph"
+	"mrx/internal/pathexpr"
+	"mrx/internal/query"
+)
+
+// The Options entry point must preserve the historical output of the
+// convenience wrappers: every seeded test in the repository depends on it.
+func TestWrappersMatchNew(t *testing.T) {
+	a := Random(7, 120, 5, 0.25)
+	b := New(7, Options{Nodes: 120, Labels: 5, RefProb: 0.25})
+	if !sameGraph(a, b) {
+		t.Error("Random diverged from New with equivalent options")
+	}
+	a = RandomShallow(11, 90, 4)
+	b = New(11, Options{Nodes: 90, Labels: 4, Shape: Tree, ShallowBias: true})
+	if !sameGraph(a, b) {
+		t.Error("RandomShallow diverged from New with equivalent options")
+	}
+}
+
+func sameGraph(a, b *graph.Graph) bool {
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	for v := 0; v < a.NumNodes(); v++ {
+		id := graph.NodeID(v)
+		if a.NodeLabelName(id) != b.NodeLabelName(id) {
+			return false
+		}
+		ac, bc := a.Children(id), b.Children(id)
+		if len(ac) != len(bc) {
+			return false
+		}
+		for i := range ac {
+			if ac[i] != bc[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestShapes(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		tree := New(seed, Options{Nodes: 80, Labels: 4, RefProb: 0.5, Shape: Tree})
+		if tree.NumRefEdges() != 0 {
+			t.Fatalf("seed %d: tree shape has %d reference edges", seed, tree.NumRefEdges())
+		}
+		dag := New(seed, Options{Nodes: 80, Labels: 4, RefProb: 0.5, Shape: DAG})
+		// Forward-only edges cannot close a cycle over the (forward) tree.
+		for v := 0; v < dag.NumNodes(); v++ {
+			for _, c := range dag.Children(graph.NodeID(v)) {
+				if int(c) <= v {
+					t.Fatalf("seed %d: DAG has back edge %d->%d", seed, v, c)
+				}
+			}
+		}
+	}
+}
+
+func TestSkewBiasesLabels(t *testing.T) {
+	g := New(3, Options{Nodes: 5000, Labels: 10, Skew: 2})
+	counts := g.LabelCounts()
+	l0, _ := g.LabelIDOf("l0")
+	l9, ok := g.LabelIDOf("l9")
+	if !ok {
+		return // so skewed the rarest label never appeared: fine
+	}
+	if counts[l0] <= counts[l9] {
+		t.Errorf("skew 2: l0 count %d not above l9 count %d", counts[l0], counts[l9])
+	}
+}
+
+// Witnessed workload expressions must actually match something on the graph
+// they were sampled from.
+func TestRandomWorkloadWitnessed(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g := New(seed, Options{Nodes: 100, Labels: 4, RefProb: 0.2})
+		di := query.NewDataIndex(g)
+		ws := RandomWorkload(seed, g, WorkloadOptions{Size: 20, MaxLen: 4, Rooted: 0.3})
+		if len(ws) != 20 {
+			t.Fatalf("seed %d: got %d expressions, want 20", seed, len(ws))
+		}
+		for _, s := range ws {
+			e, err := pathexpr.Parse(s)
+			if err != nil {
+				t.Fatalf("seed %d: generated unparseable expression %q: %v", seed, s, err)
+			}
+			if len(di.Eval(e)) == 0 {
+				t.Errorf("seed %d: witnessed expression %q matches nothing", seed, s)
+			}
+		}
+	}
+}
+
+func TestRandomWorkloadParses(t *testing.T) {
+	g := New(9, Options{Nodes: 60, Labels: 3, RefProb: 0.2})
+	ws := RandomWorkload(9, g, WorkloadOptions{
+		Size: 50, MaxLen: 5, Adversarial: 0.5, Rooted: 0.3, Wildcard: 0.2,
+	})
+	for _, s := range ws {
+		if _, err := pathexpr.Parse(s); err != nil {
+			t.Fatalf("generated unparseable expression %q: %v", s, err)
+		}
+	}
+}

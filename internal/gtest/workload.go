@@ -1,0 +1,126 @@
+package gtest
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"mrx/internal/graph"
+)
+
+// WorkloadOptions configures RandomWorkload.
+type WorkloadOptions struct {
+	// Size is the number of expressions to generate (min 1).
+	Size int
+	// MaxLen caps the number of edges per expression (min 1).
+	MaxLen int
+	// Adversarial is the fraction of expressions assembled from shuffled or
+	// nonexistent labels instead of witnessed walks; they usually match
+	// nothing, exercising the empty-answer paths of every index.
+	Adversarial float64
+	// Rooted is the fraction of witnessed expressions anchored at the root
+	// (/a/b instead of //a/b).
+	Rooted float64
+	// Wildcard is the per-step probability of replacing a label with *.
+	Wildcard float64
+	// DescAxis is the per-join probability of using the descendant axis
+	// (a//b) between two witnessed steps; a direct child is also a
+	// descendant, so the expression stays witnessed. Such expressions have
+	// unbounded length and are never usable as FUPs.
+	DescAxis float64
+}
+
+// RandomWorkload generates a deterministic query workload for g as path-
+// expression strings (parse with pathexpr.Parse). Witnessed expressions are
+// sampled by walking child edges from a random start node, so each one is
+// guaranteed to match at least the walk's final node; adversarial ones are
+// built from shuffled or unknown labels and usually match nothing.
+func RandomWorkload(seed int64, g *graph.Graph, o WorkloadOptions) []string {
+	if o.Size < 1 {
+		o.Size = 1
+	}
+	if o.MaxLen < 1 {
+		o.MaxLen = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]string, 0, o.Size)
+	for len(out) < o.Size {
+		if rng.Float64() < o.Adversarial {
+			out = append(out, adversarialExpr(rng, g, o.MaxLen))
+			continue
+		}
+		out = append(out, witnessedExpr(rng, g, o))
+	}
+	return out
+}
+
+// witnessedExpr samples a label path that provably occurs in g by walking
+// child edges; rooted expressions start the walk at the root.
+func witnessedExpr(rng *rand.Rand, g *graph.Graph, o WorkloadOptions) string {
+	rooted := rng.Float64() < o.Rooted
+	var v graph.NodeID
+	if rooted {
+		v = g.Root()
+	} else {
+		v = graph.NodeID(rng.Intn(g.NumNodes()))
+	}
+	want := 1 + rng.Intn(o.MaxLen)
+	var labels []string
+	if !rooted {
+		labels = append(labels, g.NodeLabelName(v))
+	}
+	for len(labels) < want+1 {
+		kids := g.Children(v)
+		if len(kids) == 0 {
+			break
+		}
+		v = kids[rng.Intn(len(kids))]
+		labels = append(labels, g.NodeLabelName(v))
+	}
+	if len(labels) == 0 {
+		// The root had no children; fall back to its own label path.
+		labels = append(labels, g.NodeLabelName(g.Root()))
+		rooted = false
+	}
+	for i := range labels {
+		if rng.Float64() < o.Wildcard {
+			labels[i] = "*"
+		}
+	}
+	var b strings.Builder
+	if rooted {
+		b.WriteString("/")
+	} else {
+		b.WriteString("//")
+	}
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteString("/")
+			if rng.Float64() < o.DescAxis {
+				b.WriteString("/")
+			}
+		}
+		b.WriteString(l)
+	}
+	return b.String()
+}
+
+// adversarialExpr assembles an expression from labels that exist in g but in
+// a random order, or from labels that do not exist at all.
+func adversarialExpr(rng *rand.Rand, g *graph.Graph, maxLen int) string {
+	steps := 1 + rng.Intn(maxLen)
+	labels := make([]string, steps+1)
+	for i := range labels {
+		switch rng.Intn(3) {
+		case 0:
+			labels[i] = fmt.Sprintf("zz%d", rng.Intn(4)) // label not in g
+		default:
+			labels[i] = g.LabelName(graph.LabelID(rng.Intn(g.NumLabels())))
+		}
+	}
+	prefix := "//"
+	if rng.Intn(4) == 0 {
+		prefix = "/"
+	}
+	return prefix + strings.Join(labels, "/")
+}

@@ -34,6 +34,13 @@ func FromExtents(data *graph.Graph, extents [][]graph.NodeID, ks []int) (*Graph,
 		}
 		extent = append([]graph.NodeID(nil), extent...)
 		sort.Slice(extent, func(a, b int) bool { return extent[a] < extent[b] })
+		// Range-check before the first Label call: extents read from
+		// untrusted (possibly corrupted) files reach here unvalidated.
+		for _, o := range extent {
+			if o < 0 || int(o) >= data.NumNodes() {
+				return nil, fmt.Errorf("index: extent %d references data node %d out of range", bi, o)
+			}
+		}
 		label := data.Label(extent[0])
 		n := &Node{
 			id:       NodeID(bi),
@@ -44,9 +51,6 @@ func FromExtents(data *graph.Graph, extents [][]graph.NodeID, ks []int) (*Graph,
 			children: make(map[NodeID]struct{}),
 		}
 		for _, o := range extent {
-			if o < 0 || int(o) >= data.NumNodes() {
-				return nil, fmt.Errorf("index: extent %d references data node %d out of range", bi, o)
-			}
 			if ig.nodeOf[o] != -1 {
 				return nil, fmt.Errorf("index: data node %d in two extents", o)
 			}

@@ -210,3 +210,43 @@ func TestDownValidatorDescendant(t *testing.T) {
 		t.Error("no visits recorded")
 	}
 }
+
+// A node on a cycle is its own strict ancestor, so it can both anchor a
+// descendant-axis expression and terminate it. Regression for Validator.reach
+// pre-marking the candidate visited, which made it skip the cycle back to
+// itself: on a -> b -> a with a under the root, /*//a must include a.
+func TestValidatorDescendantCycleToSelf(t *testing.T) {
+	b := graph.NewBuilder()
+	b.AddNode("root")
+	b.AddNode("a")
+	b.AddNode("b")
+	b.AddEdge(0, 1, graph.TreeEdge)
+	b.AddEdge(1, 2, graph.TreeEdge)
+	b.AddEdge(2, 1, graph.RefEdge)
+	g := b.MustFreeze()
+
+	for _, tc := range []struct {
+		expr string
+		node graph.NodeID
+		want bool
+	}{
+		{"/*//a", 1, true},  // a is a descendant of itself via b
+		{"//a//a", 1, true}, // same cycle, unrooted
+		{"/*//b", 2, true},
+		{"//b//b", 2, true},
+		{"/a//a", 1, true},
+		{"/b//b", 2, false}, // b is not a child of the root
+	} {
+		e := pathexpr.MustParse(tc.expr)
+		if got := NewValidator(g, e).Matches(tc.node); got != tc.want {
+			t.Errorf("%s on node %d: got %v, want %v", tc.expr, tc.node, got, tc.want)
+		}
+		want := map[graph.NodeID]bool{}
+		for _, v := range NewDataIndex(g).Eval(e) {
+			want[v] = true
+		}
+		if want[tc.node] != tc.want {
+			t.Errorf("%s: DataIndex.Eval disagrees on node %d", tc.expr, tc.node)
+		}
+	}
+}

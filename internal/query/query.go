@@ -175,7 +175,10 @@ func (va *Validator) reach(v graph.NodeID, step int) bool {
 	if r, ok := va.memo[key]; ok {
 		return r
 	}
-	visited := map[graph.NodeID]bool{v: true}
+	// v itself is deliberately not pre-marked visited: when a cycle leads
+	// back to it, v is its own strict ancestor and must be match-tested like
+	// any other node the BFS reaches.
+	visited := make(map[graph.NodeID]bool)
 	queue := []graph.NodeID{v}
 	res := false
 	for len(queue) > 0 && !res {

@@ -1,0 +1,114 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+
+	"mrx/internal/baseline"
+	"mrx/internal/core"
+	"mrx/internal/graph"
+	"mrx/internal/gtest"
+	"mrx/internal/pathexpr"
+)
+
+// fuzzGraph is the fixed data graph the index/M*(k) fuzz targets read
+// against; deserializing an index requires its data graph.
+func fuzzGraph() *graph.Graph { return gtest.Random(4, 40, 3, 0.2) }
+
+func seedBytes(tb testing.TB, write func(*bytes.Buffer) error) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	if err := write(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzStoreGraph feeds arbitrary bytes to the graph reader: it must error
+// on anything malformed — never panic, never over-allocate — and any
+// accepted graph must survive a write/read round trip unchanged.
+func FuzzStoreGraph(f *testing.F) {
+	valid := seedBytes(f, func(b *bytes.Buffer) error { return WriteGraph(b, fuzzGraph()) })
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte(graphMagic))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadGraph(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteGraph(&buf, g); err != nil {
+			t.Fatalf("accepted graph failed to serialize: %v", err)
+		}
+		g2, err := ReadGraph(&buf)
+		if err != nil {
+			t.Fatalf("round trip of accepted graph failed: %v", err)
+		}
+		if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() ||
+			g2.NumLabels() != g.NumLabels() || g2.NumRefEdges() != g.NumRefEdges() {
+			t.Fatalf("round trip changed shape: %d/%d/%d/%d -> %d/%d/%d/%d",
+				g.NumNodes(), g.NumEdges(), g.NumLabels(), g.NumRefEdges(),
+				g2.NumNodes(), g2.NumEdges(), g2.NumLabels(), g2.NumRefEdges())
+		}
+	})
+}
+
+// FuzzStoreIndex feeds arbitrary bytes to the single-index reader over a
+// fixed data graph: error or a structurally valid index, never a panic.
+func FuzzStoreIndex(f *testing.F) {
+	g := fuzzGraph()
+	f.Add(seedBytes(f, func(b *bytes.Buffer) error { return WriteIndex(b, baseline.AK(g, 1)) }))
+	f.Add(seedBytes(f, func(b *bytes.Buffer) error {
+		one, _ := baseline.OneIndex(g)
+		return WriteIndex(b, one)
+	}))
+	f.Add([]byte(indexMagic))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ig, err := ReadIndex(bytes.NewReader(data), g)
+		if err != nil {
+			return
+		}
+		// Structural invariants (partition, adjacency, counters) must hold
+		// for anything the reader accepts; P1 (bisimilarity of extents) is
+		// deliberately not promised — k values are data, not derivable.
+		if err := ig.Validate(false); err != nil {
+			t.Fatalf("accepted index violates invariants: %v", err)
+		}
+	})
+}
+
+// FuzzStoreMStar feeds arbitrary bytes to the selective M*(k) reader:
+// error or a hierarchy passing the M*(k) structural invariants (nested
+// partitions, bounded similarities), never a panic or over-allocation.
+func FuzzStoreMStar(f *testing.F) {
+	g := fuzzGraph()
+	valid := seedBytes(f, func(b *bytes.Buffer) error {
+		ms := core.NewMStar(g)
+		ms.Support(pathexpr.MustParse("//l0/l1"))
+		ms.Support(pathexpr.MustParse("//l1/l2/l0"))
+		return WriteMStar(b, ms)
+	})
+	f.Add(valid)
+	f.Add(valid[:len(valid)*2/3])
+	f.Add([]byte(mstarMagic))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		mr, err := OpenMStar(bytes.NewReader(data), g)
+		if err != nil {
+			return
+		}
+		// Load one component first, then the rest: the incremental path and
+		// the full path must both be panic-free.
+		if _, err := mr.LoadUpTo(0); err != nil {
+			return
+		}
+		ms, err := mr.LoadUpTo(mr.NumComponents() - 1)
+		if err != nil {
+			return
+		}
+		if err := ms.Validate(false); err != nil {
+			t.Fatalf("accepted M*(k) hierarchy violates invariants: %v", err)
+		}
+	})
+}

@@ -1,0 +1,153 @@
+package store
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mrx/internal/core"
+	"mrx/internal/graph"
+	"mrx/internal/gtest"
+	"mrx/internal/index"
+	"mrx/internal/pathexpr"
+	"mrx/internal/query"
+)
+
+// Every selective-load prefix I0..Ij must answer exactly like the original
+// in-memory index — precisely for expressions of length ≤ j, and via
+// validation beyond that — across a workload spanning all lengths.
+func TestLoadUpToEveryPrefixAnswers(t *testing.T) {
+	g := gtest.New(21, gtest.Options{Nodes: 90, Labels: 4, RefProb: 0.15, Shape: gtest.DAG})
+	ms := core.NewMStar(g)
+	for _, s := range []string{"//l0/l1", "//l1/l2/l3/l0", "//l2/l0/l1"} {
+		ms.Support(pathexpr.MustParse(s))
+	}
+	var buf bytes.Buffer
+	if err := WriteMStar(&buf, ms); err != nil {
+		t.Fatal(err)
+	}
+	workload := gtest.RandomWorkload(21, g, gtest.WorkloadOptions{
+		Size: 12, MaxLen: 5, Adversarial: 0.25, Rooted: 0.25,
+	})
+
+	mr, err := OpenMStar(bytes.NewReader(buf.Bytes()), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < mr.NumComponents(); j++ {
+		partial, err := mr.LoadUpTo(j)
+		if err != nil {
+			t.Fatalf("LoadUpTo(%d): %v", j, err)
+		}
+		if got := partial.NumComponents(); got != j+1 {
+			t.Fatalf("LoadUpTo(%d) materialized %d components", j, got)
+		}
+		if err := partial.Validate(false); err != nil {
+			t.Fatalf("LoadUpTo(%d): %v", j, err)
+		}
+		for _, s := range workload {
+			e := pathexpr.MustParse(s)
+			want := ms.Query(e)
+			got := partial.Query(e)
+			if !reflect.DeepEqual(got.Answer, want.Answer) {
+				t.Errorf("I0..I%d: %s: answer %v, full index %v", j, e, got.Answer, want.Answer)
+			}
+			// Precision (no validation needed) is a property of how refined
+			// the serving component is; once the prefix covers RequiredK it
+			// must match the full index exactly.
+			if k := e.RequiredK(); k != pathexpr.Unbounded && k <= j && got.Precise != want.Precise {
+				t.Errorf("I0..I%d: %s (RequiredK %d): precise=%v, full index %v",
+					j, e, k, got.Precise, want.Precise)
+			}
+		}
+	}
+}
+
+// Truncation inside a later component must not poison earlier ones: the
+// header and intact prefix components load and serve, and only the load
+// that reaches the damaged section errors, naming the component.
+func TestLoadUpToTruncatedTailSection(t *testing.T) {
+	g := gtest.Random(22, 70, 3, 0.2)
+	ms := core.NewMStar(g)
+	ms.Support(pathexpr.MustParse("//l0/l1/l2"))
+	if ms.NumComponents() < 3 {
+		t.Fatalf("want ≥3 components, got %d", ms.NumComponents())
+	}
+	var buf bytes.Buffer
+	if err := WriteMStar(&buf, ms); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	last := ms.NumComponents() - 1
+
+	for _, cut := range []int{1, 8} {
+		mr, err := OpenMStar(bytes.NewReader(data[:len(data)-cut]), g)
+		if err != nil {
+			t.Fatalf("cut %d: header failed: %v", cut, err)
+		}
+		partial, err := mr.LoadUpTo(last - 1)
+		if err != nil {
+			t.Fatalf("cut %d: intact prefix failed: %v", cut, err)
+		}
+		e := pathexpr.MustParse("//l0/l1")
+		if got, want := partial.Query(e).Answer, ms.Query(e).Answer; !reflect.DeepEqual(got, want) {
+			t.Errorf("cut %d: prefix answer %v, want %v", cut, got, want)
+		}
+		_, err = mr.LoadUpTo(last)
+		if err == nil {
+			t.Fatalf("cut %d: truncated component I%d accepted", cut, last)
+		}
+		if !strings.Contains(err.Error(), "component I") {
+			t.Errorf("cut %d: error does not name the component: %v", cut, err)
+		}
+	}
+}
+
+// ReadIndex must reject files whose similarity values break the structural
+// invariants even when the extents themselves are well-formed: k is data,
+// and corrupt data must not produce an index that serves wrong answers.
+func TestReadIndexRejectsInvalidSimilarities(t *testing.T) {
+	b := graph.NewBuilder()
+	b.AddNode("r")
+	b.AddNode("a")
+	b.AddNode("b")
+	b.AddEdge(0, 1, graph.TreeEdge)
+	b.AddEdge(1, 2, graph.TreeEdge)
+	g := b.MustFreeze()
+
+	// Singleton extents with a(k=0) parenting b(k=5) violate P3.
+	bad, err := index.FromExtents(g,
+		[][]graph.NodeID{{0}, {1}, {2}}, []int{5, 0, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteIndex(&buf, bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadIndex(bytes.NewReader(buf.Bytes()), g); err == nil {
+		t.Fatal("P3-violating index accepted")
+	} else if !strings.Contains(err.Error(), "store: index") {
+		t.Errorf("error does not name the section: %v", err)
+	}
+
+	// Sanity: a well-formed index with the same shape still loads and serves.
+	good, err := index.FromExtents(g,
+		[][]graph.NodeID{{0}, {1}, {2}}, []int{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := WriteIndex(&buf, good); err != nil {
+		t.Fatal(err)
+	}
+	ig, err := ReadIndex(bytes.NewReader(buf.Bytes()), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := pathexpr.MustParse("//a/b")
+	if got := query.EvalIndex(ig, e).Answer; !reflect.DeepEqual(got, []graph.NodeID{2}) {
+		t.Errorf("//a/b = %v", got)
+	}
+}

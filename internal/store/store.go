@@ -20,7 +20,6 @@ package store
 import (
 	"bufio"
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"io"
 
@@ -33,6 +32,15 @@ const (
 	graphMagic = "mrxG1\n"
 	indexMagic = "mrxI1\n"
 	mstarMagic = "mrxM1\n"
+
+	// Sanity caps applied before any length-prefix-driven allocation, so a
+	// corrupted or adversarial file can never make a reader over-allocate:
+	// readers validate every prefix against these and against the remaining
+	// structure (node counts, extent sizes) before calling make.
+	maxSaneString = 1 << 24 // longest accepted label name
+	maxSaneLabels = 1 << 24 // distinct labels per graph
+	maxSaneNodes  = 1 << 31 // nodes per graph
+	maxSaneK      = 1 << 20 // local similarity (baseline.KInfinity)
 )
 
 type countingWriter struct {
@@ -68,7 +76,7 @@ func (rd *reader) str() (string, error) {
 	if err != nil {
 		return "", err
 	}
-	if n > 1<<24 {
+	if n > maxSaneString {
 		return "", fmt.Errorf("store: string of %d bytes exceeds sanity limit", n)
 	}
 	buf := make([]byte, n)
@@ -132,34 +140,39 @@ func WriteGraph(w io.Writer, g *graph.Graph) error {
 	return cw.w.Flush()
 }
 
-// ReadGraph deserializes a data graph.
+// ReadGraph deserializes a data graph. Errors name the corrupt section of
+// the file; no input, truncated or corrupted, makes it panic or allocate
+// beyond the sanity caps.
 func ReadGraph(r io.Reader) (*graph.Graph, error) {
 	rd := &reader{r: bufio.NewReader(r)}
 	if err := expectMagic(rd, graphMagic); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("store: graph magic: %w", err)
 	}
 	nLabels, err := rd.uvarint()
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("store: graph label count: %w", err)
+	}
+	if nLabels > maxSaneLabels {
+		return nil, fmt.Errorf("store: graph label count %d exceeds sanity limit", nLabels)
 	}
 	labels := make([]string, nLabels)
 	for i := range labels {
 		if labels[i], err = rd.str(); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("store: graph label %d: %w", i, err)
 		}
 	}
 	nNodes, err := rd.uvarint()
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("store: graph node count: %w", err)
 	}
-	if nNodes > 1<<31 {
-		return nil, errors.New("store: node count exceeds sanity limit")
+	if nNodes > maxSaneNodes {
+		return nil, fmt.Errorf("store: graph node count %d exceeds sanity limit", nNodes)
 	}
 	b := graph.NewBuilder()
 	for v := uint64(0); v < nNodes; v++ {
 		li, err := rd.uvarint()
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("store: graph node %d label: %w", v, err)
 		}
 		if li >= nLabels {
 			return nil, fmt.Errorf("store: node %d has label %d out of range", v, li)
@@ -169,7 +182,7 @@ func ReadGraph(r io.Reader) (*graph.Graph, error) {
 	for v := uint64(0); v < nNodes; v++ {
 		deg, err := rd.uvarint()
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("store: graph node %d out-degree: %w", v, err)
 		}
 		if deg > nNodes {
 			return nil, fmt.Errorf("store: node %d has degree %d out of range", v, deg)
@@ -178,13 +191,16 @@ func ReadGraph(r io.Reader) (*graph.Graph, error) {
 		for i := uint64(0); i < deg; i++ {
 			delta, err := rd.uvarint()
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("store: graph node %d edges: %w", v, err)
 			}
 			child := prev + int64(delta)
 			prev = child
+			if child >= int64(nNodes) {
+				return nil, fmt.Errorf("store: node %d has edge to %d, beyond %d nodes", v, child, nNodes)
+			}
 			kind, err := rd.uvarint()
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("store: graph node %d edges: %w", v, err)
 			}
 			if kind > uint64(graph.RefEdge) {
 				return nil, fmt.Errorf("store: bad edge kind %d", kind)
@@ -226,7 +242,7 @@ func writeIndexBody(cw *countingWriter, ig *index.Graph) error {
 func readIndexBody(rd *reader, g *graph.Graph) (*index.Graph, error) {
 	nNodes, err := rd.uvarint()
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("store: index node count: %w", err)
 	}
 	if nNodes > uint64(g.NumNodes()) {
 		return nil, fmt.Errorf("store: %d index nodes for %d data nodes", nNodes, g.NumNodes())
@@ -236,12 +252,15 @@ func readIndexBody(rd *reader, g *graph.Graph) (*index.Graph, error) {
 	for i := uint64(0); i < nNodes; i++ {
 		k, err := rd.uvarint()
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("store: index node %d similarity: %w", i, err)
+		}
+		if k > maxSaneK {
+			return nil, fmt.Errorf("store: index node %d has similarity %d beyond sanity limit", i, k)
 		}
 		ks[i] = int(k)
 		size, err := rd.uvarint()
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("store: index node %d extent size: %w", i, err)
 		}
 		if size == 0 || size > uint64(g.NumNodes()) {
 			return nil, fmt.Errorf("store: extent %d has bad size %d", i, size)
@@ -251,9 +270,12 @@ func readIndexBody(rd *reader, g *graph.Graph) (*index.Graph, error) {
 		for j := range extent {
 			delta, err := rd.uvarint()
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("store: index node %d extent: %w", i, err)
 			}
 			prev += int64(delta)
+			if prev >= int64(g.NumNodes()) {
+				return nil, fmt.Errorf("store: extent %d references data node %d, beyond %d nodes", i, prev, g.NumNodes())
+			}
 			extent[j] = graph.NodeID(prev)
 		}
 		extents[i] = extent
@@ -281,16 +303,27 @@ func WriteIndex(w io.Writer, ig *index.Graph) error {
 func ReadIndex(r io.Reader, g *graph.Graph) (*index.Graph, error) {
 	rd := &reader{r: bufio.NewReader(r)}
 	if err := expectMagic(rd, indexMagic); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("store: index magic: %w", err)
 	}
 	n, err := rd.uvarint()
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("store: index header: %w", err)
 	}
 	if n != uint64(g.NumNodes()) {
 		return nil, fmt.Errorf("store: index built over %d data nodes, graph has %d", n, g.NumNodes())
 	}
-	return readIndexBody(rd, g)
+	ig, err := readIndexBody(rd, g)
+	if err != nil {
+		return nil, err
+	}
+	// Similarities are data, not derivable: a corrupted file can encode k
+	// values that break the structural invariants (e.g. P3). Reject at load
+	// rather than letting a bad index serve wrong answers. M*(k) loads get
+	// the same check inside MStarFromComponents.
+	if err := ig.Validate(false); err != nil {
+		return nil, fmt.Errorf("store: index: %w", err)
+	}
+	return ig, nil
 }
 
 // WriteMStar serializes an M*(k)-index as independent per-component
@@ -350,18 +383,18 @@ type MStarReader struct {
 func OpenMStar(r io.Reader, g *graph.Graph) (*MStarReader, error) {
 	rd := &reader{r: bufio.NewReader(r)}
 	if err := expectMagic(rd, mstarMagic); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("store: M*(k) magic: %w", err)
 	}
 	n, err := rd.uvarint()
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("store: M*(k) header: %w", err)
 	}
 	if n != uint64(g.NumNodes()) {
 		return nil, fmt.Errorf("store: M*(k)-index built over %d data nodes, graph has %d", n, g.NumNodes())
 	}
 	total, err := rd.uvarint()
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("store: M*(k) header: %w", err)
 	}
 	if total == 0 || total > 64 {
 		return nil, fmt.Errorf("store: implausible component count %d", total)
@@ -386,12 +419,12 @@ func (mr *MStarReader) LoadUpTo(j int) (*core.MStar, error) {
 	for len(mr.comps) <= j {
 		size, err := mr.rd.uvarint()
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("store: M*(k) component I%d length: %w", len(mr.comps), err)
 		}
 		section := &reader{r: bufio.NewReader(io.LimitReader(mr.rd.r, int64(size)))}
 		comp, err := readIndexBody(section, mr.g)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("store: M*(k) component I%d: %w", len(mr.comps), err)
 		}
 		// Drain any buffered remainder of the section.
 		if _, err := io.Copy(io.Discard, section.r); err != nil {
