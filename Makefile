@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench fuzz cover
+.PHONY: all build vet lint test race check bench fuzz cover
 
 all: check
 
@@ -10,15 +10,22 @@ build:
 vet:
 	$(GO) vet ./...
 
+# lint runs mrlint, the repository's own static-analysis suite
+# (internal/analysis): nopanic, atomicdiscipline, snapshotmut, errwrap and
+# noleak. Suppress a finding with //mrlint:allow <analyzer> <reason>.
+lint:
+	$(GO) run ./cmd/mrlint ./...
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
 
-# check is what CI runs: static analysis, a full build, and the test suite
-# under the race detector (the Engine's concurrency tests need it).
-check: vet build race
+# check is what CI runs: static analysis (vet + mrlint), a full build, and
+# the test suite under the race detector (the Engine's concurrency tests
+# need it).
+check: vet lint build race
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -1,0 +1,181 @@
+// Command mrlint runs the module's static-analysis suite (internal/analysis)
+// over the repository. It is stdlib-only and enforces the project conventions
+// described in DESIGN.md, "Static enforcement of invariants":
+//
+//	nopanic          no panic in library code unless annotated
+//	atomicdiscipline atomic fields are never accessed plainly; no lock copies
+//	snapshotmut      published snapshot/index state is written only by owners
+//	errwrap          store read errors wrap with %w and name the section
+//	noleak           goroutines carry a lifecycle signal; no bare time.Sleep
+//
+// Usage:
+//
+//	mrlint [-json] [packages]
+//
+// Packages follow the go tool's pattern syntax in its common forms: "./..."
+// (the default) loads every package in the module, "./dir/..." a subtree, and
+// a directory or import path a single package. Findings print one per line as
+//
+//	file:line:col: analyzer: message
+//
+// or, with -json, as a JSON array of {file, line, col, analyzer, message}
+// objects. The exit status is 0 when the module is clean, 1 when there are
+// findings, and 2 when loading or type-checking fails.
+//
+// A finding is silenced — deliberately, reviewably — by annotating the line
+// (or the line above) with:
+//
+//	//mrlint:allow <analyzer> <reason>
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mrx/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(argv []string, stdout, stderr io.Writer) int {
+	flags := flag.NewFlagSet("mrlint", flag.ContinueOnError)
+	flags.SetOutput(stderr)
+	jsonOut := flags.Bool("json", false, "emit findings as a JSON array")
+	flags.Usage = func() {
+		fmt.Fprintf(stderr, "usage: mrlint [-json] [packages]\n")
+		flags.PrintDefaults()
+	}
+	if err := flags.Parse(argv); err != nil {
+		return 2
+	}
+	patterns := flags.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "mrlint: %v\n", err)
+		return 2
+	}
+	root, err := analysis.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintf(stderr, "mrlint: %v\n", err)
+		return 2
+	}
+	module, err := analysis.ModulePath(root)
+	if err != nil {
+		fmt.Fprintf(stderr, "mrlint: %v\n", err)
+		return 2
+	}
+
+	pkgs, err := loadPatterns(root, module, cwd, patterns)
+	if err != nil {
+		fmt.Fprintf(stderr, "mrlint: %v\n", err)
+		return 2
+	}
+
+	findings := analysis.Run(pkgs, analysis.DefaultAnalyzers())
+	for i := range findings {
+		if rel, err := filepath.Rel(cwd, findings[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+			findings[i].File = rel
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []analysis.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(stderr, "mrlint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// loadPatterns resolves go-tool-style package patterns against the module and
+// loads the matching packages, deduplicated, in import path order.
+func loadPatterns(root, module, cwd string, patterns []string) ([]*analysis.Package, error) {
+	loader := analysis.NewLoader(root, module)
+	var all []*analysis.Package // LoadAll result, fetched at most once
+	seen := make(map[string]bool)
+	var pkgs []*analysis.Package
+	add := func(p *analysis.Package) {
+		if !seen[p.Path] {
+			seen[p.Path] = true
+			pkgs = append(pkgs, p)
+		}
+	}
+	for _, pattern := range patterns {
+		prefix, recursive, err := resolvePattern(root, module, cwd, pattern)
+		if err != nil {
+			return nil, err
+		}
+		if !recursive {
+			p, err := loader.Load(prefix)
+			if err != nil {
+				return nil, err
+			}
+			add(p)
+			continue
+		}
+		if all == nil {
+			if all, err = loader.LoadAll(); err != nil {
+				return nil, err
+			}
+		}
+		for _, p := range all {
+			if p.Path == prefix || strings.HasPrefix(p.Path, prefix+"/") {
+				add(p)
+			}
+		}
+	}
+	return pkgs, nil
+}
+
+// resolvePattern turns one command line pattern into an import path prefix
+// and a flag saying whether it covers the whole subtree ("..." suffix).
+// Accepted forms: "./...", "./dir", "./dir/...", "dir", and plain import
+// paths like "mrx/internal/store" or "mrx/...".
+func resolvePattern(root, module, cwd, pattern string) (prefix string, recursive bool, err error) {
+	if rest, ok := strings.CutSuffix(pattern, "..."); ok {
+		recursive = true
+		pattern = strings.TrimSuffix(rest, "/")
+		if pattern == "" || pattern == "." {
+			return module, true, nil
+		}
+	}
+	if pattern == module || strings.HasPrefix(pattern, module+"/") {
+		return pattern, recursive, nil
+	}
+	// Treat it as a directory relative to the working directory.
+	dir := pattern
+	if !filepath.IsAbs(dir) {
+		dir = filepath.Join(cwd, dir)
+	}
+	rel, rerr := filepath.Rel(root, dir)
+	if rerr != nil || strings.HasPrefix(rel, "..") {
+		return "", false, fmt.Errorf("pattern %q is outside module %s", pattern, module)
+	}
+	if rel == "." {
+		return module, recursive, nil
+	}
+	return module + "/" + filepath.ToSlash(rel), recursive, nil
+}

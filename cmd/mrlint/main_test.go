@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunCleanModule(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d on the real module\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("clean run should print nothing, got %q", stdout.String())
+	}
+}
+
+func TestRunSinglePackagePattern(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"../../internal/store"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d\nstderr: %s", code, stderr.String())
+	}
+}
+
+func TestRunJSONCleanIsEmptyArray(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", "../../internal/graph"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d\nstderr: %s", code, stderr.String())
+	}
+	var findings []map[string]any
+	if err := json.Unmarshal(stdout.Bytes(), &findings); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, stdout.String())
+	}
+	if len(findings) != 0 {
+		t.Errorf("expected empty array, got %v", findings)
+	}
+}
+
+// writeBadModule creates a throwaway module with one nopanic violation and
+// chdirs into it.
+func writeBadModule(t *testing.T) {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module tmpmod\n\ngo 1.24\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	lib := filepath.Join(dir, "lib")
+	if err := os.Mkdir(lib, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	src := "package lib\n\nfunc Boom() {\n\tpanic(\"x\")\n}\n"
+	if err := os.WriteFile(filepath.Join(lib, "lib.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Chdir(dir)
+}
+
+func TestRunReportsFindingsText(t *testing.T) {
+	writeBadModule(t)
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 1 {
+		t.Fatalf("want exit 1 on a dirty module, got %d\nstderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "nopanic:") || !strings.Contains(out, "lib.go:4:") {
+		t.Errorf("finding not reported as file:line:col: analyzer: message, got %q", out)
+	}
+}
+
+func TestRunReportsFindingsJSON(t *testing.T) {
+	writeBadModule(t)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("want exit 1, got %d\nstderr: %s", code, stderr.String())
+	}
+	var findings []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &findings); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, stdout.String())
+	}
+	if len(findings) != 1 || findings[0].Analyzer != "nopanic" || findings[0].Line != 4 {
+		t.Errorf("unexpected findings: %+v", findings)
+	}
+}
+
+func TestRunBadPattern(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"/definitely/not/in/module"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("want exit 2 for a pattern outside the module, got %d", code)
+	}
+}

@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"testing"
+)
+
+const testdata = "testdata/src"
+
+func TestNoPanic(t *testing.T) {
+	RunTest(t, testdata, "nopanic", NoPanic())
+}
+
+func TestNoPanicMainExempt(t *testing.T) {
+	l := NewLoader(testdata, "")
+	pkg, err := l.Load("nopanicmain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs := Run([]*Package{pkg}, []*Analyzer{NoPanic(), NoLeak()}); len(fs) != 0 {
+		t.Errorf("package main should be exempt from nopanic/noleak, got %v", fs)
+	}
+}
+
+func TestAtomicDiscipline(t *testing.T) {
+	RunTest(t, testdata, "atomicdiscipline", AtomicDiscipline())
+}
+
+func TestSnapshotMut(t *testing.T) {
+	RunTest(t, testdata, "snapshotmut", SnapshotMut(map[string][]string{"frozen": nil}))
+}
+
+func TestSnapshotMutOwnerClean(t *testing.T) {
+	// The owning package itself may write its fields freely.
+	l := NewLoader(testdata, "")
+	pkg, err := l.Load("frozen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := SnapshotMut(map[string][]string{"frozen": nil})
+	if fs := Run([]*Package{pkg}, []*Analyzer{a}); len(fs) != 0 {
+		t.Errorf("owner writes should pass, got %v", fs)
+	}
+}
+
+func TestSnapshotMutAllowedWriter(t *testing.T) {
+	l := NewLoader(testdata, "")
+	pkg, err := l.Load("snapshotwriter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	strict := SnapshotMut(map[string][]string{"frozen": nil})
+	if fs := Run([]*Package{pkg}, []*Analyzer{strict}); len(fs) == 0 {
+		t.Errorf("unlisted writer should be flagged")
+	}
+	relaxed := SnapshotMut(map[string][]string{"frozen": {"snapshotwriter"}})
+	if fs := Run([]*Package{pkg}, []*Analyzer{relaxed}); len(fs) != 0 {
+		t.Errorf("allowed writer should pass, got %v", fs)
+	}
+}
+
+func TestErrWrap(t *testing.T) {
+	RunTest(t, testdata, "errwrap", ErrWrap(ErrWrapConfig{
+		Packages:     map[string]string{"errwrap": "store: "},
+		ReadPrefixes: DefaultReadPrefixes,
+	}))
+}
+
+func TestErrWrapScopedToConfiguredPackages(t *testing.T) {
+	// The same sources under a config that does not cover the package
+	// produce nothing: errwrap is a per-package convention.
+	l := NewLoader(testdata, "")
+	pkg, err := l.Load("errwrap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := ErrWrap(ErrWrapConfig{Packages: map[string]string{"other": "other: "}, ReadPrefixes: DefaultReadPrefixes})
+	if fs := Run([]*Package{pkg}, []*Analyzer{a}); len(fs) != 0 {
+		t.Errorf("uncovered package should pass, got %v", fs)
+	}
+}
+
+func TestNoLeak(t *testing.T) {
+	RunTest(t, testdata, "noleak", NoLeak())
+}
+
+func TestSuppressionRequiresCorrectAnalyzerName(t *testing.T) {
+	// The nopanic testdata includes a site annotated with the wrong
+	// analyzer name and a // want expectation proving the finding survives;
+	// here we additionally pin the counts: exactly two unsuppressed panics.
+	l := NewLoader(testdata, "")
+	pkg, err := l.Load("nopanic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := Run([]*Package{pkg}, []*Analyzer{NoPanic()})
+	if len(fs) != 2 {
+		t.Fatalf("want 2 surviving findings (suppressed sites must not report), got %d: %v", len(fs), fs)
+	}
+}
+
+func TestFindingJSONSchema(t *testing.T) {
+	f := Finding{File: filepath.Join("a", "b.go"), Line: 3, Col: 7, Analyzer: "nopanic", Message: "m"}
+	data, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"file", "line", "col", "analyzer", "message"} {
+		if _, ok := decoded[key]; !ok {
+			t.Errorf("JSON output missing key %q in %s", key, data)
+		}
+	}
+}

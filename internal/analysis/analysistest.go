@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// RunTest loads the package at importPath under root (an analyzer testdata
+// tree laid out as root/<importPath>/*.go), runs the analyzers over it, and
+// compares the findings against `// want` expectation comments in the
+// sources:
+//
+//	panic("boom") // want `panic in library code`
+//
+// Each backquoted or double-quoted string after `want` is a regular
+// expression that must match the message of one finding on that line.
+// Findings with no matching expectation, and expectations with no matching
+// finding, fail the test.
+func RunTest(t *testing.T, root, importPath string, analyzers ...*Analyzer) {
+	t.Helper()
+	l := NewLoader(root, "")
+	pkg, err := l.Load(importPath)
+	if err != nil {
+		t.Fatalf("loading %s: %v", importPath, err)
+	}
+	findings := Run([]*Package{pkg}, analyzers)
+	checkExpectations(t, pkg, findings)
+}
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// parseExpectations extracts // want comments from a package's sources.
+func parseExpectations(pkg *Package) ([]*expectation, error) {
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				i := strings.Index(text, "// want ")
+				if i < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := text[i+len("// want "):]
+				matches := wantRE.FindAllStringSubmatch(rest, -1)
+				if len(matches) == 0 {
+					return nil, fmt.Errorf("%s:%d: want comment without a pattern", pos.Filename, pos.Line)
+				}
+				for _, m := range matches {
+					var pat string
+					if m[0][0] == '`' {
+						pat = m[1]
+					} else {
+						unq, err := strconv.Unquote(m[0])
+						if err != nil {
+							return nil, fmt.Errorf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, m[0], err)
+						}
+						pat = unq
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+func checkExpectations(t *testing.T, pkg *Package, findings []Finding) {
+	t.Helper()
+	wants, err := parseExpectations(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		matched := false
+		for _, w := range wants {
+			if !w.matched && w.file == f.File && w.line == f.Line && w.re.MatchString(f.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicDiscipline returns the analyzer enforcing the two rules that keep
+// the engine's lock-free counters and snapshots honest:
+//
+//  1. A variable or field that is ever accessed through the sync/atomic
+//     functions (atomic.AddInt64(&x, 1), atomic.LoadUint64(&f), ...) must be
+//     accessed that way everywhere: one plain read or write next to atomic
+//     ones is a data race the race detector only catches if a test happens
+//     to interleave it.
+//  2. Values holding synchronization state — sync.Mutex, sync.RWMutex,
+//     sync.WaitGroup, sync.Once, the typed sync/atomic counters, or any
+//     struct containing one (engine.Engine, engine.stats, the latency
+//     histograms) — must never be copied: not assigned by value, not passed
+//     or returned by value, not bound to a value receiver.
+//
+// This is the static shadow of the runtime guarantees around engine.snap,
+// the stats counter block and core.PromotePrimeCalls.
+func AtomicDiscipline() *Analyzer {
+	return &Analyzer{
+		Name: "atomicdiscipline",
+		Doc:  "atomically-accessed state must never be accessed plainly; lock/atomic holders must not be copied",
+		Run:  runAtomicDiscipline,
+	}
+}
+
+func runAtomicDiscipline(pass *Pass) {
+	info := pass.Pkg.Info
+
+	// Pass 1: collect every variable/field whose address is taken by a
+	// sync/atomic call, remembering the exact AST nodes used inside those
+	// calls so pass 2 does not report the atomic accesses themselves.
+	atomicObjs := make(map[types.Object]bool)
+	inAtomicCall := make(map[ast.Node]bool)
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if pkg, _, ok := pkgFuncOf(info, call.Fun); !ok || pkg != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				unary, ok := arg.(*ast.UnaryExpr)
+				if !ok || unary.Op != token.AND {
+					continue
+				}
+				target := unwrapLValue(unary.X)
+				if obj := referencedObject(info, target); obj != nil {
+					atomicObjs[obj] = true
+					inAtomicCall[target] = true
+					if s, ok := target.(*ast.SelectorExpr); ok {
+						inAtomicCall[s.Sel] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: plain accesses to those objects, plus copies of no-copy
+	// values.
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				reportPlainAccess(pass, n, n.Sel, atomicObjs, inAtomicCall)
+			case *ast.Ident:
+				reportPlainAccess(pass, n, n, atomicObjs, inAtomicCall)
+			case *ast.FuncDecl:
+				checkSignatureCopies(pass, n.Recv, n.Type)
+			case *ast.FuncLit:
+				checkSignatureCopies(pass, nil, n.Type)
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					// Assigning to the blank identifier copies to
+					// nowhere; it's the idiom for "use" a value.
+					if len(n.Lhs) == len(n.Rhs) && isBlank(n.Lhs[i]) {
+						continue
+					}
+					checkValueCopy(pass, rhs)
+				}
+			case *ast.RangeStmt:
+				if n.Value != nil {
+					if t := info.TypeOf(n.Value); t != nil && containsNoCopy(t) {
+						pass.Reportf(n.Value.Pos(), "range copies lock or atomic state of type %s by value; iterate by index instead", t)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// referencedObject resolves the variable or struct field an lvalue names.
+func referencedObject(info *types.Info, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			return sel.Obj()
+		}
+		// Package-qualified variable (pkg.Var).
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+func reportPlainAccess(pass *Pass, node ast.Expr, ident *ast.Ident, atomicObjs map[types.Object]bool, inAtomicCall map[ast.Node]bool) {
+	if inAtomicCall[node] {
+		return
+	}
+	info := pass.Pkg.Info
+	var obj types.Object
+	switch n := node.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[n]; ok && sel.Kind() == types.FieldVal {
+			obj = sel.Obj()
+		}
+	case *ast.Ident:
+		if v, ok := info.Uses[n].(*types.Var); ok && !v.IsField() {
+			obj = v
+		}
+	}
+	if obj == nil || !atomicObjs[obj] {
+		return
+	}
+	pass.Reportf(node.Pos(), "%s is accessed with sync/atomic elsewhere; plain reads and writes of it race", obj.Name())
+}
+
+// checkSignatureCopies flags value receivers, parameters and results whose
+// type holds synchronization state.
+func checkSignatureCopies(pass *Pass, recv *ast.FieldList, ft *ast.FuncType) {
+	check := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := pass.Pkg.Info.TypeOf(field.Type)
+			if t == nil {
+				continue
+			}
+			if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+				continue
+			}
+			if containsNoCopy(t) {
+				pass.Reportf(field.Type.Pos(), "%s copies lock or atomic state of type %s by value; use a pointer", what, t)
+			}
+		}
+	}
+	check(recv, "receiver")
+	check(ft.Params, "parameter")
+	check(ft.Results, "result")
+}
+
+// checkValueCopy flags assignments whose right-hand side copies an existing
+// no-copy value (reading a variable, field, element or dereference).
+// Composite literals and calls construct fresh values and are left to the
+// signature checks at their declaration sites.
+func checkValueCopy(pass *Pass, rhs ast.Expr) {
+	switch rhs.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+	default:
+		return
+	}
+	t := pass.Pkg.Info.TypeOf(rhs)
+	if t == nil {
+		return
+	}
+	if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		return
+	}
+	if containsNoCopy(t) {
+		pass.Reportf(rhs.Pos(), "assignment copies lock or atomic state of type %s by value; use a pointer", t)
+	}
+}

@@ -1,0 +1,24 @@
+package analysis
+
+// DefaultAnalyzers returns the five analyzers with this repository's
+// production configuration — what cmd/mrlint and `make lint` run.
+func DefaultAnalyzers() []*Analyzer {
+	return []*Analyzer{
+		NoPanic(),
+		AtomicDiscipline(),
+		SnapshotMut(map[string][]string{
+			// index.Graph nodes (extents, local similarities, adjacency) are
+			// mutated only through package index's own API (Split, SetK);
+			// everything downstream treats them as immutable snapshots.
+			"mrx/internal/index": nil,
+			// engine.Engine's snapshot pointer, counters and registries are
+			// written only by package engine itself.
+			"mrx/internal/engine": nil,
+		}),
+		ErrWrap(ErrWrapConfig{
+			Packages:     map[string]string{"mrx/internal/store": "store: "},
+			ReadPrefixes: DefaultReadPrefixes,
+		}),
+		NoLeak(),
+	}
+}

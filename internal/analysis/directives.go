@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowPrefix introduces a suppression directive. Like //go:build directives,
+// the comment must start exactly with this prefix (no space after //):
+//
+//	//mrlint:allow nopanic internal invariant, unreachable on valid input
+//
+// The first field names one or more analyzers (comma-separated); everything
+// after it is the mandatory human-readable reason. The directive suppresses
+// findings of the named analyzers on its own line and on the line directly
+// below it, so it works both as a trailing comment and as a line above the
+// annotated statement.
+const allowPrefix = "//mrlint:allow"
+
+// suppressions indexes allow directives of one file set: file name -> line
+// -> set of suppressed analyzer names.
+type suppressions map[string]map[int]map[string]bool
+
+func (s suppressions) add(file string, line int, analyzer string) {
+	lines := s[file]
+	if lines == nil {
+		lines = make(map[int]map[string]bool)
+		s[file] = lines
+	}
+	set := lines[line]
+	if set == nil {
+		set = make(map[string]bool)
+		lines[line] = set
+	}
+	set[analyzer] = true
+}
+
+func (s suppressions) allows(file string, line int, analyzer string) bool {
+	return s[file][line][analyzer]
+}
+
+// parseDirectives scans the comments of the given files for allow directives.
+// Malformed directives — a missing analyzer list or a missing reason — are
+// returned as findings of the pseudo-analyzer "mrlint" and suppress nothing.
+func parseDirectives(fset *token.FileSet, files []*ast.File) (suppressions, []Finding) {
+	sup := make(suppressions)
+	var bad []Finding
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, allowPrefix)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //mrlint:allowother — not our directive
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					bad = append(bad, Finding{
+						Analyzer: "mrlint", File: pos.Filename, Line: pos.Line, Col: pos.Column,
+						Message: "malformed directive: //mrlint:allow needs an analyzer name and a reason",
+					})
+					continue
+				}
+				if len(fields) < 2 {
+					bad = append(bad, Finding{
+						Analyzer: "mrlint", File: pos.Filename, Line: pos.Line, Col: pos.Column,
+						Message: "malformed directive: //mrlint:allow " + fields[0] + " is missing a reason",
+					})
+					continue
+				}
+				for _, name := range strings.Split(fields[0], ",") {
+					if name == "" {
+						continue
+					}
+					sup.add(pos.Filename, pos.Line, name)
+					sup.add(pos.Filename, pos.Line+1, name)
+				}
+			}
+		}
+	}
+	return sup, bad
+}

@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseSrc(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "d.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}
+}
+
+func TestParseDirectives(t *testing.T) {
+	fset, files := parseSrc(t, `package p
+
+func f() {
+	//mrlint:allow nopanic,noleak both suppressed here
+	g()
+	h() //mrlint:allow errwrap trailing form
+}
+func g() {}
+func h() {}
+`)
+	sup, bad := parseDirectives(fset, files)
+	if len(bad) != 0 {
+		t.Fatalf("unexpected malformed directives: %v", bad)
+	}
+	// The standalone directive is on line 4 and covers lines 4 and 5 for
+	// both named analyzers.
+	for _, line := range []int{4, 5} {
+		for _, a := range []string{"nopanic", "noleak"} {
+			if !sup.allows("d.go", line, a) {
+				t.Errorf("line %d should allow %s", line, a)
+			}
+		}
+	}
+	if sup.allows("d.go", 6, "nopanic") {
+		t.Errorf("line 6 should not allow nopanic")
+	}
+	if !sup.allows("d.go", 6, "errwrap") {
+		t.Errorf("line 6 should allow errwrap (trailing directive)")
+	}
+}
+
+func TestMalformedDirectiveReported(t *testing.T) {
+	fset, files := parseSrc(t, `package p
+
+//mrlint:allow nopanic
+func f() {}
+
+//mrlint:allow
+func g() {}
+`)
+	sup, bad := parseDirectives(fset, files)
+	if len(bad) != 2 {
+		t.Fatalf("want 2 malformed-directive findings, got %v", bad)
+	}
+	for _, f := range bad {
+		if f.Analyzer != "mrlint" || !strings.Contains(f.Message, "malformed directive") {
+			t.Errorf("unexpected finding %v", f)
+		}
+	}
+	// A malformed directive suppresses nothing.
+	if sup.allows("d.go", 3, "nopanic") || sup.allows("d.go", 4, "nopanic") {
+		t.Errorf("reason-less directive must not suppress")
+	}
+}

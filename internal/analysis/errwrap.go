@@ -1,0 +1,186 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// ErrWrapConfig scopes the errwrap analyzer. Packages maps each covered
+// package path to the prefix its error messages must carry (the section
+// naming convention the store fuzz targets assert, e.g. "store: ").
+// ReadPrefixes are the function-name prefixes marking read paths.
+type ErrWrapConfig struct {
+	Packages     map[string]string
+	ReadPrefixes []string
+}
+
+// DefaultReadPrefixes marks deserialization entry points and their helpers.
+var DefaultReadPrefixes = []string{"Read", "Open", "Load", "read", "open", "load"}
+
+// ErrWrap returns the analyzer enforcing the store's error conventions on
+// its read paths:
+//
+//  1. fmt.Errorf with an error argument must wrap it with %w, so callers can
+//     errors.Is/As through the store layer;
+//  2. error text must name the corrupt section, which the convention spells
+//     as a "store: <section>" prefix (asserted by the fuzz targets);
+//  3. a read-path function must not return an error produced by another
+//     package (io, encoding/binary, ...) unwrapped — the caller would see
+//     "unexpected EOF" with no idea which section died. Errors produced by
+//     this package's own helpers are already wrapped and may pass through.
+func ErrWrap(cfg ErrWrapConfig) *Analyzer {
+	return &Analyzer{
+		Name: "errwrap",
+		Doc:  "store read paths must wrap errors with %w and name the corrupt section",
+		Run:  func(pass *Pass) { runErrWrap(pass, cfg) },
+	}
+}
+
+func runErrWrap(pass *Pass, cfg ErrWrapConfig) {
+	prefix, ok := cfg.Packages[pass.Pkg.Path]
+	if !ok {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkErrorfCalls(pass, fd.Body, prefix)
+			if isReadPath(fd.Name.Name, cfg.ReadPrefixes) {
+				checkUnwrappedReturns(pass, fd.Body)
+			}
+		}
+	}
+}
+
+func isReadPath(name string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkErrorfCalls enforces rules 1 and 2 on every fmt.Errorf in the body.
+func checkErrorfCalls(pass *Pass, body *ast.BlockStmt, prefix string) {
+	info := pass.Pkg.Info
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isPkgFunc(info, call.Fun, "fmt", "Errorf") || len(call.Args) == 0 {
+			return true
+		}
+		lit, ok := call.Args[0].(*ast.BasicLit)
+		if !ok {
+			return true
+		}
+		format, err := strconv.Unquote(lit.Value)
+		if err != nil {
+			return true
+		}
+		hasErrArg := false
+		for _, arg := range call.Args[1:] {
+			if t := info.TypeOf(arg); t != nil && isErrorType(t) {
+				hasErrArg = true
+			}
+		}
+		if hasErrArg && !strings.Contains(format, "%w") {
+			pass.Reportf(call.Pos(), "error argument formatted without %%w: callers cannot unwrap it")
+		}
+		if !strings.HasPrefix(format, prefix) {
+			pass.Reportf(call.Pos(), "error text must name the section: message should start with %q", prefix)
+		}
+		return true
+	})
+}
+
+// checkUnwrappedReturns enforces rule 3: a returned bare error identifier
+// whose most recent assignment came from a call into another package.
+func checkUnwrappedReturns(pass *Pass, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+
+	// Record every assignment to an error variable: object -> assign
+	// positions with the call (if any) on the right-hand side.
+	type errSource struct {
+		pos  int // offset of the assignment
+		call *ast.CallExpr
+	}
+	sources := make(map[types.Object][]errSource)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		var call *ast.CallExpr
+		if len(as.Rhs) == 1 {
+			call, _ = as.Rhs[0].(*ast.CallExpr)
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := info.Defs[id]
+			if obj == nil {
+				obj = info.Uses[id]
+			}
+			if obj == nil || !isErrorType(obj.Type()) {
+				continue
+			}
+			src := errSource{pos: int(as.Pos()), call: call}
+			if call == nil && i < len(as.Rhs) {
+				if c, ok := as.Rhs[i].(*ast.CallExpr); ok {
+					src.call = c
+				}
+			}
+			sources[obj] = append(sources[obj], src)
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			id, ok := res.(*ast.Ident)
+			if !ok || id.Name == "nil" {
+				continue
+			}
+			obj := info.Uses[id]
+			if obj == nil || !isErrorType(obj.Type()) {
+				continue
+			}
+			var last *errSource
+			for i := range sources[obj] {
+				s := &sources[obj][i]
+				if s.pos < int(ret.Pos()) && (last == nil || s.pos > last.pos) {
+					last = s
+				}
+			}
+			if last == nil || last.call == nil {
+				continue
+			}
+			pkg, name, ok := pkgFuncOf(info, last.call.Fun)
+			if !ok || pkg == pass.Pkg.Path {
+				continue // in-package helpers wrap on the way out
+			}
+			pass.Reportf(res.Pos(), "error from %s.%s returned unwrapped: wrap it with fmt.Errorf(\"...: %%w\", err) naming the section", pkg, name)
+		}
+		return true
+	})
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() == nil && obj.Name() == "error"
+}

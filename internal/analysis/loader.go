@@ -1,0 +1,275 @@
+// Package analysis is a from-scratch, stdlib-only static-analysis framework
+// for this module: it loads and type-checks packages with go/parser, go/types
+// and go/importer (no golang.org/x/tools dependency), runs project-specific
+// analyzers over them, and reports position-accurate findings.
+//
+// Findings can be suppressed site by site with an annotation comment
+//
+//	//mrlint:allow <analyzer>[,<analyzer>...] <reason>
+//
+// placed on the offending line or on the line directly above it. The reason
+// is mandatory: an allowance without a justification is itself reported.
+//
+// The analyzers encode the repository's concurrency and error-handling
+// conventions — the static shadows of the paper's runtime invariants; see
+// DESIGN.md, "Static enforcement of invariants". cmd/mrlint is the command
+// line driver; `make lint` runs it over the whole module.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package.
+type Package struct {
+	Path  string // import path
+	Dir   string // absolute directory
+	Fset  *token.FileSet
+	Files []*ast.File // non-test files only
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader loads packages from a directory tree. Import paths under the
+// configured module path (or, when the module path is empty, any import path
+// that resolves to a subdirectory of the root — the layout used by analyzer
+// testdata) are parsed and type-checked from source; all other imports are
+// satisfied by the standard library's source importer. Test files are never
+// loaded: the conventions mrlint enforces apply to library code only.
+type Loader struct {
+	fset    *token.FileSet
+	root    string // absolute directory local import paths resolve under
+	module  string // module path prefix; "" for testdata-style layouts
+	std     types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader returns a Loader rooted at dir. module is the module path mapped
+// to the root directory ("mrx" for this repository); pass "" to resolve
+// import paths directly as subdirectories of dir.
+func NewLoader(dir, module string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		fset:    fset,
+		root:    dir,
+		module:  module,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+}
+
+// ModulePath reads the module path from the go.mod in dir.
+func ModulePath(dir string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module line in %s/go.mod", dir)
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing a
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analysis: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// localDir resolves an import path to a directory under the root, reporting
+// whether the path is module-local.
+func (l *Loader) localDir(path string) (string, bool) {
+	switch {
+	case l.module == "":
+		dir := filepath.Join(l.root, filepath.FromSlash(path))
+		if hasGoFiles(dir) {
+			return dir, true
+		}
+		return "", false
+	case path == l.module:
+		return l.root, true
+	case strings.HasPrefix(path, l.module+"/"):
+		return filepath.Join(l.root, filepath.FromSlash(path[len(l.module)+1:])), true
+	default:
+		return "", false
+	}
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && isSourceFile(e.Name()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isSourceFile(name string) bool {
+	return strings.HasSuffix(name, ".go") &&
+		!strings.HasSuffix(name, "_test.go") &&
+		!strings.HasPrefix(name, ".") &&
+		!strings.HasPrefix(name, "_")
+}
+
+// Import implements types.Importer, routing module-local paths through the
+// loader and everything else to the standard library importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if dir, ok := l.localDir(path); ok {
+		pkg, err := l.load(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// Load parses and type-checks the package with the given import path.
+func (l *Loader) Load(path string) (*Package, error) {
+	dir, ok := l.localDir(path)
+	if !ok {
+		return nil, fmt.Errorf("analysis: %q is not a loadable local package", path)
+	}
+	return l.load(path, dir)
+}
+
+func (l *Loader) load(path, dir string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", path, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !isSourceFile(e.Name()) {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %s: %w", path, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go source files in %s", dir)
+	}
+	sort.Slice(files, func(i, j int) bool {
+		return l.fset.File(files[i].Pos()).Name() < l.fset.File(files[j].Pos()).Name()
+	})
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	cfg := &types.Config{Importer: l}
+	tpkg, err := cfg.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// LoadAll walks the root directory and loads every package in it, in import
+// path order. Directories named "testdata", hidden directories and
+// underscore-prefixed directories are skipped, matching the go tool.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	var paths []string
+	err := filepath.WalkDir(l.root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if p != l.root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !isSourceFile(d.Name()) {
+			return nil
+		}
+		rel, err := filepath.Rel(l.root, filepath.Dir(p))
+		if err != nil {
+			return err
+		}
+		ip := l.module
+		if rel != "." {
+			if ip != "" {
+				ip += "/"
+			}
+			ip += filepath.ToSlash(rel)
+		}
+		if len(paths) == 0 || paths[len(paths)-1] != ip {
+			paths = append(paths, ip)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	paths = dedupe(paths)
+	pkgs := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		pkg, err := l.Load(p)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+func dedupe(sorted []string) []string {
+	out := sorted[:0]
+	for i, s := range sorted {
+		if i == 0 || s != sorted[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoLeak returns the analyzer policing goroutine lifecycles in library code.
+//
+// Every goroutine launched by library code must have a visible way to stop
+// or be awaited: a context.Context, a channel, or a sync.WaitGroup somewhere
+// in the spawned call (its arguments or, for function literals, the body).
+// The engine's copy-on-write readers and the bounded validation pools all
+// satisfy this; a bare `go f()` with none of the three is how refiners leak.
+// Bare time.Sleep is forbidden in the same scope: library code waits on
+// channels, contexts or timers it can cancel, never on wall-clock naps.
+// Commands (package main) and test files are exempt.
+func NoLeak() *Analyzer {
+	return &Analyzer{
+		Name: "noleak",
+		Doc:  "library goroutines need a context, channel or WaitGroup in scope; no bare time.Sleep",
+		Run:  runNoLeak,
+	}
+}
+
+func runNoLeak(pass *Pass) {
+	if pass.Pkg.Types.Name() == "main" {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				if !hasLifecycleSignal(info, n.Call) {
+					pass.Reportf(n.Pos(), "goroutine without lifecycle control: pass a context.Context, a stop channel, or a sync.WaitGroup it participates in")
+				}
+			case *ast.CallExpr:
+				if isPkgFunc(info, n.Fun, "time", "Sleep") {
+					pass.Reportf(n.Pos(), "bare time.Sleep in library code: wait on a cancellable timer, channel or context instead")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// hasLifecycleSignal reports whether the spawned call mentions a value whose
+// type implies the goroutine can be stopped or awaited: a context.Context, a
+// channel, or a sync.WaitGroup.
+func hasLifecycleSignal(info *types.Info, call *ast.CallExpr) bool {
+	found := false
+	ast.Inspect(call, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		expr, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		tv, ok := info.Types[expr]
+		if !ok || tv.Type == nil {
+			return true
+		}
+		if isLifecycleType(tv.Type) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func isLifecycleType(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	return isNamed(t, "context", "Context") || isNamed(t, "sync", "WaitGroup")
+}

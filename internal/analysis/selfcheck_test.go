@@ -1,0 +1,34 @@
+package analysis
+
+import (
+	"testing"
+)
+
+// TestModuleIsClean runs the full default analyzer suite over every package
+// in the repository — the same work `make lint` does — and requires zero
+// findings. Any convention violation introduced anywhere in the module turns
+// this test (and CI) red.
+func TestModuleIsClean(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	module, err := ModulePath(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := NewLoader(root, module).LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("expected to load the whole module, got only %d packages", len(pkgs))
+	}
+	findings := Run(pkgs, DefaultAnalyzers())
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+	if len(findings) > 0 {
+		t.Errorf("%d unsuppressed findings; fix them or annotate with //mrlint:allow <analyzer> <reason>", len(findings))
+	}
+}

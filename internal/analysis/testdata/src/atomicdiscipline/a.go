@@ -1,0 +1,97 @@
+// Package atomicdiscipline exercises both halves of the atomicdiscipline
+// analyzer: mixed atomic/plain access, and by-value copies of lock or
+// atomic holders.
+package atomicdiscipline
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counters struct {
+	hits  int64
+	reads int64
+}
+
+// Hit accesses hits atomically; from here on every access must be atomic.
+func (c *counters) Hit() { atomic.AddInt64(&c.hits, 1) }
+
+// Bad reads it plainly.
+func (c *counters) Bad() int64 {
+	return c.hits // want `accessed with sync/atomic elsewhere`
+}
+
+// Worse writes it plainly.
+func (c *counters) Worse() {
+	c.hits = 0 // want `accessed with sync/atomic elsewhere`
+}
+
+// Plain never touches sync/atomic, so plain access is fine.
+func (c *counters) Plain() int64 { return c.reads }
+
+var total int64
+
+// AddTotal uses the package-level counter atomically.
+func AddTotal() { atomic.AddInt64(&total, 1) }
+
+// ReadTotal reads it plainly.
+func ReadTotal() int64 {
+	return total // want `accessed with sync/atomic elsewhere`
+}
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// copyParam takes the lock holder by value.
+func copyParam(g guarded) int { // want `copies lock or atomic state`
+	return g.n
+}
+
+// copyReceiver binds it to a value receiver.
+func (g guarded) copyReceiver() int { // want `copies lock or atomic state`
+	return g.n
+}
+
+// copyAssign copies it through a dereference.
+func copyAssign(g *guarded) {
+	snapshot := *g // want `copies lock or atomic state`
+	_ = snapshot
+}
+
+// construct builds a fresh value: no copy of existing state.
+func construct() *guarded {
+	g := guarded{}
+	return &g
+}
+
+type typedCounter struct {
+	n atomic.Uint64
+}
+
+// load is the correct use of a typed atomic.
+func (t *typedCounter) load() uint64 { return t.n.Load() }
+
+// copyTyped copies the typed atomic by value.
+func copyTyped(t *typedCounter) {
+	c := t.n // want `copies lock or atomic state`
+	_ = c
+}
+
+// rangeCopy iterates an array of lock holders by value.
+func rangeCopy(gs *[2]guarded) int {
+	sum := 0
+	for _, g := range gs { // want `copies lock or atomic state`
+		sum += g.n
+	}
+	return sum
+}
+
+var (
+	_ = copyParam
+	_ = copyAssign
+	_ = copyTyped
+	_ = rangeCopy
+	_ = construct
+)

@@ -1,0 +1,60 @@
+// Package errwrap exercises the errwrap analyzer under a test configuration
+// that covers this package with required prefix "store: ".
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ReadHeader shows the two fmt.Errorf rules.
+func ReadHeader(r io.Reader) (int, error) {
+	var n int
+	if _, err := fmt.Fscan(r, &n); err != nil {
+		return 0, fmt.Errorf("store: header: %v", err) // want `without %w`
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("negative count %d", n) // want `name the section`
+	}
+	return n, nil
+}
+
+// ReadBody returns an io error unwrapped: the caller sees "unexpected EOF"
+// with no section name.
+func ReadBody(r io.Reader) ([]byte, error) {
+	buf := make([]byte, 8)
+	_, err := io.ReadFull(r, buf)
+	if err != nil {
+		return nil, err // want `returned unwrapped`
+	}
+	return buf, nil
+}
+
+// ReadOK propagates an error from an in-package helper, which already
+// wrapped it: fine.
+func ReadOK(r io.Reader) ([]byte, error) {
+	b, err := readSection(r)
+	if err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// readSection is the wrapped-at-source helper.
+func readSection(r io.Reader) ([]byte, error) {
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("store: section: %w", err)
+	}
+	return buf, nil
+}
+
+// Check is not a read path: its returns are out of scope (its fmt.Errorf
+// calls still follow the package convention, which applies everywhere).
+func Check(ok bool) error {
+	if !ok {
+		return errors.New("not a read path")
+	}
+	return nil
+}

@@ -1,0 +1,17 @@
+// Package frozen plays the role of internal/index and internal/engine in the
+// snapshotmut testdata: a package whose struct fields are owned by it alone.
+package frozen
+
+// Node mimics an index node: exported fields so other packages *could*
+// assign them — which is exactly what snapshotmut forbids.
+type Node struct {
+	K      int
+	Extent []int
+}
+
+// SetK is the owner's mutation API; writes inside the owning package are
+// allowed.
+func (n *Node) SetK(k int) { n.K = k }
+
+// Grow appends to the extent through the owner.
+func (n *Node) Grow(v int) { n.Extent = append(n.Extent, v) }

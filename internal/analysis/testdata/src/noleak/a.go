@@ -1,0 +1,58 @@
+// Package noleak exercises the noleak analyzer: goroutines without a
+// lifecycle signal, and bare time.Sleep in library code.
+package noleak
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Leak launches a goroutine nothing can stop or await.
+func Leak() {
+	go func() { // want `without lifecycle control`
+		for i := 0; ; i++ {
+			_ = i
+		}
+	}()
+}
+
+// WithCtx is stoppable through the context.
+func WithCtx(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// WithChan is stoppable through the channel.
+func WithChan(stop chan struct{}) {
+	go func() {
+		<-stop
+	}()
+}
+
+// WithWG is awaited through the WaitGroup.
+func WithWG(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+}
+
+// ArgCtx passes the context into a named function: the signal is visible in
+// the arguments.
+func ArgCtx(ctx context.Context) {
+	go watch(ctx)
+}
+
+func watch(ctx context.Context) { <-ctx.Done() }
+
+// Sleepy naps on the wall clock.
+func Sleepy() {
+	time.Sleep(time.Second) // want `bare time.Sleep`
+}
+
+// SleepAllowed is annotated: a deliberate, justified nap.
+func SleepAllowed() {
+	time.Sleep(time.Millisecond) //mrlint:allow noleak polling fallback documented in DESIGN.md
+}

@@ -1,0 +1,39 @@
+// Package nopanic exercises the nopanic analyzer: unsuppressed panics in
+// library code are findings; annotated internal-invariant panics pass.
+package nopanic
+
+import "errors"
+
+// ErrEmpty is returned for empty input.
+var ErrEmpty = errors.New("empty input")
+
+// Parse panics on an input-dependent condition: a violation.
+func Parse(s string) (int, error) {
+	if s == "" {
+		panic("empty input") // want `panic in library code`
+	}
+	return len(s), nil
+}
+
+// split guards an internal invariant; the trailing annotation suppresses the
+// finding.
+func split(alive bool) {
+	if !alive {
+		panic("split of dead node") //mrlint:allow nopanic internal invariant, unreachable on valid input
+	}
+}
+
+// above shows the annotation on the line above the panic.
+func above() {
+	//mrlint:allow nopanic unreachable: callers validate first
+	panic("unreachable")
+}
+
+// wrongName is still a violation: the annotation names a different analyzer.
+func wrongName() {
+	panic("boom") //mrlint:allow noleak wrong analyzer name // want `panic in library code`
+}
+
+var _ = split
+var _ = above
+var _ = wrongName

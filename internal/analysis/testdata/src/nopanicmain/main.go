@@ -1,0 +1,10 @@
+// Command nopanicmain proves package main is exempt from nopanic and
+// noleak: commands may panic and sleep.
+package main
+
+import "time"
+
+func main() {
+	time.Sleep(time.Millisecond)
+	panic("commands may panic")
+}

@@ -1,0 +1,27 @@
+// Package snapshotmut exercises the snapshotmut analyzer: assignments to
+// fields of a protected package from outside its owner set.
+package snapshotmut
+
+import "frozen"
+
+// Mutate writes protected fields directly: both are violations.
+func Mutate(n *frozen.Node) {
+	n.K = 3         // want `outside its owning package`
+	n.Extent[0] = 1 // want `outside its owning package`
+}
+
+// Bump mutates through ++.
+func Bump(n *frozen.Node) {
+	n.K++ // want `outside its owning package`
+}
+
+// Read only reads: fine.
+func Read(n *frozen.Node) int { return n.K }
+
+// ViaOwner mutates through the owner's API: fine.
+func ViaOwner(n *frozen.Node) { n.SetK(3) }
+
+type local struct{ k int }
+
+// Own writes this package's own fields: fine.
+func Own(l *local) { l.k = 1 }

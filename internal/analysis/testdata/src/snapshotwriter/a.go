@@ -1,0 +1,12 @@
+// Package snapshotwriter is on frozen's allowed-writers list in the test
+// configuration, so its direct field writes pass.
+package snapshotwriter
+
+import "frozen"
+
+// Refine is allowed to write: the test config lists this package as a
+// writer for package frozen.
+func Refine(n *frozen.Node) {
+	n.K = 7
+	n.Extent = append(n.Extent, 1)
+}

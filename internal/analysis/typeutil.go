@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// isNamed reports whether t is the named type pkgPath.name (after stripping
+// type arguments, so atomic.Pointer[T] matches "sync/atomic", "Pointer").
+func isNamed(t types.Type, pkgPath, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// isPkgFunc reports whether fun is a reference to the package-level function
+// pkgPath.name (e.g. "time".Sleep, "fmt".Errorf).
+func isPkgFunc(info *types.Info, fun ast.Expr, pkgPath, name string) bool {
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	return fn.Pkg() != nil && fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// pkgFuncOf returns the (package path, name) of the function fun refers to,
+// or ok=false if fun does not resolve to a package-level function or method.
+func pkgFuncOf(info *types.Info, fun ast.Expr) (pkgPath, name string, ok bool) {
+	var obj types.Object
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	default:
+		return "", "", false
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", "", false
+	}
+	return fn.Pkg().Path(), fn.Name(), true
+}
+
+// unwrapLValue strips parens, stars and index expressions from an assignment
+// target, returning the innermost addressable expression: for `n.Extent[0]`
+// it returns the selector `n.Extent`, for `(*p).K` the selector `.K`.
+func unwrapLValue(e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return e
+		}
+	}
+}
+
+// containsNoCopy reports whether values of t must not be copied because they
+// hold synchronization state: any type declared in sync or sync/atomic, or
+// any struct/array transitively containing one.
+func containsNoCopy(t types.Type) bool {
+	return containsNoCopy1(t, make(map[types.Type]bool))
+}
+
+func containsNoCopy1(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		if pkg := named.Obj().Pkg(); pkg != nil {
+			switch pkg.Path() {
+			case "sync", "sync/atomic":
+				return true
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsNoCopy1(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsNoCopy1(u.Elem(), seen)
+	}
+	return false
+}

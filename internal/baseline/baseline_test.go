@@ -31,7 +31,7 @@ func TestAKSizesMonotone(t *testing.T) {
 func TestAKPrecision(t *testing.T) {
 	g := graph.PaperFigure1()
 	d := query.NewDataIndex(g)
-	e := pathexpr.MustParse("//auctions/auction/bidder/person")
+	e := mustParse("//auctions/auction/bidder/person")
 	for k := 0; k <= 4; k++ {
 		ig := AK(g, k)
 		res := query.EvalIndex(ig, e)
@@ -56,7 +56,7 @@ func TestOneIndex(t *testing.T) {
 	// 1-index answers any expression precisely.
 	d := query.NewDataIndex(g)
 	for _, s := range []string{"//l0/l1/l2/l3/l0", "//l4", "/l0/l1"} {
-		e := pathexpr.MustParse(s)
+		e := mustParse(s)
 		res := query.EvalIndex(ig, e)
 		if !res.Precise {
 			t.Errorf("%s: 1-index not precise", s)
@@ -73,7 +73,7 @@ func TestOneIndex(t *testing.T) {
 
 func TestLabelRequirements(t *testing.T) {
 	g := graph.PaperFigure1()
-	fups := []*pathexpr.Expr{pathexpr.MustParse("//site/people/person")}
+	fups := []*pathexpr.Expr{mustParse("//site/people/person")}
 	req, err := LabelRequirements(g, fups)
 	if err != nil {
 		t.Fatal(err)
@@ -93,7 +93,7 @@ func TestLabelRequirements(t *testing.T) {
 	if req[lbl("bidder")] < 1 || req[lbl("seller")] < 1 {
 		t.Fatalf("parent constraint not propagated: %v", req)
 	}
-	if _, err := LabelRequirements(g, []*pathexpr.Expr{pathexpr.MustParse("//a/*/b")}); err == nil {
+	if _, err := LabelRequirements(g, []*pathexpr.Expr{mustParse("//a/*/b")}); err == nil {
 		t.Error("wildcard FUP should be rejected")
 	}
 }
@@ -102,9 +102,9 @@ func TestDKConstructSupportsFUPs(t *testing.T) {
 	g := gtest.Random(21, 250, 5, 0.2)
 	d := query.NewDataIndex(g)
 	fups := []*pathexpr.Expr{
-		pathexpr.MustParse("//l0/l1/l2"),
-		pathexpr.MustParse("//l3/l4"),
-		pathexpr.MustParse("//l2"),
+		mustParse("//l0/l1/l2"),
+		mustParse("//l3/l4"),
+		mustParse("//l2"),
 	}
 	ig, err := DKConstruct(g, fups)
 	if err != nil {
@@ -131,7 +131,7 @@ func TestDKPromoteFigure3OverRefinesIrrelevantData(t *testing.T) {
 	// internal/core) keeps them in a single k=0 node.
 	g := graph.PaperFigure3()
 	dk := NewDKPromote(g)
-	e := pathexpr.MustParse("r/a/b")
+	e := mustParse("r/a/b")
 	dk.Support(e)
 	ig := dk.Index()
 	if err := ig.Validate(true); err != nil {
@@ -189,10 +189,10 @@ func TestDKPromoteSupportsWorkload(t *testing.T) {
 	d := query.NewDataIndex(g)
 	dk := NewDKPromote(g)
 	fups := []*pathexpr.Expr{
-		pathexpr.MustParse("//l0/l1"),
-		pathexpr.MustParse("//l2/l3/l4"),
-		pathexpr.MustParse("//l1/l1"),
-		pathexpr.MustParse("//l4/l0/l2"),
+		mustParse("//l0/l1"),
+		mustParse("//l2/l3/l4"),
+		mustParse("//l1/l1"),
+		mustParse("//l4/l0/l2"),
 	}
 	for _, e := range fups {
 		dk.Support(e)
@@ -220,7 +220,7 @@ func TestPropertyDKPromote(t *testing.T) {
 		d := query.NewDataIndex(g)
 		dk := NewDKPromote(g)
 		for _, s := range exprs {
-			e := pathexpr.MustParse(s)
+			e := mustParse(s)
 			dk.Support(e)
 			if err := dk.Index().Validate(true); err != nil {
 				t.Logf("seed %d after %s: %v", seed, s, err)
@@ -253,7 +253,7 @@ func TestKInfinityIsLarge(t *testing.T) {
 func TestDKConstructRootedFUP(t *testing.T) {
 	g := graph.PaperFigure1()
 	d := query.NewDataIndex(g)
-	e := pathexpr.MustParse("/site/people/person")
+	e := mustParse("/site/people/person")
 	req, err := LabelRequirements(g, []*pathexpr.Expr{e})
 	if err != nil {
 		t.Fatal(err)

@@ -8,7 +8,6 @@ import (
 	"mrx/internal/graph"
 	"mrx/internal/gtest"
 	"mrx/internal/index"
-	"mrx/internal/pathexpr"
 	"mrx/internal/query"
 )
 
@@ -86,8 +85,8 @@ func outgoingPaths(g *graph.Graph, v graph.NodeID, l int) map[string]bool {
 
 func TestQueryBranchingGroundTruth(t *testing.T) {
 	g := graph.PaperFigure1()
-	in := pathexpr.MustParse("//auctions/auction")
-	out := pathexpr.MustParse("//auction/bidder/person")
+	in := mustParse("//auctions/auction")
+	out := mustParse("//auction/bidder/person")
 	want := EvalBranchingData(g, in, out)
 	// Auctions that have a bidder referencing a person: only auction 10, 11?
 	// 10 has bidder 16 -> person 8; 11 has bidder 17 -> person 8.
@@ -109,8 +108,8 @@ func TestQueryBranchingGroundTruth(t *testing.T) {
 
 func TestQueryBranchingValidatesBeyondL(t *testing.T) {
 	g := gtest.Random(19, 150, 4, 0.3)
-	in := pathexpr.MustParse("//l0")
-	out := pathexpr.MustParse("//l0/l1/l2/l3")
+	in := mustParse("//l0")
+	out := mustParse("//l0/l1/l2/l3")
 	want := EvalBranchingData(g, in, out)
 	ud := NewUD(g, 0, 1) // l too small: must validate the out part
 	res := ud.QueryBranching(in, out)
@@ -135,7 +134,7 @@ func TestPropertyBranchingAgrees(t *testing.T) {
 		for _, kl := range [][2]int{{0, 0}, {1, 1}, {2, 2}, {1, 3}} {
 			ud := NewUD(g, kl[0], kl[1])
 			for _, pq := range pairs {
-				in, out := pathexpr.MustParse(pq[0]), pathexpr.MustParse(pq[1])
+				in, out := mustParse(pq[0]), mustParse(pq[1])
 				want := EvalBranchingData(g, in, out)
 				got := ud.QueryBranching(in, out)
 				if len(want) == 0 && len(got.Answer) == 0 {
@@ -160,8 +159,8 @@ func TestPropertyBranchingAgrees(t *testing.T) {
 // the outgoing part against the data graph.
 func TestUDBeatsAKOnBranching(t *testing.T) {
 	g := gtest.Random(3, 400, 5, 0.25)
-	in := pathexpr.MustParse("//l0/l1")
-	out := pathexpr.MustParse("//l1/l2")
+	in := mustParse("//l0/l1")
+	out := mustParse("//l1/l2")
 	ud := NewUD(g, 1, 1)
 	res := ud.QueryBranching(in, out)
 	if !res.Precise {
@@ -192,8 +191,8 @@ func TestAPEXCacheBehaviour(t *testing.T) {
 	g := graph.PaperFigure1()
 	d := query.NewDataIndex(g)
 	ax := NewAPEX(g)
-	fup := pathexpr.MustParse("//auctions/auction/bidder")
-	other := pathexpr.MustParse("//auctions/auction/seller")
+	fup := mustParse("//auctions/auction/bidder")
+	other := mustParse("//auctions/auction/seller")
 
 	// Before support: both fall back to the coarse summary with validation.
 	if res := ax.Query(fup); res.Precise {

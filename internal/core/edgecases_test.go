@@ -6,7 +6,6 @@ import (
 
 	"mrx/internal/graph"
 	"mrx/internal/gtest"
-	"mrx/internal/pathexpr"
 	"mrx/internal/query"
 )
 
@@ -16,12 +15,12 @@ import (
 func TestSupportEmptyTargetFUP(t *testing.T) {
 	// r -> a -> b and r -> c -> b': //a/c has no instance but both labels
 	// exist, and //c/b has instances only under c.
-	g := graph.MustBuildSimple(
+	g := mustBuildSimple(
 		[]string{"r", "a", "c", "b", "b"},
 		[][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 4}},
 		nil)
 	for _, s := range []string{"//a/c", "//a/c/b"} {
-		e := pathexpr.MustParse(s)
+		e := mustParse(s)
 
 		mk := NewMK(g)
 		mk.Support(e)
@@ -46,7 +45,7 @@ func TestSupportEmptyTargetFUP(t *testing.T) {
 func TestSupportWildcardFUP(t *testing.T) {
 	g := gtest.Random(31, 120, 4, 0.25)
 	d := query.NewDataIndex(g)
-	e := pathexpr.MustParse("//l0/*/l2")
+	e := mustParse("//l0/*/l2")
 
 	mk := NewMK(g)
 	mk.Support(e)
@@ -70,7 +69,7 @@ func TestSupportWildcardFUP(t *testing.T) {
 func TestSupportRootedFUP(t *testing.T) {
 	g := graph.PaperFigure1()
 	d := query.NewDataIndex(g)
-	e := pathexpr.MustParse("/site/people/person")
+	e := mustParse("/site/people/person")
 
 	mk := NewMK(g)
 	mk.Support(e)
@@ -97,7 +96,7 @@ func TestSupportRootedFUP(t *testing.T) {
 
 func TestSupportIdempotent(t *testing.T) {
 	g := gtest.Random(17, 120, 4, 0.25)
-	e := pathexpr.MustParse("//l0/l1/l2")
+	e := mustParse("//l0/l1/l2")
 	mk := NewMK(g)
 	mk.Support(e)
 	nodes := mk.Index().NumNodes()
@@ -116,18 +115,18 @@ func TestSupportIdempotent(t *testing.T) {
 }
 
 func TestSingleNodeGraph(t *testing.T) {
-	g := graph.MustBuildSimple([]string{"root"}, nil, nil)
+	g := mustBuildSimple([]string{"root"}, nil, nil)
 	mk := NewMK(g)
-	mk.Support(pathexpr.MustParse("//root"))
+	mk.Support(mustParse("//root"))
 	if err := mk.Index().Validate(true); err != nil {
 		t.Fatal(err)
 	}
 	ms := NewMStar(g)
-	ms.Support(pathexpr.MustParse("//root"))
+	ms.Support(mustParse("//root"))
 	if err := ms.Validate(true); err != nil {
 		t.Fatal(err)
 	}
-	if res := ms.Query(pathexpr.MustParse("//missing")); len(res.Answer) != 0 {
+	if res := ms.Query(mustParse("//missing")); len(res.Answer) != 0 {
 		t.Error("missing label matched")
 	}
 }
@@ -135,12 +134,12 @@ func TestSingleNodeGraph(t *testing.T) {
 // Cyclic reference chains: refinement must terminate and stay sound when a
 // FUP traverses a cycle longer than the graph's simple paths.
 func TestCyclicReferences(t *testing.T) {
-	g := graph.MustBuildSimple(
+	g := mustBuildSimple(
 		[]string{"root", "a", "b", "a", "b"},
 		[][2]int{{0, 1}, {1, 2}, {0, 3}, {3, 4}},
 		[][2]int{{2, 3}, {4, 1}}) // a->b->a->b->a cycle
 	d := query.NewDataIndex(g)
-	e := pathexpr.MustParse("//a/b/a/b/a/b")
+	e := mustParse("//a/b/a/b/a/b")
 	mk := NewMK(g)
 	mk.Support(e)
 	if err := mk.Index().Validate(true); err != nil {
@@ -165,7 +164,7 @@ func TestMStarRegressionDeadNodeRegroup(t *testing.T) {
 	g := gtest.Random(4859765876506540546, 60, 4, 0.3)
 	ms := NewMStar(g)
 	for _, s := range []string{"//l0/l1", "//l1/l2/l0"} {
-		ms.Support(pathexpr.MustParse(s))
+		ms.Support(mustParse(s))
 		if err := ms.Validate(true); err != nil {
 			t.Fatalf("after %s: %v", s, err)
 		}
@@ -178,12 +177,12 @@ func TestDescendantAxisOnMStar(t *testing.T) {
 	g := gtest.Random(47, 150, 4, 0.3)
 	d := query.NewDataIndex(g)
 	ms := NewMStar(g)
-	ms.Support(pathexpr.MustParse("//l0/l1/l2"))
+	ms.Support(mustParse("//l0/l1/l2"))
 	mk := NewMK(g)
-	mk.Support(pathexpr.MustParse("//l0/l1/l2"))
+	mk.Support(mustParse("//l0/l1/l2"))
 
 	for _, s := range []string{"//l0//l2", "//l1//l0/l2", "//l2//*//l1"} {
-		e := pathexpr.MustParse(s)
+		e := mustParse(s)
 		want := d.Eval(e)
 		for name, got := range map[string][]graph.NodeID{
 			"topdown":  ms.QueryTopDown(e).Answer,

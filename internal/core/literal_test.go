@@ -4,7 +4,6 @@ import (
 	"testing"
 
 	"mrx/internal/gtest"
-	"mrx/internal/pathexpr"
 )
 
 // TestLiteralModeCanViolateP1 documents the deviation described in DESIGN.md:
@@ -21,7 +20,7 @@ func TestLiteralModeCanViolateP1(t *testing.T) {
 		lit.Literal = true
 		def := NewMK(g)
 		for _, s := range exprs {
-			e := pathexpr.MustParse(s)
+			e := mustParse(s)
 			lit.Support(e)
 			def.Support(e)
 			if err := def.Index().Validate(true); err != nil {

@@ -34,7 +34,7 @@ func TestMKFigure3NoOverRefinement(t *testing.T) {
 	// all irrelevant b's stay together in one k=0 node.
 	g := graph.PaperFigure3()
 	mk := NewMK(g)
-	mk.Support(pathexpr.MustParse("r/a/b"))
+	mk.Support(mustParse("r/a/b"))
 	ig := mk.Index()
 	if err := ig.Validate(true); err != nil {
 		t.Fatal(err)
@@ -60,7 +60,7 @@ func TestMKFigure3NoOverRefinement(t *testing.T) {
 	}
 	// Contrast with D(k)-promote on the same FUP: strictly more nodes.
 	dk := baseline.NewDKPromote(g)
-	dk.Support(pathexpr.MustParse("r/a/b"))
+	dk.Support(mustParse("r/a/b"))
 	if dk.Index().NumNodes() <= ig.NumNodes() {
 		t.Errorf("D(k)-promote (%d nodes) should exceed M(k) (%d nodes)",
 			dk.Index().NumNodes(), ig.NumNodes())
@@ -73,7 +73,7 @@ func TestMKFigure6RefinedExtents(t *testing.T) {
 	// c{6} k=0, plus r and d.
 	g := graph.PaperFigure6()
 	mk := NewMK(g)
-	mk.Support(pathexpr.MustParse("r/a/b/c"))
+	mk.Support(mustParse("r/a/b/c"))
 	ig := mk.Index()
 	if err := ig.Validate(true); err != nil {
 		t.Fatal(err)
@@ -127,7 +127,7 @@ func TestMKFigure4SuffersOverqualifiedParents(t *testing.T) {
 	ig.SetK(ig.NodesWithLabel(aLabel)[0], 1)
 	ig.SetK(ig.Root(), 1)
 
-	e := pathexpr.MustParse("//b/c")
+	e := mustParse("//b/c")
 	res := query.EvalIndex(ig, e)
 	mk.Refine(e, res.Targets, res.Answer)
 	if err := ig.Validate(true); err != nil {
@@ -144,11 +144,11 @@ func TestMKSupportsWorkloadPrecisely(t *testing.T) {
 	d := query.NewDataIndex(g)
 	mk := NewMK(g)
 	fups := []*pathexpr.Expr{
-		pathexpr.MustParse("//l0/l1"),
-		pathexpr.MustParse("//l2/l3/l4"),
-		pathexpr.MustParse("//l1/l1"),
-		pathexpr.MustParse("//l4/l0/l2"),
-		pathexpr.MustParse("//l3"),
+		mustParse("//l0/l1"),
+		mustParse("//l2/l3/l4"),
+		mustParse("//l1/l1"),
+		mustParse("//l4/l0/l2"),
+		mustParse("//l3"),
 	}
 	for _, e := range fups {
 		mk.Support(e)
@@ -173,9 +173,9 @@ func TestMKNeverLargerThanDKPromote(t *testing.T) {
 	for seed := int64(0); seed < 5; seed++ {
 		g := gtest.Random(seed, 150, 5, 0.3)
 		fups := []*pathexpr.Expr{
-			pathexpr.MustParse("//l0/l1/l2"),
-			pathexpr.MustParse("//l2/l0"),
-			pathexpr.MustParse("//l3/l4/l0"),
+			mustParse("//l0/l1/l2"),
+			mustParse("//l2/l0"),
+			mustParse("//l3/l4/l0"),
 		}
 		mk := NewMK(g)
 		dk := baseline.NewDKPromote(g)
@@ -200,7 +200,7 @@ func TestPropertyMKRefinement(t *testing.T) {
 		d := query.NewDataIndex(g)
 		mk := NewMK(g)
 		for _, s := range exprs {
-			e := pathexpr.MustParse(s)
+			e := mustParse(s)
 			mk.Support(e)
 			if err := mk.Index().Validate(true); err != nil {
 				t.Logf("seed %d after %s: %v", seed, s, err)
@@ -208,7 +208,7 @@ func TestPropertyMKRefinement(t *testing.T) {
 			}
 		}
 		for _, s := range exprs {
-			e := pathexpr.MustParse(s)
+			e := mustParse(s)
 			res := mk.Query(e)
 			if !res.Precise {
 				t.Logf("seed %d: %s imprecise", seed, s)

@@ -35,7 +35,7 @@ func TestMStarInitial(t *testing.T) {
 func TestMStarFigure7(t *testing.T) {
 	g := graph.PaperFigure7()
 	ms := NewMStar(g)
-	e := pathexpr.MustParse("//b/a/c")
+	e := mustParse("//b/a/c")
 
 	// Ground truth first: the target set must be {5}.
 	d := query.NewDataIndex(g)
@@ -85,7 +85,7 @@ func TestMStarFigure7(t *testing.T) {
 func TestMStarFigure7DedupSizes(t *testing.T) {
 	g := graph.PaperFigure7()
 	ms := NewMStar(g)
-	ms.Support(pathexpr.MustParse("//b/a/c"))
+	ms.Support(mustParse("//b/a/c"))
 	s := ms.Sizes()
 	// Deduplicated node count per the paper's accounting: I0 has 4 nodes;
 	// I1 adds a[1], a[2], c[4 5], c[6 7] (r and b are single-subnode
@@ -116,12 +116,12 @@ func TestMStarFigure4NoOverqualifiedOverRefinement(t *testing.T) {
 	ms := NewMStar(g)
 	// First support a FUP that distinguishes nothing for c but deepens b:
 	// //r/a/b has length 2, so components I1, I2 are built.
-	ms.Support(pathexpr.MustParse("//r/a/b"))
+	ms.Support(mustParse("//r/a/b"))
 	if err := ms.Validate(true); err != nil {
 		t.Fatal(err)
 	}
 	// Now support //b/c (c at k=1).
-	ms.Support(pathexpr.MustParse("//b/c"))
+	ms.Support(mustParse("//b/c"))
 	if err := ms.Validate(true); err != nil {
 		t.Fatal(err)
 	}
@@ -141,11 +141,11 @@ func TestMStarSupportsWorkload(t *testing.T) {
 	d := query.NewDataIndex(g)
 	ms := NewMStar(g)
 	fups := []*pathexpr.Expr{
-		pathexpr.MustParse("//l0/l1"),
-		pathexpr.MustParse("//l2/l3/l4"),
-		pathexpr.MustParse("//l1/l1"),
-		pathexpr.MustParse("//l4/l0/l2"),
-		pathexpr.MustParse("//l3"),
+		mustParse("//l0/l1"),
+		mustParse("//l2/l3/l4"),
+		mustParse("//l1/l1"),
+		mustParse("//l4/l0/l2"),
+		mustParse("//l3"),
 	}
 	for _, e := range fups {
 		ms.Support(e)
@@ -169,11 +169,11 @@ func TestMStarStrategiesAgree(t *testing.T) {
 	d := query.NewDataIndex(g)
 	ms := NewMStar(g)
 	for _, s := range []string{"//l0/l1", "//l1/l2/l3", "//l2/l0"} {
-		ms.Support(pathexpr.MustParse(s))
+		ms.Support(mustParse(s))
 	}
 	queries := []string{"//l0", "//l0/l1", "//l1/l2/l3", "//l3/l2", "//l0/l1/l2/l3", "//l2/*/l1"}
 	for _, s := range queries {
-		e := pathexpr.MustParse(s)
+		e := mustParse(s)
 		want := d.Eval(e)
 		naive := ms.QueryNaive(e)
 		top := ms.QueryTopDown(e)
@@ -200,8 +200,8 @@ func TestMStarRootedQueriesFallBack(t *testing.T) {
 	g := graph.PaperFigure1()
 	d := query.NewDataIndex(g)
 	ms := NewMStar(g)
-	ms.Support(pathexpr.MustParse("//site/people/person"))
-	e := pathexpr.MustParse("/site/people/person")
+	ms.Support(mustParse("//site/people/person"))
+	e := mustParse("/site/people/person")
 	res := ms.Query(e)
 	if want := d.Eval(e); !reflect.DeepEqual(res.Answer, want) {
 		t.Errorf("rooted query answer %v want %v", res.Answer, want)
@@ -211,7 +211,7 @@ func TestMStarRootedQueriesFallBack(t *testing.T) {
 func TestMStarSupernodeSubnodes(t *testing.T) {
 	g := graph.PaperFigure7()
 	ms := NewMStar(g)
-	ms.Support(pathexpr.MustParse("//b/a/c"))
+	ms.Support(mustParse("//b/a/c"))
 	cLabel, _ := g.LabelIDOf("c")
 	// c[4 5] in I1 has two subnodes in I2 and one supernode in I0.
 	var c45 *index.Node
@@ -251,7 +251,7 @@ func TestPropertyMStar(t *testing.T) {
 		d := query.NewDataIndex(g)
 		ms := NewMStar(g)
 		for _, s := range exprs {
-			e := pathexpr.MustParse(s)
+			e := mustParse(s)
 			ms.Support(e)
 			if err := ms.Validate(true); err != nil {
 				t.Logf("seed %d after %s: %v", seed, s, err)
@@ -259,7 +259,7 @@ func TestPropertyMStar(t *testing.T) {
 			}
 		}
 		for _, s := range exprs {
-			e := pathexpr.MustParse(s)
+			e := mustParse(s)
 			res := ms.QueryTopDown(e)
 			if !res.Precise {
 				t.Logf("seed %d: %s imprecise", seed, s)
@@ -297,10 +297,10 @@ func TestMStarBottomUpAgrees(t *testing.T) {
 	d := query.NewDataIndex(g)
 	ms := NewMStar(g)
 	for _, s := range []string{"//l0/l1", "//l1/l2/l3", "//l2/l0"} {
-		ms.Support(pathexpr.MustParse(s))
+		ms.Support(mustParse(s))
 	}
 	for _, s := range []string{"//l0", "//l0/l1", "//l1/l2/l3", "//l3/l2", "//l0/l1/l2/l3", "//l2/*/l1", "/l0/l1"} {
-		e := pathexpr.MustParse(s)
+		e := mustParse(s)
 		want := d.Eval(e)
 		got := ms.QueryBottomUp(e)
 		if !reflect.DeepEqual(got.Answer, want) {
@@ -317,11 +317,11 @@ func TestQueryAutoCorrectAndNamed(t *testing.T) {
 	d := query.NewDataIndex(g)
 	ms := NewMStar(g)
 	for _, s := range []string{"//l0/l1", "//l1/l2/l3", "//l2/l0"} {
-		ms.Support(pathexpr.MustParse(s))
+		ms.Support(mustParse(s))
 	}
 	valid := map[string]bool{StrategyNaive: true, StrategyTopDown: true, StrategySubpath: true}
 	for _, s := range []string{"//l0", "//l0/l1", "//l1/l2/l3", "//l3/l2/l1/l0", "/l0/l1"} {
-		e := pathexpr.MustParse(s)
+		e := mustParse(s)
 		res, chosen := ms.QueryAuto(e)
 		if !valid[chosen] {
 			t.Fatalf("%s: unknown strategy %q", s, chosen)
@@ -331,7 +331,7 @@ func TestQueryAutoCorrectAndNamed(t *testing.T) {
 		}
 	}
 	// A single-label query should never pick subpath (there is no window).
-	if _, chosen := ms.QueryAuto(pathexpr.MustParse("//l1")); chosen == StrategySubpath {
+	if _, chosen := ms.QueryAuto(mustParse("//l1")); chosen == StrategySubpath {
 		t.Error("single label routed to subpath")
 	}
 }
@@ -341,10 +341,10 @@ func TestMStarHybridAgrees(t *testing.T) {
 	d := query.NewDataIndex(g)
 	ms := NewMStar(g)
 	for _, s := range []string{"//l0/l1", "//l1/l2/l3", "//l2/l0"} {
-		ms.Support(pathexpr.MustParse(s))
+		ms.Support(mustParse(s))
 	}
 	for _, s := range []string{"//l0", "//l0/l1", "//l1/l2/l3", "//l3/l2", "//l0/l1/l2/l3", "//l2/*/l1", "/l0/l1"} {
-		e := pathexpr.MustParse(s)
+		e := mustParse(s)
 		want := d.Eval(e)
 		for meet := -1; meet <= e.Length()+1; meet++ {
 			got := ms.QueryHybrid(e, meet)

@@ -6,7 +6,6 @@ import (
 
 	"mrx/internal/graph"
 	"mrx/internal/index"
-	"mrx/internal/pathexpr"
 )
 
 // The M*(k) validator is the oracle for every property test, so check the
@@ -17,7 +16,7 @@ func TestMStarValidatorCatchesViolations(t *testing.T) {
 
 	build := func() *MStar {
 		ms := NewMStar(g)
-		ms.Support(pathexpr.MustParse("//b/a/c"))
+		ms.Support(mustParse("//b/a/c"))
 		return ms
 	}
 
@@ -66,7 +65,7 @@ func TestMStarValidatorCatchesViolations(t *testing.T) {
 func TestMStarFromComponentsErrors(t *testing.T) {
 	g := graph.PaperFigure7()
 	ms := NewMStar(g)
-	ms.Support(pathexpr.MustParse("//b/a/c"))
+	ms.Support(mustParse("//b/a/c"))
 
 	if _, err := MStarFromComponents(g, nil); err == nil {
 		t.Error("empty component list accepted")

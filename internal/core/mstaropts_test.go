@@ -5,7 +5,6 @@ import (
 	"testing"
 
 	"mrx/internal/datagen"
-	"mrx/internal/pathexpr"
 	"mrx/internal/query"
 )
 
@@ -13,7 +12,7 @@ import (
 // capped at 2 materializes components only up to I2 and stays imprecise.
 func TestMStarOptsMaxKCap(t *testing.T) {
 	g := datagen.XMarkGraph(0.01, 1)
-	e := pathexpr.MustParse("//open_auction/bidder/personref/person/name")
+	e := mustParse("//open_auction/bidder/personref/person/name")
 	want := query.NewDataIndex(g).Eval(e)
 
 	capped := NewMStarOpts(g, MStarOptions{MaxK: 2})
@@ -44,13 +43,13 @@ func TestMStarOptsMaxKCap(t *testing.T) {
 // QueryTopDown exactly.
 func TestMStarOptsStrategyDispatch(t *testing.T) {
 	g := datagen.XMarkGraph(0.01, 2)
-	e := pathexpr.MustParse("//person/watches/watch")
+	e := mustParse("//person/watches/watch")
 	want := query.NewDataIndex(g).Eval(e)
 
 	for _, s := range []Strategy{"", StrategyNaive, StrategyTopDown, StrategyBottomUp,
 		StrategyHybrid, StrategySubpath, StrategyAuto} {
 		ms := NewMStarOpts(g, MStarOptions{Strategy: s})
-		ms.Support(pathexpr.MustParse("//person/watches")) // partial refinement
+		ms.Support(mustParse("//person/watches")) // partial refinement
 		if got := ms.Query(e); !reflect.DeepEqual(got.Answer, want) {
 			t.Errorf("strategy %q: wrong answer (%d nodes, want %d)", s, len(got.Answer), len(want))
 		}
@@ -69,7 +68,7 @@ func TestMStarOptsParallelismEquivalence(t *testing.T) {
 	seq := NewMStar(g)
 	par := NewMStarOpts(g, MStarOptions{Parallelism: 4})
 	for _, s := range queries {
-		e := pathexpr.MustParse(s)
+		e := mustParse(s)
 		a, b := seq.Query(e), par.Query(e)
 		if !reflect.DeepEqual(a.Answer, b.Answer) || a.Precise != b.Precise {
 			t.Errorf("%s: parallel validation diverged", s)
@@ -84,7 +83,7 @@ func TestMStarOptsParallelismEquivalence(t *testing.T) {
 // change what the original serves, and vice versa.
 func TestMStarCloneIndependence(t *testing.T) {
 	g := datagen.XMarkGraph(0.01, 4)
-	e := pathexpr.MustParse("//open_auction/bidder/personref")
+	e := mustParse("//open_auction/bidder/personref")
 	ms := NewMStar(g)
 	before := ms.Query(e)
 
@@ -101,7 +100,7 @@ func TestMStarCloneIndependence(t *testing.T) {
 		t.Error("refining the clone changed the original's result")
 	}
 
-	ms.Support(pathexpr.MustParse("//item/name"))
+	ms.Support(mustParse("//item/name"))
 	if got := cl.Query(e); !got.Precise {
 		t.Error("refining the original disturbed the clone")
 	}

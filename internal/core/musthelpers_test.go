@@ -1,0 +1,24 @@
+package core
+
+import (
+	"mrx/internal/graph"
+	"mrx/internal/pathexpr"
+)
+
+// mustParse parses a fixed test query literal.
+func mustParse(s string) *pathexpr.Expr {
+	e, err := pathexpr.Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// mustBuildSimple builds a hand-written test graph.
+func mustBuildSimple(labels []string, tree, ref [][2]int) *graph.Graph {
+	g, err := graph.BuildSimple(labels, tree, ref)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

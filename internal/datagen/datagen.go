@@ -68,6 +68,7 @@ func (w *writer) bytes() []byte { return w.buf.Bytes() }
 func mustGraph(data []byte) *graph.Graph {
 	res, err := xmlload.LoadBytes(data, nil)
 	if err != nil {
+		//mrlint:allow nopanic generator output is well-formed by construction
 		panic(fmt.Sprintf("datagen: generated document failed to parse: %v", err))
 	}
 	return res.Graph

@@ -5,7 +5,6 @@ import (
 	"testing"
 
 	"mrx/internal/graph"
-	"mrx/internal/pathexpr"
 	"mrx/internal/query"
 )
 
@@ -52,7 +51,7 @@ func TestXMarkStructure(t *testing.T) {
 		{"//person/item", false}, // no such edge
 	}
 	for _, c := range checks {
-		got := d.Eval(pathexpr.MustParse(c.expr))
+		got := d.Eval(mustParse(c.expr))
 		if (len(got) > 0) != c.nonEmpty {
 			t.Errorf("%s: got %d results, want nonEmpty=%v", c.expr, len(got), c.nonEmpty)
 		}
@@ -90,7 +89,7 @@ func TestNASAStructure(t *testing.T) {
 		"//telescope/name",
 		"//descriptions/description/textpanel/para",
 	} {
-		if got := d.Eval(pathexpr.MustParse(expr)); len(got) == 0 {
+		if got := d.Eval(mustParse(expr)); len(got) == 0 {
 			t.Errorf("%s: empty target set", expr)
 		}
 	}

@@ -12,7 +12,7 @@ import (
 
 func newRefinedMStar(g *graph.Graph, fup string) *core.MStar {
 	ms := core.NewMStar(g)
-	ms.Support(pathexpr.MustParse(fup))
+	ms.Support(mustParse(fup))
 	return ms
 }
 
@@ -92,7 +92,7 @@ func TestSlowEvalFixture(t *testing.T) {
 	b.AddEdge(0, 4, graph.TreeEdge)
 	b.AddEdge(4, 5, graph.TreeEdge)
 	b.AddEdge(1, 5, graph.RefEdge)
-	g := b.MustFreeze()
+	g := mustFreeze(b)
 
 	for _, tc := range []struct {
 		expr string
@@ -109,7 +109,7 @@ func TestSlowEvalFixture(t *testing.T) {
 		{"//x", nil},
 		{"//*/c", []graph.NodeID{3, 5}},
 	} {
-		got := SlowEval(g, pathexpr.MustParse(tc.expr))
+		got := SlowEval(g, mustParse(tc.expr))
 		if !equalIDs(got, tc.want) {
 			t.Errorf("%s: got %v, want %v", tc.expr, got, tc.want)
 		}
@@ -129,7 +129,7 @@ func TestFingerprint(t *testing.T) {
 	if Fingerprint(ms2) != fp1 {
 		t.Fatal("clone changed fingerprint")
 	}
-	ms2.Support(pathexpr.MustParse("//l1/l2/l3"))
+	ms2.Support(mustParse("//l1/l2/l3"))
 	if Fingerprint(ms2) == fp1 && ms2.NumComponents() != ms.NumComponents() {
 		t.Fatal("refinement did not change fingerprint")
 	}

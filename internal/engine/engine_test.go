@@ -35,7 +35,7 @@ func TestConcurrentReadersOneRefiner(t *testing.T) {
 	exprs := make([]*pathexpr.Expr, len(testQueries))
 	truth := make([][]int, len(testQueries))
 	for i, s := range testQueries {
-		exprs[i] = pathexpr.MustParse(s)
+		exprs[i] = mustParse(s)
 		ans := en.Eval(exprs[i])
 		truth[i] = make([]int, len(ans))
 		for j, o := range ans {
@@ -173,7 +173,7 @@ func TestConcurrentReadersCyclicGraph(t *testing.T) {
 func TestQueryCtx(t *testing.T) {
 	g := datagen.XMarkGraph(0.005, 2)
 	en := New(g, Options{})
-	e := pathexpr.MustParse("//open_auction/bidder/personref")
+	e := mustParse("//open_auction/bidder/personref")
 
 	res, err := en.QueryCtx(context.Background(), e)
 	if err != nil {
@@ -196,7 +196,7 @@ func TestQueryCtx(t *testing.T) {
 func TestSupportSkipsAndNoops(t *testing.T) {
 	g := datagen.XMarkGraph(0.005, 3)
 	en := New(g, Options{})
-	e := pathexpr.MustParse("//open_auction/bidder")
+	e := mustParse("//open_auction/bidder")
 
 	if !en.Support(e) {
 		t.Fatal("first Support should publish")
@@ -209,7 +209,7 @@ func TestSupportSkipsAndNoops(t *testing.T) {
 		t.Fatal("no-op Support changed the generation")
 	}
 	// Descendant-axis FUPs cannot be refined: no publish.
-	if en.Support(pathexpr.MustParse("//person//watch")) {
+	if en.Support(mustParse("//person//watch")) {
 		t.Fatal("descendant-axis Support should be a no-op")
 	}
 	st := en.Stats()
@@ -223,7 +223,7 @@ func TestSupportSkipsAndNoops(t *testing.T) {
 func TestMaxKCapsComponents(t *testing.T) {
 	g := datagen.XMarkGraph(0.005, 4)
 	en := New(g, Options{MStar: core.MStarOptions{MaxK: 2}})
-	e := pathexpr.MustParse("//open_auction/bidder/personref/person/name")
+	e := mustParse("//open_auction/bidder/personref/person/name")
 	en.Support(e)
 	if n := en.Snapshot().NumComponents(); n > 3 {
 		t.Fatalf("components = %d, want <= 3 under MaxK=2", n)
@@ -233,7 +233,7 @@ func TestMaxKCapsComponents(t *testing.T) {
 func TestRegisterAndQueryNamed(t *testing.T) {
 	g := datagen.XMarkGraph(0.005, 5)
 	en := New(g, Options{})
-	e := pathexpr.MustParse("//open_auction/bidder")
+	e := mustParse("//open_auction/bidder")
 
 	en.Register("a2", query.AsQuerier(baseline.AK(g, 2)))
 	res, err := en.QueryNamed("a2", e)
@@ -255,7 +255,7 @@ func TestRegisterAndQueryNamed(t *testing.T) {
 func TestStatsRendering(t *testing.T) {
 	g := datagen.XMarkGraph(0.005, 6)
 	en := New(g, Options{})
-	e := pathexpr.MustParse("//person/name")
+	e := mustParse("//person/name")
 	en.Query(e)
 	en.Support(e)
 	out := en.Stats().String()
@@ -271,7 +271,7 @@ func TestStatsRendering(t *testing.T) {
 func TestSnapshotImmutability(t *testing.T) {
 	g := datagen.XMarkGraph(0.005, 7)
 	en := New(g, Options{})
-	e := pathexpr.MustParse("//open_auction/bidder/personref")
+	e := mustParse("//open_auction/bidder/personref")
 
 	old := en.Snapshot()
 	oldNodes := old.Finest().NumNodes()

@@ -1,0 +1,14 @@
+package engine
+
+import (
+	"mrx/internal/pathexpr"
+)
+
+// mustParse parses a fixed test query literal.
+func mustParse(s string) *pathexpr.Expr {
+	e, err := pathexpr.Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}

@@ -101,7 +101,8 @@ func RunCostVsSize(ds Dataset, queries []*pathexpr.Expr, maxA int, progress Prog
 		start := time.Now()
 		ig, err := baseline.DKConstruct(ds.Graph, queries)
 		if err != nil {
-			panic(err) // workload queries are wildcard-free by construction
+			//mrlint:allow nopanic workload queries are wildcard-free by construction
+			panic(err)
 		}
 		row := CostRow{Index: "D(k)-construct", Nodes: ig.NumNodes(), Edges: ig.NumEdges(), BuildTime: time.Since(start)}
 		row.AvgCost, row.AvgIndex, row.AvgData = averageCost(queries, func(q *pathexpr.Expr) query.Cost {

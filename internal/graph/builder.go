@@ -128,13 +128,3 @@ func (b *Builder) Freeze() (*Graph, error) {
 	}
 	return g, nil
 }
-
-// MustFreeze is Freeze that panics on error; for tests and generators whose
-// construction is correct by design.
-func (b *Builder) MustFreeze() *Graph {
-	g, err := b.Freeze()
-	if err != nil {
-		panic(err)
-	}
-	return g
-}

@@ -86,7 +86,7 @@ func TestDuplicateEdgesCollapse(t *testing.T) {
 	b.AddEdge(r, a, TreeEdge)
 	b.AddEdge(r, a, RefEdge)
 	b.AddEdge(r, a, TreeEdge)
-	g := b.MustFreeze()
+	g := mustFreeze(b)
 	if g.NumEdges() != 1 {
 		t.Fatalf("parallel edges not collapsed: %d", g.NumEdges())
 	}

@@ -1,0 +1,10 @@
+package graph
+
+// mustFreeze freezes a builder whose contents the test controls.
+func mustFreeze(b *Builder) *Graph {
+	g, err := b.Freeze()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

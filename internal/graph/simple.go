@@ -18,10 +18,13 @@ func BuildSimple(labels []string, tree, ref [][2]int) (*Graph, error) {
 	return b.Freeze()
 }
 
-// MustBuildSimple is BuildSimple that panics on error.
-func MustBuildSimple(labels []string, tree, ref [][2]int) *Graph {
+// mustFigure builds one of the hard-coded paper figures. The edge tables are
+// package constants checked by TestPaperFigures, so a build error here is a
+// corrupted source file, not a runtime condition.
+func mustFigure(labels []string, tree, ref [][2]int) *Graph {
 	g, err := BuildSimple(labels, tree, ref)
 	if err != nil {
+		//mrlint:allow nopanic static figure tables are valid by construction
 		panic(err)
 	}
 	return g
@@ -46,7 +49,7 @@ func PaperFigure1() *Graph {
 	ref := [][2]int{
 		{15, 7}, {16, 8}, {17, 8}, {18, 9}, {19, 14},
 	}
-	return MustBuildSimple(labels, tree, ref)
+	return mustFigure(labels, tree, ref)
 }
 
 // PaperFigure3 returns the data graph of Figure 3(a): the running example for
@@ -57,7 +60,7 @@ func PaperFigure3() *Graph {
 		{0, 1}, {0, 2}, {0, 3},
 		{1, 4}, {2, 5}, {2, 6}, {3, 7}, {3, 8}, {3, 9},
 	}
-	return MustBuildSimple(labels, tree, nil)
+	return mustFigure(labels, tree, nil)
 }
 
 // PaperFigure4 returns the data graph of Figure 4(a): the overqualified-parent
@@ -68,7 +71,7 @@ func PaperFigure4() *Graph {
 	tree := [][2]int{
 		{0, 1}, {1, 2}, {1, 3}, {2, 4}, {3, 5},
 	}
-	return MustBuildSimple(labels, tree, nil)
+	return mustFigure(labels, tree, nil)
 }
 
 // PaperFigure6 returns a data graph reconstructed from Figure 6(a) (the
@@ -83,7 +86,7 @@ func PaperFigure6() *Graph {
 		{2, 5}, {2, 3}, {1, 4}, {5, 8},
 		{4, 7}, {8, 6},
 	}
-	return MustBuildSimple(labels, tree, nil)
+	return mustFigure(labels, tree, nil)
 }
 
 // PaperFigure7 returns the data graph of Figure 7(a): the example used to
@@ -100,5 +103,5 @@ func PaperFigure7() *Graph {
 		{3, 2}, {1, 4}, {1, 5},
 	}
 	ref := [][2]int{{2, 5}}
-	return MustBuildSimple(labels, tree, ref)
+	return mustFigure(labels, tree, ref)
 }

@@ -204,9 +204,11 @@ func (ig *Graph) addEdge(from, to NodeID) {
 // node and only updates its k.
 func (ig *Graph) Split(w *Node, pieces [][]graph.NodeID, ks []int) []*Node {
 	if w.dead {
+		//mrlint:allow nopanic caller bug, not a data condition: P1-P3 invariant
 		panic("index: split of dead node")
 	}
 	if len(pieces) != len(ks) {
+		//mrlint:allow nopanic caller bug, not a data condition: P1-P3 invariant
 		panic("index: pieces/ks length mismatch")
 	}
 	// Drop empty pieces.
@@ -223,6 +225,7 @@ func (ig *Graph) Split(w *Node, pieces [][]graph.NodeID, ks []int) []*Node {
 	}
 	pieces, ks = outPieces, outKs
 	if total != len(w.extent) {
+		//mrlint:allow nopanic partition-cover invariant P1: pieces must tile the extent
 		panic(fmt.Sprintf("index: pieces cover %d of %d extent nodes", total, len(w.extent)))
 	}
 	if len(pieces) == 1 {
@@ -271,6 +274,7 @@ func (ig *Graph) Split(w *Node, pieces [][]graph.NodeID, ks []int) []*Node {
 		newNodes[i] = n
 		for _, o := range extent {
 			if ig.nodeOf[o] != w.id {
+				//mrlint:allow nopanic extent-membership invariant P1; a wrong piece corrupts nodeOf
 				panic(fmt.Sprintf("index: piece member %d not in extent of %d (or duplicated)", o, w.id))
 			}
 			ig.nodeOf[o] = n.id

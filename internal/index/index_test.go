@@ -140,7 +140,7 @@ func TestSplitPanicsOnBadPieces(t *testing.T) {
 
 func TestSelfLoopEdgeAccounting(t *testing.T) {
 	// a-node extent {1,2} with data edge 1->2 gives a self-loop index edge.
-	g := graph.MustBuildSimple([]string{"r", "a", "a", "b"},
+	g := mustBuildSimple([]string{"r", "a", "a", "b"},
 		[][2]int{{0, 1}, {1, 2}, {2, 3}}, nil)
 	ig := a0(g)
 	if err := ig.Validate(true); err != nil {

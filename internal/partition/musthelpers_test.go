@@ -1,0 +1,14 @@
+package partition
+
+import (
+	"mrx/internal/graph"
+)
+
+// mustBuildSimple builds a hand-written test graph.
+func mustBuildSimple(labels []string, tree, ref [][2]int) *graph.Graph {
+	g, err := graph.BuildSimple(labels, tree, ref)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

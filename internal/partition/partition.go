@@ -171,6 +171,7 @@ func RefineOnce(g *graph.Graph, p *Partition, frozen func(BlockID) bool) (*Parti
 // round is a fixpoint, since further rounds cannot split anything.
 func KBisim(g *graph.Graph, k int) *Partition {
 	if k < 0 {
+		//mrlint:allow nopanic negative k is a caller bug; every call site passes a validated k
 		panic(fmt.Sprintf("partition: negative k %d", k))
 	}
 	p := ByLabel(g)

@@ -34,7 +34,7 @@ func TestByLabel(t *testing.T) {
 // TestPaperFigure2 checks the paper's motivating example: the two d nodes
 // have the same incoming label-path sets but are not bisimilar.
 func TestPaperFigure2(t *testing.T) {
-	g := graph.MustBuildSimple(
+	g := mustBuildSimple(
 		[]string{0: "r", 1: "a", 2: "b", 3: "c", 4: "c", 5: "d"},
 		[][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 4}, {3, 5}},
 		[][2]int{{4, 5}},

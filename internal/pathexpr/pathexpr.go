@@ -166,15 +166,6 @@ func Parse(s string) (*Expr, error) {
 	return e, nil
 }
 
-// MustParse is Parse that panics on error, for tests and literals.
-func MustParse(s string) *Expr {
-	e, err := Parse(s)
-	if err != nil {
-		panic(err)
-	}
-	return e
-}
-
 // FromLabels builds a descendant-anchored expression from a label sequence.
 func FromLabels(labels []string) *Expr {
 	e := &Expr{}

@@ -6,7 +6,7 @@ import (
 )
 
 func TestParseDescendant(t *testing.T) {
-	e := MustParse("//site/people/person")
+	e := mustParse("//site/people/person")
 	if e.Rooted {
 		t.Error("should be descendant")
 	}
@@ -19,7 +19,7 @@ func TestParseDescendant(t *testing.T) {
 }
 
 func TestParseRooted(t *testing.T) {
-	e := MustParse("/site/regions")
+	e := mustParse("/site/regions")
 	if !e.Rooted {
 		t.Error("should be rooted")
 	}
@@ -32,7 +32,7 @@ func TestParseRooted(t *testing.T) {
 }
 
 func TestParseBareLabelPath(t *testing.T) {
-	e := MustParse("r/a/b")
+	e := mustParse("r/a/b")
 	if e.Rooted {
 		t.Error("bare path should be descendant-anchored")
 	}
@@ -42,7 +42,7 @@ func TestParseBareLabelPath(t *testing.T) {
 }
 
 func TestParseWildcard(t *testing.T) {
-	e := MustParse("/site/regions/*/item")
+	e := mustParse("/site/regions/*/item")
 	if !e.HasWildcard() {
 		t.Error("wildcard lost")
 	}
@@ -55,7 +55,7 @@ func TestParseWildcard(t *testing.T) {
 	if got := e.String(); got != "/site/regions/*/item" {
 		t.Errorf("String = %q", got)
 	}
-	if MustParse("//a").HasWildcard() {
+	if mustParse("//a").HasWildcard() {
 		t.Error("no wildcard expected")
 	}
 }
@@ -69,14 +69,14 @@ func TestParseErrors(t *testing.T) {
 }
 
 func TestSingleLabel(t *testing.T) {
-	e := MustParse("//person")
+	e := mustParse("//person")
 	if e.Length() != 0 || e.RequiredK() != 0 {
 		t.Errorf("single label: length=%d requiredK=%d", e.Length(), e.RequiredK())
 	}
 }
 
 func TestPrefixSuffix(t *testing.T) {
-	e := MustParse("//a/b/c/d")
+	e := mustParse("//a/b/c/d")
 	p := e.Prefix(1)
 	if p.String() != "//a/b" {
 		t.Errorf("Prefix = %q", p)
@@ -92,31 +92,37 @@ func TestPrefixSuffix(t *testing.T) {
 
 func TestFromLabelsAndEqual(t *testing.T) {
 	e := FromLabels([]string{"a", "b"})
-	if !e.Equal(MustParse("//a/b")) {
+	if !e.Equal(mustParse("//a/b")) {
 		t.Error("FromLabels mismatch")
 	}
-	if e.Equal(MustParse("/a/b")) {
+	if e.Equal(mustParse("/a/b")) {
 		t.Error("rooted vs descendant should differ")
 	}
-	if e.Equal(MustParse("//a/b/c")) {
+	if e.Equal(mustParse("//a/b/c")) {
 		t.Error("lengths differ")
 	}
-	if e.Equal(MustParse("//a/c")) {
+	if e.Equal(mustParse("//a/c")) {
 		t.Error("labels differ")
 	}
 }
 
-func TestMustParsePanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic")
-		}
-	}()
-	MustParse("//")
+func TestParseRejectsTrailingSlash(t *testing.T) {
+	if _, err := Parse("//"); err == nil {
+		t.Fatal("no error for trailing slash")
+	}
+}
+
+// mustParse parses a fixed test query literal.
+func mustParse(s string) *Expr {
+	e, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return e
 }
 
 func TestParseDescendantAxis(t *testing.T) {
-	e := MustParse("//a//b/c")
+	e := mustParse("//a//b/c")
 	if !e.HasDescendantStep() {
 		t.Fatal("descendant step lost")
 	}
@@ -129,17 +135,17 @@ func TestParseDescendantAxis(t *testing.T) {
 	if e.RequiredK() != Unbounded {
 		t.Errorf("RequiredK = %d, want Unbounded", e.RequiredK())
 	}
-	r := MustParse("/site//name")
+	r := mustParse("/site//name")
 	if !r.Rooted || !r.Steps[1].Descendant {
 		t.Error("rooted descendant parse wrong")
 	}
 	if r.String() != "/site//name" {
 		t.Errorf("String = %q", r.String())
 	}
-	if MustParse("//a/b").HasDescendantStep() {
+	if mustParse("//a/b").HasDescendantStep() {
 		t.Error("plain path reported descendant step")
 	}
-	if MustParse("//a//*/b").String() != "//a//*/b" {
+	if mustParse("//a//*/b").String() != "//a//*/b" {
 		t.Error("descendant wildcard roundtrip failed")
 	}
 }

@@ -14,25 +14,25 @@ func TestEvalDataDescendantAxis(t *testing.T) {
 	g := graph.PaperFigure1()
 	d := NewDataIndex(g)
 	// //site//item: every item, however deep (including via references).
-	got := d.Eval(pathexpr.MustParse("//site//item"))
-	want := d.Eval(pathexpr.MustParse("//item"))
+	got := d.Eval(mustParse("//site//item"))
+	want := d.Eval(mustParse("//item"))
 	if !reflect.DeepEqual(got, want) {
 		t.Errorf("//site//item = %v, want all items %v", got, want)
 	}
 	// //regions//item: only region items, not auction-referenced ones...
 	// except item 14, which is also referenced from auction item 19.
-	got = d.Eval(pathexpr.MustParse("//regions//item"))
+	got = d.Eval(mustParse("//regions//item"))
 	if !reflect.DeepEqual(got, ids(12, 13, 14)) {
 		t.Errorf("//regions//item = %v", got)
 	}
 	// Rooted with descendant axis.
-	got = d.Eval(pathexpr.MustParse("/site//person"))
+	got = d.Eval(mustParse("/site//person"))
 	if !reflect.DeepEqual(got, ids(7, 8, 9)) {
 		t.Errorf("/site//person = %v", got)
 	}
 	// //auctions//person: persons reached through the auction subtree's
 	// reference edges.
-	got = d.Eval(pathexpr.MustParse("//auctions//person"))
+	got = d.Eval(mustParse("//auctions//person"))
 	if !reflect.DeepEqual(got, ids(7, 8, 9)) {
 		t.Errorf("//auctions//person = %v", got)
 	}
@@ -88,7 +88,7 @@ func TestPropertyDescendantAgainstBruteForce(t *testing.T) {
 		g := gtest.Random(seed, 30, 3, 0.3)
 		d := NewDataIndex(g)
 		for _, s := range exprs {
-			e := pathexpr.MustParse(s)
+			e := mustParse(s)
 			got := d.Eval(e)
 			want := bruteForceEval(g, e)
 			if len(got) != len(want) {
@@ -120,7 +120,7 @@ func TestPropertyDescendantIndexEval(t *testing.T) {
 		for k := 0; k <= 2; k++ {
 			ig := buildAk(g, k)
 			for _, s := range exprs {
-				e := pathexpr.MustParse(s)
+				e := mustParse(s)
 				res := EvalIndex(ig, e)
 				if res.Precise && len(res.Targets) > 0 {
 					t.Logf("seed %d: %s claimed precise with matches", seed, s)
@@ -143,7 +143,7 @@ func TestValidatorDescendantAgrees(t *testing.T) {
 	g := gtest.Random(33, 80, 4, 0.3)
 	d := NewDataIndex(g)
 	for _, s := range []string{"//l0//l1", "//l2//l0//l1", "/l0//l3"} {
-		e := pathexpr.MustParse(s)
+		e := mustParse(s)
 		want := map[graph.NodeID]bool{}
 		for _, v := range d.Eval(e) {
 			want[v] = true
@@ -172,7 +172,7 @@ func TestPropertyBranchingOnPlainIndexes(t *testing.T) {
 		for k := 0; k <= 2; k++ {
 			ig := buildAk(g, k)
 			for _, pq := range pairs {
-				in, out := pathexpr.MustParse(pq[0]), pathexpr.MustParse(pq[1])
+				in, out := mustParse(pq[0]), mustParse(pq[1])
 				want := EvalBranchingData(g, in, out)
 				got := EvalBranching(ig, in, out, 0)
 				if len(want) != len(got.Answer) {
@@ -195,14 +195,14 @@ func TestPropertyBranchingOnPlainIndexes(t *testing.T) {
 
 func TestDownValidatorDescendant(t *testing.T) {
 	g := graph.PaperFigure1()
-	dv := NewDownValidator(g, pathexpr.MustParse("//site//person"))
+	dv := NewDownValidator(g, mustParse("//site//person"))
 	if !dv.Matches(1) {
 		t.Error("site should reach persons via //")
 	}
 	if dv.Matches(7) {
 		t.Error("a person is not a site")
 	}
-	dv2 := NewDownValidator(g, pathexpr.MustParse("//auction/bidder/person"))
+	dv2 := NewDownValidator(g, mustParse("//auction/bidder/person"))
 	if !dv2.Matches(10) || dv2.Matches(12) {
 		t.Error("down validation wrong")
 	}
@@ -223,7 +223,7 @@ func TestValidatorDescendantCycleToSelf(t *testing.T) {
 	b.AddEdge(0, 1, graph.TreeEdge)
 	b.AddEdge(1, 2, graph.TreeEdge)
 	b.AddEdge(2, 1, graph.RefEdge)
-	g := b.MustFreeze()
+	g := mustFreeze(b)
 
 	for _, tc := range []struct {
 		expr string
@@ -237,7 +237,7 @@ func TestValidatorDescendantCycleToSelf(t *testing.T) {
 		{"/a//a", 1, true},
 		{"/b//b", 2, false}, // b is not a child of the root
 	} {
-		e := pathexpr.MustParse(tc.expr)
+		e := mustParse(tc.expr)
 		if got := NewValidator(g, e).Matches(tc.node); got != tc.want {
 			t.Errorf("%s on node %d: got %v, want %v", tc.expr, tc.node, got, tc.want)
 		}

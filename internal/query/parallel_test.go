@@ -6,7 +6,6 @@ import (
 	"testing"
 
 	"mrx/internal/gtest"
-	"mrx/internal/pathexpr"
 )
 
 // Parallel validation must return exactly the sequential answer for every
@@ -15,7 +14,7 @@ func TestEvalIndexOptsWorkerEquivalence(t *testing.T) {
 	g := gtest.Random(7, 4000, 4, 0.25)
 	ig := buildAk(g, 1)
 	for _, s := range []string{"//l0/l1/l2", "//l1/l2", "//l2/*/l1", "/l0/l1"} {
-		e := pathexpr.MustParse(s)
+		e := mustParse(s)
 		want := EvalIndex(ig, e)
 		for _, workers := range []int{1, 2, 4, 8, 1000} {
 			got := EvalIndexOpts(ig, e, ValidateOpts{Workers: workers})
@@ -39,7 +38,7 @@ func TestEvalIndexOptsWorkerEquivalence(t *testing.T) {
 func TestEvalIndexOptsZeroValueIsEvalIndex(t *testing.T) {
 	g := gtest.Random(11, 500, 4, 0.3)
 	ig := buildAk(g, 1)
-	e := pathexpr.MustParse("//l0/l1/l2")
+	e := mustParse("//l0/l1/l2")
 	a := EvalIndex(ig, e)
 	b := EvalIndexOpts(ig, e, ValidateOpts{})
 	if !reflect.DeepEqual(a, b) {
@@ -52,7 +51,7 @@ func TestEvalIndexOptsZeroValueIsEvalIndex(t *testing.T) {
 func TestCollectAnswersStop(t *testing.T) {
 	g := gtest.Random(3, 2000, 4, 0.25)
 	ig := buildAk(g, 0)
-	e := pathexpr.MustParse("//l0/l1/l2")
+	e := mustParse("//l0/l1/l2")
 	targets := TargetNodes(ig, e)
 
 	full, _, _, stopped := CollectAnswers(g, e, targets, ValidateOpts{})
@@ -95,7 +94,7 @@ func TestCollectAnswersStop(t *testing.T) {
 func TestEvalIndexConcurrent(t *testing.T) {
 	g := gtest.Random(19, 1500, 4, 0.25)
 	ig := buildAk(g, 1)
-	e := pathexpr.MustParse("//l0/l1")
+	e := mustParse("//l0/l1")
 	want := EvalIndex(ig, e)
 	done := make(chan bool)
 	for r := 0; r < 8; r++ {

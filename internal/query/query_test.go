@@ -9,7 +9,6 @@ import (
 	"mrx/internal/gtest"
 	"mrx/internal/index"
 	"mrx/internal/partition"
-	"mrx/internal/pathexpr"
 )
 
 func ids(xs ...int) []graph.NodeID {
@@ -24,24 +23,24 @@ func TestEvalDataPaperExamples(t *testing.T) {
 	g := graph.PaperFigure1()
 	d := NewDataIndex(g)
 	// The two examples from §2 of the paper.
-	if got := d.Eval(pathexpr.MustParse("/site/people/person")); !reflect.DeepEqual(got, ids(7, 8, 9)) {
+	if got := d.Eval(mustParse("/site/people/person")); !reflect.DeepEqual(got, ids(7, 8, 9)) {
 		t.Errorf("/site/people/person = %v", got)
 	}
-	if got := d.Eval(pathexpr.MustParse("/site/regions/*/item")); !reflect.DeepEqual(got, ids(12, 13, 14)) {
+	if got := d.Eval(mustParse("/site/regions/*/item")); !reflect.DeepEqual(got, ids(12, 13, 14)) {
 		t.Errorf("/site/regions/*/item = %v", got)
 	}
 	// Descendant queries traverse reference edges too: bidder->person.
-	if got := d.Eval(pathexpr.MustParse("//bidder/person")); !reflect.DeepEqual(got, ids(8)) {
+	if got := d.Eval(mustParse("//bidder/person")); !reflect.DeepEqual(got, ids(8)) {
 		t.Errorf("//bidder/person = %v", got)
 	}
 	// //item includes referenced and auction-local items.
-	if got := d.Eval(pathexpr.MustParse("//item")); !reflect.DeepEqual(got, ids(12, 13, 14, 19, 20)) {
+	if got := d.Eval(mustParse("//item")); !reflect.DeepEqual(got, ids(12, 13, 14, 19, 20)) {
 		t.Errorf("//item = %v", got)
 	}
-	if got := d.Eval(pathexpr.MustParse("//nonexistent")); len(got) != 0 {
+	if got := d.Eval(mustParse("//nonexistent")); len(got) != 0 {
 		t.Errorf("//nonexistent = %v", got)
 	}
-	if got := d.Eval(pathexpr.MustParse("/person")); len(got) != 0 {
+	if got := d.Eval(mustParse("/person")); len(got) != 0 {
 		t.Errorf("/person rooted = %v (persons are not root children)", got)
 	}
 }
@@ -50,7 +49,7 @@ func TestValidatorAgreesWithEval(t *testing.T) {
 	g := graph.PaperFigure1()
 	d := NewDataIndex(g)
 	for _, s := range []string{"/site/people/person", "//bidder/person", "//item", "/site/regions/*/item", "//auction/seller/person"} {
-		e := pathexpr.MustParse(s)
+		e := mustParse(s)
 		want := map[graph.NodeID]bool{}
 		for _, v := range d.Eval(e) {
 			want[v] = true
@@ -76,7 +75,7 @@ func TestEvalIndexPreciseOnHighK(t *testing.T) {
 	d := NewDataIndex(g)
 	ig := buildAk(g, 3)
 	for _, s := range []string{"//person", "//site/people/person", "//auction/bidder", "/site/regions"} {
-		e := pathexpr.MustParse(s)
+		e := mustParse(s)
 		res := EvalIndex(ig, e)
 		if !res.Precise {
 			t.Errorf("%s: expected precise on A(3)", s)
@@ -94,7 +93,7 @@ func TestEvalIndexValidatesOnLowK(t *testing.T) {
 	g := graph.PaperFigure1()
 	d := NewDataIndex(g)
 	ig := buildAk(g, 0) // A(0): label partition, precise only for length 0
-	e := pathexpr.MustParse("//auction/seller/person")
+	e := mustParse("//auction/seller/person")
 	res := EvalIndex(ig, e)
 	if res.Precise {
 		t.Error("A(0) cannot be precise for length-2 path")
@@ -117,7 +116,7 @@ func TestPropertyIndexEvalMatchesGroundTruth(t *testing.T) {
 		for k := 0; k <= 3; k++ {
 			ig := buildAk(g, k)
 			for _, s := range []string{"//l0", "//l1/l2", "//l0/l1/l2", "//l2/*/l1", "/l0/l1"} {
-				e := pathexpr.MustParse(s)
+				e := mustParse(s)
 				res := EvalIndex(ig, e)
 				want := d.Eval(e)
 				if !reflect.DeepEqual(res.Answer, want) {
@@ -141,7 +140,7 @@ func TestPropertySafety(t *testing.T) {
 		d := NewDataIndex(g)
 		ig := buildAk(g, 1)
 		for _, s := range []string{"//l0/l1/l2", "//l1/l0"} {
-			e := pathexpr.MustParse(s)
+			e := mustParse(s)
 			targets := TargetNodes(ig, e)
 			inTargets := map[graph.NodeID]bool{}
 			for _, n := range targets {
@@ -165,7 +164,7 @@ func TestPropertySafety(t *testing.T) {
 func TestCostAccounting(t *testing.T) {
 	g := graph.PaperFigure1()
 	ig := buildAk(g, 0)
-	e := pathexpr.MustParse("//person")
+	e := mustParse("//person")
 	res := EvalIndex(ig, e)
 	if res.Cost.IndexNodes != 1 {
 		t.Errorf("//person on A(0) should visit exactly the person node, got %d", res.Cost.IndexNodes)
@@ -185,7 +184,7 @@ func TestEvalIndexWildcardStart(t *testing.T) {
 	g := graph.PaperFigure1()
 	d := NewDataIndex(g)
 	ig := buildAk(g, 2)
-	e := pathexpr.MustParse("//*/person")
+	e := mustParse("//*/person")
 	if want := d.Eval(e); !reflect.DeepEqual(EvalIndex(ig, e).Answer, want) {
 		t.Errorf("wildcard start mismatch")
 	}
@@ -194,7 +193,7 @@ func TestEvalIndexWildcardStart(t *testing.T) {
 func TestRootedTraversalCostsCountRoot(t *testing.T) {
 	g := graph.PaperFigure1()
 	ig := buildAk(g, 2)
-	res := EvalIndex(ig, pathexpr.MustParse("/site"))
+	res := EvalIndex(ig, mustParse("/site"))
 	// Visits: the root node plus its children examined.
 	if res.Cost.IndexNodes < 2 {
 		t.Errorf("rooted traversal cost = %d", res.Cost.IndexNodes)
@@ -207,14 +206,14 @@ func TestRootedTraversalCostsCountRoot(t *testing.T) {
 func TestValidatorRootedAnchoring(t *testing.T) {
 	g := graph.PaperFigure1()
 	// /person must match nothing: persons are not children of the root.
-	va := NewValidator(g, pathexpr.MustParse("/person"))
+	va := NewValidator(g, mustParse("/person"))
 	for v := 0; v < g.NumNodes(); v++ {
 		if va.Matches(graph.NodeID(v)) {
 			t.Fatalf("node %d matched rooted /person", v)
 		}
 	}
 	// /site matches exactly the site element.
-	va = NewValidator(g, pathexpr.MustParse("/site"))
+	va = NewValidator(g, mustParse("/site"))
 	matches := 0
 	for v := 0; v < g.NumNodes(); v++ {
 		if va.Matches(graph.NodeID(v)) {
@@ -229,7 +228,7 @@ func TestValidatorRootedAnchoring(t *testing.T) {
 func TestEvalIndexEmptyWorkloadSafety(t *testing.T) {
 	g := graph.PaperFigure1()
 	ig := buildAk(g, 1)
-	res := EvalIndex(ig, pathexpr.MustParse("//person/item/person"))
+	res := EvalIndex(ig, mustParse("//person/item/person"))
 	if len(res.Answer) != 0 {
 		t.Errorf("impossible path matched %v", res.Answer)
 	}

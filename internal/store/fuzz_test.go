@@ -8,7 +8,6 @@ import (
 	"mrx/internal/core"
 	"mrx/internal/graph"
 	"mrx/internal/gtest"
-	"mrx/internal/pathexpr"
 )
 
 // fuzzGraph is the fixed data graph the index/M*(k) fuzz targets read
@@ -86,8 +85,8 @@ func FuzzStoreMStar(f *testing.F) {
 	g := fuzzGraph()
 	valid := seedBytes(f, func(b *bytes.Buffer) error {
 		ms := core.NewMStar(g)
-		ms.Support(pathexpr.MustParse("//l0/l1"))
-		ms.Support(pathexpr.MustParse("//l1/l2/l0"))
+		ms.Support(mustParse("//l0/l1"))
+		ms.Support(mustParse("//l1/l2/l0"))
 		return WriteMStar(b, ms)
 	})
 	f.Add(valid)

@@ -21,7 +21,7 @@ func TestLoadUpToEveryPrefixAnswers(t *testing.T) {
 	g := gtest.New(21, gtest.Options{Nodes: 90, Labels: 4, RefProb: 0.15, Shape: gtest.DAG})
 	ms := core.NewMStar(g)
 	for _, s := range []string{"//l0/l1", "//l1/l2/l3/l0", "//l2/l0/l1"} {
-		ms.Support(pathexpr.MustParse(s))
+		ms.Support(mustParse(s))
 	}
 	var buf bytes.Buffer
 	if err := WriteMStar(&buf, ms); err != nil {
@@ -47,7 +47,7 @@ func TestLoadUpToEveryPrefixAnswers(t *testing.T) {
 			t.Fatalf("LoadUpTo(%d): %v", j, err)
 		}
 		for _, s := range workload {
-			e := pathexpr.MustParse(s)
+			e := mustParse(s)
 			want := ms.Query(e)
 			got := partial.Query(e)
 			if !reflect.DeepEqual(got.Answer, want.Answer) {
@@ -70,7 +70,7 @@ func TestLoadUpToEveryPrefixAnswers(t *testing.T) {
 func TestLoadUpToTruncatedTailSection(t *testing.T) {
 	g := gtest.Random(22, 70, 3, 0.2)
 	ms := core.NewMStar(g)
-	ms.Support(pathexpr.MustParse("//l0/l1/l2"))
+	ms.Support(mustParse("//l0/l1/l2"))
 	if ms.NumComponents() < 3 {
 		t.Fatalf("want ≥3 components, got %d", ms.NumComponents())
 	}
@@ -90,7 +90,7 @@ func TestLoadUpToTruncatedTailSection(t *testing.T) {
 		if err != nil {
 			t.Fatalf("cut %d: intact prefix failed: %v", cut, err)
 		}
-		e := pathexpr.MustParse("//l0/l1")
+		e := mustParse("//l0/l1")
 		if got, want := partial.Query(e).Answer, ms.Query(e).Answer; !reflect.DeepEqual(got, want) {
 			t.Errorf("cut %d: prefix answer %v, want %v", cut, got, want)
 		}
@@ -114,7 +114,7 @@ func TestReadIndexRejectsInvalidSimilarities(t *testing.T) {
 	b.AddNode("b")
 	b.AddEdge(0, 1, graph.TreeEdge)
 	b.AddEdge(1, 2, graph.TreeEdge)
-	g := b.MustFreeze()
+	g := mustFreeze(b)
 
 	// Singleton extents with a(k=0) parenting b(k=5) violate P3.
 	bad, err := index.FromExtents(g,
@@ -146,7 +146,7 @@ func TestReadIndexRejectsInvalidSimilarities(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e := pathexpr.MustParse("//a/b")
+	e := mustParse("//a/b")
 	if got := query.EvalIndex(ig, e).Answer; !reflect.DeepEqual(got, []graph.NodeID{2}) {
 		t.Errorf("//a/b = %v", got)
 	}

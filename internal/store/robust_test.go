@@ -10,7 +10,6 @@ import (
 	"mrx/internal/baseline"
 	"mrx/internal/core"
 	"mrx/internal/gtest"
-	"mrx/internal/pathexpr"
 )
 
 // Every strict prefix of a serialized artifact must fail to load with an
@@ -19,7 +18,7 @@ func TestTruncatedInputsError(t *testing.T) {
 	g := gtest.Random(6, 80, 4, 0.2)
 	ig := baseline.AK(g, 1)
 	ms := core.NewMStar(g)
-	ms.Support(pathexpr.MustParse("//l0/l1"))
+	ms.Support(mustParse("//l0/l1"))
 
 	var gb, ib, mb bytes.Buffer
 	if err := WriteGraph(&gb, g); err != nil {
@@ -112,7 +111,7 @@ func TestWriteFailuresPropagate(t *testing.T) {
 	g := gtest.Random(12, 60, 3, 0.2)
 	ig := baseline.AK(g, 1)
 	ms := core.NewMStar(g)
-	ms.Support(pathexpr.MustParse("//l0/l1"))
+	ms.Support(mustParse("//l0/l1"))
 
 	check := func(name string, write func(w *failWriter) error) {
 		cw := &failWriter{left: 1 << 30}
@@ -134,7 +133,7 @@ func TestWriteFailuresPropagate(t *testing.T) {
 func TestLoadUpToClampAndReuse(t *testing.T) {
 	g := gtest.Random(15, 80, 4, 0.2)
 	ms := core.NewMStar(g)
-	ms.Support(pathexpr.MustParse("//l0/l1/l2"))
+	ms.Support(mustParse("//l0/l1/l2"))
 	var buf bytes.Buffer
 	if err := WriteMStar(&buf, ms); err != nil {
 		t.Fatal(err)

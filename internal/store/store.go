@@ -428,7 +428,7 @@ func (mr *MStarReader) LoadUpTo(j int) (*core.MStar, error) {
 		}
 		// Drain any buffered remainder of the section.
 		if _, err := io.Copy(io.Discard, section.r); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("store: M*(k) component I%d drain: %w", len(mr.comps), err)
 		}
 		mr.comps = append(mr.comps, comp)
 		mr.nextToLoad++

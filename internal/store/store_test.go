@@ -90,7 +90,7 @@ func TestIndexRoundTrip(t *testing.T) {
 			t.Errorf("%s: sizes changed: %d/%d -> %d/%d", name,
 				ig.NumNodes(), ig.NumEdges(), got.NumNodes(), got.NumEdges())
 		}
-		e := pathexpr.MustParse("//open_auction/bidder")
+		e := mustParse("//open_auction/bidder")
 		if !reflect.DeepEqual(query.EvalIndex(got, e).Answer, query.EvalIndex(ig, e).Answer) {
 			t.Errorf("%s: answers differ after round trip", name)
 		}
@@ -113,7 +113,7 @@ func TestMKIndexRoundTrip(t *testing.T) {
 	g := gtest.Random(5, 150, 5, 0.25)
 	mk := core.NewMK(g)
 	for _, s := range []string{"//l0/l1/l2", "//l3/l4"} {
-		mk.Support(pathexpr.MustParse(s))
+		mk.Support(mustParse(s))
 	}
 	var buf bytes.Buffer
 	if err := WriteIndex(&buf, mk.Index()); err != nil {
@@ -126,7 +126,7 @@ func TestMKIndexRoundTrip(t *testing.T) {
 	if err := got.Validate(true); err != nil {
 		t.Fatal(err)
 	}
-	e := pathexpr.MustParse("//l0/l1/l2")
+	e := mustParse("//l0/l1/l2")
 	res := query.EvalIndex(got, e)
 	if !res.Precise {
 		t.Error("persisted M(k) lost precision")
@@ -137,8 +137,8 @@ func TestMStarRoundTripAndSelectiveLoad(t *testing.T) {
 	g := datagen.NASAGraph(0.02, 4)
 	ms := core.NewMStar(g)
 	fups := []*pathexpr.Expr{
-		pathexpr.MustParse("//dataset/author/lastName"),
-		pathexpr.MustParse("//dataset/tableHead/fields/field/name"),
+		mustParse("//dataset/author/lastName"),
+		mustParse("//dataset/tableHead/fields/field/name"),
 	}
 	for _, q := range fups {
 		ms.Support(q)
@@ -186,7 +186,7 @@ func TestMStarRoundTripAndSelectiveLoad(t *testing.T) {
 		t.Fatalf("partial components = %d loaded = %d", partial.NumComponents(), mr.Loaded())
 	}
 	// A length-2 query is answered precisely by the partial index.
-	short := pathexpr.MustParse("//dataset/author/lastName")
+	short := mustParse("//dataset/author/lastName")
 	res := partial.Query(short)
 	if !res.Precise {
 		t.Error("partial index should answer length-2 FUP precisely")

@@ -50,7 +50,7 @@ func TestEnumerateLabelPathsFigure1(t *testing.T) {
 
 func TestEnumerateCycleBounded(t *testing.T) {
 	// A reference cycle a->b->a must not loop forever.
-	g := graph.MustBuildSimple([]string{"root", "a", "b"},
+	g := mustBuildSimple([]string{"root", "a", "b"},
 		[][2]int{{0, 1}, {1, 2}}, [][2]int{{2, 1}})
 	paths := EnumerateLabelPaths(g, 5)
 	maxLen := 0
@@ -125,7 +125,7 @@ func TestFromPathsEmpty(t *testing.T) {
 		t.Fatalf("expected no queries from empty path set, got %d", len(qs))
 	}
 	// A root-only graph generates an empty workload rather than panicking.
-	g := graph.MustBuildSimple([]string{"root"}, nil, nil)
+	g := mustBuildSimple([]string{"root"}, nil, nil)
 	if qs := Generate(g, Options{NumQueries: 5, MaxPathLen: 4, MaxQueryLen: 4, Seed: 1}); len(qs) != 0 {
 		t.Fatalf("root-only graph produced %d queries", len(qs))
 	}

@@ -6,7 +6,6 @@ import (
 	"testing"
 
 	"mrx/internal/graph"
-	"mrx/internal/pathexpr"
 	"mrx/internal/query"
 )
 
@@ -53,11 +52,11 @@ func TestLoadBasics(t *testing.T) {
 
 	d := query.NewDataIndex(g)
 	// The document element hangs under the synthetic root.
-	if got := d.Eval(pathexpr.MustParse("/site")); len(got) != 1 {
+	if got := d.Eval(mustParse("/site")); len(got) != 1 {
 		t.Errorf("/site = %v", got)
 	}
 	// Reference edges are traversable: seller -> person.
-	sellers := d.Eval(pathexpr.MustParse("//seller/person"))
+	sellers := d.Eval(mustParse("//seller/person"))
 	if len(sellers) != 1 {
 		t.Fatalf("//seller/person = %v", sellers)
 	}
@@ -65,8 +64,8 @@ func TestLoadBasics(t *testing.T) {
 		t.Error("seller ref resolved to wrong node")
 	}
 	// itemref item="item1" points at the asia item.
-	items := d.Eval(pathexpr.MustParse("//itemref/item"))
-	asiaItems := d.Eval(pathexpr.MustParse("//asia/item"))
+	items := d.Eval(mustParse("//itemref/item"))
+	asiaItems := d.Eval(mustParse("//asia/item"))
 	if !reflect.DeepEqual(items, asiaItems) {
 		t.Errorf("itemref item %v != asia item %v", items, asiaItems)
 	}

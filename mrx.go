@@ -99,8 +99,17 @@ type PathStep = pathexpr.Step
 // ParsePath parses a simple path expression.
 func ParsePath(s string) (*PathExpr, error) { return pathexpr.Parse(s) }
 
-// MustParsePath is ParsePath that panics on error.
-func MustParsePath(s string) *PathExpr { return pathexpr.MustParse(s) }
+// MustParsePath is ParsePath that panics on error. It is intended for
+// package-level query literals whose syntax is fixed at compile time; code
+// handling untrusted input should call ParsePath.
+func MustParsePath(s string) *PathExpr {
+	e, err := pathexpr.Parse(s)
+	if err != nil {
+		//mrlint:allow nopanic documented escape hatch for compile-time query literals
+		panic(err)
+	}
+	return e
+}
 
 // PathFromLabels builds a descendant-anchored expression from labels.
 func PathFromLabels(labels []string) *PathExpr { return pathexpr.FromLabels(labels) }
