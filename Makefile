@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race check bench fuzz cover
+.PHONY: all build vet lint test race check bench bench-smoke fuzz cover
 
 all: check
 
@@ -27,8 +27,23 @@ race:
 # need it).
 check: vet lint build race
 
+# bench runs every benchmark with -benchmem and archives the results as
+# machine-readable JSON under results/ (cmd/benchjson parses the standard
+# `go test -bench` output). BENCHLABEL tags the report, e.g.
+# `make bench BENCHLABEL=post-frozen`.
+BENCHLABEL ?= dev
+
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	@mkdir -p results
+	$(GO) test -run='^$$' -bench=. -benchmem ./... | tee /dev/stderr \
+		| $(GO) run ./cmd/benchjson -label $(BENCHLABEL) \
+		> results/BENCH_$$(date +%Y-%m-%d)_$(BENCHLABEL).json
+
+# bench-smoke compiles and runs every benchmark exactly once — a CI
+# regression gate against benchmarks that rot (won't build, panic, or
+# b.Fatal), without paying for measurement.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
 # Native fuzzing smoke: each target runs for FUZZTIME on top of its
 # committed seed corpus (testdata/fuzz/<FuzzName>/ in each package, which
@@ -41,6 +56,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzStoreGraph -fuzztime=$(FUZZTIME) ./internal/store/
 	$(GO) test -run='^$$' -fuzz=FuzzStoreIndex -fuzztime=$(FUZZTIME) ./internal/store/
 	$(GO) test -run='^$$' -fuzz=FuzzStoreMStar -fuzztime=$(FUZZTIME) ./internal/store/
+	$(GO) test -run='^$$' -fuzz=FuzzStoreFrozen -fuzztime=$(FUZZTIME) ./internal/store/
 	$(GO) test -run='^$$' -fuzz=FuzzDifferential -fuzztime=$(FUZZTIME) ./internal/difftest/
 
 cover:

@@ -1,0 +1,108 @@
+// Command benchjson converts `go test -bench` output into machine-readable
+// JSON, for the committed benchmark trajectory under results/. It reads
+// benchmark lines from stdin and writes one JSON document to stdout:
+//
+//	go test -run='^$' -bench=. -benchmem ./... | go run ./cmd/benchjson -label pre-frozen > results/BENCH_2026-08-06.json
+//
+// Non-benchmark lines (package headers, PASS/ok trailers) pass through to
+// stderr so the run stays observable while piping.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Report is the JSON document benchjson emits.
+type Report struct {
+	Label     string   `json:"label,omitempty"`
+	Date      string   `json:"date"`
+	GoVersion string   `json:"go_version"`
+	GoOS      string   `json:"goos"`
+	GoArch    string   `json:"goarch"`
+	Results   []Result `json:"results"`
+}
+
+func main() {
+	label := flag.String("label", "", "free-form label recorded in the report (e.g. pre-frozen)")
+	flag.Parse()
+
+	rep := Report{
+		Label:     *label,
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GoOS:      runtime.GOOS,
+		GoArch:    runtime.GOARCH,
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		r, ok := parseLine(line)
+		if !ok {
+			fmt.Fprintln(os.Stderr, line)
+			continue
+		}
+		rep.Results = append(rep.Results, r)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: write: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine parses one `go test -bench` result line, e.g.
+//
+//	BenchmarkQueryMStarTopDown-8   1203  987654 ns/op  1234 B/op  56 allocs/op
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: fields[0], Iterations: iters}
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp, seen = val, true
+		case "MB/s":
+			r.MBPerSec = val
+		case "B/op":
+			r.BytesPerOp = int64(val)
+		case "allocs/op":
+			r.AllocsPerOp = int64(val)
+		}
+	}
+	return r, seen
+}

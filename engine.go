@@ -10,11 +10,13 @@ import (
 // concurrent load.
 //
 // Readers never block: Query evaluates against an immutable generation-
-// numbered snapshot of the M*(k)-index loaded through an atomic pointer.
-// Refinement (Support) clones the snapshot, refines the private copy, and
-// publishes it atomically; concurrent Support calls serialize. Validation
-// inside a query fans out across a bounded worker pool. See package
-// mrx/internal/engine for the full concurrency model.
+// numbered snapshot loaded through an atomic pointer — a FrozenMStar, the
+// CSR-flattened map-free view of the M*(k)-index. Refinement (Support)
+// clones the mutable twin, refines the private copy, re-freezes only the
+// components the refinement touched, and publishes both atomically;
+// concurrent Support calls serialize. Validation inside a query fans out
+// across a bounded worker pool. See package mrx/internal/engine for the
+// full concurrency model.
 type Engine = engine.Engine
 
 // EngineOptions configures an Engine: the adaptive index's options and the

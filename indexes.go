@@ -91,6 +91,28 @@ func NewMStar(g *Graph) *MStar { return core.NewMStar(g) }
 // explicit options.
 func NewMStarOpts(g *Graph, opts MStarOptions) *MStar { return core.NewMStarOpts(g, opts) }
 
+// FrozenIndex is an immutable, CSR-flattened snapshot of an Index: the
+// read-path twin of the mutable refinement graph. It contains no maps at
+// all — serving queries from it performs zero map operations and traverses
+// in a deterministic order. Obtain one with Index.Freeze.
+type FrozenIndex = index.Frozen
+
+// FrozenID identifies a node inside one FrozenIndex; IDs are dense.
+type FrozenID = index.FrozenID
+
+// FrozenMStar is the frozen read-path view of an M*(k)-index: one
+// FrozenIndex per component, evaluating the same query strategies over flat
+// arrays. The Engine serves every query from one. Obtain it with
+// MStar.Freeze (or FreezeReusing for incremental re-freezing).
+type FrozenMStar = core.FrozenMStar
+
+// QueryFrozen evaluates e over a frozen index snapshot with EvalIndex
+// semantics, map-free.
+func QueryFrozen(fz *FrozenIndex, e *PathExpr) Result { return query.EvalFrozen(fz, e) }
+
+// AsFrozenQuerier wraps a frozen index snapshot as a Querier.
+func AsFrozenQuerier(fz *FrozenIndex) Querier { return query.AsFrozenQuerier(fz) }
+
 // Querier is the uniform query interface implemented by every index in the
 // package: single-graph indexes via AsQuerier, the adaptive indexes
 // (DKPromote, MK, MStar, UD) directly, and the concurrent Engine.

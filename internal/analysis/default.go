@@ -9,8 +9,15 @@ func DefaultAnalyzers() []*Analyzer {
 		SnapshotMut(map[string][]string{
 			// index.Graph nodes (extents, local similarities, adjacency) are
 			// mutated only through package index's own API (Split, SetK);
-			// everything downstream treats them as immutable snapshots.
+			// everything downstream treats them as immutable snapshots. The
+			// frozen read-path twin (index.Frozen, CSR arrays) is covered by
+			// the same entry: after Freeze nothing may write its fields.
 			"mrx/internal/index": nil,
+			// core.MStar's component list and core.FrozenMStar's frozen
+			// component vector are written only by package core (Refine,
+			// Freeze/FreezeReusing); the engine publishes them as immutable
+			// snapshots.
+			"mrx/internal/core": nil,
 			// engine.Engine's snapshot pointer, counters and registries are
 			// written only by package engine itself.
 			"mrx/internal/engine": nil,

@@ -1,0 +1,373 @@
+package core
+
+import (
+	"fmt"
+
+	"mrx/internal/graph"
+	"mrx/internal/index"
+	"mrx/internal/pathexpr"
+	"mrx/internal/query"
+)
+
+// FrozenMStar is the immutable, CSR-flattened read-path view of an
+// M*(k)-index: one index.Frozen per component. The engine serves every
+// query from a FrozenMStar while refinement keeps mutating the MStar it was
+// frozen from; at publish time only the components whose Version changed
+// are re-frozen (FreezeReusing), so an incremental refinement republishes
+// mostly shared arrays.
+//
+// Query evaluation mirrors the mutable strategies but performs zero map
+// operations: frontier bookkeeping uses stamp arrays over dense FrozenIDs
+// and label lookups are array slices, which also makes traversal order
+// deterministic. The demonstration strategies bottom-up and hybrid are not
+// ported to the frozen read path; a FrozenMStar configured with them serves
+// top-down instead (identical answers — the strategies differ only in cost
+// profile — and QueryOpts reports the strategy that actually ran).
+type FrozenMStar struct {
+	data  *graph.Graph
+	comps []*index.Frozen
+	opts  MStarOptions
+}
+
+// Freeze flattens every component into an immutable snapshot.
+func (ms *MStar) Freeze() *FrozenMStar {
+	return ms.FreezeReusing(nil, nil)
+}
+
+// FreezeReusing is Freeze with cross-generation structural sharing: any
+// component whose Version still equals the corresponding component of base
+// is reused from baseFz instead of being re-frozen. base must be the MStar
+// that ms was cloned from (the previously published generation) and baseFz
+// a frozen view of base; pass nil, nil to freeze everything.
+func (ms *MStar) FreezeReusing(base *MStar, baseFz *FrozenMStar) *FrozenMStar {
+	comps := make([]*index.Frozen, len(ms.comps))
+	for i, c := range ms.comps {
+		if base != nil && baseFz != nil && i < len(base.comps) && i < len(baseFz.comps) &&
+			c.Version() == base.comps[i].Version() {
+			comps[i] = baseFz.comps[i]
+			continue
+		}
+		comps[i] = c.Freeze()
+	}
+	return &FrozenMStar{data: ms.data, comps: comps, opts: ms.opts}
+}
+
+// UnchangedSince reports whether ms has the same component count and
+// per-component versions as base. Versions only advance on observable
+// mutations and Clone preserves them, so for a clone refined from base an
+// unchanged version vector means the refinement was a no-op — the engine
+// uses this to skip publishing identical snapshots without walking the
+// graphs.
+func (ms *MStar) UnchangedSince(base *MStar) bool {
+	if len(ms.comps) != len(base.comps) {
+		return false
+	}
+	for i := range ms.comps {
+		if ms.comps[i].Version() != base.comps[i].Version() {
+			return false
+		}
+	}
+	return true
+}
+
+// Data returns the underlying data graph.
+func (fm *FrozenMStar) Data() *graph.Graph { return fm.data }
+
+// NumComponents returns the number of frozen component snapshots.
+func (fm *FrozenMStar) NumComponents() int { return len(fm.comps) }
+
+// Component returns frozen component Ii.
+func (fm *FrozenMStar) Component(i int) *index.Frozen { return fm.comps[i] }
+
+// Options returns the options of the index this view was frozen from.
+func (fm *FrozenMStar) Options() MStarOptions { return fm.opts }
+
+// CheckAgainst verifies that every frozen component is an exact flattening
+// of the corresponding component of ms — the frozen ≡ mutable oracle the
+// differential tests run after each refine-and-refreeze cycle.
+func (fm *FrozenMStar) CheckAgainst(ms *MStar) error {
+	if fm.NumComponents() != ms.NumComponents() {
+		return fmt.Errorf("frozen M*(k): %d components, mutable has %d",
+			fm.NumComponents(), ms.NumComponents())
+	}
+	for i, fz := range fm.comps {
+		if err := fz.CheckAgainst(ms.comps[i]); err != nil {
+			return fmt.Errorf("component I%d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Query evaluates e with the configured strategy and validation options.
+func (fm *FrozenMStar) Query(e *pathexpr.Expr) query.Result {
+	res, _ := fm.QueryOpts(e, query.ValidateOpts{Workers: fm.opts.Parallelism})
+	return res
+}
+
+// QueryOpts evaluates e with the configured strategy under explicit
+// validation options, reporting which strategy ran. This is the engine's
+// read path: it touches only frozen arrays.
+func (fm *FrozenMStar) QueryOpts(e *pathexpr.Expr, opt query.ValidateOpts) (query.Result, Strategy) {
+	switch fm.opts.Strategy {
+	case StrategyNaive:
+		return fm.queryNaive(e, opt), StrategyNaive
+	case StrategyAuto:
+		return fm.queryAuto(e, opt)
+	case StrategySubpath:
+		if e.Rooted || e.HasDescendantStep() {
+			return fm.queryNaive(e, opt), StrategyNaive
+		}
+		_, start, end := fm.planner().estimateBestSubpath(e)
+		return fm.querySubpath(e, start, end, opt), StrategySubpath
+	default:
+		// Top-down, including the unported bottom-up and hybrid
+		// demonstration strategies (see the type comment).
+		return fm.queryTopDown(e, opt), StrategyTopDown
+	}
+}
+
+func (fm *FrozenMStar) planner() planner {
+	return planner{levels: len(fm.comps), count: fm.countAt}
+}
+
+func (fm *FrozenMStar) countAt(level int, s pathexpr.Step) int {
+	comp := fm.comps[level]
+	if s.Wildcard {
+		return comp.NumNodes()
+	}
+	l, ok := fm.data.LabelIDOf(s.Label)
+	if !ok {
+		return 0
+	}
+	return comp.CountLabel(l)
+}
+
+func (fm *FrozenMStar) queryAuto(e *pathexpr.Expr, opt query.ValidateOpts) (query.Result, Strategy) {
+	if e.Rooted || e.HasDescendantStep() {
+		return fm.queryNaive(e, opt), StrategyNaive
+	}
+	p := fm.planner()
+	naive := p.estimateNaive(e)
+	top := p.estimateTopDown(e)
+	sub, start, end := p.estimateBestSubpath(e)
+	switch {
+	case sub < naive && sub < top:
+		return fm.querySubpath(e, start, end, opt), StrategySubpath
+	case top <= naive:
+		return fm.queryTopDown(e, opt), StrategyTopDown
+	default:
+		return fm.queryNaive(e, opt), StrategyNaive
+	}
+}
+
+// queryNaive evaluates e entirely in component I_min(length, finest).
+func (fm *FrozenMStar) queryNaive(e *pathexpr.Expr, opt query.ValidateOpts) query.Result {
+	lvl := fm.planner().clampLevel(e.RequiredK())
+	return query.EvalFrozenOpts(fm.comps[lvl], e, opt)
+}
+
+// finish collects the answer from the frozen targets, mirroring
+// MStar.finish.
+func (fm *FrozenMStar) finish(res *query.Result, comp *index.Frozen, e *pathexpr.Expr, opt query.ValidateOpts) {
+	res.Answer, res.Cost.DataNodes, res.Precise, _ = query.CollectAnswersFrozen(comp, e, res.FrozenTargets, opt)
+}
+
+// queryTopDown is QUERYTOPDOWN over frozen components: evaluate each prefix
+// of e in the coarsest component that can support it, descending through
+// the partition hierarchy. Rooted expressions fall back to naive
+// evaluation, exactly like the mutable implementation.
+func (fm *FrozenMStar) queryTopDown(e *pathexpr.Expr, opt query.ValidateOpts) query.Result {
+	if e.Rooted || e.HasDescendantStep() {
+		return fm.queryNaive(e, opt)
+	}
+	var res query.Result
+	res.Precise = true
+	maxLvl := len(fm.comps) - 1
+
+	frontier := fm.initialFrontier(fm.comps[0], e.Steps[0], &res.Cost)
+	prev := 0
+	comp := fm.comps[0]
+	for i := 1; i < len(e.Steps) && len(frontier) > 0; i++ {
+		lvl := i
+		if lvl > maxLvl {
+			lvl = maxLvl
+		}
+		if lvl != prev {
+			frontier = fm.descend(frontier, fm.comps[prev], fm.comps[lvl])
+			res.Cost.IndexNodes += len(frontier)
+			prev = lvl
+		}
+		comp = fm.comps[lvl]
+		frontier = expandStep(comp, fm.data, frontier, e.Steps[i], &res.Cost)
+	}
+	sortFrozenIDs(frontier)
+	res.FrozenTargets = frontier
+	fm.finish(&res, comp, e, opt)
+	return res
+}
+
+// initialFrontier materializes the step-0 frontier in a component.
+func (fm *FrozenMStar) initialFrontier(comp *index.Frozen, s pathexpr.Step, cost *query.Cost) []index.FrozenID {
+	var frontier []index.FrozenID
+	if s.Wildcard {
+		frontier = make([]index.FrozenID, comp.NumNodes())
+		for i := range frontier {
+			frontier[i] = index.FrozenID(i)
+		}
+	} else if l, ok := fm.data.LabelIDOf(s.Label); ok {
+		frontier = append(frontier, comp.NodesWithLabel(l)...)
+	}
+	cost.IndexNodes += len(frontier)
+	return frontier
+}
+
+// expandStep follows child edges from the frontier, keeping label matches,
+// deduplicated through a stamp array.
+func expandStep(comp *index.Frozen, data *graph.Graph, frontier []index.FrozenID, s pathexpr.Step, cost *query.Cost) []index.FrozenID {
+	seen := query.NewMark(comp.NumNodes())
+	seen.Next()
+	var next []index.FrozenID
+	for _, u := range frontier {
+		for _, c := range comp.Children(u) {
+			cost.IndexNodes++
+			if !seen.Seen(c) && s.Matches(data.LabelName(comp.Label(c))) {
+				seen.Set(c)
+				next = append(next, c)
+			}
+		}
+	}
+	return next
+}
+
+// descend maps a frontier of coarse-component nodes to their subnodes in the
+// fine component, via extent membership (supernode/subnode links are
+// derived, not stored — same as the mutable index).
+func (fm *FrozenMStar) descend(frontier []index.FrozenID, coarse, fine *index.Frozen) []index.FrozenID {
+	seen := query.NewMark(fine.NumNodes())
+	seen.Next()
+	var out []index.FrozenID
+	for _, u := range frontier {
+		for _, o := range coarse.Extent(u) {
+			n := fine.NodeOf(o)
+			if !seen.Seen(n) {
+				seen.Set(n)
+				out = append(out, n)
+			}
+		}
+	}
+	sortFrozenIDs(out)
+	return out
+}
+
+// querySubpath implements the subpath pre-filtering strategy over frozen
+// components: evaluate e[start..end] in the coarse component I_(end-start),
+// descend the matches to the finest component needed by e, verify the full
+// prefix backwards there, then expand the suffix forwards.
+func (fm *FrozenMStar) querySubpath(e *pathexpr.Expr, start, end int, opt query.ValidateOpts) query.Result {
+	if e.Rooted || e.HasDescendantStep() || start < 0 || end >= len(e.Steps) || start > end {
+		return fm.queryNaive(e, opt)
+	}
+	var res query.Result
+	res.Precise = true
+
+	sub := &pathexpr.Expr{Steps: e.Steps[start : end+1]}
+	subLvl := fm.planner().clampLevel(sub.Length())
+	coarseHits := fm.traverseComponent(fm.comps[subLvl], sub, &res.Cost)
+
+	lvl := fm.planner().clampLevel(e.RequiredK())
+	comp := fm.comps[lvl]
+	candidates := fm.descend(coarseHits, fm.comps[subLvl], comp)
+	res.Cost.IndexNodes += len(candidates)
+
+	// Verify the full prefix e[0..end] backwards from the candidates; the
+	// memo is a flat (node, step) table shared across candidates, so
+	// overlapping ancestor cones are walked once.
+	if end > 0 {
+		memo := newPrefixMemo(comp.NumNodes(), end+1)
+		var kept []index.FrozenID
+		for _, c := range candidates {
+			if fm.hasPrefixInto(comp, c, e.Steps[:end+1], memo, &res.Cost) {
+				kept = append(kept, c)
+			}
+		}
+		candidates = kept
+	}
+
+	frontier := candidates
+	for i := end + 1; i < len(e.Steps) && len(frontier) > 0; i++ {
+		frontier = expandStep(comp, fm.data, frontier, e.Steps[i], &res.Cost)
+	}
+	sortFrozenIDs(frontier)
+	res.FrozenTargets = frontier
+	fm.finish(&res, comp, e, opt)
+	return res
+}
+
+// prefixMemo memoizes backward prefix checks per (node, step) in a flat
+// table: 0 unknown, 1 true, 2 false.
+type prefixMemo struct {
+	state []uint8
+	steps int
+}
+
+func newPrefixMemo(nodes, steps int) *prefixMemo {
+	return &prefixMemo{state: make([]uint8, nodes*steps), steps: steps}
+}
+
+func (m *prefixMemo) at(v index.FrozenID, step int) uint8 { return m.state[int(v)*m.steps+step] }
+func (m *prefixMemo) set(v index.FrozenID, step int, ok bool) {
+	s := uint8(2)
+	if ok {
+		s = 1
+	}
+	m.state[int(v)*m.steps+step] = s
+}
+
+// hasPrefixInto reports whether some label path matching steps leads into
+// frozen node v, walking parent edges backwards; each node examined is
+// counted in cost.
+func (fm *FrozenMStar) hasPrefixInto(comp *index.Frozen, v index.FrozenID, steps []pathexpr.Step, memo *prefixMemo, cost *query.Cost) bool {
+	var walk func(n index.FrozenID, step int) bool
+	walk = func(n index.FrozenID, step int) bool {
+		if !steps[step].Matches(fm.data.LabelName(comp.Label(n))) {
+			return false
+		}
+		if step == 0 {
+			return true
+		}
+		if s := memo.at(n, step); s != 0 {
+			return s == 1
+		}
+		memo.set(n, step, false)
+		ok := false
+		for _, p := range comp.Parents(n) {
+			cost.IndexNodes++
+			if walk(p, step-1) {
+				ok = true
+				break
+			}
+		}
+		memo.set(n, step, ok)
+		return ok
+	}
+	return walk(v, len(steps)-1)
+}
+
+// traverseComponent evaluates a descendant-free expression over one frozen
+// component and returns the matched nodes, accumulating traversal cost.
+func (fm *FrozenMStar) traverseComponent(comp *index.Frozen, e *pathexpr.Expr, cost *query.Cost) []index.FrozenID {
+	frontier := fm.initialFrontier(comp, e.Steps[0], cost)
+	for i := 1; i < len(e.Steps) && len(frontier) > 0; i++ {
+		frontier = expandStep(comp, fm.data, frontier, e.Steps[i], cost)
+	}
+	sortFrozenIDs(frontier)
+	return frontier
+}
+
+func sortFrozenIDs(ids []index.FrozenID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j-1] > ids[j]; j-- {
+			ids[j-1], ids[j] = ids[j], ids[j-1]
+		}
+	}
+}

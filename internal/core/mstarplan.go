@@ -21,9 +21,9 @@ func (ms *MStar) queryAuto(e *pathexpr.Expr, opt query.ValidateOpts) (query.Resu
 	if e.Rooted || e.HasDescendantStep() {
 		return ms.queryNaive(e, opt), StrategyNaive
 	}
-	naive := ms.estimateNaive(e)
-	top := ms.estimateTopDown(e)
-	sub, start, end := ms.estimateBestSubpath(e)
+	naive := ms.planner().estimateNaive(e)
+	top := ms.planner().estimateTopDown(e)
+	sub, start, end := ms.planner().estimateBestSubpath(e)
 
 	switch {
 	case sub < naive && sub < top:
@@ -33,6 +33,19 @@ func (ms *MStar) queryAuto(e *pathexpr.Expr, opt query.ValidateOpts) (query.Resu
 	default:
 		return ms.queryNaive(e, opt), StrategyNaive
 	}
+}
+
+// planner estimates strategy costs from per-component label cardinalities.
+// The mutable and frozen M*(k) representations both feed it (through their
+// respective countAt), so auto-routing decisions cannot drift between the
+// write and read sides of the index.
+type planner struct {
+	levels int // number of materialized components
+	count  func(level int, s pathexpr.Step) int
+}
+
+func (ms *MStar) planner() planner {
+	return planner{levels: len(ms.comps), count: ms.countAt}
 }
 
 // countAt estimates the number of index nodes matching one step in a
@@ -49,20 +62,22 @@ func (ms *MStar) countAt(level int, s pathexpr.Step) int {
 	return comp.CountLabel(l)
 }
 
-func (ms *MStar) clampLevel(i int) int {
-	if i > len(ms.comps)-1 {
-		return len(ms.comps) - 1
+func (p planner) clampLevel(i int) int {
+	if i > p.levels-1 {
+		return p.levels - 1
 	}
 	return i
 }
 
+func (ms *MStar) clampLevel(i int) int { return ms.planner().clampLevel(i) }
+
 // estimateNaive approximates the traversal cost of evaluating e entirely in
 // the finest needed component: the sum of per-step label cardinalities there.
-func (ms *MStar) estimateNaive(e *pathexpr.Expr) int {
-	lvl := ms.clampLevel(e.RequiredK())
+func (p planner) estimateNaive(e *pathexpr.Expr) int {
+	lvl := p.clampLevel(e.RequiredK())
 	total := 0
 	for _, s := range e.Steps {
-		total += ms.countAt(lvl, s)
+		total += p.count(lvl, s)
 	}
 	return total
 }
@@ -70,10 +85,10 @@ func (ms *MStar) estimateNaive(e *pathexpr.Expr) int {
 // estimateTopDown approximates the top-down cost: each step is matched in
 // the coarsest component that supports the prefix, so step i contributes its
 // cardinality in component min(i, finest).
-func (ms *MStar) estimateTopDown(e *pathexpr.Expr) int {
+func (p planner) estimateTopDown(e *pathexpr.Expr) int {
 	total := 0
 	for i, s := range e.Steps {
-		total += ms.countAt(ms.clampLevel(i), s)
+		total += p.count(p.clampLevel(i), s)
 	}
 	return total
 }
@@ -83,18 +98,18 @@ func (ms *MStar) estimateTopDown(e *pathexpr.Expr) int {
 // component, plus the backward prefix verification (bounded by the fine
 // cardinalities of all steps up to the window end, since the shared memo
 // visits each (node, step) state at most once), plus the forward suffix.
-func (ms *MStar) estimateBestSubpath(e *pathexpr.Expr) (best, bestStart, bestEnd int) {
-	lvl := ms.clampLevel(e.RequiredK())
+func (p planner) estimateBestSubpath(e *pathexpr.Expr) (best, bestStart, bestEnd int) {
+	lvl := p.clampLevel(e.RequiredK())
 	best = int(^uint(0) >> 1)
 	for w := 1; w <= 2 && w <= e.Length(); w++ {
 		for start := 0; start+w < len(e.Steps); start++ {
 			end := start + w
-			cost := ms.countAt(ms.clampLevel(w), e.Steps[end])
+			cost := p.count(p.clampLevel(w), e.Steps[end])
 			for i, s := range e.Steps {
 				if i <= end && end > 0 {
-					cost += ms.countAt(lvl, s) // prefix verification bound
+					cost += p.count(lvl, s) // prefix verification bound
 				} else if i > end {
-					cost += ms.countAt(lvl, s) // forward suffix
+					cost += p.count(lvl, s) // forward suffix
 				}
 			}
 			if cost < best {
@@ -103,4 +118,8 @@ func (ms *MStar) estimateBestSubpath(e *pathexpr.Expr) (best, bestStart, bestEnd
 		}
 	}
 	return best, bestStart, bestEnd
+}
+
+func (ms *MStar) estimateBestSubpath(e *pathexpr.Expr) (best, start, end int) {
+	return ms.planner().estimateBestSubpath(e)
 }

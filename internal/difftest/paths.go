@@ -145,8 +145,39 @@ func BuildPaths(g *graph.Graph, fups []*pathexpr.Expr, o PathsOptions) ([]*Servi
 		},
 	})
 
-	out = append(out, enginePath(g, o))
+	out = append(out, frozenPath(g), enginePath(g, o))
 	return out, nil
+}
+
+// frozenPath serves every query from a frozen CSR snapshot while refinement
+// runs on the mutable twin, exercising the engine's freeze-at-publish
+// lifecycle (including cross-generation component reuse via FreezeReusing)
+// in isolation: Support refines a clone and re-freezes only dirtied
+// components; Check proves the served snapshot is an exact flattening of
+// the mutable index it was frozen from.
+func frozenPath(g *graph.Graph) *ServingPath {
+	ms := core.NewMStar(g)
+	fz := ms.Freeze()
+	return &ServingPath{
+		Name: "frozen",
+		Querier: query.QuerierFunc(func(e *pathexpr.Expr) query.Result {
+			res, _ := fz.QueryOpts(e, query.ValidateOpts{})
+			return res
+		}),
+		Support: func(e *pathexpr.Expr) {
+			res, _ := fz.QueryOpts(e, query.ValidateOpts{})
+			next := ms.Clone()
+			next.Refine(e, res.Answer)
+			fz = next.FreezeReusing(ms, fz)
+			ms = next
+		},
+		Check: func(checkBisim bool) error {
+			if err := ms.Validate(checkBisim); err != nil {
+				return err
+			}
+			return fz.CheckAgainst(ms)
+		},
+	}
 }
 
 // enginePath wraps the concurrent engine and tracks every published
@@ -174,7 +205,13 @@ func enginePath(g *graph.Graph, o PathsOptions) *ServingPath {
 			}
 		},
 		Check: func(checkBisim bool) error {
-			return en.Snapshot().Validate(checkBisim)
+			if err := en.Snapshot().Validate(checkBisim); err != nil {
+				return err
+			}
+			// The served frozen view must be an exact flattening of the
+			// published mutable index, including after FreezeReusing
+			// carried components across generations.
+			return en.FrozenSnapshot().CheckAgainst(en.Snapshot())
 		},
 		Finish: func() error {
 			for _, p := range history {

@@ -2,16 +2,19 @@
 // concurrently while the index keeps adapting to the workload.
 //
 // The concurrency model is copy-on-write with generation-numbered
-// snapshots. Readers never block: Query loads the current snapshot — an
-// immutable M*(k)-index — through an atomic pointer and evaluates against
-// it lock-free. Writers serialize on a mutex: Support clones the current
-// snapshot's index graphs (reusing the Clone machinery of package index),
-// applies REFINE* to the private copy, and publishes it with a single
-// atomic pointer swap that bumps the generation. A reader that loaded the
-// old snapshot mid-query finishes against a graph no one will ever mutate
-// again; the next query observes the refined generation. This realizes the
-// paper's operational loop (Figure 5: serve, extract FUPs, refine, repeat)
-// under concurrent load.
+// snapshots, split into a mutable write side and an immutable read side.
+// Readers never block: Query loads the current snapshot through an atomic
+// pointer and evaluates against its frozen M*(k)-index — a CSR-flattened
+// core.FrozenMStar that contains no maps at all — lock-free and with
+// deterministic traversal order. Writers serialize on a mutex: Support
+// clones the current snapshot's mutable index graphs (reusing the Clone
+// machinery of package index), applies REFINE* to the private copy,
+// re-freezes only the components whose version changed (FreezeReusing),
+// and publishes the pair with a single atomic pointer swap that bumps the
+// generation. A reader that loaded the old snapshot mid-query finishes
+// against arrays no one will ever mutate again; the next query observes
+// the refined generation. This realizes the paper's operational loop
+// (Figure 5: serve, extract FUPs, refine, repeat) under concurrent load.
 //
 // Inside a single query, validation of under-refined answers — the dominant
 // cost term of the paper's metric — fans out across a bounded worker pool
@@ -28,7 +31,6 @@ import (
 
 	"mrx/internal/core"
 	"mrx/internal/graph"
-	"mrx/internal/index"
 	"mrx/internal/pathexpr"
 	"mrx/internal/query"
 )
@@ -45,10 +47,14 @@ type Options struct {
 	Parallelism int
 }
 
-// snapshot is one immutable generation of the served index.
+// snapshot is one immutable generation of the served index: the mutable
+// M*(k)-index refinement state (never mutated once published — the next
+// writer clones it) and its frozen read-path view, which serves every
+// query.
 type snapshot struct {
 	gen uint64
 	ms  *core.MStar
+	fz  *core.FrozenMStar
 }
 
 // Engine owns a data graph plus a set of structural indexes and serves
@@ -75,6 +81,7 @@ func New(g *graph.Graph, opts Options) *Engine {
 		opts.Parallelism = runtime.GOMAXPROCS(0)
 	}
 	if opts.MStar.Parallelism == 0 {
+		//mrlint:allow snapshotmut local options value, not a published snapshot
 		opts.MStar.Parallelism = opts.Parallelism
 	}
 	en := &Engine{
@@ -83,7 +90,8 @@ func New(g *graph.Graph, opts Options) *Engine {
 		workers: opts.Parallelism,
 		statics: make(map[string]query.Querier),
 	}
-	en.snap.Store(&snapshot{ms: core.NewMStarOpts(g, opts.MStar)})
+	ms := core.NewMStarOpts(g, opts.MStar)
+	en.snap.Store(&snapshot{ms: ms, fz: ms.Freeze()})
 	return en
 }
 
@@ -94,10 +102,15 @@ func (en *Engine) Data() *graph.Graph { return en.data }
 // for concurrent use.
 func (en *Engine) DataIndex() *query.DataIndex { return en.di }
 
-// Snapshot returns the currently served M*(k)-index generation. The result
-// is immutable — refinement never mutates a published snapshot — so callers
-// may inspect it (sizes, components, validation) without coordination.
+// Snapshot returns the mutable-representation M*(k)-index of the current
+// generation. The result is immutable — refinement never mutates a
+// published snapshot — so callers may inspect it (sizes, components,
+// validation) without coordination.
 func (en *Engine) Snapshot() *core.MStar { return en.snap.Load().ms }
+
+// FrozenSnapshot returns the frozen M*(k)-index view the engine is
+// currently serving queries from. It is immutable by construction.
+func (en *Engine) FrozenSnapshot() *core.FrozenMStar { return en.snap.Load().fz }
 
 // Generation reports how many refined snapshots have been published.
 func (en *Engine) Generation() uint64 { return en.snap.Load().gen }
@@ -132,7 +145,7 @@ func (en *Engine) QueryCtx(ctx context.Context, e *pathexpr.Expr) (query.Result,
 func (en *Engine) query(e *pathexpr.Expr, opt query.ValidateOpts) (query.Result, core.Strategy) {
 	s := en.snap.Load()
 	start := time.Now()
-	res, strategy := s.ms.QueryOpts(e, opt)
+	res, strategy := s.fz.QueryOpts(e, opt)
 	en.stats.recordQuery(strategy, res.Cost.IndexNodes, res.Cost.DataNodes, res.Precise, time.Since(start))
 	return res, strategy
 }
@@ -180,39 +193,29 @@ func (en *Engine) Support(e *pathexpr.Expr) bool {
 	defer en.mu.Unlock()
 
 	cur := en.snap.Load()
-	res, _ := cur.ms.QueryOpts(e, query.ValidateOpts{Workers: en.workers})
+	res, _ := cur.fz.QueryOpts(e, query.ValidateOpts{Workers: en.workers})
 	if res.Precise {
 		en.stats.refinesSkipped.Add(1)
 		return false
 	}
 	clone := cur.ms.Clone()
-	before := fingerprint(clone)
 	clone.Refine(e, res.Answer)
-	if fingerprint(clone) == before {
+	if clone.UnchangedSince(cur.ms) {
 		// MaxK cap (or a descendant-axis FUP) made refinement a no-op;
-		// don't publish an identical snapshot.
+		// don't publish an identical snapshot. Clone preserves component
+		// versions and versions only advance on observable mutations, so
+		// an unchanged version vector detects this without walking the
+		// graphs.
 		en.stats.refinesSkipped.Add(1)
 		return false
 	}
-	en.snap.Store(&snapshot{gen: cur.gen + 1, ms: clone})
+	// Re-freeze only the components the refinement dirtied; untouched ones
+	// are shared with the outgoing snapshot.
+	fz := clone.FreezeReusing(cur.ms, cur.fz)
+	en.snap.Store(&snapshot{gen: cur.gen + 1, ms: clone, fz: fz})
 	en.stats.refinements.Add(1)
 	en.stats.publishes.Add(1)
 	return true
-}
-
-// fingerprint summarizes an index's shape. Refinement only ever adds
-// components, splits nodes, or raises local similarities (it never merges or
-// lowers), so equal fingerprints mean nothing changed.
-type shape struct{ comps, nodes, ksum int }
-
-func fingerprint(ms *core.MStar) shape {
-	s := shape{comps: ms.NumComponents()}
-	for i := 0; i < ms.NumComponents(); i++ {
-		c := ms.Component(i)
-		s.nodes += c.NumNodes()
-		c.ForEachNode(func(n *index.Node) { s.ksum += n.K() })
-	}
-	return s
 }
 
 // Stats returns a point-in-time copy of the serving counters.

@@ -83,6 +83,7 @@ func RunLiteralAblation(ds Dataset, queries []*pathexpr.Expr, progress Progress)
 	var rows []LiteralRow
 	for _, literal := range []bool{false, true} {
 		mk := core.NewMK(ds.Graph)
+		//mrlint:allow snapshotmut pre-use configuration of a private index, not a published snapshot
 		mk.Literal = literal
 		for _, q := range queries {
 			mk.Support(q)

@@ -15,6 +15,7 @@ func (ig *Graph) Clone() *Graph {
 		byLabel:   make(map[graph.LabelID]map[NodeID]struct{}, len(ig.byLabel)),
 		liveNodes: ig.liveNodes,
 		liveEdges: ig.liveEdges,
+		version:   ig.version,
 	}
 	copy(c.nodeOf, ig.nodeOf)
 	for i, n := range ig.nodes {

@@ -52,3 +52,41 @@ func (ig *Graph) WriteDOT(w io.Writer, name string, maxExtent int) error {
 	_, err := fmt.Fprintln(w, "}")
 	return err
 }
+
+// WriteDOT renders the frozen index graph in Graphviz DOT format. Node IDs
+// are the retired (mutable-graph) IDs and both node and edge enumeration
+// follow ascending ID order, so the output is byte-identical to the source
+// graph's WriteDOT — a property the determinism regression tests pin down.
+func (fz *Frozen) WriteDOT(w io.Writer, name string, maxExtent int) error {
+	if name == "" {
+		name = "index"
+	}
+	if maxExtent <= 0 {
+		maxExtent = 8
+	}
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  node [shape=box];\n", name); err != nil {
+		return err
+	}
+	for v := 0; v < fz.NumNodes(); v++ {
+		id := FrozenID(v)
+		label := fz.data.LabelName(fz.Label(id))
+		ext := ""
+		if fz.Size(id) <= maxExtent {
+			ext = fmt.Sprintf("%v", fz.Extent(id))
+		} else {
+			ext = fmt.Sprintf("[%d nodes]", fz.Size(id))
+		}
+		if _, err := fmt.Fprintf(w, "  i%d [label=\"%s %s k=%d\"];\n", fz.Retired(id), label, ext, fz.K(id)); err != nil {
+			return err
+		}
+	}
+	for v := 0; v < fz.NumNodes(); v++ {
+		for _, c := range fz.Children(FrozenID(v)) {
+			if _, err := fmt.Fprintf(w, "  i%d -> i%d;\n", fz.Retired(FrozenID(v)), fz.Retired(c)); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

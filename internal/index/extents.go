@@ -26,53 +26,52 @@ func FromExtents(data *graph.Graph, extents [][]graph.NodeID, ks []int) (*Graph,
 		ig.nodeOf[i] = -1
 	}
 	for bi, extent := range extents {
-		if len(extent) == 0 {
-			return nil, fmt.Errorf("index: extent %d is empty", bi)
-		}
-		if ks[bi] < 0 {
-			return nil, fmt.Errorf("index: extent %d has negative k", bi)
-		}
-		extent = append([]graph.NodeID(nil), extent...)
-		sort.Slice(extent, func(a, b int) bool { return extent[a] < extent[b] })
-		// Range-check before the first Label call: extents read from
-		// untrusted (possibly corrupted) files reach here unvalidated.
-		for _, o := range extent {
-			if o < 0 || int(o) >= data.NumNodes() {
-				return nil, fmt.Errorf("index: extent %d references data node %d out of range", bi, o)
-			}
-		}
-		label := data.Label(extent[0])
-		n := &Node{
-			id:       NodeID(bi),
-			label:    label,
-			k:        ks[bi],
-			extent:   extent,
-			parents:  make(map[NodeID]struct{}),
-			children: make(map[NodeID]struct{}),
+		extent, err := checkExtent(data, bi, extent, ks[bi])
+		if err != nil {
+			return nil, err
 		}
 		for _, o := range extent {
 			if ig.nodeOf[o] != -1 {
 				return nil, fmt.Errorf("index: data node %d in two extents", o)
 			}
-			if data.Label(o) != label {
-				return nil, fmt.Errorf("index: extent %d mixes labels", bi)
-			}
-			ig.nodeOf[o] = n.id
+			ig.nodeOf[o] = 0 // provisional; attachNode assigns the real ID
 		}
-		ig.nodes = append(ig.nodes, n)
-		ig.addToLabelBucket(n)
-		ig.liveNodes++
+		ig.attachNode(data.Label(extent[0]), ks[bi], extent)
 	}
 	for v := 0; v < data.NumNodes(); v++ {
 		if ig.nodeOf[v] == -1 {
 			return nil, fmt.Errorf("index: data node %d not covered by any extent", v)
 		}
 	}
-	for v := 0; v < data.NumNodes(); v++ {
-		from := ig.nodeOf[v]
-		for _, c := range data.Children(graph.NodeID(v)) {
-			ig.addEdge(from, ig.nodeOf[c])
+	ig.wireFromData()
+	return ig, nil
+}
+
+// checkExtent validates one externally supplied extent — non-empty,
+// non-negative k, data-node IDs in range, label-homogeneous — and returns a
+// sorted private copy. FromExtents and FrozenFromExtents share it so the
+// mutable and frozen loaders cannot drift in what they accept.
+func checkExtent(data *graph.Graph, bi int, extent []graph.NodeID, k int) ([]graph.NodeID, error) {
+	if len(extent) == 0 {
+		return nil, fmt.Errorf("index: extent %d is empty", bi)
+	}
+	if k < 0 {
+		return nil, fmt.Errorf("index: extent %d has negative k", bi)
+	}
+	extent = append([]graph.NodeID(nil), extent...)
+	sort.Slice(extent, func(a, b int) bool { return extent[a] < extent[b] })
+	// Range-check before the first Label call: extents read from untrusted
+	// (possibly corrupted) files reach here unvalidated.
+	for _, o := range extent {
+		if o < 0 || int(o) >= data.NumNodes() {
+			return nil, fmt.Errorf("index: extent %d references data node %d out of range", bi, o)
 		}
 	}
-	return ig, nil
+	label := data.Label(extent[0])
+	for _, o := range extent[1:] {
+		if data.Label(o) != label {
+			return nil, fmt.Errorf("index: extent %d mixes labels", bi)
+		}
+	}
+	return extent, nil
 }

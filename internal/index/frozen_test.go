@@ -1,0 +1,295 @@
+package index
+
+import (
+	"strings"
+	"testing"
+
+	"mrx/internal/graph"
+	"mrx/internal/gtest"
+	"mrx/internal/partition"
+)
+
+func freezeChecked(t *testing.T, ig *Graph) *Frozen {
+	t.Helper()
+	fz := ig.Freeze()
+	if err := fz.CheckAgainst(ig); err != nil {
+		t.Fatalf("CheckAgainst after Freeze: %v", err)
+	}
+	return fz
+}
+
+func TestFreezeBasics(t *testing.T) {
+	g := graph.PaperFigure1()
+	ig := a0(g)
+	fz := freezeChecked(t, ig)
+
+	if fz.NumNodes() != ig.NumNodes() || fz.NumEdges() != ig.NumEdges() {
+		t.Fatalf("frozen %d/%d nodes/edges, mutable %d/%d",
+			fz.NumNodes(), fz.NumEdges(), ig.NumNodes(), ig.NumEdges())
+	}
+	if fz.Label(fz.Root()) != ig.Root().Label() {
+		t.Error("root label diverges")
+	}
+	for v := 0; v < fz.NumNodes(); v++ {
+		id := FrozenID(v)
+		ext := fz.Extent(id)
+		if len(ext) != fz.Size(id) {
+			t.Fatalf("node %d: Size %d but extent %v", v, fz.Size(id), ext)
+		}
+		for i := 1; i < len(ext); i++ {
+			if ext[i-1] >= ext[i] {
+				t.Fatalf("node %d extent not strictly ascending: %v", v, ext)
+			}
+		}
+		for _, o := range ext {
+			if fz.NodeOf(o) != id {
+				t.Fatalf("NodeOf(%d)=%d, want %d", o, fz.NodeOf(o), id)
+			}
+		}
+	}
+	person, _ := g.LabelIDOf("person")
+	if got, want := fz.CountLabel(person), ig.CountLabel(person); got != want {
+		t.Errorf("CountLabel(person)=%d, mutable %d", got, want)
+	}
+	st, mt := fz.ComputeStats(), ig.ComputeStats()
+	if st != mt {
+		t.Errorf("stats diverge: frozen %+v mutable %+v", st, mt)
+	}
+}
+
+func TestFreezeAfterSplits(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g := gtest.Random(seed, 120, 6, 0.3)
+		ig := FromPartition(g, partition.KBisim(g, 2), func(partition.BlockID) int { return 2 })
+		freezeChecked(t, ig)
+	}
+}
+
+// A published Frozen must stay valid however its source graph is refined
+// afterwards: freezing copies extents, it never aliases them.
+func TestFrozenIndependentOfLaterSplits(t *testing.T) {
+	g := graph.PaperFigure3()
+	ig := a0(g)
+	fz := ig.Freeze()
+	var before strings.Builder
+	if err := fz.WriteDOT(&before, "x", 16); err != nil {
+		t.Fatal(err)
+	}
+
+	b, _ := g.LabelIDOf("b")
+	bn := ig.NodesWithLabel(b)[0]
+	ext := bn.Extent()
+	ig.Split(bn, [][]graph.NodeID{ext[:2], ext[2:]}, []int{1, 1})
+
+	var after strings.Builder
+	if err := fz.WriteDOT(&after, "x", 16); err != nil {
+		t.Fatal(err)
+	}
+	if before.String() != after.String() {
+		t.Error("frozen snapshot changed after source graph was split")
+	}
+	if err := fz.CheckAgainst(ig); err == nil {
+		t.Error("CheckAgainst should fail against the mutated source")
+	}
+	if err := ig.Freeze().CheckAgainst(ig); err != nil {
+		t.Errorf("re-freeze after split: %v", err)
+	}
+}
+
+func TestThawRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		g := gtest.Random(seed, 80, 5, 0.25)
+		ig := FromPartition(g, partition.KBisim(g, 2), func(partition.BlockID) int { return 2 })
+		fz := freezeChecked(t, ig)
+		th := fz.Thaw()
+		if err := th.Validate(true); err != nil {
+			t.Fatalf("seed %d: thawed graph invalid: %v", seed, err)
+		}
+		// Thaw renumbers densely, so its own freeze must match the original
+		// snapshot node for node.
+		if err := th.Freeze().CheckAgainst(th); err != nil {
+			t.Fatalf("seed %d: refreeze of thaw: %v", seed, err)
+		}
+		if th.NumNodes() != fz.NumNodes() || th.NumEdges() != fz.NumEdges() {
+			t.Fatalf("seed %d: thaw size diverges", seed)
+		}
+	}
+}
+
+// FrozenFromExtents (the persistence fast path, flat-array CSR wiring) must
+// produce exactly what freezing the equivalent mutable graph produces.
+func TestFrozenFromExtentsEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		g := gtest.Random(seed, 100, 6, 0.3)
+		ig := FromPartition(g, partition.KBisim(g, 3), func(partition.BlockID) int { return 3 })
+		fz := freezeChecked(t, ig)
+
+		var extents [][]graph.NodeID
+		var ks []int
+		ig.ForEachNode(func(n *Node) {
+			extents = append(extents, n.Extent())
+			ks = append(ks, n.K())
+		})
+		fast, err := FrozenFromExtents(g, extents, ks)
+		if err != nil {
+			t.Fatalf("seed %d: FrozenFromExtents: %v", seed, err)
+		}
+		if err := fast.CheckP3(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+
+		if fast.NumNodes() != fz.NumNodes() || fast.NumEdges() != fz.NumEdges() {
+			t.Fatalf("seed %d: fast %d/%d, freeze %d/%d", seed,
+				fast.NumNodes(), fast.NumEdges(), fz.NumNodes(), fz.NumEdges())
+		}
+		for v := 0; v < fz.NumNodes(); v++ {
+			id := FrozenID(v)
+			if fast.K(id) != fz.K(id) || fast.Label(id) != fz.Label(id) {
+				t.Fatalf("seed %d node %d: k/label diverge", seed, v)
+			}
+			if !equalNodeIDs(fast.Extent(id), fz.Extent(id)) {
+				t.Fatalf("seed %d node %d: extents diverge", seed, v)
+			}
+			if !equalFrozenIDs(fast.Children(id), fz.Children(id)) {
+				t.Fatalf("seed %d node %d: children diverge: %v vs %v",
+					seed, v, fast.Children(id), fz.Children(id))
+			}
+			if !equalFrozenIDs(fast.Parents(id), fz.Parents(id)) {
+				t.Fatalf("seed %d node %d: parents diverge", seed, v)
+			}
+		}
+		for l := 0; l < g.NumLabels(); l++ {
+			if !equalFrozenIDs(fast.NodesWithLabel(graph.LabelID(l)), fz.NodesWithLabel(graph.LabelID(l))) {
+				t.Fatalf("seed %d label %d: buckets diverge", seed, l)
+			}
+		}
+	}
+}
+
+func equalFrozenIDs(a, b []FrozenID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestFrozenFromExtentsRejects(t *testing.T) {
+	g := graph.PaperFigure1()
+	ig := a0(g)
+	var extents [][]graph.NodeID
+	var ks []int
+	ig.ForEachNode(func(n *Node) {
+		extents = append(extents, n.Extent())
+		ks = append(ks, n.K())
+	})
+
+	if _, err := FrozenFromExtents(g, extents, ks[:len(ks)-1]); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := FrozenFromExtents(g, extents[:len(extents)-1], ks[:len(ks)-1]); err == nil {
+		t.Error("non-covering extents accepted")
+	}
+	dup := append(append([][]graph.NodeID(nil), extents...), extents[0])
+	if _, err := FrozenFromExtents(g, dup, append(append([]int(nil), ks...), 0)); err == nil {
+		t.Error("overlapping extents accepted")
+	}
+}
+
+func TestCheckP3(t *testing.T) {
+	g := graph.PaperFigure1()
+	ig := a0(g)
+	var extents [][]graph.NodeID
+	var ks []int
+	ig.ForEachNode(func(n *Node) {
+		extents = append(extents, n.Extent())
+		ks = append(ks, 0)
+	})
+	// Raise one non-root node's k to 5: its parent keeps k=0 < 5-1.
+	root := ig.Root()
+	for i, ext := range extents {
+		if ext[0] != root.Extent()[0] {
+			ks[i] = 5
+			break
+		}
+	}
+	fz, err := FrozenFromExtents(g, extents, ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fz.CheckP3(); err == nil {
+		t.Error("P3 violation not detected")
+	}
+}
+
+func TestVersionSemantics(t *testing.T) {
+	g := graph.PaperFigure3()
+	ig := a0(g)
+	v0 := ig.Version()
+
+	b, _ := g.LabelIDOf("b")
+	bn := ig.NodesWithLabel(b)[0]
+	ig.SetK(bn, bn.K()) // no-op: k unchanged
+	if ig.Version() != v0 {
+		t.Error("no-op SetK bumped the version")
+	}
+	ig.SetK(bn, bn.K()+1)
+	if ig.Version() == v0 {
+		t.Error("SetK change did not bump the version")
+	}
+	v1 := ig.Version()
+
+	ext := bn.Extent()
+	ig.Split(bn, [][]graph.NodeID{ext[:3], ext[3:]}, []int{1, 1})
+	if ig.Version() <= v1 {
+		t.Error("Split did not bump the version")
+	}
+
+	cl := ig.Clone()
+	if cl.Version() != ig.Version() {
+		t.Error("Clone did not preserve the version")
+	}
+	if got := ig.Freeze().SourceVersion(); got != ig.Version() {
+		t.Errorf("SourceVersion=%d, graph at %d", got, ig.Version())
+	}
+}
+
+// Two identical build sequences must produce byte-identical DOT output, and
+// the frozen snapshot's DOT must match its source graph's — the public
+// enumeration determinism the frozen read path guarantees by construction.
+func TestDOTDeterminism(t *testing.T) {
+	build := func(seed int64) (*Graph, string) {
+		g := gtest.Random(seed, 90, 6, 0.3)
+		ig := FromPartition(g, partition.KBisim(g, 2), func(partition.BlockID) int { return 2 })
+		var sb strings.Builder
+		if err := ig.WriteDOT(&sb, "d", 8); err != nil {
+			t.Fatal(err)
+		}
+		return ig, sb.String()
+	}
+	for seed := int64(0); seed < 3; seed++ {
+		ig1, dot1 := build(seed)
+		_, dot2 := build(seed)
+		if dot1 != dot2 {
+			t.Fatalf("seed %d: two identical builds render different DOT", seed)
+		}
+		var fdot strings.Builder
+		if err := ig1.Freeze().WriteDOT(&fdot, "d", 8); err != nil {
+			t.Fatal(err)
+		}
+		if fdot.String() != dot1 {
+			t.Fatalf("seed %d: frozen DOT differs from mutable DOT", seed)
+		}
+		var cdot strings.Builder
+		if err := ig1.Clone().WriteDOT(&cdot, "d", 8); err != nil {
+			t.Fatal(err)
+		}
+		if cdot.String() != dot1 {
+			t.Fatalf("seed %d: clone DOT differs from original", seed)
+		}
+	}
+}

@@ -68,7 +68,17 @@ type Graph struct {
 
 	liveNodes int
 	liveEdges int
+
+	// version counts observable mutations (splits and local-similarity
+	// changes). Clone preserves it, so a clone whose version still equals
+	// its origin's is structurally identical to it — the engine uses this
+	// to detect no-op refinements and to re-freeze only dirtied components.
+	version uint64
 }
+
+// Version returns the graph's mutation counter. Two graphs with a common
+// clone ancestry and equal versions are structurally identical.
+func (ig *Graph) Version() uint64 { return ig.version }
 
 // FromPartition builds an index graph whose nodes are the blocks of p.
 // kOf assigns the local similarity of each block; pass a constant function
@@ -79,32 +89,43 @@ func FromPartition(data *graph.Graph, p *partition.Partition, kOf func(partition
 		nodeOf:  make([]NodeID, data.NumNodes()),
 		byLabel: make(map[graph.LabelID]map[NodeID]struct{}),
 	}
-	blocks := p.Blocks()
-	ig.nodes = make([]*Node, len(blocks))
-	for b, extent := range blocks {
-		n := &Node{
-			id:       NodeID(b),
-			label:    data.Label(extent[0]),
-			k:        kOf(partition.BlockID(b)),
-			extent:   extent,
-			parents:  make(map[NodeID]struct{}),
-			children: make(map[NodeID]struct{}),
-		}
-		ig.nodes[b] = n
-		ig.addToLabelBucket(n)
-		for _, o := range extent {
-			ig.nodeOf[o] = n.id
-		}
+	for b, extent := range p.Blocks() {
+		ig.attachNode(data.Label(extent[0]), kOf(partition.BlockID(b)), extent)
 	}
-	ig.liveNodes = len(blocks)
-	// Wire edges per P2.
-	for v := 0; v < data.NumNodes(); v++ {
+	ig.wireFromData()
+	return ig
+}
+
+// attachNode allocates the next live node (ID = len(nodes)), registers it in
+// the label bucket and the data-node mapping, and bumps the live counter.
+// The extent must be sorted; construction and Split share this path.
+func (ig *Graph) attachNode(label graph.LabelID, k int, extent []graph.NodeID) *Node {
+	n := &Node{
+		id:       NodeID(len(ig.nodes)),
+		label:    label,
+		k:        k,
+		extent:   extent,
+		parents:  make(map[NodeID]struct{}),
+		children: make(map[NodeID]struct{}),
+	}
+	ig.nodes = append(ig.nodes, n)
+	ig.addToLabelBucket(n)
+	for _, o := range extent {
+		ig.nodeOf[o] = n.id
+	}
+	ig.liveNodes++
+	return n
+}
+
+// wireFromData rebuilds the index edge set from the data graph per P2.
+// nodeOf must already map every data node to its live index node.
+func (ig *Graph) wireFromData() {
+	for v := 0; v < ig.data.NumNodes(); v++ {
 		from := ig.nodeOf[v]
-		for _, c := range data.Children(graph.NodeID(v)) {
+		for _, c := range ig.data.Children(graph.NodeID(v)) {
 			ig.addEdge(from, ig.nodeOf[c])
 		}
 	}
-	return ig
 }
 
 // Data returns the underlying data graph.
@@ -175,7 +196,12 @@ func (ig *Graph) HasEdge(u, v *Node) bool {
 }
 
 // SetK sets the local similarity of n.
-func (ig *Graph) SetK(n *Node, k int) { n.k = k }
+func (ig *Graph) SetK(n *Node, k int) {
+	if n.k != k {
+		n.k = k
+		ig.version++
+	}
+}
 
 func (ig *Graph) addToLabelBucket(n *Node) {
 	bucket := ig.byLabel[n.label]
@@ -229,9 +255,13 @@ func (ig *Graph) Split(w *Node, pieces [][]graph.NodeID, ks []int) []*Node {
 		panic(fmt.Sprintf("index: pieces cover %d of %d extent nodes", total, len(w.extent)))
 	}
 	if len(pieces) == 1 {
-		w.k = ks[0]
+		if w.k != ks[0] {
+			w.k = ks[0]
+			ig.version++
+		}
 		return []*Node{w}
 	}
+	ig.version++
 
 	// Detach w from its neighbors.
 	for pid := range w.parents {
@@ -260,25 +290,13 @@ func (ig *Graph) Split(w *Node, pieces [][]graph.NodeID, ks []int) []*Node {
 	newNodes := make([]*Node, len(pieces))
 	for i, extent := range pieces {
 		sort.Slice(extent, func(a, b int) bool { return extent[a] < extent[b] })
-		n := &Node{
-			id:       NodeID(len(ig.nodes)),
-			label:    w.label,
-			k:        ks[i],
-			extent:   extent,
-			parents:  make(map[NodeID]struct{}),
-			children: make(map[NodeID]struct{}),
-		}
-		ig.nodes = append(ig.nodes, n)
-		ig.addToLabelBucket(n)
-		ig.liveNodes++
-		newNodes[i] = n
 		for _, o := range extent {
 			if ig.nodeOf[o] != w.id {
 				//mrlint:allow nopanic extent-membership invariant P1; a wrong piece corrupts nodeOf
 				panic(fmt.Sprintf("index: piece member %d not in extent of %d (or duplicated)", o, w.id))
 			}
-			ig.nodeOf[o] = n.id
 		}
+		newNodes[i] = ig.attachNode(w.label, ks[i], extent)
 	}
 	// Rebuild adjacency touching the pieces (both directions).
 	for _, n := range newNodes {

@@ -1,0 +1,161 @@
+package query
+
+import (
+	"sort"
+
+	"mrx/internal/graph"
+	"mrx/internal/index"
+	"mrx/internal/pathexpr"
+)
+
+// EvalFrozen evaluates e over a frozen index snapshot with sequential
+// validation — the frozen counterpart of EvalIndex. The traversal performs
+// zero map operations: visited-set bookkeeping uses flat stamp arrays over
+// the dense FrozenID space, and per-label lookups are array slices.
+func EvalFrozen(fz *index.Frozen, e *pathexpr.Expr) Result {
+	return EvalFrozenOpts(fz, e, ValidateOpts{})
+}
+
+// EvalFrozenOpts is EvalFrozen with explicit validation options.
+func EvalFrozenOpts(fz *index.Frozen, e *pathexpr.Expr, opt ValidateOpts) Result {
+	var res Result
+	res.FrozenTargets = TraverseFrozen(fz, e, &res.Cost)
+	res.Answer, res.Cost.DataNodes, res.Precise, _ = CollectAnswersFrozen(fz, e, res.FrozenTargets, opt)
+	return res
+}
+
+// FrozenQuerier adapts a frozen index snapshot to the Querier interface,
+// with EvalFrozen semantics (sequential validation, the paper's cost
+// accounting).
+type FrozenQuerier struct {
+	fz *index.Frozen
+}
+
+// AsFrozenQuerier wraps a frozen index snapshot as a Querier.
+func AsFrozenQuerier(fz *index.Frozen) FrozenQuerier { return FrozenQuerier{fz: fz} }
+
+// Frozen returns the wrapped snapshot.
+func (q FrozenQuerier) Frozen() *index.Frozen { return q.fz }
+
+// Query evaluates e over the wrapped snapshot.
+func (q FrozenQuerier) Query(e *pathexpr.Expr) Result { return EvalFrozen(q.fz, e) }
+
+// CollectAnswersFrozen is CollectAnswers over frozen targets: extents of
+// nodes with sufficient local similarity pass through unvalidated, the rest
+// are validated against the data graph per opt. Both variants share the
+// candidate validation machinery, so frozen and mutable serving cannot
+// diverge in validation semantics.
+func CollectAnswersFrozen(fz *index.Frozen, e *pathexpr.Expr, targets []index.FrozenID, opt ValidateOpts) (answer []graph.NodeID, visited int, precise, stopped bool) {
+	precise = true
+	req := e.RequiredK()
+	var candidates []graph.NodeID
+	for _, v := range targets {
+		if fz.K(v) >= req {
+			answer = append(answer, fz.Extent(v)...)
+			continue
+		}
+		precise = false
+		candidates = append(candidates, fz.Extent(v)...)
+	}
+	if len(candidates) > 0 {
+		var matched []graph.NodeID
+		matched, visited, stopped = validateCandidates(fz.Data(), e, candidates, opt)
+		answer = append(answer, matched...)
+	}
+	return dedupeIDs(answer), visited, precise, stopped
+}
+
+// Mark is a reusable visited set over dense FrozenIDs with O(1) reset:
+// instead of clearing (or reallocating) a map per traversal step, Next bumps
+// a round stamp. The frozen read path uses it everywhere a mutable-graph
+// traversal would allocate a map.
+type Mark struct {
+	stamp []int32
+	round int32
+}
+
+// NewMark returns a mark over n dense IDs.
+func NewMark(n int) *Mark { return &Mark{stamp: make([]int32, n)} }
+
+// Next starts a new round, invalidating all previous Set calls.
+func (m *Mark) Next() { m.round++ }
+
+// Seen reports whether v was Set in the current round.
+func (m *Mark) Seen(v index.FrozenID) bool { return m.stamp[v] == m.round }
+
+// Set marks v in the current round.
+func (m *Mark) Set(v index.FrozenID) { m.stamp[v] = m.round }
+
+// TraverseFrozen evaluates only the index traversal of e over a frozen
+// snapshot and returns the matched frozen nodes in ascending order,
+// accumulating the index-node cost — the frozen counterpart of TargetNodes.
+func TraverseFrozen(fz *index.Frozen, e *pathexpr.Expr, cost *Cost) []index.FrozenID {
+	data := fz.Data()
+	var frontier []index.FrozenID
+	if e.Rooted {
+		root := fz.Root()
+		cost.IndexNodes++
+		for _, c := range fz.Children(root) {
+			cost.IndexNodes++
+			if e.Steps[0].Matches(data.LabelName(fz.Label(c))) {
+				frontier = append(frontier, c)
+			}
+		}
+	} else if e.Steps[0].Wildcard {
+		frontier = make([]index.FrozenID, fz.NumNodes())
+		for i := range frontier {
+			frontier[i] = index.FrozenID(i)
+		}
+		cost.IndexNodes += len(frontier)
+	} else if l, ok := data.LabelIDOf(e.Steps[0].Label); ok {
+		frontier = append(frontier, fz.NodesWithLabel(l)...)
+		cost.IndexNodes += len(frontier)
+	}
+	if len(e.Steps) == 1 {
+		return frontier
+	}
+	seen := NewMark(fz.NumNodes())
+	for i := 1; i < len(e.Steps); i++ {
+		seen.Next()
+		var next []index.FrozenID
+		if e.Steps[i].Descendant {
+			// Descendant axis: closure over index edges, filtered by label.
+			queue := append([]index.FrozenID(nil), frontier...)
+			for len(queue) > 0 {
+				v := queue[0]
+				queue = queue[1:]
+				for _, c := range fz.Children(v) {
+					if seen.Seen(c) {
+						continue
+					}
+					seen.Set(c)
+					cost.IndexNodes++
+					queue = append(queue, c)
+					if e.Steps[i].Matches(data.LabelName(fz.Label(c))) {
+						next = append(next, c)
+					}
+				}
+			}
+			frontier = next
+			if len(frontier) == 0 {
+				break
+			}
+			continue
+		}
+		for _, v := range frontier {
+			for _, c := range fz.Children(v) {
+				cost.IndexNodes++
+				if !seen.Seen(c) && e.Steps[i].Matches(data.LabelName(fz.Label(c))) {
+					seen.Set(c)
+					next = append(next, c)
+				}
+			}
+		}
+		frontier = next
+		if len(frontier) == 0 {
+			break
+		}
+	}
+	sort.Slice(frontier, func(i, j int) bool { return frontier[i] < frontier[j] })
+	return frontier
+}

@@ -1,0 +1,101 @@
+package query
+
+import (
+	"testing"
+
+	"mrx/internal/graph"
+	"mrx/internal/gtest"
+	"mrx/internal/index"
+	"mrx/internal/partition"
+	"mrx/internal/pathexpr"
+)
+
+// EvalFrozen must agree with EvalIndex — answers, precision, and the
+// index-traversal part of the cost metric — across random graphs and
+// workloads exercising rooted anchors, wildcards, and the descendant axis.
+func TestEvalFrozenMatchesEvalIndex(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		g := gtest.Random(seed, 110, 6, 0.3)
+		for _, k := range []int{0, 2} {
+			ig := index.FromPartition(g, partition.KBisim(g, k), func(partition.BlockID) int { return k })
+			fz := ig.Freeze()
+			ws := gtest.RandomWorkload(seed+100, g, gtest.WorkloadOptions{
+				Size: 30, MaxLen: 4, Adversarial: 0.2, Rooted: 0.2, Wildcard: 0.15, DescAxis: 0.15,
+			})
+			for _, w := range ws {
+				e, err := pathexpr.Parse(w)
+				if err != nil {
+					t.Fatalf("parse %q: %v", w, err)
+				}
+				want := EvalIndex(ig, e)
+				got := EvalFrozen(fz, e)
+				if !equalGraphIDs(got.Answer, want.Answer) {
+					t.Fatalf("seed %d k=%d %q: frozen answer %v, mutable %v",
+						seed, k, w, got.Answer, want.Answer)
+				}
+				if got.Precise != want.Precise {
+					t.Fatalf("seed %d k=%d %q: precise %v vs %v", seed, k, w, got.Precise, want.Precise)
+				}
+				if got.Cost.IndexNodes != want.Cost.IndexNodes {
+					t.Fatalf("seed %d k=%d %q: index cost %d vs %d",
+						seed, k, w, got.Cost.IndexNodes, want.Cost.IndexNodes)
+				}
+				if len(got.FrozenTargets) != len(want.Targets) {
+					t.Fatalf("seed %d k=%d %q: %d frozen targets vs %d mutable",
+						seed, k, w, len(got.FrozenTargets), len(want.Targets))
+				}
+				for i, v := range got.FrozenTargets {
+					if fz.Retired(v) != want.Targets[i].ID() {
+						t.Fatalf("seed %d k=%d %q: target %d diverges", seed, k, w, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFrozenQuerier(t *testing.T) {
+	g := graph.PaperFigure1()
+	ig := index.FromPartition(g, partition.ByLabel(g), func(partition.BlockID) int { return 0 })
+	q := AsFrozenQuerier(ig.Freeze())
+	e, err := pathexpr.Parse("//open_auction/bidder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := EvalIndex(ig, e)
+	got := q.Query(e)
+	if !equalGraphIDs(got.Answer, want.Answer) {
+		t.Fatalf("querier answer %v, want %v", got.Answer, want.Answer)
+	}
+	if q.Frozen().NumNodes() != ig.NumNodes() {
+		t.Error("Frozen() accessor returns wrong snapshot")
+	}
+}
+
+func TestMark(t *testing.T) {
+	m := NewMark(4)
+	m.Next()
+	if m.Seen(2) {
+		t.Error("fresh round reports seen")
+	}
+	m.Set(2)
+	if !m.Seen(2) || m.Seen(1) {
+		t.Error("Set/Seen wrong within a round")
+	}
+	m.Next()
+	if m.Seen(2) {
+		t.Error("Next did not invalidate previous round")
+	}
+}
+
+func equalGraphIDs(a, b []graph.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -15,6 +15,14 @@ type Querier interface {
 	Query(e *pathexpr.Expr) Result
 }
 
+// QuerierFunc adapts a plain function to the Querier interface, for serving
+// paths whose backing index is swapped between queries (e.g. the frozen
+// differential path republishing snapshots after each refinement).
+type QuerierFunc func(e *pathexpr.Expr) Result
+
+// Query evaluates e by calling the function.
+func (f QuerierFunc) Query(e *pathexpr.Expr) Result { return f(e) }
+
 // IndexQuerier adapts a bare structural index graph to the Querier
 // interface; it evaluates with EvalIndex semantics (sequential validation,
 // the paper's cost accounting).

@@ -251,7 +251,13 @@ func (va *Validator) match(v graph.NodeID, step int) bool {
 // Result is the outcome of evaluating an expression on an index graph.
 type Result struct {
 	// Targets are the index nodes matched by the expression, in ID order.
+	// Nil when the query was served from a frozen snapshot (see
+	// FrozenTargets).
 	Targets []*index.Node
+	// FrozenTargets are the frozen nodes matched by the expression, in
+	// ascending order; set instead of Targets when the query was evaluated
+	// over an index.Frozen.
+	FrozenTargets []index.FrozenID
 	// Answer is the validated data-node answer, sorted.
 	Answer []graph.NodeID
 	// Cost is the query cost under the paper's metric.

@@ -1,0 +1,125 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+
+	"mrx/internal/baseline"
+	"mrx/internal/gtest"
+	"mrx/internal/index"
+	"mrx/internal/partition"
+	"mrx/internal/pathexpr"
+	"mrx/internal/query"
+)
+
+func TestFrozenRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		g := gtest.Random(seed, 90, 5, 0.25)
+		ig := index.FromPartition(g, partition.KBisim(g, 2), func(partition.BlockID) int { return 2 })
+		fz := ig.Freeze()
+
+		var buf bytes.Buffer
+		if err := WriteFrozen(&buf, fz); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadFrozen(bytes.NewReader(buf.Bytes()), g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The loaded snapshot must flatten the same index: compare against
+		// the original mutable graph, the strongest equality we have.
+		if err := got.CheckAgainst(ig); err != nil {
+			t.Fatalf("seed %d: loaded frozen diverges: %v", seed, err)
+		}
+
+		// And it must serve queries identically to the mutable load path.
+		for _, w := range gtest.RandomWorkload(seed+9, g, gtest.WorkloadOptions{Size: 10, MaxLen: 3}) {
+			e, err := pathexpr.Parse(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := query.EvalIndex(ig, e).Answer
+			ans := query.EvalFrozen(got, e).Answer
+			if len(ans) != len(want) {
+				t.Fatalf("seed %d %q: %v vs %v", seed, w, ans, want)
+			}
+			for i := range ans {
+				if ans[i] != want[i] {
+					t.Fatalf("seed %d %q: %v vs %v", seed, w, ans, want)
+				}
+			}
+		}
+	}
+}
+
+// The frozen body encoding is identical to the mutable index encoding; only
+// the magic differs. This keeps the two formats convertible by rewriting
+// six bytes and pins the fast path to the existing on-disk layout.
+func TestFrozenBytesMatchIndexBytes(t *testing.T) {
+	g := gtest.Random(1, 70, 4, 0.3)
+	ig := baseline.AK(g, 2)
+
+	var mutable, frozen bytes.Buffer
+	if err := WriteIndex(&mutable, ig); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrozen(&frozen, ig.Freeze()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mutable.Bytes()[len(indexMagic):], frozen.Bytes()[len(frozenMagic):]) {
+		t.Error("frozen body bytes diverge from mutable index body bytes")
+	}
+}
+
+func TestReadFrozenRejects(t *testing.T) {
+	g := gtest.Random(2, 60, 4, 0.25)
+	ig := baseline.AK(g, 1)
+	var buf bytes.Buffer
+	if err := WriteFrozen(&buf, ig.Freeze()); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	if _, err := ReadFrozen(bytes.NewReader(valid[:len(valid)/2]), g); err == nil {
+		t.Error("truncated file accepted")
+	}
+	var asIndex bytes.Buffer
+	if err := WriteIndex(&asIndex, ig); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFrozen(bytes.NewReader(asIndex.Bytes()), g); err == nil {
+		t.Error("mutable-index magic accepted by the frozen reader")
+	}
+	other := gtest.Random(3, 30, 4, 0.25)
+	if _, err := ReadFrozen(bytes.NewReader(valid), other); err == nil {
+		t.Error("frozen index accepted over the wrong data graph")
+	}
+}
+
+// FuzzStoreFrozen feeds arbitrary bytes to the frozen fast-path reader:
+// error or a snapshot passing the structural and P3 checks, never a panic
+// or over-allocation.
+func FuzzStoreFrozen(f *testing.F) {
+	g := fuzzGraph()
+	valid := seedBytes(f, func(b *bytes.Buffer) error {
+		return WriteFrozen(b, baseline.AK(g, 1).Freeze())
+	})
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte(frozenMagic))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fz, err := ReadFrozen(bytes.NewReader(data), g)
+		if err != nil {
+			return
+		}
+		if err := fz.CheckP3(); err != nil {
+			t.Fatalf("accepted frozen snapshot violates P3: %v", err)
+		}
+		// Anything accepted must be a valid flattening: thawing and
+		// validating exercises the full invariant suite (minus P1, since k
+		// values are data).
+		if err := fz.Thaw().Validate(false); err != nil {
+			t.Fatalf("accepted frozen snapshot violates invariants: %v", err)
+		}
+	})
+}

@@ -29,9 +29,10 @@ import (
 )
 
 const (
-	graphMagic = "mrxG1\n"
-	indexMagic = "mrxI1\n"
-	mstarMagic = "mrxM1\n"
+	graphMagic  = "mrxG1\n"
+	indexMagic  = "mrxI1\n"
+	mstarMagic  = "mrxM1\n"
+	frozenMagic = "mrxF1\n"
 
 	// Sanity caps applied before any length-prefix-driven allocation, so a
 	// corrupted or adversarial file can never make a reader over-allocate:
@@ -240,47 +241,58 @@ func writeIndexBody(cw *countingWriter, ig *index.Graph) error {
 }
 
 func readIndexBody(rd *reader, g *graph.Graph) (*index.Graph, error) {
+	extents, ks, err := readExtentsBody(rd, g)
+	if err != nil {
+		return nil, err
+	}
+	return index.FromExtents(g, extents, ks)
+}
+
+// readExtentsBody parses the shared extents-plus-similarities body; mutable
+// and frozen loading both build on it, so the two paths cannot diverge in
+// decoding or sanity checking.
+func readExtentsBody(rd *reader, g *graph.Graph) ([][]graph.NodeID, []int, error) {
 	nNodes, err := rd.uvarint()
 	if err != nil {
-		return nil, fmt.Errorf("store: index node count: %w", err)
+		return nil, nil, fmt.Errorf("store: index node count: %w", err)
 	}
 	if nNodes > uint64(g.NumNodes()) {
-		return nil, fmt.Errorf("store: %d index nodes for %d data nodes", nNodes, g.NumNodes())
+		return nil, nil, fmt.Errorf("store: %d index nodes for %d data nodes", nNodes, g.NumNodes())
 	}
 	extents := make([][]graph.NodeID, nNodes)
 	ks := make([]int, nNodes)
 	for i := uint64(0); i < nNodes; i++ {
 		k, err := rd.uvarint()
 		if err != nil {
-			return nil, fmt.Errorf("store: index node %d similarity: %w", i, err)
+			return nil, nil, fmt.Errorf("store: index node %d similarity: %w", i, err)
 		}
 		if k > maxSaneK {
-			return nil, fmt.Errorf("store: index node %d has similarity %d beyond sanity limit", i, k)
+			return nil, nil, fmt.Errorf("store: index node %d has similarity %d beyond sanity limit", i, k)
 		}
 		ks[i] = int(k)
 		size, err := rd.uvarint()
 		if err != nil {
-			return nil, fmt.Errorf("store: index node %d extent size: %w", i, err)
+			return nil, nil, fmt.Errorf("store: index node %d extent size: %w", i, err)
 		}
 		if size == 0 || size > uint64(g.NumNodes()) {
-			return nil, fmt.Errorf("store: extent %d has bad size %d", i, size)
+			return nil, nil, fmt.Errorf("store: extent %d has bad size %d", i, size)
 		}
 		extent := make([]graph.NodeID, size)
 		prev := int64(0)
 		for j := range extent {
 			delta, err := rd.uvarint()
 			if err != nil {
-				return nil, fmt.Errorf("store: index node %d extent: %w", i, err)
+				return nil, nil, fmt.Errorf("store: index node %d extent: %w", i, err)
 			}
 			prev += int64(delta)
 			if prev >= int64(g.NumNodes()) {
-				return nil, fmt.Errorf("store: extent %d references data node %d, beyond %d nodes", i, prev, g.NumNodes())
+				return nil, nil, fmt.Errorf("store: extent %d references data node %d, beyond %d nodes", i, prev, g.NumNodes())
 			}
 			extent[j] = graph.NodeID(prev)
 		}
 		extents[i] = extent
 	}
-	return index.FromExtents(g, extents, ks)
+	return extents, ks, nil
 }
 
 // WriteIndex serializes a single structural index (1-index, A(k), D(k) or
@@ -324,6 +336,76 @@ func ReadIndex(r io.Reader, g *graph.Graph) (*index.Graph, error) {
 		return nil, fmt.Errorf("store: index: %w", err)
 	}
 	return ig, nil
+}
+
+// WriteFrozen serializes a frozen index snapshot. The body is identical to
+// the mutable index format (extents and similarities in node order — frozen
+// node order is ascending retired NodeID, which is ForEachNode order), so a
+// snapshot frozen from a graph writes the same bytes as the graph itself;
+// only the magic differs, announcing that the fast loader applies. CSR
+// adjacency and label ranges are derived at load time: storing them would
+// roughly double the file for data that one linear pass over flat arrays
+// reconstructs.
+func WriteFrozen(w io.Writer, fz *index.Frozen) error {
+	cw := &countingWriter{w: bufio.NewWriter(w)}
+	if _, err := cw.w.WriteString(frozenMagic); err != nil {
+		return err
+	}
+	if err := cw.uvarint(uint64(fz.Data().NumNodes())); err != nil {
+		return err
+	}
+	if err := cw.uvarint(uint64(fz.NumNodes())); err != nil {
+		return err
+	}
+	for v := 0; v < fz.NumNodes(); v++ {
+		id := index.FrozenID(v)
+		if err := cw.uvarint(uint64(fz.K(id))); err != nil {
+			return err
+		}
+		if err := cw.uvarint(uint64(fz.Size(id))); err != nil {
+			return err
+		}
+		prev := int64(0)
+		for _, o := range fz.Extent(id) {
+			if err := cw.uvarint(uint64(int64(o) - prev)); err != nil {
+				return err
+			}
+			prev = int64(o)
+		}
+	}
+	return cw.w.Flush()
+}
+
+// ReadFrozen deserializes a frozen index snapshot over g — the persistence
+// fast path: the snapshot is rebuilt through FrozenFromExtents with flat-
+// array CSR wiring, never materializing a mutable graph or its adjacency
+// maps. Shape invariants (disjoint label-homogeneous cover, P2 wiring) hold
+// by construction; the similarity invariant P3 is checked over the CSR
+// before the snapshot is returned, mirroring ReadIndex's Validate.
+func ReadFrozen(r io.Reader, g *graph.Graph) (*index.Frozen, error) {
+	rd := &reader{r: bufio.NewReader(r)}
+	if err := expectMagic(rd, frozenMagic); err != nil {
+		return nil, fmt.Errorf("store: frozen magic: %w", err)
+	}
+	n, err := rd.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("store: frozen header: %w", err)
+	}
+	if n != uint64(g.NumNodes()) {
+		return nil, fmt.Errorf("store: frozen index built over %d data nodes, graph has %d", n, g.NumNodes())
+	}
+	extents, ks, err := readExtentsBody(rd, g)
+	if err != nil {
+		return nil, err
+	}
+	fz, err := index.FrozenFromExtents(g, extents, ks)
+	if err != nil {
+		return nil, fmt.Errorf("store: frozen: %w", err)
+	}
+	if err := fz.CheckP3(); err != nil {
+		return nil, fmt.Errorf("store: frozen: %w", err)
+	}
+	return fz, nil
 }
 
 // WriteMStar serializes an M*(k)-index as independent per-component

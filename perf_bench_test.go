@@ -92,6 +92,48 @@ func BenchmarkQueryMStarTopDown(b *testing.B) {
 	}
 }
 
+func BenchmarkQueryFrozenTopDown(b *testing.B) {
+	g := mrx.XMarkGraph(0.1, 1)
+	ms := core.NewMStar(g)
+	e := mrx.MustParsePath("//person/watches/watch/open_auction/itemref")
+	ms.Support(e)
+	fz := ms.Freeze()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fz.Query(e)
+	}
+}
+
+// BenchmarkFreezeMStar measures flattening a refined M*(k)-index into its
+// frozen read-path view — the full-freeze cost an engine pays at worst per
+// publish (incremental publishes re-freeze only dirtied components).
+func BenchmarkFreezeMStar(b *testing.B) {
+	g := mrx.XMarkGraph(0.1, 1)
+	ms := core.NewMStar(g)
+	ms.Support(mrx.MustParsePath("//open_auction/bidder/personref/person/name"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ms.Freeze()
+	}
+}
+
+// BenchmarkEnginePublish measures one Support round on a fresh engine:
+// precision probe, clone, REFINE*, incremental re-freeze, publish — the
+// write-side latency of the snapshot lifecycle.
+func BenchmarkEnginePublish(b *testing.B) {
+	g := mrx.XMarkGraph(0.1, 1)
+	e := mrx.MustParsePath("//open_auction/bidder/personref/person/name")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		en := engine.New(g, engine.Options{})
+		b.StartTimer()
+		if !en.Support(e) {
+			b.Fatal("FUP unexpectedly precise; nothing published")
+		}
+	}
+}
+
 func BenchmarkGroundTruthEval(b *testing.B) {
 	g := mrx.XMarkGraph(0.1, 1)
 	d := query.NewDataIndex(g)

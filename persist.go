@@ -27,6 +27,15 @@ func WriteMStar(w io.Writer, ms *MStar) error { return store.WriteMStar(w, ms) }
 // ReadMStar loads a complete M*(k)-index.
 func ReadMStar(r io.Reader, g *Graph) (*MStar, error) { return store.ReadMStar(r, g) }
 
+// WriteFrozen serializes a frozen index snapshot; its body encoding matches
+// WriteIndex, but the magic selects the fast loader.
+func WriteFrozen(w io.Writer, fz *FrozenIndex) error { return store.WriteFrozen(w, fz) }
+
+// ReadFrozen deserializes a frozen index snapshot over g without ever
+// materializing a mutable index graph: the CSR adjacency is wired from flat
+// arrays — the persistence fast path.
+func ReadFrozen(r io.Reader, g *Graph) (*FrozenIndex, error) { return store.ReadFrozen(r, g) }
+
 // MStarReader loads M*(k) components selectively — the disk-resident,
 // load-what-the-query-needs operation the paper describes as future work.
 type MStarReader = store.MStarReader
