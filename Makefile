@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race check bench bench-smoke fuzz cover
+.PHONY: all build vet lint test race check bench bench-smoke drift-smoke fuzz cover
 
 all: check
 
@@ -44,6 +44,13 @@ bench:
 # b.Fatal), without paying for measurement.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# drift-smoke replays the canned drifting workload through the adaptive
+# tuner and asserts bounded-epoch convergence in every phase, with every
+# answer cross-checked against the reference evaluator and full invariant
+# re-verification after each retirement — the CI gate for the auto-tuner.
+drift-smoke:
+	$(GO) test -run='^TestDriftSmoke$$' -count=1 -v ./internal/difftest/
 
 # Native fuzzing smoke: each target runs for FUZZTIME on top of its
 # committed seed corpus (testdata/fuzz/<FuzzName>/ in each package, which

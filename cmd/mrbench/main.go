@@ -26,7 +26,7 @@ import (
 
 func main() {
 	fig := flag.String("fig", "", "figure to reproduce: 8..26 or all")
-	ablation := flag.String("ablation", "", "ablation to run: strategies, literal, accounting, apex, engine")
+	ablation := flag.String("ablation", "", "ablation to run: strategies, literal, accounting, apex, engine, adapt")
 	readers := flag.String("readers", "1,4,8", "reader-goroutine counts for -ablation engine")
 	passes := flag.Int("passes", 2, "workload replays per reader for -ablation engine")
 	dataset := flag.String("dataset", "xmark", "dataset for ablations: xmark or nasa")
@@ -143,6 +143,11 @@ func runAblation(name, dataset string, cfg experiments.Config, maxQueryLen int, 
 			dataset, cfg.Scale, len(queries), passes)
 		experiments.WriteEngineTable(os.Stdout,
 			experiments.RunEngineAblation(ds, queries, counts, passes, progress))
+	case "adapt":
+		fmt.Printf("adaptive tuning vs static oracle on %s (scale %g, %d queries)\n",
+			dataset, cfg.Scale, len(queries))
+		experiments.WriteAdaptTable(os.Stdout,
+			experiments.RunAdaptAblation(ds, queries, 3, 6, progress))
 	case "accounting":
 		row := experiments.RunMStarAccounting(ds, queries, progress)
 		fmt.Printf("M*(k) size accounting on %s (scale %g, %d queries)\n", dataset, cfg.Scale, len(queries))
@@ -152,7 +157,7 @@ func runAblation(name, dataset string, cfg experiments.Config, maxQueryLen int, 
 		fmt.Printf("%-14s %10d %10d\n", "logical", row.LogicalNodes, row.LogicalEdges)
 		fmt.Printf("cross-links: %d\n", row.CrossLinks)
 	default:
-		fail(fmt.Errorf("unknown ablation %q (want strategies, literal, accounting, apex or engine)", name))
+		fail(fmt.Errorf("unknown ablation %q (want strategies, literal, accounting, apex, engine or adapt)", name))
 	}
 }
 

@@ -7,6 +7,7 @@
 //	mrquery -in doc.xml -index a2 '//people/person' '//item/name'
 //	mrquery -in doc.xml -index mstar -refine '//open_auction/bidder'
 //	mrquery -in doc.xml -index engine -refine -stats '//person/name'
+//	mrquery -in doc.xml -index engine -autotune -stats '//person/name'
 //	mrgen -dataset xmark | mrquery -index mk -refine '//person/name'
 //
 // Index choices: a<k> (e.g. a0, a3), 1index, dk (construct for the given
@@ -33,6 +34,8 @@ func main() {
 	in := flag.String("in", "", "input XML file (default stdin)")
 	indexName := flag.String("index", "a2", "index: a<k>, 1index, dk, dkpromote, mk, mstar, engine, ud<k>,<l>")
 	refine := flag.Bool("refine", false, "refine adaptive indexes to support each query")
+	autotune := flag.Bool("autotune", false, "let the adaptive tuner discover the hot queries instead of -refine (engine index only)")
+	epochs := flag.Int("epochs", 4, "tuning epochs to replay the workload for with -autotune")
 	parallel := flag.Int("parallel", 0, "validation workers for -index engine (default GOMAXPROCS)")
 	stats := flag.Bool("stats", false, "dump engine serving stats at exit (engine index only)")
 	showAnswers := flag.Bool("answers", false, "print the answer node IDs (can be large)")
@@ -83,7 +86,27 @@ func main() {
 		order = append(order, q)
 	}
 
-	b := buildIndex(g, *indexName, queries, *refine, *parallel)
+	b := buildIndex(g, *indexName, queries, *refine, *autotune, *parallel)
+	if *autotune {
+		if b.engine == nil {
+			fail(fmt.Errorf("-autotune requires -index engine"))
+		}
+		// Replay the workload for -epochs tuning epochs: the tracker observes
+		// the traffic, and each Step promotes what proved itself hot.
+		for epoch := 0; epoch < *epochs; epoch++ {
+			for _, q := range queries {
+				for i := 0; i < 5; i++ {
+					b.engine.Query(q)
+				}
+			}
+			plan := b.engine.Tuner().Step()
+			for _, d := range plan.Decisions {
+				fmt.Printf("autotune epoch %d: %s %s (%s, applied=%v)\n",
+					plan.Epoch, d.Action, d.Key, d.Reason, d.Changed)
+			}
+		}
+		fmt.Printf("autotune: generation %d after %d epochs\n", b.engine.Generation(), *epochs)
+	}
 	if *dotOut != "" {
 		f, err := os.Create(*dotOut)
 		if err != nil {
@@ -138,7 +161,7 @@ type built struct {
 	engine    *mrx.Engine // non-nil for -index engine
 }
 
-func buildIndex(g *mrx.Graph, name string, queries []*mrx.PathExpr, refine bool, parallel int) built {
+func buildIndex(g *mrx.Graph, name string, queries []*mrx.PathExpr, refine, autotune bool, parallel int) built {
 	dotFor := func(ig *mrx.Index) dotWriter {
 		return func(w io.Writer) error { return ig.WriteDOT(w, name, 8) }
 	}
@@ -161,7 +184,26 @@ func buildIndex(g *mrx.Graph, name string, queries []*mrx.PathExpr, refine bool,
 		report(ud.Index().NumNodes(), ud.Index().NumEdges(), name)
 		return built{querier: ud, branching: ud.QueryBranching, dot: dotFor(ud.Index())}
 	case name == "engine":
-		en := mrx.NewEngine(g, mrx.EngineOptions{Parallelism: parallel})
+		opts := mrx.EngineOptions{Parallelism: parallel}
+		if autotune {
+			// Interval 0: mrquery steps epochs itself so runs are
+			// deterministic and need no Close.
+			cfg := mrx.DefaultAutoTuneConfig()
+			en := mrx.NewEngine(g, mrx.EngineOptions{Parallelism: parallel, AutoTune: &cfg})
+			sz := en.Snapshot().Sizes()
+			fmt.Printf("index engine: %d nodes, %d edges (%d components, generation %d)\n",
+				sz.Nodes, sz.Edges, sz.Components, en.Generation())
+			fine := en.Snapshot().Finest()
+			return built{
+				querier: en,
+				branching: func(in, out *mrx.PathExpr) mrx.BranchingResult {
+					return mrx.QueryIndexBranching(fine, in, out, 0)
+				},
+				dot:    dotFor(fine),
+				engine: en,
+			}
+		}
+		en := mrx.NewEngine(g, opts)
 		if refine {
 			for _, q := range queries {
 				en.Support(q)

@@ -1,6 +1,7 @@
 package mrx
 
 import (
+	"mrx/internal/adapt"
 	"mrx/internal/engine"
 )
 
@@ -30,3 +31,22 @@ type EngineStats = engine.StatsSnapshot
 
 // NewEngine creates a concurrent serving engine over g.
 func NewEngine(g *Graph, opts EngineOptions) *Engine { return engine.New(g, opts) }
+
+// AutoTuneConfig configures the engine's online workload tracker and
+// adaptive tuner (EngineOptions.AutoTune): a bounded space-saving sketch of
+// the hottest canonical path expressions drives epoch-based promotion
+// (Support) of sustained-hot FUPs and retirement (Retire) of cooled-off
+// ones, with hysteresis and cooldowns damping oscillation.
+type AutoTuneConfig = adapt.Config
+
+// AutoTuneSnapshot is the tuner's observable state, carried by
+// EngineStats.AutoTune: epoch and action counters, the tracker's current
+// hot set, and the last executed tuning plan.
+type AutoTuneSnapshot = adapt.Snapshot
+
+// AutoTunePlan is one epoch's tuning decisions with reasons, for
+// observability (EngineStats.AutoTune.LastPlan).
+type AutoTunePlan = adapt.Plan
+
+// DefaultAutoTuneConfig returns the documented default tuning parameters.
+func DefaultAutoTuneConfig() AutoTuneConfig { return adapt.DefaultConfig() }

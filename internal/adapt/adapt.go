@@ -1,0 +1,154 @@
+// Package adapt closes the loop from live query traffic to index
+// resolution: it observes the query stream, finds the frequently used path
+// expressions (FUPs) of the current workload, and re-tunes an adaptive
+// index — promoting expressions that turned hot and retiring previously
+// supported FUPs that cooled off — so the served resolution tracks workload
+// drift without operator intervention.
+//
+// The subsystem has three layers:
+//
+//   - Tracker: a concurrent, bounded-memory frequency sketch over
+//     canonicalized path expressions (space-saving top-K, with per-entry
+//     hit/latency/validation counters updated by atomic adds). The serving
+//     hot path performs one RLock'd map probe keyed by an allocation-free
+//     canonical rendering; misses take a short exclusive section that may
+//     evict the minimum-count entry (the space-saving step). Counts decay
+//     exponentially at epoch boundaries so stale paths age out.
+//
+//   - policy: hysteresis-damped promotion/demotion decisions. An expression
+//     is promoted only after staying above the hot threshold for
+//     PromoteAfter consecutive epochs with observed validation cost (a
+//     query that is already precise gains nothing from refinement); a
+//     supported FUP is retired only after staying below the cold threshold
+//     for DemoteAfter consecutive epochs. Acted-on expressions enter a
+//     cooldown during which the opposite action is blocked, damping
+//     promote→retire→promote oscillation under alternating workloads.
+//     Every decision carries a human-readable reason and is exposed via
+//     Plan snapshots.
+//
+//   - Tuner: the epoch clock and executor. Each Step advances the tracker
+//     epoch, asks the policy for a plan, and executes it against the Target
+//     (the engine): Support for promotions — the paper's PROMOTE′ — and
+//     Retire for demotions, a rebuild-based operation the paper does not
+//     have (it defines no DEMOTE; see core.Retire for why rebuilding is the
+//     only way to keep Properties 1–5 intact). With a positive Interval the
+//     tuner runs Step from a background goroutine that owns a stop channel
+//     and is joined by Close; with Interval zero the owner steps manually
+//     (tests, difftest, CLIs).
+package adapt
+
+import (
+	"time"
+
+	"mrx/internal/pathexpr"
+)
+
+// Config configures the tracker, policy and tuner. The zero value of every
+// field selects a sensible default; DefaultConfig returns them explicitly.
+type Config struct {
+	// TopK bounds tracker memory: at most TopK expressions are tracked at
+	// once (space-saving eviction beyond that). Default 64.
+	TopK int
+
+	// HotThreshold is the per-epoch hit count at or above which an
+	// expression counts as hot. Default 4.
+	HotThreshold uint64
+
+	// ColdThreshold is the per-epoch hit count at or below which a
+	// supported FUP counts as cold. Default 0 (completely idle).
+	ColdThreshold uint64
+
+	// PromoteAfter is how many consecutive hot epochs an expression needs
+	// before it is promoted. Default 2.
+	PromoteAfter int
+
+	// DemoteAfter is how many consecutive cold epochs a supported FUP needs
+	// before it is retired. Retirement rebuilds the index, so this should
+	// be slower than promotion. Default 3.
+	DemoteAfter int
+
+	// Cooldown is how many epochs an acted-on expression is exempt from the
+	// opposite action (and from being re-acted on), damping oscillation
+	// under alternating workloads. Default 2.
+	Cooldown int
+
+	// MaxActionsPerEpoch bounds the number of decisions executed per epoch,
+	// keeping each publish burst small. Default 4.
+	MaxActionsPerEpoch int
+
+	// Interval is the epoch length of the background tuner goroutine.
+	// Zero (the default) starts no goroutine: the owner calls Step.
+	Interval time.Duration
+}
+
+// DefaultConfig returns the documented defaults.
+func DefaultConfig() Config {
+	var c Config
+	c.defaults()
+	return c
+}
+
+func (c *Config) defaults() {
+	if c.TopK <= 0 {
+		c.TopK = 64
+	}
+	if c.HotThreshold == 0 {
+		c.HotThreshold = 4
+	}
+	if c.PromoteAfter <= 0 {
+		c.PromoteAfter = 2
+	}
+	if c.DemoteAfter <= 0 {
+		c.DemoteAfter = 3
+	}
+	if c.Cooldown < 0 {
+		c.Cooldown = 0
+	} else if c.Cooldown == 0 {
+		c.Cooldown = 2
+	}
+	if c.MaxActionsPerEpoch <= 0 {
+		c.MaxActionsPerEpoch = 4
+	}
+}
+
+// Target is what the tuner tunes: the adaptive index behind the serving
+// engine. Support and Retire report whether they changed (published)
+// anything; SupportedFUPs lists the currently supported FUPs.
+type Target interface {
+	Support(e *pathexpr.Expr) bool
+	Retire(e *pathexpr.Expr) bool
+	SupportedFUPs() []*pathexpr.Expr
+}
+
+// Action is a tuning decision kind.
+type Action string
+
+// The two actions a plan can contain.
+const (
+	ActionPromote Action = "promote"
+	ActionRetire  Action = "retire"
+)
+
+// Decision is one planned (and, once executed, applied) tuning action.
+type Decision struct {
+	// Key is the canonical form of the expression.
+	Key string
+	// Expr is the expression itself.
+	Expr *pathexpr.Expr
+	// Action is what the tuner does about it.
+	Action Action
+	// Reason explains why, for operators (mrquery -stats) and tests.
+	Reason string
+	// Changed reports whether executing the decision published a new index
+	// snapshot (false for no-op Supports/Retires).
+	Changed bool
+}
+
+// Plan is the decision set of one epoch, exposed for observability.
+type Plan struct {
+	// Epoch is the tracker epoch the plan was computed at.
+	Epoch uint64
+	// Decisions in execution order: promotions (hottest first), then
+	// retirements.
+	Decisions []Decision
+}

@@ -1,0 +1,152 @@
+package adapt
+
+import (
+	"fmt"
+
+	"mrx/internal/pathexpr"
+)
+
+// policy turns tracker epochs into promotion/retirement decisions with
+// hysteresis. It is stateful — streaks and cooldowns persist across epochs —
+// and is driven solely by the tuner (no locking of its own).
+type policy struct {
+	cfg     Config
+	streaks map[string]*streak
+}
+
+// streak is the per-expression hysteresis state.
+type streak struct {
+	// hot counts consecutive epochs at or above HotThreshold; cold counts
+	// consecutive epochs at or below ColdThreshold while supported.
+	hot, cold int
+	// cooldown is how many more epochs this expression is exempt from
+	// actions after the last one (oscillation damping).
+	cooldown int
+}
+
+func newPolicy(cfg Config) *policy {
+	return &policy{cfg: cfg, streaks: make(map[string]*streak)}
+}
+
+func (p *policy) streakOf(key string) *streak {
+	s, ok := p.streaks[key]
+	if !ok {
+		s = &streak{}
+		p.streaks[key] = s
+	}
+	return s
+}
+
+// supportable reports whether e is in the paper's FUP class: wildcard-free
+// with a finite required resolution. Only those can be promoted.
+func supportable(e *pathexpr.Expr) bool {
+	return !e.HasWildcard() && e.RequiredK() != pathexpr.Unbounded
+}
+
+// decide computes the plan for the epoch just closed: stats are the
+// tracker's closed-epoch entries (score-descending) and supported the FUPs
+// the target currently maintains. It updates streaks and cooldowns.
+func (p *policy) decide(epoch uint64, stats []EntryStats, supported []*pathexpr.Expr) Plan {
+	supportedSet := make(map[string]*pathexpr.Expr, len(supported))
+	for _, e := range supported {
+		supportedSet[pathexpr.Canonical(e)] = e
+	}
+
+	seen := make(map[string]bool, len(stats))
+	plan := Plan{Epoch: epoch}
+	var promotions, retirements []Decision
+
+	// Pass 1: tracked expressions — maintain hot streaks, emit promotions.
+	// stats arrive hottest-first, so promotion priority follows score.
+	for _, st := range stats {
+		seen[st.Key] = true
+		s := p.streakOf(st.Key)
+		if st.EpochHits >= p.cfg.HotThreshold {
+			s.hot++
+		} else {
+			s.hot = 0
+		}
+		_, isSupported := supportedSet[st.Key]
+		if isSupported || s.hot < p.cfg.PromoteAfter {
+			continue
+		}
+		if s.cooldown > 0 {
+			continue // recently retired (or promoted): damp oscillation
+		}
+		if !supportable(st.Expr) {
+			continue // wildcards / descendant axes are not FUPs
+		}
+		if st.Imprecise == 0 && st.Validated == 0 {
+			// Every observed query was answered precisely: refinement would
+			// buy nothing, whatever the frequency.
+			continue
+		}
+		promotions = append(promotions, Decision{
+			Key:    st.Key,
+			Expr:   st.Expr,
+			Action: ActionPromote,
+			Reason: fmt.Sprintf("hot for %d epochs (%d hits, %d data nodes validated this epoch)",
+				s.hot, st.EpochHits, st.Validated),
+		})
+	}
+
+	// Pass 2: supported FUPs — maintain cold streaks, emit retirements. A
+	// FUP absent from the tracker (evicted or never observed) is as cold as
+	// an idle entry.
+	byKey := make(map[string]EntryStats, len(stats))
+	for _, st := range stats {
+		byKey[st.Key] = st
+	}
+	for key, e := range supportedSet {
+		s := p.streakOf(key)
+		hits := byKey[key].EpochHits // zero when untracked
+		if hits <= p.cfg.ColdThreshold {
+			s.cold++
+		} else {
+			s.cold = 0
+		}
+		if s.cold < p.cfg.DemoteAfter || s.cooldown > 0 {
+			continue
+		}
+		retirements = append(retirements, Decision{
+			Key:    key,
+			Expr:   e,
+			Action: ActionRetire,
+			Reason: fmt.Sprintf("cold for %d epochs (%d hits this epoch)", s.cold, hits),
+		})
+	}
+	sortDecisions(retirements)
+
+	// Tick cooldowns for everyone, then arm them for the acted-on keys, and
+	// drop streak state for expressions that left both the tracker and the
+	// supported set (bounded memory).
+	for key, s := range p.streaks {
+		if s.cooldown > 0 {
+			s.cooldown--
+		}
+		if _, sup := supportedSet[key]; !sup && !seen[key] && s.cooldown == 0 {
+			delete(p.streaks, key)
+		}
+	}
+
+	plan.Decisions = append(promotions, retirements...)
+	if len(plan.Decisions) > p.cfg.MaxActionsPerEpoch {
+		plan.Decisions = plan.Decisions[:p.cfg.MaxActionsPerEpoch]
+	}
+	for _, d := range plan.Decisions {
+		s := p.streakOf(d.Key)
+		s.cooldown = p.cfg.Cooldown
+		s.hot, s.cold = 0, 0
+	}
+	return plan
+}
+
+// sortDecisions orders a slice by key for deterministic plans (map order
+// would otherwise leak into retirements).
+func sortDecisions(ds []Decision) {
+	for i := 1; i < len(ds); i++ {
+		for j := i; j > 0 && ds[j-1].Key > ds[j].Key; j-- {
+			ds[j-1], ds[j] = ds[j], ds[j-1]
+		}
+	}
+}

@@ -1,0 +1,277 @@
+package adapt
+
+import (
+	"testing"
+	"time"
+
+	"mrx/internal/pathexpr"
+)
+
+// fakeTarget implements Target over a plain map, recording every action.
+type fakeTarget struct {
+	supported map[string]*pathexpr.Expr
+	promotes  int
+	retires   int
+}
+
+func newFakeTarget() *fakeTarget {
+	return &fakeTarget{supported: make(map[string]*pathexpr.Expr)}
+}
+
+func (f *fakeTarget) Support(e *pathexpr.Expr) bool {
+	key := pathexpr.Canonical(e)
+	if _, ok := f.supported[key]; ok {
+		return false
+	}
+	f.supported[key] = e
+	f.promotes++
+	return true
+}
+
+func (f *fakeTarget) Retire(e *pathexpr.Expr) bool {
+	key := pathexpr.Canonical(e)
+	if _, ok := f.supported[key]; !ok {
+		return false
+	}
+	delete(f.supported, key)
+	f.retires++
+	return true
+}
+
+func (f *fakeTarget) SupportedFUPs() []*pathexpr.Expr {
+	var out []*pathexpr.Expr
+	for _, e := range f.supported {
+		out = append(out, e)
+	}
+	return out
+}
+
+func testConfig() Config {
+	return Config{
+		TopK:         8,
+		HotThreshold: 3,
+		PromoteAfter: 2,
+		DemoteAfter:  2,
+		Cooldown:     2,
+	}
+}
+
+// burst feeds n observations of e with some validation cost (so promotion
+// is justified).
+func burst(tu *Tuner, e *pathexpr.Expr, n int) {
+	for i := 0; i < n; i++ {
+		tu.Observe(e, 5*time.Microsecond, 4, false)
+	}
+}
+
+// TestPromotionNeedsSustainedHeat: one hot epoch is not enough; PromoteAfter
+// consecutive ones are.
+func TestPromotionNeedsSustainedHeat(t *testing.T) {
+	tgt := newFakeTarget()
+	tu := NewTuner(tgt, testConfig())
+	e := expr(t, "//a/b/c")
+
+	burst(tu, e, 5)
+	if plan := tu.Step(); len(plan.Decisions) != 0 {
+		t.Fatalf("promoted after one hot epoch: %+v", plan.Decisions)
+	}
+	burst(tu, e, 5)
+	plan := tu.Step()
+	if len(plan.Decisions) != 1 || plan.Decisions[0].Action != ActionPromote || !plan.Decisions[0].Changed {
+		t.Fatalf("second hot epoch should promote: %+v", plan.Decisions)
+	}
+	if tgt.promotes != 1 {
+		t.Fatalf("promotes = %d", tgt.promotes)
+	}
+	// An interrupted streak starts over. (The earlier FUP may legitimately
+	// be retired along the way; only //x/y's fate matters here.)
+	e2 := expr(t, "//x/y")
+	burst(tu, e2, 5)
+	tu.Step()
+	tu.Step() // idle epoch: streak broken
+	burst(tu, e2, 5)
+	for _, d := range tu.Step().Decisions {
+		if d.Key == "//x/y" {
+			t.Fatalf("broken streak still promoted: %+v", d)
+		}
+	}
+}
+
+// TestPreciseTrafficNotPromoted: frequency without observed validation cost
+// does not justify refinement.
+func TestPreciseTrafficNotPromoted(t *testing.T) {
+	tgt := newFakeTarget()
+	tu := NewTuner(tgt, testConfig())
+	e := expr(t, "//a")
+	for epoch := 0; epoch < 4; epoch++ {
+		for i := 0; i < 10; i++ {
+			tu.Observe(e, time.Microsecond, 0, true) // precise, no validation
+		}
+		if plan := tu.Step(); len(plan.Decisions) != 0 {
+			t.Fatalf("precise-only traffic promoted: %+v", plan.Decisions)
+		}
+	}
+}
+
+// TestUnsupportableNeverPromoted: wildcard and descendant-axis expressions
+// are outside the FUP class.
+func TestUnsupportableNeverPromoted(t *testing.T) {
+	tgt := newFakeTarget()
+	tu := NewTuner(tgt, testConfig())
+	for _, s := range []string{"//a/*/b", "//a//b"} {
+		e := expr(t, s)
+		for epoch := 0; epoch < 4; epoch++ {
+			burst(tu, e, 6)
+			if plan := tu.Step(); len(plan.Decisions) != 0 {
+				t.Fatalf("%s promoted: %+v", s, plan.Decisions)
+			}
+		}
+	}
+}
+
+// TestDemotionAfterColdEpochs: a supported FUP that goes idle is retired
+// after DemoteAfter cold epochs, not sooner.
+func TestDemotionAfterColdEpochs(t *testing.T) {
+	tgt := newFakeTarget()
+	tu := NewTuner(tgt, testConfig())
+	e := expr(t, "//a/b")
+
+	burst(tu, e, 5)
+	tu.Step()
+	burst(tu, e, 5)
+	if p := tu.Step(); len(p.Decisions) != 1 || p.Decisions[0].Action != ActionPromote {
+		t.Fatalf("setup promotion failed: %+v", p.Decisions)
+	}
+
+	// Cooldown (2) exempts the fresh FUP from cold accounting actions; then
+	// DemoteAfter (2) cold epochs must elapse.
+	var retired bool
+	var epochs int
+	for i := 0; i < 10 && !retired; i++ {
+		epochs++
+		for _, d := range tu.Step().Decisions {
+			if d.Action == ActionRetire && d.Key == "//a/b" {
+				retired = true
+			}
+		}
+	}
+	if !retired {
+		t.Fatal("idle FUP never retired")
+	}
+	if epochs < 2 {
+		t.Fatalf("retired after %d idle epochs, want >= DemoteAfter", epochs)
+	}
+	if tgt.retires != 1 || len(tgt.supported) != 0 {
+		t.Fatalf("target state after retire: %+v", tgt.supported)
+	}
+}
+
+// TestOscillationDamping drives the pathological alternating workload —
+// hot for a burst, silent, hot again — and asserts hysteresis plus cooldown
+// keep the flip rate far below the drift rate of the traffic.
+func TestOscillationDamping(t *testing.T) {
+	tgt := newFakeTarget()
+	tu := NewTuner(tgt, testConfig())
+	e := expr(t, "//flap/py")
+
+	const epochs = 40
+	for i := 0; i < epochs; i++ {
+		if i%2 == 0 { // hot on even epochs, silent on odd ones
+			burst(tu, e, 6)
+		}
+		tu.Step()
+	}
+	flips := tgt.promotes + tgt.retires
+	// A period-2 flapping signal never sustains PromoteAfter=2 consecutive
+	// hot epochs nor DemoteAfter=2 cold ones once promoted, so the damped
+	// tuner should do (close to) nothing. Allow a little slack for edge
+	// alignment but fail hard if it churned.
+	if flips > 2 {
+		t.Fatalf("alternating workload caused %d promote/retire flips over %d epochs (promotes=%d retires=%d)",
+			flips, epochs, tgt.promotes, tgt.retires)
+	}
+
+	// Slower flapping (4 hot, 4 cold) does act, but cooldown bounds the
+	// rate: each full cycle is 8 epochs and each action arms a cooldown, so
+	// flips cannot exceed one action per 4 epochs.
+	tgt2 := newFakeTarget()
+	tu2 := NewTuner(tgt2, testConfig())
+	for i := 0; i < epochs; i++ {
+		if i%8 < 4 {
+			burst(tu2, e, 6)
+		}
+		tu2.Step()
+	}
+	flips2 := tgt2.promotes + tgt2.retires
+	if flips2 == 0 {
+		t.Fatal("slow drift never acted on: hysteresis too strong")
+	}
+	if flips2 > epochs/4 {
+		t.Fatalf("slow flapping churned: %d flips over %d epochs", flips2, epochs)
+	}
+}
+
+// TestPromoteRetirePromote: after a retirement, renewed sustained heat
+// re-promotes — but only once the cooldown has expired.
+func TestPromoteRetirePromote(t *testing.T) {
+	tgt := newFakeTarget()
+	tu := NewTuner(tgt, testConfig())
+	e := expr(t, "//a/b")
+
+	// Promote.
+	burst(tu, e, 5)
+	tu.Step()
+	burst(tu, e, 5)
+	tu.Step()
+	if len(tgt.supported) != 1 {
+		t.Fatal("setup promotion failed")
+	}
+	// Go cold until retired.
+	for i := 0; i < 10 && len(tgt.supported) > 0; i++ {
+		tu.Step()
+	}
+	if len(tgt.supported) != 0 {
+		t.Fatal("never retired")
+	}
+	// Immediately hot again: cooldown must delay the re-promotion by at
+	// least Cooldown epochs beyond the plain PromoteAfter streak.
+	var epochsToRepromote int
+	for i := 0; i < 12 && len(tgt.supported) == 0; i++ {
+		burst(tu, e, 6)
+		tu.Step()
+		epochsToRepromote++
+	}
+	if len(tgt.supported) != 1 {
+		t.Fatal("renewed heat never re-promoted")
+	}
+	if epochsToRepromote < 2 {
+		t.Fatalf("re-promoted after %d epochs, want >= PromoteAfter", epochsToRepromote)
+	}
+	if tgt.promotes != 2 || tgt.retires != 1 {
+		t.Fatalf("promotes=%d retires=%d", tgt.promotes, tgt.retires)
+	}
+}
+
+// TestMaxActionsPerEpoch bounds plan size.
+func TestMaxActionsPerEpoch(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxActionsPerEpoch = 2
+	tgt := newFakeTarget()
+	tu := NewTuner(tgt, cfg)
+	var exprs []*pathexpr.Expr
+	for _, s := range []string{"//a/b", "//c/d", "//e/f", "//g/h", "//i/j"} {
+		exprs = append(exprs, expr(t, s))
+	}
+	for epoch := 0; epoch < 2; epoch++ {
+		for _, e := range exprs {
+			burst(tu, e, 5)
+		}
+		plan := tu.Step()
+		if len(plan.Decisions) > 2 {
+			t.Fatalf("plan exceeded MaxActionsPerEpoch: %+v", plan.Decisions)
+		}
+	}
+	if tgt.promotes > 2 {
+		t.Fatalf("promotes = %d, want <= 2", tgt.promotes)
+	}
+}

@@ -1,0 +1,246 @@
+package adapt
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mrx/internal/pathexpr"
+)
+
+// stackBufSize is the stack buffer used to render canonical keys on the
+// observation hot path; expressions longer than this are rare and pay one
+// allocation.
+const stackBufSize = 128
+
+// idleEvictEpochs is how many fully idle epochs an entry with a decayed-to-
+// zero score survives before the tracker drops it.
+const idleEvictEpochs = 2
+
+// Tracker is a concurrent bounded-memory frequency sketch over canonical
+// path expressions: a space-saving top-K summary with per-entry cost
+// counters. Observe is the serving hot path — for an already tracked
+// expression it takes a shared lock, probes one map keyed by an
+// allocation-free canonical rendering, and bumps atomic counters; only the
+// first observation of a new expression takes the exclusive slow path,
+// which may evict the minimum-score entry (the space-saving step, which
+// bounds memory at K entries while guaranteeing every expression with true
+// frequency above the minimum is retained, with a per-entry overestimation
+// bound Err).
+//
+// AdvanceEpoch applies exponential decay (score = score/2 + epoch hits), so
+// paths that stop appearing age out; the caller (the Tuner) serializes it.
+type Tracker struct {
+	capacity int
+
+	mu      sync.RWMutex
+	entries map[string]*entry
+
+	epoch     atomic.Uint64
+	observed  atomic.Uint64
+	evictions atomic.Uint64
+}
+
+// entry is one tracked expression. The per-epoch counters are atomics
+// updated lock-free by observers; score/err and the eviction bookkeeping
+// are only touched under the tracker's exclusive lock.
+type entry struct {
+	key  string
+	expr *pathexpr.Expr
+
+	epochHits atomic.Uint64
+	latencyUS atomic.Uint64
+	validated atomic.Uint64
+	imprecise atomic.Uint64
+
+	score      uint64
+	err        uint64
+	idleEpochs int
+}
+
+// score returns the space-saving count of e including the current epoch.
+func (e *entry) liveScore() uint64 { return e.score + e.epochHits.Load() }
+
+// NewTracker creates a tracker retaining at most capacity expressions.
+func NewTracker(capacity int) *Tracker {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &Tracker{capacity: capacity, entries: make(map[string]*entry, capacity)}
+}
+
+// Observe records one served query for e: its latency, the number of data
+// nodes validated (the false-positive cost the paper's metric charges), and
+// whether the answer was precise. It is safe for any number of concurrent
+// callers and does not allocate when e is already tracked. The expression
+// is retained by pointer on first observation; callers must treat observed
+// expressions as immutable (every index in this repository already does).
+func (t *Tracker) Observe(e *pathexpr.Expr, d time.Duration, validated int, precise bool) {
+	var buf [stackBufSize]byte
+	var key []byte
+	if n := pathexpr.CanonicalLen(e); n <= stackBufSize {
+		key = pathexpr.AppendCanonical(buf[:0], e)
+	} else {
+		key = pathexpr.AppendCanonical(make([]byte, 0, n), e)
+	}
+	t.observed.Add(1)
+
+	t.mu.RLock()
+	en, ok := t.entries[string(key)] // zero-alloc map probe
+	if ok {
+		en.epochHits.Add(1)
+		en.latencyUS.Add(uint64(d.Microseconds()))
+		en.validated.Add(uint64(validated))
+		if !precise {
+			en.imprecise.Add(1)
+		}
+		t.mu.RUnlock()
+		return
+	}
+	t.mu.RUnlock()
+	t.insert(string(key), e, d, validated, precise)
+}
+
+// insert is the exclusive slow path: track a new expression, evicting the
+// minimum-score entry when the sketch is full (space-saving: the newcomer
+// inherits the evicted score as its overestimation bound).
+func (t *Tracker) insert(key string, e *pathexpr.Expr, d time.Duration, validated int, precise bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	en, ok := t.entries[key]
+	if !ok {
+		en = &entry{key: key, expr: e}
+		if len(t.entries) >= t.capacity {
+			min := t.evictMinLocked()
+			en.score = min
+			en.err = min
+		}
+		t.entries[key] = en
+	}
+	en.epochHits.Add(1)
+	en.latencyUS.Add(uint64(d.Microseconds()))
+	en.validated.Add(uint64(validated))
+	if !precise {
+		en.imprecise.Add(1)
+	}
+}
+
+// evictMinLocked removes the entry with the smallest live score and returns
+// that score. Called with the exclusive lock held and a non-empty map.
+func (t *Tracker) evictMinLocked() uint64 {
+	var victim *entry
+	var min uint64
+	for _, en := range t.entries {
+		if s := en.liveScore(); victim == nil || s < min {
+			victim, min = en, s
+		}
+	}
+	delete(t.entries, victim.key)
+	t.evictions.Add(1)
+	return min
+}
+
+// EntryStats is a point-in-time copy of one tracked expression's counters.
+// From AdvanceEpoch the per-epoch fields cover the epoch just closed; from
+// Top they cover the epoch so far.
+type EntryStats struct {
+	Key  string
+	Expr *pathexpr.Expr
+	// Score is the decayed space-saving count (recent epochs weigh most).
+	Score uint64
+	// Err bounds how much Score may overestimate the true count for this
+	// expression (inherited from the entry it evicted; 0 when it never
+	// displaced anyone).
+	Err uint64
+	// EpochHits, LatencyUS, Validated, Imprecise are per-epoch: queries
+	// served, cumulative latency in microseconds, data nodes validated, and
+	// queries that needed validation.
+	EpochHits uint64
+	LatencyUS uint64
+	Validated uint64
+	Imprecise uint64
+}
+
+// AdvanceEpoch closes the current epoch: per-epoch counters are drained,
+// scores decay (score/2 + closed-epoch hits), entries that decayed to zero
+// and stayed idle are dropped, and the closed epoch's stats are returned
+// sorted by score descending (ties by key). The tuner serializes calls.
+func (t *Tracker) AdvanceEpoch() []EntryStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.epoch.Add(1)
+	out := make([]EntryStats, 0, len(t.entries))
+	for key, en := range t.entries {
+		hits := en.epochHits.Swap(0)
+		en.score = en.score/2 + hits
+		if hits == 0 {
+			en.idleEpochs++
+		} else {
+			en.idleEpochs = 0
+		}
+		if en.score == 0 && en.idleEpochs >= idleEvictEpochs {
+			delete(t.entries, key)
+			continue
+		}
+		out = append(out, EntryStats{
+			Key:       key,
+			Expr:      en.expr,
+			Score:     en.score,
+			Err:       en.err,
+			EpochHits: hits,
+			LatencyUS: en.latencyUS.Swap(0),
+			Validated: en.validated.Swap(0),
+			Imprecise: en.imprecise.Swap(0),
+		})
+	}
+	sortStats(out)
+	return out
+}
+
+// Top returns a snapshot of the tracked expressions without closing the
+// epoch, sorted by live score descending, for observability (Engine.Stats).
+func (t *Tracker) Top() []EntryStats {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]EntryStats, 0, len(t.entries))
+	for key, en := range t.entries {
+		out = append(out, EntryStats{
+			Key:       key,
+			Expr:      en.expr,
+			Score:     en.liveScore(),
+			Err:       en.err,
+			EpochHits: en.epochHits.Load(),
+			LatencyUS: en.latencyUS.Load(),
+			Validated: en.validated.Load(),
+			Imprecise: en.imprecise.Load(),
+		})
+	}
+	sortStats(out)
+	return out
+}
+
+func sortStats(s []EntryStats) {
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].Score != s[j].Score {
+			return s[i].Score > s[j].Score
+		}
+		return s[i].Key < s[j].Key
+	})
+}
+
+// Len returns the number of tracked expressions (≤ the capacity).
+func (t *Tracker) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.entries)
+}
+
+// Epoch returns the number of closed epochs.
+func (t *Tracker) Epoch() uint64 { return t.epoch.Load() }
+
+// Observed returns the total number of observations since creation.
+func (t *Tracker) Observed() uint64 { return t.observed.Load() }
+
+// Evictions returns how many entries space-saving displaced.
+func (t *Tracker) Evictions() uint64 { return t.evictions.Load() }

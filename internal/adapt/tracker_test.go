@@ -1,0 +1,156 @@
+package adapt
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"mrx/internal/pathexpr"
+)
+
+func expr(t testing.TB, s string) *pathexpr.Expr {
+	t.Helper()
+	e, err := pathexpr.Parse(s)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return e
+}
+
+func TestTrackerCountsAndTop(t *testing.T) {
+	tr := NewTracker(8)
+	a, b := expr(t, "//a/b"), expr(t, "//c")
+	for i := 0; i < 5; i++ {
+		tr.Observe(a, 10*time.Microsecond, 3, false)
+	}
+	tr.Observe(b, time.Microsecond, 0, true)
+
+	top := tr.Top()
+	if len(top) != 2 || top[0].Key != "//a/b" || top[0].Score != 5 {
+		t.Fatalf("top = %+v", top)
+	}
+	if top[0].Validated != 15 || top[0].Imprecise != 5 || top[0].LatencyUS != 50 {
+		t.Errorf("counters = %+v", top[0])
+	}
+	if top[1].Imprecise != 0 || top[1].Validated != 0 {
+		t.Errorf("precise query charged validation: %+v", top[1])
+	}
+
+	stats := tr.AdvanceEpoch()
+	if len(stats) != 2 || stats[0].EpochHits != 5 || stats[0].Score != 5 {
+		t.Fatalf("epoch stats = %+v", stats)
+	}
+	// Decay: an idle epoch halves the score.
+	stats = tr.AdvanceEpoch()
+	if stats[0].Score != 2 || stats[0].EpochHits != 0 {
+		t.Fatalf("decayed stats = %+v", stats[0])
+	}
+}
+
+// TestTrackerAgesOutStalePaths: entries whose score decays to zero are
+// dropped after idleEvictEpochs fully idle epochs.
+func TestTrackerAgesOutStalePaths(t *testing.T) {
+	tr := NewTracker(8)
+	tr.Observe(expr(t, "//a/b"), 0, 1, false)
+	for i := 0; i < 6 && tr.Len() > 0; i++ {
+		tr.AdvanceEpoch()
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("stale entry still tracked after decay: %+v", tr.Top())
+	}
+}
+
+// TestTrackerAdversarialChurn cycles K+1 distinct hot paths through a
+// K-entry tracker — the worst case for space-saving. Memory must stay
+// bounded at K, every retained count must obey the overestimation bound
+// (Score ≤ true count + Err), and the churn must be visible as evictions.
+func TestTrackerAdversarialChurn(t *testing.T) {
+	const k = 8
+	tr := NewTracker(k)
+	exprs := make([]*pathexpr.Expr, k+1)
+	trueCount := make(map[string]uint64, k+1)
+	for i := range exprs {
+		exprs[i] = expr(t, fmt.Sprintf("//hot%d/x", i))
+	}
+	// Rounds of round-robin bursts: each path in turn gets a burst, evicting
+	// whoever is currently the minimum.
+	for round := 0; round < 50; round++ {
+		for i, e := range exprs {
+			for n := 0; n < 3; n++ {
+				tr.Observe(e, time.Microsecond, 1, false)
+				trueCount[fmt.Sprintf("//hot%d/x", i)]++
+			}
+			if tr.Len() > k {
+				t.Fatalf("tracker grew past capacity: %d > %d", tr.Len(), k)
+			}
+		}
+	}
+	if tr.Evictions() == 0 {
+		t.Fatal("churn caused no evictions")
+	}
+	for _, st := range tr.Top() {
+		if st.Score > trueCount[st.Key]+st.Err {
+			t.Errorf("%s: score %d exceeds true count %d + err %d",
+				st.Key, st.Score, trueCount[st.Key], st.Err)
+		}
+	}
+	// Epoch decay still ages the churned set out once traffic stops.
+	for i := 0; i < 12 && tr.Len() > 0; i++ {
+		tr.AdvanceEpoch()
+	}
+	if tr.Len() != 0 {
+		t.Errorf("churned entries never aged out: %d left", tr.Len())
+	}
+}
+
+// TestTrackerConcurrentObserve stresses 8 observer goroutines racing
+// epoch advances and evictions; run under -race. Total observations must
+// be conserved.
+func TestTrackerConcurrentObserve(t *testing.T) {
+	const goroutines = 8
+	const perG = 2000
+	tr := NewTracker(4) // small capacity forces constant eviction
+	exprs := make([]*pathexpr.Expr, 10)
+	for i := range exprs {
+		exprs[i] = expr(t, fmt.Sprintf("//g%d/a/b", i))
+	}
+	var wg sync.WaitGroup
+	for gi := 0; gi < goroutines; gi++ {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				tr.Observe(exprs[(gi+i)%len(exprs)], time.Microsecond, i%7, i%3 == 0)
+			}
+		}(gi)
+	}
+	wg.Add(1)
+	go func() { // epoch advancer racing the observers
+		defer wg.Done()
+		for i := 0; i < 400; i++ {
+			tr.AdvanceEpoch()
+			tr.Top()
+		}
+	}()
+	wg.Wait()
+	if got := tr.Observed(); got != goroutines*perG {
+		t.Fatalf("observed = %d, want %d", got, goroutines*perG)
+	}
+	if tr.Len() > 4 {
+		t.Fatalf("capacity violated: %d", tr.Len())
+	}
+}
+
+// TestObserveDoesNotAllocateWhenTracked pins the hot-path cost: observing
+// an already tracked expression must not allocate.
+func TestObserveDoesNotAllocateWhenTracked(t *testing.T) {
+	tr := NewTracker(8)
+	e := expr(t, "//open_auction/bidder/personref/person/name")
+	tr.Observe(e, time.Microsecond, 0, true)
+	if n := testing.AllocsPerRun(200, func() {
+		tr.Observe(e, time.Microsecond, 2, false)
+	}); n != 0 {
+		t.Errorf("hot-path Observe allocates %v times per run, want 0", n)
+	}
+}

@@ -1,0 +1,140 @@
+package adapt
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mrx/internal/pathexpr"
+)
+
+// Tuner owns the epoch clock and executes tuning plans against a Target.
+// Construct with NewTuner; a Config with a positive Interval starts a
+// background goroutine that Steps every Interval and is joined by Close
+// (background loops in this package must take a stop channel and be joined
+// on Close — mrlint's noleak analyzer enforces the pattern). With a zero
+// Interval the owner calls Step explicitly, which keeps difftest replays
+// and CLI runs deterministic.
+type Tuner struct {
+	cfg     Config
+	tracker *Tracker
+	target  Target
+
+	mu       sync.Mutex // serializes Step (manual vs. background) and lastPlan
+	pol      *policy
+	lastPlan Plan
+
+	epochs     atomic.Uint64
+	promotions atomic.Uint64
+	retires    atomic.Uint64
+
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// NewTuner creates a tuner over target. Zero-value Config fields take the
+// documented defaults.
+func NewTuner(target Target, cfg Config) *Tuner {
+	cfg.defaults()
+	t := &Tuner{
+		cfg:     cfg,
+		tracker: NewTracker(cfg.TopK),
+		target:  target,
+		pol:     newPolicy(cfg),
+	}
+	if cfg.Interval > 0 {
+		t.stop = make(chan struct{})
+		t.wg.Add(1)
+		go func(stop <-chan struct{}, wg *sync.WaitGroup) {
+			defer wg.Done()
+			ticker := time.NewTicker(cfg.Interval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-ticker.C:
+					t.Step()
+				}
+			}
+		}(t.stop, &t.wg)
+	}
+	return t
+}
+
+// Observe feeds one served query into the tracker; see Tracker.Observe.
+// This is the engine's hot-path hook.
+func (t *Tuner) Observe(e *pathexpr.Expr, d time.Duration, validated int, precise bool) {
+	t.tracker.Observe(e, d, validated, precise)
+}
+
+// Tracker returns the underlying frequency sketch.
+func (t *Tuner) Tracker() *Tracker { return t.tracker }
+
+// Step closes the current tracker epoch, computes the tuning plan, and
+// executes it against the target: Support (PROMOTE′) for promotions, Retire
+// for retirements. It returns the executed plan, whose decisions carry
+// Changed flags. Steps serialize with each other and with the background
+// goroutine.
+func (t *Tuner) Step() Plan {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	stats := t.tracker.AdvanceEpoch()
+	epoch := t.epochs.Add(1)
+	plan := t.pol.decide(epoch, stats, t.target.SupportedFUPs())
+	for i := range plan.Decisions {
+		d := &plan.Decisions[i]
+		switch d.Action {
+		case ActionPromote:
+			d.Changed = t.target.Support(d.Expr)
+			if d.Changed {
+				t.promotions.Add(1)
+			}
+		case ActionRetire:
+			d.Changed = t.target.Retire(d.Expr)
+			if d.Changed {
+				t.retires.Add(1)
+			}
+		}
+	}
+	t.lastPlan = plan
+	return plan
+}
+
+// Close stops and joins the background goroutine, if any. It is idempotent
+// and safe to call concurrently with serving traffic; after Close the owner
+// may still Step manually.
+func (t *Tuner) Close() {
+	t.closeOnce.Do(func() {
+		if t.stop != nil {
+			close(t.stop)
+		}
+		t.wg.Wait()
+	})
+}
+
+// Snapshot is a point-in-time copy of the tuner's observable state.
+type Snapshot struct {
+	// Epochs, Promotions, Retires count closed epochs and applied
+	// (snapshot-publishing) actions.
+	Epochs, Promotions, Retires uint64
+	// Top is the tracker's current content, hottest first.
+	Top []EntryStats
+	// LastPlan is the most recently executed plan (zero before any Step).
+	LastPlan Plan
+}
+
+// Snapshot captures the tuner state for Engine.Stats and the CLIs.
+func (t *Tuner) Snapshot() Snapshot {
+	t.mu.Lock()
+	last := t.lastPlan
+	t.mu.Unlock()
+	return Snapshot{
+		Epochs:     t.epochs.Load(),
+		Promotions: t.promotions.Load(),
+		Retires:    t.retires.Load(),
+		Top:        t.tracker.Top(),
+		LastPlan:   last,
+	}
+}

@@ -1,0 +1,97 @@
+package adapt
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"mrx/internal/pathexpr"
+)
+
+// lockedTarget is a fakeTarget safe for the background goroutine.
+type lockedTarget struct {
+	mu sync.Mutex
+	ft *fakeTarget
+}
+
+func (l *lockedTarget) Support(e *pathexpr.Expr) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ft.Support(e)
+}
+
+func (l *lockedTarget) Retire(e *pathexpr.Expr) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ft.Retire(e)
+}
+
+func (l *lockedTarget) SupportedFUPs() []*pathexpr.Expr {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ft.SupportedFUPs()
+}
+
+// TestBackgroundTunerPromotesAndCloseJoins: with a positive Interval the
+// tuner steps itself; Close is idempotent and joins the loop.
+func TestBackgroundTunerPromotesAndCloseJoins(t *testing.T) {
+	cfg := testConfig()
+	cfg.Interval = time.Millisecond
+	lt := &lockedTarget{ft: newFakeTarget()}
+	tu := NewTuner(lt, cfg)
+	e := expr(t, "//a/b")
+
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		burst(tu, e, 6)
+		lt.mu.Lock()
+		promoted := lt.ft.promotes > 0
+		lt.mu.Unlock()
+		if promoted {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	tu.Close()
+	tu.Close() // idempotent
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	if lt.ft.promotes == 0 {
+		t.Fatal("background tuner never promoted a sustained-hot expression")
+	}
+	snap := tu.Snapshot()
+	if snap.Epochs == 0 || snap.Promotions == 0 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+// TestManualTunerNeedsNoClose: with Interval zero there is no goroutine,
+// and Close is a harmless no-op.
+func TestManualTunerNeedsNoClose(t *testing.T) {
+	tu := NewTuner(newFakeTarget(), testConfig())
+	tu.Step()
+	tu.Close()
+	if tu.Snapshot().Epochs != 1 {
+		t.Fatal("manual Step did not advance the epoch")
+	}
+}
+
+// TestSnapshotObservability: the snapshot carries the last plan with
+// reasons, for mrquery -stats.
+func TestSnapshotObservability(t *testing.T) {
+	tgt := newFakeTarget()
+	tu := NewTuner(tgt, testConfig())
+	e := expr(t, "//a/b")
+	burst(tu, e, 5)
+	tu.Step()
+	burst(tu, e, 5)
+	tu.Step()
+	snap := tu.Snapshot()
+	if len(snap.LastPlan.Decisions) != 1 {
+		t.Fatalf("last plan = %+v", snap.LastPlan)
+	}
+	d := snap.LastPlan.Decisions[0]
+	if d.Action != ActionPromote || d.Reason == "" || !d.Changed || d.Key != "//a/b" {
+		t.Fatalf("decision = %+v", d)
+	}
+}

@@ -8,12 +8,96 @@ import (
 	"time"
 )
 
-// Leak launches a goroutine nothing can stop or await.
+// Leak launches a background loop nothing can stop or await: the stricter
+// background-service rule fires.
 func Leak() {
-	go func() { // want `without lifecycle control`
+	go func() { // want `background loop goroutine must take a stop signal`
 		for i := 0; ; i++ {
 			_ = i
 		}
+	}()
+}
+
+// LeakNoLoop launches a loop-free goroutine with no signal at all: the base
+// rule fires.
+func LeakNoLoop() {
+	go func() { // want `without lifecycle control`
+		_ = 1 + 1
+	}()
+}
+
+// LoopOnlyStop can be told to exit but never joined: Close can't know when
+// the loop is gone.
+func LoopOnlyStop(stop chan struct{}) {
+	go func() { // want `background loop goroutine must take a stop signal`
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+}
+
+// LoopOnlyJoin is awaited but can never be told to exit.
+func LoopOnlyJoin(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() { // want `background loop goroutine must take a stop signal`
+		defer wg.Done()
+		for {
+			_ = 1 + 1
+		}
+	}()
+}
+
+// LoopStopAndJoin is the required shape: a stop signal and a WaitGroup,
+// exactly how the adaptive tuner's epoch loop is written.
+func LoopStopAndJoin(stop chan struct{}, wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func(stop <-chan struct{}, wg *sync.WaitGroup) {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}(stop, wg)
+}
+
+// LoopCtxAndJoin: a context is an equally good stop signal.
+func LoopCtxAndJoin(ctx context.Context, wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+			}
+		}
+	}()
+}
+
+// InnerLitLoop: the infinite loop lives in a nested literal that is called
+// synchronously, not in the goroutine body itself — only the base rule
+// applies, and the WaitGroup satisfies it.
+func InnerLitLoop(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		f := func(n int) int {
+			for {
+				if n > 0 {
+					return n
+				}
+				n++
+			}
+		}
+		_ = f(0)
 	}()
 }
 

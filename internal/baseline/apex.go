@@ -41,17 +41,18 @@ func (a *APEX) Summary() *index.Graph { return a.ig }
 // CachedFUPs returns the number of materialized FUP entries.
 func (a *APEX) CachedFUPs() int { return len(a.cache) }
 
-// Support materializes the FUP's answer in the hash table.
+// Support materializes the FUP's answer in the hash table, keyed by the
+// expression's canonical form so syntactic duplicates share one entry.
 func (a *APEX) Support(e *pathexpr.Expr) {
 	res := query.EvalIndex(a.ig, e)
-	a.cache[e.String()] = res.Answer
+	a.cache[pathexpr.Canonical(e)] = res.Answer
 }
 
 // Query answers from the cache when the expression is a supported FUP
 // (one index "visit" for the hash lookup) and falls back to the coarse
 // summary with validation otherwise.
 func (a *APEX) Query(e *pathexpr.Expr) query.Result {
-	if ans, ok := a.cache[e.String()]; ok {
+	if ans, ok := a.cache[pathexpr.Canonical(e)]; ok {
 		return query.Result{
 			Answer:  ans,
 			Precise: true,

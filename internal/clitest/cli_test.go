@@ -102,6 +102,7 @@ func TestMRQueryAllIndexesAgree(t *testing.T) {
 		{"-index", "mstar", "-refine"},
 		{"-index", "ud2,2"},
 		{"-index", "engine", "-refine", "-stats", "-parallel", "2"},
+		{"-index", "engine", "-autotune", "-epochs", "3", "-stats"},
 	} {
 		args := append([]string{"-in", xml}, tc...)
 		args = append(args, "//person/name")

@@ -27,6 +27,12 @@ type MStar struct {
 	data  *graph.Graph
 	comps []*index.Graph
 	opts  MStarOptions
+	// fups records every FUP the index has been refined for, keyed by
+	// canonical form. Retire rebuilds from this registry; Clone copies it
+	// (expressions are immutable and shared). Indexes loaded from a store
+	// have an empty registry — their refinement history is not persisted —
+	// so Retire is a no-op on them.
+	fups map[string]*pathexpr.Expr
 }
 
 // NewMStar initializes the M*(k)-index of g with the single component I0,
@@ -112,6 +118,7 @@ func (ms *MStar) Refine(e *pathexpr.Expr, t []graph.NodeID) {
 	if k == 0 {
 		return // I0 answers single labels precisely by construction
 	}
+	ms.recordFUP(e)
 	ms.extendTo(k)
 	fine := ms.comps[k]
 	for _, grp := range groupByNode(fine, t) {

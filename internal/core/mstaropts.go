@@ -67,7 +67,14 @@ func (ms *MStar) Clone() *MStar {
 	for i, c := range ms.comps {
 		comps[i] = c.Clone()
 	}
-	return &MStar{data: ms.data, comps: comps, opts: ms.opts}
+	var fups map[string]*pathexpr.Expr
+	if len(ms.fups) > 0 {
+		fups = make(map[string]*pathexpr.Expr, len(ms.fups))
+		for k, e := range ms.fups {
+			fups[k] = e // expressions are immutable; share them
+		}
+	}
+	return &MStar{data: ms.data, comps: comps, opts: ms.opts, fups: fups}
 }
 
 // QueryOpts evaluates e with the configured strategy under explicit

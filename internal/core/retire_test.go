@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+
+	"mrx/internal/datagen"
+	"mrx/internal/gtest"
+)
+
+func TestRetireRebuildsWithoutFUP(t *testing.T) {
+	g := datagen.XMarkGraph(0.005, 11)
+	long := mustParse("//open_auction/bidder/personref/person/name")
+	short := mustParse("//person/name")
+
+	ms := NewMStar(g)
+	ms.Support(long)
+	ms.Support(short)
+	if got := len(ms.SupportedFUPs()); got != 2 {
+		t.Fatalf("registry size = %d, want 2", got)
+	}
+	if !ms.HasFUP(long) || !ms.HasFUP(short) {
+		t.Fatal("registry missing a supported FUP")
+	}
+	compsBefore := ms.NumComponents()
+
+	next, ok := ms.Retire(long)
+	if !ok {
+		t.Fatal("Retire of a supported FUP reported no-op")
+	}
+	// The receiver is untouched.
+	if ms.NumComponents() != compsBefore || !ms.HasFUP(long) {
+		t.Fatal("Retire mutated its receiver")
+	}
+	// The rebuilt index supports exactly the remaining FUP...
+	if next.HasFUP(long) || !next.HasFUP(short) {
+		t.Fatalf("rebuilt registry wrong: %v", next.SupportedFUPs())
+	}
+	if res := next.Query(short); !res.Precise {
+		t.Error("surviving FUP imprecise after Retire")
+	}
+	// ...at reclaimed resolution: the retired FUP was the only one needing
+	// deep components, so the rebuild must shrink the hierarchy.
+	if next.NumComponents() >= compsBefore {
+		t.Errorf("components = %d, want < %d (retired FUP reclaimed)",
+			next.NumComponents(), compsBefore)
+	}
+	if next.NumComponents()-1 != short.RequiredK() {
+		t.Errorf("components = %d, want resolution %d", next.NumComponents(), short.RequiredK())
+	}
+	// All M*(k) invariants hold on the rebuild.
+	if err := next.Validate(false); err != nil {
+		t.Fatalf("invariants after Retire: %v", err)
+	}
+	// Answers unchanged for both expressions.
+	for _, e := range []string{"//open_auction/bidder/personref/person/name", "//person/name"} {
+		q := mustParse(e)
+		got := next.Query(q).Answer
+		want := ms.Query(q).Answer
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d answers after Retire, want %d", e, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s: answer diverged after Retire", e)
+			}
+		}
+	}
+
+	// Retiring the last FUP yields a fresh I0-only index.
+	final, ok := next.Retire(short)
+	if !ok {
+		t.Fatal("Retire of remaining FUP reported no-op")
+	}
+	if final.NumComponents() != 1 || len(final.SupportedFUPs()) != 0 {
+		t.Fatalf("final index: %d components, %d FUPs; want 1, 0",
+			final.NumComponents(), len(final.SupportedFUPs()))
+	}
+}
+
+func TestRetireUnknownFUPIsNoop(t *testing.T) {
+	g := gtest.Random(3, 200, 5, 0.1)
+	ms := NewMStar(g)
+	if _, ok := ms.Retire(mustParse("//l1/l2")); ok {
+		t.Fatal("Retire on an empty registry should report false")
+	}
+	ms.Support(mustParse("//l1/l2"))
+	if _, ok := ms.Retire(mustParse("//l2/l3")); ok {
+		t.Fatal("Retire of an unregistered FUP should report false")
+	}
+}
+
+// TestCloneCopiesRegistry: refining a clone must not leak FUPs into the
+// original's registry (the engine publishes clones as immutable snapshots).
+func TestCloneCopiesRegistry(t *testing.T) {
+	g := gtest.Random(4, 300, 5, 0.1)
+	ms := NewMStar(g)
+	ms.Support(mustParse("//l1/l2"))
+
+	cl := ms.Clone()
+	cl.Support(mustParse("//l2/l3"))
+	if ms.HasFUP(mustParse("//l2/l3")) {
+		t.Fatal("clone refinement mutated the original registry")
+	}
+	if !cl.HasFUP(mustParse("//l1/l2")) || !cl.HasFUP(mustParse("//l2/l3")) {
+		t.Fatal("clone registry incomplete")
+	}
+}

@@ -30,6 +30,35 @@ func TestDifferentialAll(t *testing.T) {
 	Run(t, Config{Cases: cases, Seed: 1, MinNodes: 25, MaxNodes: 80, CheckBisim: true})
 }
 
+// TestDifferentialDrift is the adaptive-tuning acceptance run: randomized
+// drifting workloads replayed through an auto-tuned engine with a manually
+// stepped tuner. Every answer is cross-checked against SlowEval, structural
+// invariants are re-verified after every tuner step (with full P1
+// k-bisimilarity after every retirement), and each phase's hot set must
+// converge to precise answers within a bounded number of epochs.
+func TestDifferentialDrift(t *testing.T) {
+	cases := 12
+	if testing.Short() {
+		cases = 4
+	}
+	RunDrift(t, Config{Cases: cases, Seed: 7, MinNodes: 25, MaxNodes: 70, CheckBisim: true})
+}
+
+// TestDriftSmoke replays one small canned drifting workload and asserts
+// bounded-epoch convergence in every phase — the CI smoke gate for the
+// adaptive tuner (make drift-smoke).
+func TestDriftSmoke(t *testing.T) {
+	rep := RunDriftCase(t, RandomDriftCase(42, 30, 50, true))
+	for phase, epoch := range rep.ConvergedAt {
+		if epoch < 0 || epoch >= 6 {
+			t.Fatalf("phase %d converged at epoch %d, want within [0,6)", phase, epoch)
+		}
+	}
+	if rep.Promotions == 0 {
+		t.Fatal("smoke drift never promoted")
+	}
+}
+
 // A couple of hand-picked shapes the random generator hits rarely: a
 // single-node graph, a root with no matching children, and a pure cycle.
 func TestDifferentialDegenerate(t *testing.T) {

@@ -89,7 +89,7 @@ func RunCase(tb testing.TB, o CaseOptions) {
 
 	oracle := make(map[string][]graph.NodeID)
 	truth := func(e *pathexpr.Expr) []graph.NodeID {
-		key := e.String()
+		key := pathexpr.Canonical(e)
 		if _, ok := oracle[key]; !ok {
 			oracle[key] = SlowEval(g, e)
 		}

@@ -1,0 +1,292 @@
+package engine
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mrx/internal/adapt"
+	"mrx/internal/datagen"
+	"mrx/internal/graph"
+	"mrx/internal/pathexpr"
+	"mrx/internal/query"
+)
+
+// manualTuneConfig is the deterministic (Interval == 0) config the
+// convergence tests step by hand.
+func manualTuneConfig() *adapt.Config {
+	return &adapt.Config{
+		TopK:         16,
+		HotThreshold: 3,
+		PromoteAfter: 2,
+		DemoteAfter:  2,
+		Cooldown:     1,
+	}
+}
+
+// paperCost is the paper's two-part cost metric for one result.
+func paperCost(res query.Result) int { return res.Cost.IndexNodes + res.Cost.DataNodes }
+
+// TestAutoTuneConvergesToStaticOracle drives a stable hot workload through
+// an auto-tuned engine and checks that, within a bounded number of epochs,
+// every hot query is served as cheaply as by an engine that was statically
+// refined for exactly that workload (the oracle), within 10% slack on the
+// paper's deterministic cost metric.
+func TestAutoTuneConvergesToStaticOracle(t *testing.T) {
+	g := datagen.XMarkGraph(0.01, 1)
+	en := New(g, Options{Parallelism: 2, AutoTune: manualTuneConfig()})
+	defer en.Close()
+
+	hot := []*pathexpr.Expr{
+		mustParse("//open_auction/bidder/personref"),
+		mustParse("//person/name"),
+		mustParse("//item/description"),
+	}
+
+	// The oracle knows the workload up front.
+	orc := New(g, Options{Parallelism: 2})
+	for _, e := range hot {
+		orc.Support(e)
+	}
+
+	const maxEpochs = 10
+	converged := -1
+	for epoch := 0; epoch < maxEpochs; epoch++ {
+		for i := 0; i < 5; i++ {
+			for _, e := range hot {
+				en.Query(e)
+			}
+		}
+		en.Tuner().Step()
+		precise := true
+		for _, e := range hot {
+			if !en.Query(e).Precise {
+				precise = false
+			}
+		}
+		if precise {
+			converged = epoch
+			break
+		}
+	}
+	if converged < 0 {
+		t.Fatalf("hot set not precise after %d epochs: %+v", maxEpochs, en.Stats().AutoTune)
+	}
+
+	for _, e := range hot {
+		got, want := paperCost(en.Query(e)), paperCost(orc.Query(e))
+		if float64(got) > 1.10*float64(want) {
+			t.Errorf("%s: tuned cost %d exceeds 1.10x oracle cost %d", e, got, want)
+		}
+	}
+
+	// The tuned index must stay size-bounded: no more components than the
+	// oracle needed for the same workload (both capped by the deepest FUP).
+	if gotC, wantC := en.Snapshot().NumComponents(), orc.Snapshot().NumComponents(); gotC > wantC {
+		t.Errorf("tuned index has %d components, oracle needs %d", gotC, wantC)
+	}
+
+	st := en.Stats()
+	if st.AutoTune == nil || st.AutoTune.Promotions == 0 {
+		t.Fatalf("stats missing autotune state: %+v", st.AutoTune)
+	}
+	if !strings.Contains(st.String(), "autotune") {
+		t.Error("rendered stats omit the autotune section")
+	}
+}
+
+// TestAutoTuneDriftRetires shifts the hot set and checks the tuner retires
+// the cooled-off FUPs, shrinking the index back while the new hot set stays
+// precise and every answer stays correct.
+func TestAutoTuneDriftRetires(t *testing.T) {
+	g := datagen.XMarkGraph(0.01, 1)
+	en := New(g, Options{Parallelism: 2, AutoTune: manualTuneConfig()})
+	defer en.Close()
+
+	phase1 := mustParse("//open_auction/bidder/personref/person")
+	phase2 := mustParse("//person/name")
+	truth1, truth2 := en.Eval(phase1), en.Eval(phase2)
+
+	check := func(e *pathexpr.Expr, truth []graph.NodeID) {
+		t.Helper()
+		res := en.Query(e)
+		if len(res.Answer) != len(truth) {
+			t.Fatalf("%s: got %d answers, want %d", e, len(res.Answer), len(truth))
+		}
+		for i, o := range res.Answer {
+			if o != truth[i] {
+				t.Fatalf("%s: wrong answer at position %d", e, i)
+			}
+		}
+	}
+
+	// Phase 1: make phase1 hot until promoted.
+	for epoch := 0; epoch < 8; epoch++ {
+		for i := 0; i < 5; i++ {
+			check(phase1, truth1)
+		}
+		en.Tuner().Step()
+	}
+	if len(en.SupportedFUPs()) == 0 {
+		t.Fatal("phase-1 FUP never promoted")
+	}
+	peak := en.Snapshot().NumComponents()
+
+	// Phase 2: traffic moves entirely to phase2; phase1 must eventually be
+	// retired and the component count fall back.
+	var retired bool
+	for epoch := 0; epoch < 20 && !retired; epoch++ {
+		for i := 0; i < 5; i++ {
+			check(phase2, truth2)
+		}
+		en.Tuner().Step()
+		retired = true
+		for _, e := range en.SupportedFUPs() {
+			if pathexpr.Canonical(e) == pathexpr.Canonical(phase1) {
+				retired = false
+			}
+		}
+	}
+	if !retired {
+		t.Fatalf("phase-1 FUP never retired; supported = %v", en.SupportedFUPs())
+	}
+	st := en.Stats()
+	if st.Retirements == 0 {
+		t.Fatalf("no retirement recorded: %+v", st)
+	}
+	if got := en.Snapshot().NumComponents(); got >= peak {
+		t.Errorf("retirement did not shrink the index: %d components, peak %d", got, peak)
+	}
+	// The rebuilt index must still be a valid M*(k)-index and the frozen
+	// view must match it exactly.
+	if err := en.Snapshot().Validate(true); err != nil {
+		t.Fatalf("post-retire invariants: %v", err)
+	}
+	if err := en.FrozenSnapshot().CheckAgainst(en.Snapshot()); err != nil {
+		t.Fatalf("post-retire frozen view: %v", err)
+	}
+	// Answers unchanged after the rebuild.
+	check(phase1, truth1)
+	check(phase2, truth2)
+}
+
+// TestSupportAlreadySupportedIsNoop pins the registry fast path: a second
+// Support of the same FUP does no work and publishes nothing.
+func TestSupportAlreadySupportedIsNoop(t *testing.T) {
+	g := datagen.XMarkGraph(0.01, 1)
+	en := New(g, Options{})
+	e := mustParse("//person/name")
+
+	if !en.Support(e) {
+		t.Fatal("first Support published nothing")
+	}
+	gen := en.Generation()
+	skipped := en.Stats().RefinesSkipped
+	// Re-support both the same pointer and a fresh parse of the same text:
+	// the registry keys by canonical form, not identity.
+	if en.Support(e) {
+		t.Fatal("re-Support of the same expression published")
+	}
+	if en.Support(mustParse("//person/name")) {
+		t.Fatal("re-Support of an equal expression published")
+	}
+	if en.Generation() != gen {
+		t.Fatalf("generation moved: %d -> %d", gen, en.Generation())
+	}
+	if got := en.Stats().RefinesSkipped; got != skipped+2 {
+		t.Fatalf("refinesSkipped = %d, want %d", got, skipped+2)
+	}
+}
+
+// TestEngineRetireUnknownIsNoop: retiring an expression that was never
+// refined here publishes nothing and is counted as skipped.
+func TestEngineRetireUnknownIsNoop(t *testing.T) {
+	g := datagen.XMarkGraph(0.01, 1)
+	en := New(g, Options{})
+	if en.Retire(mustParse("//person/name")) {
+		t.Fatal("Retire of an unsupported expression published")
+	}
+	st := en.Stats()
+	if st.RetiresSkipped != 1 || st.Retirements != 0 || st.Generation != 0 {
+		t.Fatalf("stats after no-op retire: %+v", st)
+	}
+}
+
+// TestAutoTuneRaceStress runs 8 query goroutines against a background tuner
+// on a drifting workload; run under -race. Every answer must match ground
+// truth regardless of concurrent promotions, retirements and publishes.
+func TestAutoTuneRaceStress(t *testing.T) {
+	g := datagen.XMarkGraph(0.01, 1)
+	cfg := manualTuneConfig()
+	cfg.Interval = 2 * time.Millisecond
+	en := New(g, Options{Parallelism: 2, AutoTune: cfg})
+
+	exprs := make([]*pathexpr.Expr, len(testQueries))
+	truth := make([][]int, len(testQueries))
+	for i, s := range testQueries {
+		exprs[i] = mustParse(s)
+		ans := en.Eval(exprs[i])
+		truth[i] = make([]int, len(ans))
+		for j, o := range ans {
+			truth[i][j] = int(o)
+		}
+	}
+
+	const readers = 8
+	const iterations = 300
+	var wg sync.WaitGroup
+	errc := make(chan string, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for it := 0; it < iterations; it++ {
+				// Drift: each goroutine walks the query set so the hot set
+				// shifts as iterations advance, exercising promote AND retire
+				// under load.
+				qi := (r + it/50) % len(exprs)
+				res := en.Query(exprs[qi])
+				if len(res.Answer) != len(truth[qi]) {
+					select {
+					case errc <- testQueries[qi]:
+					default:
+					}
+					return
+				}
+				for j, o := range res.Answer {
+					if int(o) != truth[qi][j] {
+						select {
+						case errc <- testQueries[qi]:
+						default:
+						}
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	en.Close()
+	en.Close() // idempotent
+
+	select {
+	case q := <-errc:
+		t.Fatalf("reader observed a wrong answer for %s while tuning", q)
+	default:
+	}
+	st := en.Stats()
+	if st.AutoTune == nil {
+		t.Fatal("autotune stats missing")
+	}
+	if st.Queries < readers*iterations {
+		t.Errorf("queries = %d, want >= %d", st.Queries, readers*iterations)
+	}
+	// The snapshot chain must still be coherent after the tuner stops.
+	if err := en.Snapshot().Validate(true); err != nil {
+		t.Fatalf("post-stress invariants: %v", err)
+	}
+	if err := en.FrozenSnapshot().CheckAgainst(en.Snapshot()); err != nil {
+		t.Fatalf("post-stress frozen view: %v", err)
+	}
+}

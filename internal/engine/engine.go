@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mrx/internal/adapt"
 	"mrx/internal/core"
 	"mrx/internal/graph"
 	"mrx/internal/pathexpr"
@@ -45,6 +46,16 @@ type Options struct {
 	// Parallelism bounds the validation worker pool per query. Values <= 0
 	// default to runtime.GOMAXPROCS(0).
 	Parallelism int
+
+	// AutoTune, when non-nil, enables online workload tracking and adaptive
+	// tuning (package adapt): every served query feeds a bounded frequency
+	// sketch, and a tuner promotes sustained-hot expressions (Support) and
+	// retires cooled-off FUPs (Retire) at epoch boundaries. A positive
+	// AutoTune.Interval runs epochs from a background goroutine — call
+	// Close to stop and join it; a zero Interval leaves epoch stepping to
+	// the caller via Tuner().Step(). When AutoTune is nil the serving path
+	// carries no tracking cost beyond one nil check.
+	AutoTune *adapt.Config
 }
 
 // snapshot is one immutable generation of the served index: the mutable
@@ -71,6 +82,10 @@ type Engine struct {
 	staticsMu sync.RWMutex
 	statics   map[string]query.Querier
 
+	// tuner is non-nil when Options.AutoTune enabled adaptive tuning; the
+	// query hot path checks it once per query.
+	tuner *adapt.Tuner
+
 	stats stats
 }
 
@@ -92,6 +107,9 @@ func New(g *graph.Graph, opts Options) *Engine {
 	}
 	ms := core.NewMStarOpts(g, opts.MStar)
 	en.snap.Store(&snapshot{ms: ms, fz: ms.Freeze()})
+	if opts.AutoTune != nil {
+		en.tuner = adapt.NewTuner(en, *opts.AutoTune)
+	}
 	return en
 }
 
@@ -146,7 +164,13 @@ func (en *Engine) query(e *pathexpr.Expr, opt query.ValidateOpts) (query.Result,
 	s := en.snap.Load()
 	start := time.Now()
 	res, strategy := s.fz.QueryOpts(e, opt)
-	en.stats.recordQuery(strategy, res.Cost.IndexNodes, res.Cost.DataNodes, res.Precise, time.Since(start))
+	elapsed := time.Since(start)
+	en.stats.recordQuery(strategy, res.Cost.IndexNodes, res.Cost.DataNodes, res.Precise, elapsed)
+	if t := en.tuner; t != nil {
+		// The workload hook: one sketch probe with atomic counter bumps, no
+		// allocation for already tracked expressions.
+		t.Observe(e, elapsed, res.Cost.DataNodes, res.Precise)
+	}
 	return res, strategy
 }
 
@@ -186,13 +210,22 @@ func (en *Engine) Eval(e *pathexpr.Expr) []graph.NodeID { return en.di.Eval(e) }
 // without blocking readers: the current snapshot is cloned, REFINE* runs on
 // the private copy, and the result is published atomically. Support calls
 // serialize with each other. It reports whether a new snapshot was
-// published: a FUP that is already precise — or whose refinement is a no-op
-// under the MaxK cap — skips the clone-and-publish entirely.
+// published, and is a documented no-op — no probe query, no clone — when
+// the expression is already supported: the FUP registry remembers every
+// refined expression, refinement is monotone, and the component version
+// counters guarantee a republish would be byte-identical (UnchangedSince
+// catches the residual cases the registry cannot see, such as a FUP made
+// precise as a side effect of refining another).
 func (en *Engine) Support(e *pathexpr.Expr) bool {
 	en.mu.Lock()
 	defer en.mu.Unlock()
 
 	cur := en.snap.Load()
+	if cur.ms.HasFUP(e) {
+		// Already supported at its (possibly MaxK-capped) resolution.
+		en.stats.refinesSkipped.Add(1)
+		return false
+	}
 	res, _ := cur.fz.QueryOpts(e, query.ValidateOpts{Workers: en.workers})
 	if res.Precise {
 		en.stats.refinesSkipped.Add(1)
@@ -218,7 +251,56 @@ func (en *Engine) Support(e *pathexpr.Expr) bool {
 	return true
 }
 
+// Retire withdraws support for a previously refined FUP by rebuilding the
+// index from the registry of surviving expressions (core.Retire) and
+// publishing the result as a new generation. Like Support it serializes
+// with other writers and never blocks readers. It reports whether a new
+// snapshot was published; retiring an expression that was never refined on
+// this engine (or one lost to a store round-trip) is a no-op.
+func (en *Engine) Retire(e *pathexpr.Expr) bool {
+	en.mu.Lock()
+	defer en.mu.Unlock()
+
+	cur := en.snap.Load()
+	rebuilt, ok := cur.ms.Retire(e)
+	if !ok {
+		en.stats.retiresSkipped.Add(1)
+		return false
+	}
+	// The rebuild starts from a fresh I0, so no component of the outgoing
+	// frozen view can be reused: freeze from scratch.
+	en.snap.Store(&snapshot{gen: cur.gen + 1, ms: rebuilt, fz: rebuilt.Freeze()})
+	en.stats.retirements.Add(1)
+	en.stats.publishes.Add(1)
+	return true
+}
+
+// SupportedFUPs lists the FUPs recorded by the current snapshot's registry,
+// sorted by canonical form. Together with Support and Retire this makes
+// Engine an adapt.Target.
+func (en *Engine) SupportedFUPs() []*pathexpr.Expr {
+	return en.snap.Load().ms.SupportedFUPs()
+}
+
+// Tuner returns the adaptive tuner, or nil when Options.AutoTune was nil.
+// With a zero AutoTune.Interval the caller drives epochs via Tuner().Step().
+func (en *Engine) Tuner() *adapt.Tuner { return en.tuner }
+
+// Close stops and joins the background tuning goroutine, if any. It is
+// idempotent; an engine without AutoTune (or with manual stepping) needs no
+// Close, but calling it is harmless.
+func (en *Engine) Close() {
+	if t := en.tuner; t != nil {
+		t.Close()
+	}
+}
+
 // Stats returns a point-in-time copy of the serving counters.
 func (en *Engine) Stats() StatsSnapshot {
-	return en.stats.snapshot(en.Generation())
+	snap := en.stats.snapshot(en.Generation())
+	if t := en.tuner; t != nil {
+		ts := t.Snapshot()
+		snap.AutoTune = &ts
+	}
+	return snap
 }

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mrx/internal/adapt"
 	"mrx/internal/core"
 )
 
@@ -117,6 +118,8 @@ type stats struct {
 
 	refinements    atomic.Uint64
 	refinesSkipped atomic.Uint64
+	retirements    atomic.Uint64
+	retiresSkipped atomic.Uint64
 	publishes      atomic.Uint64
 
 	latency [numStrategies]histogram
@@ -134,7 +137,7 @@ func (s *stats) recordQuery(strategy core.Strategy, indexNodes, dataNodes int, p
 
 // LatencySummary condenses one strategy's latency histogram.
 type LatencySummary struct {
-	Count              uint64
+	Count                    uint64
 	Mean, P50, P90, P99, Max time.Duration
 }
 
@@ -158,11 +161,19 @@ type StatsSnapshot struct {
 	// counts Support calls that were no-ops (already precise or no change).
 	Refinements    uint64
 	RefinesSkipped uint64
-	// SnapshotPublishes counts atomic snapshot swaps (== Refinements today,
-	// tracked separately so future batched publication stays observable).
+	// Retirements counts applied (published) FUP retirements;
+	// RetiresSkipped counts Retire calls for unregistered expressions.
+	Retirements    uint64
+	RetiresSkipped uint64
+	// SnapshotPublishes counts atomic snapshot swaps (refinements plus
+	// retirements; tracked separately so future batched publication stays
+	// observable).
 	SnapshotPublishes uint64
 	// Latency summarizes per-strategy query latency.
 	Latency map[core.Strategy]LatencySummary
+	// AutoTune carries the tuner state when Options.AutoTune is enabled,
+	// nil otherwise.
+	AutoTune *adapt.Snapshot
 }
 
 func (s *stats) snapshot(generation uint64) StatsSnapshot {
@@ -175,6 +186,8 @@ func (s *stats) snapshot(generation uint64) StatsSnapshot {
 		Canceled:           s.canceled.Load(),
 		Refinements:        s.refinements.Load(),
 		RefinesSkipped:     s.refinesSkipped.Load(),
+		Retirements:        s.retirements.Load(),
+		RetiresSkipped:     s.retiresSkipped.Load(),
 		SnapshotPublishes:  s.publishes.Load(),
 		Latency:            make(map[core.Strategy]LatencySummary),
 	}
@@ -210,6 +223,12 @@ func (s StatsSnapshot) WriteTo(w io.Writer) (int64, error) {
 		s.Refinements, s.RefinesSkipped, s.SnapshotPublishes); err != nil {
 		return n, err
 	}
+	if s.Retirements > 0 || s.RetiresSkipped > 0 {
+		if err := pr("  retirements      %10d applied, %d skipped\n",
+			s.Retirements, s.RetiresSkipped); err != nil {
+			return n, err
+		}
+	}
 	names := make([]string, 0, len(s.Latency))
 	for name := range s.Latency {
 		names = append(names, name)
@@ -220,6 +239,30 @@ func (s StatsSnapshot) WriteTo(w io.Writer) (int64, error) {
 		if err := pr("  latency %-9s %10d queries  mean %-9v p50 %-9v p90 %-9v p99 %-9v max %v\n",
 			name, l.Count, l.Mean, l.P50, l.P90, l.P99, l.Max); err != nil {
 			return n, err
+		}
+	}
+	if at := s.AutoTune; at != nil {
+		if err := pr("  autotune         %10d epochs, %d promotions, %d retires, %d tracked\n",
+			at.Epochs, at.Promotions, at.Retires, len(at.Top)); err != nil {
+			return n, err
+		}
+		for i, st := range at.Top {
+			if i >= 5 {
+				if err := pr("    ... and %d more tracked expressions\n", len(at.Top)-i); err != nil {
+					return n, err
+				}
+				break
+			}
+			if err := pr("    hot %-40s score %-6d err %-4d validated %d\n",
+				st.Key, st.Score, st.Err, st.Validated); err != nil {
+				return n, err
+			}
+		}
+		for _, d := range at.LastPlan.Decisions {
+			if err := pr("    plan[%d] %-8s %-40s %s (applied=%v)\n",
+				at.LastPlan.Epoch, d.Action, d.Key, d.Reason, d.Changed); err != nil {
+				return n, err
+			}
 		}
 	}
 	return n, nil

@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"mrx/internal/adapt"
+	"mrx/internal/engine"
+	"mrx/internal/pathexpr"
+)
+
+// AdaptRow is one phase of the adaptive-tuning ablation: the drifting
+// workload's current hot set served by the auto-tuned engine, by a static
+// oracle built for exactly that hot set, and by the untuned I0 baseline.
+// Costs are the paper's metric (index nodes + data nodes validated),
+// averaged per query at steady state (after the tuner converged).
+type AdaptRow struct {
+	Phase      int
+	HotSet     []string
+	TunedCost  float64 // auto-tuned engine, end of phase
+	OracleCost float64 // engine statically refined for this phase only
+	NaiveCost  float64 // unrefined I0 baseline
+	// TunedComponents / OracleComponents compare index size: retirement must
+	// keep the tuned index close to what the current phase actually needs,
+	// not the union of all history.
+	TunedComponents, OracleComponents int
+	// ConvergedAt is the epoch within the phase at which the hot set became
+	// precise (-1: never, which WriteAdaptTable flags).
+	ConvergedAt int
+}
+
+// AdaptAblationResult is the per-phase table plus the tuner's final state.
+type AdaptAblationResult struct {
+	Rows  []AdaptRow
+	Stats engine.StatsSnapshot
+}
+
+// RunAdaptAblation replays a drifting workload against one auto-tuned engine:
+// the supportable queries are split into `phases` rotating hot sets, each
+// served for `epochs` tuner epochs. At the end of each phase the steady-state
+// per-query cost is measured and compared against a fresh statically-refined
+// oracle engine and the untuned baseline. This quantifies the acceptance
+// criterion that adaptive tuning converges to oracle-grade serving cost with
+// a bounded (retirement-pruned) index.
+func RunAdaptAblation(ds Dataset, queries []*pathexpr.Expr, phases, epochs int, progress Progress) AdaptAblationResult {
+	var fups []*pathexpr.Expr
+	for _, e := range queries {
+		if !e.HasWildcard() && e.RequiredK() != pathexpr.Unbounded {
+			fups = append(fups, e)
+		}
+	}
+	if phases <= 0 {
+		phases = 3
+	}
+	if epochs <= 0 {
+		epochs = 6
+	}
+	hotSize := len(fups) / phases
+	if hotSize < 1 {
+		hotSize = 1
+	}
+	if hotSize > 4 {
+		hotSize = 4
+	}
+
+	en := engine.New(ds.Graph, engine.Options{AutoTune: &adapt.Config{
+		TopK:         32,
+		HotThreshold: 3,
+		PromoteAfter: 2,
+		DemoteAfter:  2,
+		Cooldown:     1,
+	}})
+	defer en.Close()
+	naive := engine.New(ds.Graph, engine.Options{})
+
+	avgCost := func(e *engine.Engine, hot []*pathexpr.Expr) float64 {
+		var total int
+		for _, q := range hot {
+			res := e.Query(q)
+			total += res.Cost.IndexNodes + res.Cost.DataNodes
+		}
+		return float64(total) / float64(len(hot))
+	}
+
+	var res AdaptAblationResult
+	for phase := 0; phase < phases; phase++ {
+		hot := make([]*pathexpr.Expr, 0, hotSize)
+		names := make([]string, 0, hotSize)
+		for i := 0; i < hotSize; i++ {
+			q := fups[(phase*hotSize+i)%len(fups)]
+			hot = append(hot, q)
+			names = append(names, pathexpr.Canonical(q))
+		}
+
+		converged := -1
+		for epoch := 0; epoch < epochs; epoch++ {
+			for i := 0; i < 5; i++ {
+				for _, q := range hot {
+					en.Query(q)
+				}
+			}
+			en.Tuner().Step()
+			if converged < 0 {
+				precise := true
+				for _, q := range hot {
+					if !en.Query(q).Precise {
+						precise = false
+					}
+				}
+				if precise {
+					converged = epoch
+				}
+			}
+		}
+
+		oracle := engine.New(ds.Graph, engine.Options{})
+		for _, q := range hot {
+			oracle.Support(q)
+		}
+
+		row := AdaptRow{
+			Phase:            phase,
+			HotSet:           names,
+			TunedCost:        avgCost(en, hot),
+			OracleCost:       avgCost(oracle, hot),
+			NaiveCost:        avgCost(naive, hot),
+			TunedComponents:  en.Snapshot().NumComponents(),
+			OracleComponents: oracle.Snapshot().NumComponents(),
+			ConvergedAt:      converged,
+		}
+		res.Rows = append(res.Rows, row)
+		progress.log("adapt phase %d: tuned %.1f vs oracle %.1f vs naive %.1f cost/query, %d vs %d components, converged at epoch %d",
+			phase, row.TunedCost, row.OracleCost, row.NaiveCost,
+			row.TunedComponents, row.OracleComponents, row.ConvergedAt)
+	}
+	res.Stats = en.Stats()
+	return res
+}
+
+// WriteAdaptTable renders the adaptive-tuning ablation.
+func WriteAdaptTable(w io.Writer, res AdaptAblationResult) {
+	fmt.Fprintf(w, "%-6s %12s %12s %12s %8s %8s %10s\n",
+		"phase", "tuned", "oracle", "naive", "comps", "oracle", "converged")
+	for _, r := range res.Rows {
+		conv := fmt.Sprintf("epoch %d", r.ConvergedAt)
+		if r.ConvergedAt < 0 {
+			conv = "NEVER"
+		}
+		fmt.Fprintf(w, "%-6d %12.1f %12.1f %12.1f %8d %8d %10s\n",
+			r.Phase, r.TunedCost, r.OracleCost, r.NaiveCost,
+			r.TunedComponents, r.OracleComponents, conv)
+	}
+	fmt.Fprintln(w)
+	res.Stats.WriteTo(w)
+}

@@ -1,0 +1,88 @@
+package pathexpr
+
+import "strings"
+
+// Canonical returns the deterministic canonical form of e: the unique
+// XPath-like rendering that Parse maps back to an equal expression. Two
+// expressions are Equal exactly when their canonical forms coincide, which
+// makes the result suitable as a map key wherever expressions must be
+// deduplicated (the engine's workload tracker, the differential oracle's
+// answer cache, the M*(k) FUP registry).
+//
+// The form is identical to String(), but the implementation performs exactly
+// one allocation (the returned string, sized up front); hot paths that can
+// reuse a buffer should call AppendCanonical instead, which allocates
+// nothing when the buffer has capacity.
+func Canonical(e *Expr) string {
+	var b strings.Builder
+	b.Grow(CanonicalLen(e))
+	if !e.Rooted {
+		b.WriteByte('/')
+	}
+	b.WriteByte('/')
+	for i := range e.Steps {
+		if i > 0 {
+			b.WriteByte('/')
+		}
+		writeStep(&b, e.Steps[i])
+	}
+	return b.String()
+}
+
+func writeStep(b *strings.Builder, s Step) {
+	if s.Descendant {
+		b.WriteByte('/')
+	}
+	if s.Wildcard {
+		b.WriteByte('*')
+	} else {
+		b.WriteString(s.Label)
+	}
+}
+
+// CanonicalLen returns len(Canonical(e)) without building the string.
+func CanonicalLen(e *Expr) int {
+	n := 1 // leading slash
+	if !e.Rooted {
+		n++
+	}
+	for i, s := range e.Steps {
+		if i > 0 {
+			n++ // joining slash
+		}
+		if s.Descendant {
+			n++
+		}
+		if s.Wildcard {
+			n++
+		} else {
+			n += len(s.Label)
+		}
+	}
+	return n
+}
+
+// AppendCanonical appends the canonical form of e to dst and returns the
+// extended slice. It allocates nothing when dst has CanonicalLen(e) spare
+// capacity, so callers keying a lookup structure by expression can render
+// into a stack buffer and look up with string(dst) at zero cost.
+func AppendCanonical(dst []byte, e *Expr) []byte {
+	if !e.Rooted {
+		dst = append(dst, '/')
+	}
+	dst = append(dst, '/')
+	for i, s := range e.Steps {
+		if i > 0 {
+			dst = append(dst, '/')
+		}
+		if s.Descendant {
+			dst = append(dst, '/')
+		}
+		if s.Wildcard {
+			dst = append(dst, '*')
+		} else {
+			dst = append(dst, s.Label...)
+		}
+	}
+	return dst
+}

@@ -1,0 +1,84 @@
+package pathexpr
+
+import "testing"
+
+var canonicalCases = []string{
+	"//site/people/person",
+	"/site/regions",
+	"/site/regions/*/item",
+	"//a//b/c",
+	"/site//name",
+	"//a//*/b",
+	"//name",
+	"/x",
+	"//*",
+}
+
+// TestCanonicalMatchesString pins the canonical form to the String()
+// rendering (they must stay interchangeable: existing keys, DOT labels and
+// test expectations all use String).
+func TestCanonicalMatchesString(t *testing.T) {
+	for _, s := range canonicalCases {
+		e, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if got, want := Canonical(e), e.String(); got != want {
+			t.Errorf("Canonical(%q) = %q, String = %q", s, got, want)
+		}
+		if got, want := CanonicalLen(e), len(e.String()); got != want {
+			t.Errorf("CanonicalLen(%q) = %d, want %d", s, got, want)
+		}
+		if got := string(AppendCanonical(nil, e)); got != e.String() {
+			t.Errorf("AppendCanonical(%q) = %q, want %q", s, got, e.String())
+		}
+	}
+}
+
+// TestCanonicalRoundTrip: parsing the canonical form yields an equal
+// expression, and canonical forms agree exactly on equality.
+func TestCanonicalRoundTrip(t *testing.T) {
+	exprs := make([]*Expr, len(canonicalCases))
+	for i, s := range canonicalCases {
+		e, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		exprs[i] = e
+		back, err := Parse(Canonical(e))
+		if err != nil {
+			t.Fatalf("Parse(Canonical(%q)): %v", s, err)
+		}
+		if !back.Equal(e) {
+			t.Errorf("round trip of %q: got %q", s, Canonical(back))
+		}
+	}
+	for i, a := range exprs {
+		for j, b := range exprs {
+			if (Canonical(a) == Canonical(b)) != a.Equal(b) {
+				t.Errorf("canonical equality diverges from Equal for %q vs %q",
+					canonicalCases[i], canonicalCases[j])
+			}
+		}
+	}
+}
+
+// TestAppendCanonicalAllocs: with a pre-sized buffer the hot-path renderer
+// must not allocate, and Canonical itself performs exactly one allocation.
+func TestAppendCanonicalAllocs(t *testing.T) {
+	e, err := Parse("//open_auction/bidder/personref/person/name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 0, CanonicalLen(e))
+	if n := testing.AllocsPerRun(100, func() {
+		buf = AppendCanonical(buf[:0], e)
+	}); n != 0 {
+		t.Errorf("AppendCanonical allocates %v times per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		_ = Canonical(e)
+	}); n > 1 {
+		t.Errorf("Canonical allocates %v times per run, want <= 1", n)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"mrx"
+	"mrx/internal/adapt"
 	"mrx/internal/baseline"
 	"mrx/internal/core"
 	"mrx/internal/engine"
@@ -187,4 +188,87 @@ func BenchmarkEngineServing(b *testing.B) {
 			})
 		})
 	}
+}
+
+// BenchmarkEngineServingAutoTune measures the workload-tracking hook's cost
+// on the serving path relative to BenchmarkEngineServing: "off" is the nil
+// tuner (one nil check), "on" pays a sketch probe plus atomic counter bumps
+// per query. Compare readers=N here against BenchmarkEngineServing's
+// readers=N rows; the tracking overhead budget is ≤5% ns/op when enabled.
+func BenchmarkEngineServingAutoTune(b *testing.B) {
+	g := mrx.XMarkGraph(0.1, 1)
+	queries := []*mrx.PathExpr{
+		mrx.MustParsePath("//open_auction/bidder/personref"),
+		mrx.MustParsePath("//person/name"),
+		mrx.MustParsePath("//item/description"),
+		mrx.MustParsePath("//person/watches/watch"),
+	}
+	for _, mode := range []string{"off", "on"} {
+		for _, readers := range []int{1, 8} {
+			b.Run(fmt.Sprintf("tracking=%s/readers=%d", mode, readers), func(b *testing.B) {
+				opts := engine.Options{}
+				if mode == "on" {
+					// Manual stepping: the hot path pays for tracking, never
+					// for plan execution.
+					opts.AutoTune = &adapt.Config{TopK: 64}
+				}
+				en := engine.New(g, opts)
+				for _, q := range queries {
+					en.Support(q)
+				}
+				b.SetParallelism(readers)
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					i := 0
+					for pb.Next() {
+						en.Query(queries[i%len(queries)])
+						i++
+					}
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkAutoTuneSteadyState measures steady-state serving cost of an
+// auto-tuned engine after convergence on its hot set, against the statically
+// refined oracle — the wall-clock side of the convergence criterion asserted
+// (on the deterministic cost metric) in the engine tests.
+func BenchmarkAutoTuneSteadyState(b *testing.B) {
+	g := mrx.XMarkGraph(0.1, 1)
+	queries := []*mrx.PathExpr{
+		mrx.MustParsePath("//open_auction/bidder/personref"),
+		mrx.MustParsePath("//person/name"),
+		mrx.MustParsePath("//item/description"),
+	}
+	converge := func(en *engine.Engine) {
+		for epoch := 0; epoch < 6; epoch++ {
+			for i := 0; i < 5; i++ {
+				for _, q := range queries {
+					en.Query(q)
+				}
+			}
+			en.Tuner().Step()
+		}
+	}
+	b.Run("tuned", func(b *testing.B) {
+		en := engine.New(g, engine.Options{AutoTune: &adapt.Config{
+			TopK: 64, HotThreshold: 3, PromoteAfter: 2, DemoteAfter: 3, Cooldown: 2,
+		}})
+		converge(en)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			en.Query(queries[i%len(queries)])
+		}
+	})
+	b.Run("oracle", func(b *testing.B) {
+		en := engine.New(g, engine.Options{})
+		for _, q := range queries {
+			en.Support(q)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			en.Query(queries[i%len(queries)])
+		}
+	})
 }
