@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race check bench bench-smoke drift-smoke fuzz cover
+.PHONY: all build vet lint test race check bench bench-smoke drift-smoke serve-smoke fuzz cover
 
 all: check
 
@@ -51,6 +51,13 @@ bench-smoke:
 # re-verification after each retirement — the CI gate for the auto-tuner.
 drift-smoke:
 	$(GO) test -run='^TestDriftSmoke$$' -count=1 -v ./internal/difftest/
+
+# serve-smoke boots cmd/mrserve on a free port, replays a short cmd/mrload
+# run against it, and asserts a clean -check: non-zero served replies, zero
+# errors, and a well-formed JSON report — the CI gate for the network
+# serving layer.
+serve-smoke:
+	$(GO) test -run='^TestServeSmoke$$' -count=1 -v ./internal/clitest/
 
 # Native fuzzing smoke: each target runs for FUZZTIME on top of its
 # committed seed corpus (testdata/fuzz/<FuzzName>/ in each package, which

@@ -141,13 +141,19 @@ func runAblation(name, dataset string, cfg experiments.Config, maxQueryLen int, 
 		}
 		fmt.Printf("concurrent engine serving on %s (scale %g, %d queries, %d passes/reader)\n",
 			dataset, cfg.Scale, len(queries), passes)
-		experiments.WriteEngineTable(os.Stdout,
-			experiments.RunEngineAblation(ds, queries, counts, passes, progress))
+		res, err := experiments.RunEngineAblation(ds, queries, counts, passes, progress)
+		if err != nil {
+			fail(err)
+		}
+		experiments.WriteEngineTable(os.Stdout, res)
 	case "adapt":
 		fmt.Printf("adaptive tuning vs static oracle on %s (scale %g, %d queries)\n",
 			dataset, cfg.Scale, len(queries))
-		experiments.WriteAdaptTable(os.Stdout,
-			experiments.RunAdaptAblation(ds, queries, 3, 6, progress))
+		res, err := experiments.RunAdaptAblation(ds, queries, 3, 6, progress)
+		if err != nil {
+			fail(err)
+		}
+		experiments.WriteAdaptTable(os.Stdout, res)
 	case "accounting":
 		row := experiments.RunMStarAccounting(ds, queries, progress)
 		fmt.Printf("M*(k) size accounting on %s (scale %g, %d queries)\n", dataset, cfg.Scale, len(queries))

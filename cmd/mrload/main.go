@@ -1,0 +1,368 @@
+// Command mrload replays a drifting path-query workload against a running
+// mrserve instance at configured request rates and reports client-observed
+// latency quantiles plus the server's shed/coalesce accounting.
+//
+// Usage:
+//
+//	mrload -addr 127.0.0.1:8080 -qps 100,400,1600 -duration 5s
+//	mrload -addr 127.0.0.1:8080 -qps 200 -report results/serve.json -check
+//
+// The workload mirrors the difftest drift model: the generated query set is
+// split into rotating hot sets, and within each phase most requests
+// (-hotfrac) draw from the current hot set while the rest draw uniformly —
+// so an adaptive server sees genuinely skewed, shifting traffic, with heavy
+// duplication inside a phase (which exercises request coalescing) and
+// periodic cold shifts (which exercise adaptation). Each -qps level runs
+// open-loop: requests are dispatched on a fixed clock regardless of how
+// slowly the server answers, so saturation shows up as queueing and then
+// shedding rather than as a politely slowed client.
+//
+// The report (JSON on stdout, or -report FILE) carries per-level counts
+// (sent/ok/shed/errors), client-side p50/p99/p999, and the server /stats
+// counter deltas. With -check, mrload exits nonzero unless every level
+// completed with at least one served reply and zero transport or 5xx
+// errors — the smoke-test contract.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"mrx"
+	"mrx/internal/latstat"
+	"mrx/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "mrserve address")
+	qpsList := flag.String("qps", "100,400,1600", "comma-separated request rates to replay")
+	duration := flag.Duration("duration", 5*time.Second, "wall time per rate level")
+	dataset := flag.String("dataset", "xmark", "dataset the server was started with: xmark or nasa")
+	scale := flag.Float64("scale", 0.1, "dataset scale the server was started with")
+	seed := flag.Int64("seed", 1, "workload seed")
+	numQueries := flag.Int("queries", 200, "distinct queries in the workload")
+	maxLen := flag.Int("maxlen", 7, "max query length")
+	phases := flag.Int("phases", 3, "hot-set rotations per level")
+	hotSize := flag.Int("hot", 4, "queries in each hot set")
+	hotFrac := flag.Float64("hotfrac", 0.9, "fraction of requests drawn from the hot set")
+	maxInflight := flag.Int("max-inflight", 512, "client-side cap on outstanding requests")
+	report := flag.String("report", "", "write the JSON report to this file (default stdout)")
+	check := flag.Bool("check", false, "exit nonzero unless served > 0 and errors == 0 at every level")
+	flag.Parse()
+
+	levels, err := parseQPS(*qpsList)
+	if err != nil {
+		fail(err)
+	}
+	queries, err := buildWorkload(*dataset, *scale, *seed, *numQueries, *maxLen)
+	if err != nil {
+		fail(err)
+	}
+	base := "http://" + *addr
+	client := &http.Client{
+		Timeout:   10 * time.Second,
+		Transport: &http.Transport{MaxIdleConnsPerHost: *maxInflight},
+	}
+	if err := waitHealthy(client, base, 5*time.Second); err != nil {
+		fail(err)
+	}
+
+	rep := Report{
+		Addr: *addr, Dataset: *dataset, Scale: *scale, Seed: *seed,
+		Queries: len(queries), Phases: *phases, HotSize: *hotSize, HotFrac: *hotFrac,
+	}
+	if sr, err := fetchStats(client, base); err == nil {
+		rep.ServerConfig = &sr.Config
+	}
+	for _, qps := range levels {
+		lv, err := runLevel(client, base, queries, levelConfig{
+			qps: qps, duration: *duration, phases: *phases, hotSize: *hotSize,
+			hotFrac: *hotFrac, maxInflight: *maxInflight, seed: *seed,
+		})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "mrload: %5d qps: sent %d ok %d shed %d dropped %d errors %d  p50 %v p99 %v p999 %v\n",
+			qps, lv.Sent, lv.OK, lv.Shed, lv.Dropped, lv.Errors,
+			time.Duration(lv.P50Micros)*time.Microsecond,
+			time.Duration(lv.P99Micros)*time.Microsecond,
+			time.Duration(lv.P999Micros)*time.Microsecond)
+		rep.Levels = append(rep.Levels, lv)
+	}
+
+	out := os.Stdout
+	if *report != "" {
+		f, err := os.Create(*report)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fail(err)
+	}
+	if *report != "" {
+		fmt.Fprintf(os.Stderr, "mrload: wrote %s\n", *report)
+	}
+
+	if *check {
+		for _, lv := range rep.Levels {
+			if lv.OK == 0 || lv.Errors > 0 {
+				fail(fmt.Errorf("check failed at %d qps: ok %d, errors %d", lv.QPS, lv.OK, lv.Errors))
+			}
+		}
+		fmt.Fprintln(os.Stderr, "mrload: check passed")
+	}
+}
+
+// Report is the full run summary; Levels holds one entry per -qps level.
+type Report struct {
+	Addr    string  `json:"addr"`
+	Dataset string  `json:"dataset"`
+	Scale   float64 `json:"scale"`
+	Seed    int64   `json:"seed"`
+	Queries int     `json:"queries"`
+	Phases  int     `json:"phases"`
+	HotSize int     `json:"hot_size"`
+	HotFrac float64 `json:"hot_frac"`
+	// ServerConfig echoes the serving limits the run was shed against.
+	ServerConfig *serve.Config `json:"server_config,omitempty"`
+	Levels       []Level       `json:"levels"`
+}
+
+// Level is one rate level's outcome: client-side counts and latency
+// quantiles over successful replies, plus the server counter deltas.
+type Level struct {
+	QPS        int     `json:"qps"`
+	DurationMS int64   `json:"duration_ms"`
+	Sent       uint64  `json:"sent"`
+	OK         uint64  `json:"ok"`
+	Shed       uint64  `json:"shed"`
+	Dropped    uint64  `json:"dropped"` // client inflight cap hit; never sent
+	Errors     uint64  `json:"errors"`
+	MeanMicros int64   `json:"mean_micros"`
+	P50Micros  int64   `json:"p50_micros"`
+	P99Micros  int64   `json:"p99_micros"`
+	P999Micros int64   `json:"p999_micros"`
+	MaxMicros  int64   `json:"max_micros"`
+	Server     *Server `json:"server,omitempty"`
+}
+
+// Server is the /stats counter delta over one level, plus the server-side
+// service-latency quantiles from its observation window at level end —
+// unlike the client-side quantiles these exclude connection setup, client
+// scheduling and queue wait, so they are the numbers the -shed-p99 bound
+// actually governs.
+type Server struct {
+	Served    uint64 `json:"served"`
+	Coalesced uint64 `json:"coalesced"`
+	Flights   uint64 `json:"flights"`
+	Shed      uint64 `json:"shed"`
+	Canceled  uint64 `json:"canceled"`
+	Errored   uint64 `json:"errored"`
+	P50Micros int64  `json:"p50_micros"`
+	P99Micros int64  `json:"p99_micros"`
+}
+
+type levelConfig struct {
+	qps, phases, hotSize, maxInflight int
+	duration                          time.Duration
+	hotFrac                           float64
+	seed                              int64
+}
+
+// runLevel replays the workload open-loop at cfg.qps for cfg.duration.
+func runLevel(client *http.Client, base string, queries []string, cfg levelConfig) (Level, error) {
+	before, err := fetchStats(client, base)
+	if err != nil {
+		return Level{}, err
+	}
+
+	lv := Level{QPS: cfg.qps, DurationMS: cfg.duration.Milliseconds()}
+	var hist latstat.Histogram
+	var mu sync.Mutex // guards the uint64 counts below
+	var wg sync.WaitGroup
+	inflight := make(chan struct{}, cfg.maxInflight)
+	rng := rand.New(rand.NewSource(cfg.seed*1000 + int64(cfg.qps)))
+	phaseLen := cfg.duration / time.Duration(cfg.phases)
+	if phaseLen <= 0 {
+		phaseLen = cfg.duration
+	}
+
+	send := func(q string) {
+		select {
+		case inflight <- struct{}{}:
+		default:
+			lv.Dropped++ // client saturated: open loop refuses to close
+			return
+		}
+		lv.Sent++
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-inflight }()
+			t0 := time.Now()
+			resp, err := client.Get(base + "/query?q=" + url.QueryEscape(q))
+			d := time.Since(t0)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				lv.Errors++
+				return
+			}
+			resp.Body.Close()
+			switch {
+			case resp.StatusCode == http.StatusOK:
+				lv.OK++
+				hist.Record(d)
+			case resp.StatusCode == http.StatusTooManyRequests:
+				lv.Shed++
+			default:
+				lv.Errors++
+			}
+		}()
+	}
+
+	// Dispatch on a millisecond clock, sending however many requests the
+	// target rate owes by now: the offered load tracks cfg.qps exactly even
+	// when one tick cannot be scheduled per request (high rates drop ticker
+	// ticks; the deficit batch makes them up).
+	ticker := time.NewTicker(time.Millisecond)
+	defer ticker.Stop()
+	start := time.Now()
+	dispatched := 0
+	for now := range ticker.C {
+		elapsed := now.Sub(start)
+		if elapsed >= cfg.duration {
+			break
+		}
+		owed := int(int64(elapsed) * int64(cfg.qps) / int64(time.Second))
+		phase := int(elapsed / phaseLen)
+		for ; dispatched < owed; dispatched++ {
+			send(pickQuery(rng, queries, phase, cfg.hotSize, cfg.hotFrac))
+		}
+	}
+	wg.Wait()
+
+	sum := hist.Summary()
+	lv.MeanMicros = sum.Mean.Microseconds()
+	lv.P50Micros = sum.P50.Microseconds()
+	lv.P99Micros = sum.P99.Microseconds()
+	lv.P999Micros = sum.P999.Microseconds()
+	lv.MaxMicros = sum.Max.Microseconds()
+
+	after, err := fetchStats(client, base)
+	if err != nil {
+		return lv, err
+	}
+	lv.Server = &Server{
+		Served:    after.Counters.Served - before.Counters.Served,
+		Coalesced: after.Counters.Coalesced - before.Counters.Coalesced,
+		Flights:   after.Counters.Flights - before.Counters.Flights,
+		Shed:      after.Counters.Shed - before.Counters.Shed,
+		Canceled:  after.Counters.Canceled - before.Counters.Canceled,
+		Errored:   after.Counters.Errored - before.Counters.Errored,
+		P50Micros: after.Latency.P50.Microseconds(),
+		P99Micros: after.Latency.P99.Microseconds(),
+	}
+	return lv, nil
+}
+
+// pickQuery draws from the phase's rotating hot set with probability
+// hotFrac, uniformly otherwise — the drift model of the difftest workloads.
+func pickQuery(rng *rand.Rand, queries []string, phase, hotSize int, hotFrac float64) string {
+	if hotSize > len(queries) {
+		hotSize = len(queries)
+	}
+	if hotSize > 0 && rng.Float64() < hotFrac {
+		return queries[(phase*hotSize+rng.Intn(hotSize))%len(queries)]
+	}
+	return queries[rng.Intn(len(queries))]
+}
+
+// buildWorkload regenerates the server's dataset locally and derives the
+// query set from it, so client and server agree on the label vocabulary.
+func buildWorkload(dataset string, scale float64, seed int64, n, maxLen int) ([]string, error) {
+	var g *mrx.Graph
+	switch dataset {
+	case "xmark":
+		g = mrx.XMarkGraph(scale, seed)
+	case "nasa":
+		g = mrx.NASAGraph(scale, seed)
+	default:
+		return nil, fmt.Errorf("unknown dataset %q (want xmark or nasa)", dataset)
+	}
+	es := mrx.GenerateWorkload(g, mrx.WorkloadOptions{
+		NumQueries: n, MaxPathLen: maxLen + 2, MaxQueryLen: maxLen, Seed: seed,
+	})
+	out := make([]string, len(es))
+	for i, e := range es {
+		out[i] = e.String()
+	}
+	return out, nil
+}
+
+func fetchStats(client *http.Client, base string) (serve.StatsResponse, error) {
+	var sr serve.StatsResponse
+	resp, err := client.Get(base + "/stats")
+	if err != nil {
+		return sr, fmt.Errorf("fetching /stats: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return sr, fmt.Errorf("/stats: status %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return sr, fmt.Errorf("decoding /stats: %w", err)
+	}
+	return sr, nil
+}
+
+// waitHealthy polls /healthz until the server answers or the budget runs
+// out, so mrload can be started alongside mrserve in scripts.
+func waitHealthy(client *http.Client, base string, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	for {
+		resp, err := client.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server at %s not healthy after %v: %v", base, budget, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// parseQPS parses the -qps flag: comma-separated positive integers.
+func parseQPS(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -qps value %q (want e.g. 100,400,1600)", s)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "mrload: %v\n", err)
+	os.Exit(1)
+}

@@ -189,7 +189,10 @@ func buildIndex(g *mrx.Graph, name string, queries []*mrx.PathExpr, refine, auto
 			// Interval 0: mrquery steps epochs itself so runs are
 			// deterministic and need no Close.
 			cfg := mrx.DefaultAutoTuneConfig()
-			en := mrx.NewEngine(g, mrx.EngineOptions{Parallelism: parallel, AutoTune: &cfg})
+			en, err := mrx.NewEngine(g, mrx.EngineOptions{Parallelism: parallel, AutoTune: &cfg})
+			if err != nil {
+				fail(err)
+			}
 			sz := en.Snapshot().Sizes()
 			fmt.Printf("index engine: %d nodes, %d edges (%d components, generation %d)\n",
 				sz.Nodes, sz.Edges, sz.Components, en.Generation())
@@ -203,7 +206,10 @@ func buildIndex(g *mrx.Graph, name string, queries []*mrx.PathExpr, refine, auto
 				engine: en,
 			}
 		}
-		en := mrx.NewEngine(g, opts)
+		en, err := mrx.NewEngine(g, opts)
+		if err != nil {
+			fail(err)
+		}
 		if refine {
 			for _, q := range queries {
 				en.Support(q)

@@ -1,0 +1,158 @@
+// Command mrserve serves path-expression queries over HTTP from the
+// concurrent adaptive engine: the paper's operational loop (serve, extract
+// FUPs, refine, repeat) behind a network front end with single-flight
+// request coalescing and latency-aware load shedding.
+//
+// Usage:
+//
+//	mrserve -dataset xmark -scale 0.1 -autotune
+//	mrserve -in doc.xml -addr 127.0.0.1:8080 -queue-depth 128 -shed-p99 50ms
+//	mrserve -addr 127.0.0.1:0     # pick a free port; the chosen one is printed
+//
+// Endpoints:
+//
+//	GET /query?q=//a/b[&answers=1]   evaluate one path expression (JSON)
+//	GET /stats                       serving + engine counters (JSON)
+//	GET /healthz                     liveness probe
+//
+// Overload policy: at most -max-concurrent queries evaluate at once; up to
+// -queue-depth more wait, each at most -queue-timeout; beyond that — or
+// when the observed p99 exceeds -shed-p99 — requests are shed with
+// 429 Too Many Requests and a Retry-After header. Concurrent requests for
+// the same canonical expression coalesce into one evaluation.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mrx"
+	"mrx/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
+	in := flag.String("in", "", "serve this XML file instead of a generated dataset")
+	dataset := flag.String("dataset", "xmark", "generated dataset: xmark or nasa")
+	scale := flag.Float64("scale", 0.1, "generated dataset scale (1.0 = paper size)")
+	seed := flag.Int64("seed", 1, "generated dataset seed")
+	parallel := flag.Int("parallel", 0, "validation workers per query (default GOMAXPROCS)")
+	autotune := flag.Bool("autotune", false, "enable online workload tracking and adaptive refinement")
+	tuneInterval := flag.Duration("tune-interval", time.Second, "tuning epoch length with -autotune")
+	maxConcurrent := flag.Int("max-concurrent", serve.DefaultConfig().MaxConcurrent, "queries evaluating at once")
+	queueDepth := flag.Int("queue-depth", serve.DefaultConfig().QueueDepth, "requests allowed to wait for a slot")
+	queueTimeout := flag.Duration("queue-timeout", serve.DefaultConfig().QueueTimeout, "max wait for a slot before shedding")
+	shedP99 := flag.Duration("shed-p99", 0, "shed queued arrivals when observed p99 exceeds this (0 disables)")
+	window := flag.Duration("window", serve.DefaultConfig().Window, "latency observation window for -shed-p99")
+	retryAfter := flag.Duration("retry-after", serve.DefaultConfig().RetryAfter, "Retry-After hint on 429 responses")
+	flag.Parse()
+
+	cfg := serve.Config{
+		MaxConcurrent: *maxConcurrent,
+		QueueDepth:    *queueDepth,
+		QueueTimeout:  *queueTimeout,
+		ShedP99:       *shedP99,
+		Window:        *window,
+		RetryAfter:    *retryAfter,
+	}
+	// Validate the serving limits before paying for dataset and engine
+	// construction; serve.New re-checks below.
+	if err := cfg.Validate(); err != nil {
+		fail(err)
+	}
+
+	g, desc, err := loadGraph(*in, *dataset, *scale, *seed)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("mrserve: %s: %d nodes, %d edges (%d references)\n",
+		desc, g.NumNodes(), g.NumEdges(), g.NumRefEdges())
+
+	var tune *mrx.AutoTuneConfig
+	if *autotune {
+		cfg := mrx.DefaultAutoTuneConfig()
+		cfg.Interval = *tuneInterval
+		tune = &cfg
+	}
+	en, err := mrx.NewEngine(g, mrx.EngineOptions{Parallelism: *parallel, AutoTune: tune})
+	if err != nil {
+		fail(err)
+	}
+	defer en.Close()
+
+	srv, err := serve.New(en, cfg)
+	if err != nil {
+		fail(err)
+	}
+	srv.ExtraStats = func() any { return en.Stats() }
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail(err)
+	}
+	// The actual address, so -addr with port 0 is scriptable.
+	fmt.Printf("mrserve: listening on http://%s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fail(err)
+		}
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "mrserve: %v: shutting down\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		err := hs.Shutdown(ctx)
+		cancel()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mrserve: shutdown: %v\n", err)
+		}
+	}
+
+	c := srv.Counters()
+	fmt.Printf("mrserve: served %d (%d coalesced into %d evaluations), shed %d, canceled %d, errored %d\n",
+		c.Served, c.Coalesced, c.Flights, c.Shed, c.Canceled, c.Errored)
+}
+
+// loadGraph builds the data graph from a file or a generated dataset.
+func loadGraph(in, dataset string, scale float64, seed int64) (*mrx.Graph, string, error) {
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, "", err
+		}
+		defer f.Close()
+		g, err := mrx.LoadXML(f)
+		if err != nil {
+			return nil, "", fmt.Errorf("loading %s: %w", in, err)
+		}
+		return g, in, nil
+	}
+	desc := fmt.Sprintf("%s scale %g seed %d", dataset, scale, seed)
+	switch dataset {
+	case "xmark":
+		return mrx.XMarkGraph(scale, seed), desc, nil
+	case "nasa":
+		return mrx.NASAGraph(scale, seed), desc, nil
+	default:
+		return nil, "", fmt.Errorf("unknown dataset %q (want xmark or nasa)", dataset)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "mrserve: %v\n", err)
+	os.Exit(1)
+}

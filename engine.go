@@ -29,8 +29,11 @@ type EngineOptions = engine.Options
 // published, and per-strategy latency histograms.
 type EngineStats = engine.StatsSnapshot
 
-// NewEngine creates a concurrent serving engine over g.
-func NewEngine(g *Graph, opts EngineOptions) *Engine { return engine.New(g, opts) }
+// NewEngine creates a concurrent serving engine over g. It fails with a
+// wrapped error when opts is plainly invalid (negative parallelism, a
+// negative resolution cap, an unknown strategy, or a nonsensical AutoTune
+// configuration); zero-valued fields select the documented defaults.
+func NewEngine(g *Graph, opts EngineOptions) (*Engine, error) { return engine.New(g, opts) }
 
 // AutoTuneConfig configures the engine's online workload tracker and
 // adaptive tuner (EngineOptions.AutoTune): a bounded space-saving sketch of

@@ -76,7 +76,7 @@ func ExampleNewMStar() {
 func ExampleBuildAK() {
 	g, _ := mrx.LoadXML(strings.NewReader(exampleDoc))
 	a1 := mrx.BuildAK(g, 1)
-	res := mrx.QueryIndex(a1, mrx.MustParsePath("//people/person"))
+	res := mrx.AsQuerier(a1).Query(mrx.MustParsePath("//people/person"))
 	fmt.Println("precise:", res.Precise, "answers:", len(res.Answer))
 	// Output:
 	// precise: true answers: 2

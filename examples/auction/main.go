@@ -42,13 +42,13 @@ func main() {
 	// Static A(k) family: one resolution for the whole graph.
 	for _, k := range []int{0, 2, 4} {
 		ig := mrx.BuildAK(g, k)
-		cost, valid := avg(func(q *mrx.PathExpr) mrx.Result { return mrx.QueryIndex(ig, q) })
+		cost, valid := avg(mrx.AsQuerier(ig).Query)
 		row(fmt.Sprintf("A(%d)", k), ig.NumNodes(), ig.NumEdges(), cost, valid)
 	}
 
 	// D(k), constructed from the workload in one shot.
 	if dk, err := mrx.BuildDK(g, queries); err == nil {
-		cost, valid := avg(func(q *mrx.PathExpr) mrx.Result { return mrx.QueryIndex(dk, q) })
+		cost, valid := avg(mrx.AsQuerier(dk).Query)
 		row("D(k)-construct", dk.NumNodes(), dk.NumEdges(), cost, valid)
 	}
 
@@ -57,7 +57,7 @@ func main() {
 	for _, q := range queries {
 		dp.Support(q)
 	}
-	cost, valid := avg(func(q *mrx.PathExpr) mrx.Result { return mrx.QueryIndex(dp.Index(), q) })
+	cost, valid := avg(mrx.AsQuerier(dp.Index()).Query)
 	row("D(k)-promote", dp.Index().NumNodes(), dp.Index().NumEdges(), cost, valid)
 
 	mk := mrx.NewMK(g)

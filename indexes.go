@@ -116,19 +116,26 @@ func AsFrozenQuerier(fz *FrozenIndex) Querier { return query.AsFrozenQuerier(fz)
 // Querier is the uniform query interface implemented by every index in the
 // package: single-graph indexes via AsQuerier, the adaptive indexes
 // (DKPromote, MK, MStar, UD) directly, and the concurrent Engine.
+//
+// (The historical free function QueryIndex(ig, e) is gone; write
+// AsQuerier(ig).Query(e) instead.)
 type Querier = query.Querier
 
 // AsQuerier wraps a single-graph structural index (1-index, A(k),
 // D(k)-construct, or an adaptive index's underlying graph) as a Querier.
 func AsQuerier(ig *Index) Querier { return query.AsQuerier(ig) }
 
-// QueryIndex evaluates e over any single-graph structural index (1-index,
-// A(k), D(k), M(k)), validating under-refined answers against the data
-// graph and reporting the paper's cost metric.
-//
-// Deprecated: use AsQuerier(ig).Query(e), which serves every index type
-// through the same Querier interface.
-func QueryIndex(ig *Index, e *PathExpr) Result { return query.EvalIndex(ig, e) }
+// ContextQuerier is the context-aware counterpart of Querier: evaluation
+// observes ctx and aborts — returning ctx's error — once the context is
+// canceled or past its deadline. Engine implements it natively (QueryCtx
+// polls ctx between validation candidates); the network serving layer
+// consumes only this interface, so any index type can sit behind mrserve.
+type ContextQuerier = query.ContextQuerier
+
+// AsContextQuerier adapts any Querier to ContextQuerier. Types that already
+// implement it (Engine) are returned unchanged; for the rest, the context
+// is honored at call boundaries around the uninterruptible Query.
+func AsContextQuerier(q Querier) ContextQuerier { return query.AsContextQuerier(q) }
 
 // UD is the UD(k,l)-index (Wu et al., WAIM 2003), discussed in §2/§4.1 of
 // the paper: up- and down-bisimilarity combined, precise for branching

@@ -38,6 +38,8 @@
 package adapt
 
 import (
+	"errors"
+	"fmt"
 	"time"
 
 	"mrx/internal/pathexpr"
@@ -69,7 +71,8 @@ type Config struct {
 
 	// Cooldown is how many epochs an acted-on expression is exempt from the
 	// opposite action (and from being re-acted on), damping oscillation
-	// under alternating workloads. Default 2.
+	// under alternating workloads. Default 2; a negative value disables
+	// cooldowns entirely.
 	Cooldown int
 
 	// MaxActionsPerEpoch bounds the number of decisions executed per epoch,
@@ -79,6 +82,34 @@ type Config struct {
 	// Interval is the epoch length of the background tuner goroutine.
 	// Zero (the default) starts no goroutine: the owner calls Step.
 	Interval time.Duration
+}
+
+// ErrInvalidConfig is wrapped by every Validate failure.
+var ErrInvalidConfig = errors.New("adapt: invalid config")
+
+// Validate rejects plainly invalid tuning parameters with a wrapped error.
+// Zero values mean "use the default" and are accepted, as is a negative
+// Cooldown (the documented way to disable cooldowns entirely); negative
+// counts, epochs, or intervals otherwise have no sensible reading and are
+// refused rather than silently clamped.
+func (c Config) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    int
+	}{
+		{"TopK", c.TopK},
+		{"PromoteAfter", c.PromoteAfter},
+		{"DemoteAfter", c.DemoteAfter},
+		{"MaxActionsPerEpoch", c.MaxActionsPerEpoch},
+	} {
+		if f.v < 0 {
+			return fmt.Errorf("%w: %s %d (zero means default)", ErrInvalidConfig, f.name, f.v)
+		}
+	}
+	if c.Interval < 0 {
+		return fmt.Errorf("%w: Interval %v (zero means manual stepping)", ErrInvalidConfig, c.Interval)
+	}
+	return nil
 }
 
 // DefaultConfig returns the documented defaults.

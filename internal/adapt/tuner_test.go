@@ -1,6 +1,7 @@
 package adapt
 
 import (
+	"errors"
 	"sync"
 	"testing"
 	"time"
@@ -93,5 +94,32 @@ func TestSnapshotObservability(t *testing.T) {
 	d := snap.LastPlan.Decisions[0]
 	if d.Action != ActionPromote || d.Reason == "" || !d.Changed || d.Key != "//a/b" {
 		t.Fatalf("decision = %+v", d)
+	}
+}
+
+// Validate must reject nonsensical knobs with ErrInvalidConfig and accept
+// both the zero value and the documented negative-Cooldown disable.
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{TopK: -1},
+		{PromoteAfter: -2},
+		{DemoteAfter: -1},
+		{MaxActionsPerEpoch: -4},
+		{Interval: -time.Second},
+	}
+	for _, cfg := range bad {
+		err := cfg.Validate()
+		if err == nil {
+			t.Errorf("Validate accepted %+v", cfg)
+			continue
+		}
+		if !errors.Is(err, ErrInvalidConfig) {
+			t.Errorf("error %v for %+v does not wrap ErrInvalidConfig", err, cfg)
+		}
+	}
+	for _, cfg := range []Config{{}, {Cooldown: -1}, DefaultConfig()} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("Validate rejected %+v: %v", cfg, err)
+		}
 	}
 }

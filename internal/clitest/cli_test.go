@@ -32,7 +32,7 @@ func bin(t *testing.T, name string) string {
 		if buildErr != nil {
 			return
 		}
-		for _, n := range []string{"mrgen", "mrquery", "mrbench"} {
+		for _, n := range []string{"mrgen", "mrquery", "mrbench", "mrserve", "mrload"} {
 			cmd := exec.Command("go", "build", "-o", filepath.Join(binDir, n), "mrx/cmd/"+n)
 			cmd.Dir = moduleRoot()
 			if out, err := cmd.CombinedOutput(); err != nil {

@@ -1,0 +1,130 @@
+package clitest
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// startServe boots mrserve on a kernel-chosen port and returns its address
+// plus a stop function that signals graceful shutdown and collects output.
+func startServe(t *testing.T, extraArgs ...string) (addr string, stop func() string) {
+	t.Helper()
+	args := append([]string{"-addr", "127.0.0.1:0", "-dataset", "xmark",
+		"-scale", "0.02", "-seed", "7"}, extraArgs...)
+	cmd := exec.Command(bin(t, "mrserve"), args...)
+	outPipe, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The second line announces the actual listen address.
+	sc := bufio.NewScanner(outPipe)
+	var lines []string
+	addrRe := regexp.MustCompile(`listening on http://(\S+)`)
+	deadline := time.After(30 * time.Second)
+	found := make(chan string, 1)
+	go func() {
+		for sc.Scan() {
+			line := sc.Text()
+			lines = append(lines, line)
+			if m := addrRe.FindStringSubmatch(line); m != nil {
+				found <- m[1]
+				break
+			}
+		}
+	}()
+	select {
+	case addr = <-found:
+	case <-deadline:
+		_ = cmd.Process.Kill()
+		t.Fatalf("mrserve never announced its address:\n%s", strings.Join(lines, "\n"))
+	}
+
+	rest := make(chan string, 1)
+	go func() {
+		var b strings.Builder
+		for sc.Scan() {
+			b.WriteString(sc.Text())
+			b.WriteString("\n")
+		}
+		rest <- b.String()
+	}()
+	return addr, func() string {
+		_ = cmd.Process.Signal(syscall.SIGTERM)
+		out := ""
+		select {
+		case out = <-rest:
+		case <-time.After(15 * time.Second):
+			_ = cmd.Process.Kill()
+			t.Error("mrserve did not shut down on SIGTERM")
+		}
+		_ = cmd.Wait()
+		return strings.Join(lines, "\n") + out
+	}
+}
+
+// TestServeSmoke is the serve-smoke make target: boot mrserve, replay a
+// short mrload run against it, and require a clean -check (non-zero served
+// replies, zero errors) plus a well-formed JSON report.
+func TestServeSmoke(t *testing.T) {
+	addr, stop := startServe(t)
+	report := filepath.Join(binDir, "serve-smoke.json")
+	out := run(t, false, "mrload", "-addr", addr, "-dataset", "xmark",
+		"-scale", "0.02", "-seed", "7", "-qps", "50,150", "-duration", "2s",
+		"-queries", "40", "-report", report, "-check")
+	if !strings.Contains(out, "check passed") {
+		t.Fatalf("mrload -check did not pass:\n%s", out)
+	}
+
+	data, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Levels []struct {
+			QPS  int    `json:"qps"`
+			OK   uint64 `json:"ok"`
+			P99  int64  `json:"p99_micros"`
+			Serv *struct {
+				Served uint64 `json:"served"`
+			} `json:"server"`
+		} `json:"levels"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, data)
+	}
+	if len(rep.Levels) != 2 {
+		t.Fatalf("report has %d levels, want 2", len(rep.Levels))
+	}
+	for _, lv := range rep.Levels {
+		if lv.OK == 0 || lv.P99 <= 0 || lv.Serv == nil || lv.Serv.Served == 0 {
+			t.Errorf("level %d qps: implausible report entry %+v", lv.QPS, lv)
+		}
+	}
+
+	serverOut := stop()
+	if !strings.Contains(serverOut, "served") {
+		t.Errorf("mrserve exit summary missing serve counters:\n%s", serverOut)
+	}
+}
+
+// The server must reject nonsensical serving limits at startup.
+func TestServeBadUsage(t *testing.T) {
+	run(t, true, "mrserve", "-queue-depth", "0", "-addr", "127.0.0.1:0")
+	run(t, true, "mrserve", "-max-concurrent", "-1", "-addr", "127.0.0.1:0")
+	run(t, true, "mrserve", "-dataset", "nosuch", "-addr", "127.0.0.1:0")
+	run(t, true, "mrload", "-qps", "0")
+	run(t, true, "mrload", "-dataset", "nosuch")
+}

@@ -96,13 +96,16 @@ func RunDriftCase(tb testing.TB, o DriftOptions) DriftReport {
 
 	// Aggressive-but-damped tuning so phases convert and retire within a
 	// handful of epochs; Interval 0 keeps stepping in this goroutine.
-	en := engine.New(g, engine.Options{Parallelism: 2, AutoTune: &adapt.Config{
+	en, err := engine.New(g, engine.Options{Parallelism: 2, AutoTune: &adapt.Config{
 		TopK:         16,
 		HotThreshold: 3,
 		PromoteAfter: 2,
 		DemoteAfter:  2,
 		Cooldown:     1,
 	}})
+	if err != nil {
+		tb.Fatalf("seed %d: engine.New: %v", o.Seed, err)
+	}
 	defer en.Close()
 
 	oracle := make(map[string][]graph.NodeID)

@@ -145,7 +145,11 @@ func BuildPaths(g *graph.Graph, fups []*pathexpr.Expr, o PathsOptions) ([]*Servi
 		},
 	})
 
-	out = append(out, frozenPath(g), enginePath(g, o))
+	ep, err := enginePath(g, o)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, frozenPath(g), ep)
 	return out, nil
 }
 
@@ -184,8 +188,11 @@ func frozenPath(g *graph.Graph) *ServingPath {
 // snapshot: Check validates the current snapshot after each refinement and
 // Finish re-fingerprints all historical generations, failing if refinement
 // ever mutated an already-published (immutable by contract) snapshot.
-func enginePath(g *graph.Graph, o PathsOptions) *ServingPath {
-	en := engine.New(g, engine.Options{Parallelism: o.Parallelism})
+func enginePath(g *graph.Graph, o PathsOptions) (*ServingPath, error) {
+	en, err := engine.New(g, engine.Options{Parallelism: o.Parallelism})
+	if err != nil {
+		return nil, fmt.Errorf("difftest: engine path: %w", err)
+	}
 	type published struct {
 		gen uint64
 		ms  *core.MStar
@@ -196,7 +203,7 @@ func enginePath(g *graph.Graph, o PathsOptions) *ServingPath {
 		return published{gen: en.Generation(), ms: ms, fp: Fingerprint(ms)}
 	}
 	history := []published{record()}
-	return &ServingPath{
+	sp := &ServingPath{
 		Name:    "engine",
 		Querier: en,
 		Support: func(e *pathexpr.Expr) {
@@ -222,6 +229,7 @@ func enginePath(g *graph.Graph, o PathsOptions) *ServingPath {
 			return nil
 		},
 	}
+	return sp, nil
 }
 
 // Supportable filters an expression set down to the paper's FUP class:

@@ -35,7 +35,7 @@ func paperCost(res query.Result) int { return res.Cost.IndexNodes + res.Cost.Dat
 // paper's deterministic cost metric.
 func TestAutoTuneConvergesToStaticOracle(t *testing.T) {
 	g := datagen.XMarkGraph(0.01, 1)
-	en := New(g, Options{Parallelism: 2, AutoTune: manualTuneConfig()})
+	en := mustNew(t, g, Options{Parallelism: 2, AutoTune: manualTuneConfig()})
 	defer en.Close()
 
 	hot := []*pathexpr.Expr{
@@ -45,7 +45,7 @@ func TestAutoTuneConvergesToStaticOracle(t *testing.T) {
 	}
 
 	// The oracle knows the workload up front.
-	orc := New(g, Options{Parallelism: 2})
+	orc := mustNew(t, g, Options{Parallelism: 2})
 	for _, e := range hot {
 		orc.Support(e)
 	}
@@ -101,7 +101,7 @@ func TestAutoTuneConvergesToStaticOracle(t *testing.T) {
 // precise and every answer stays correct.
 func TestAutoTuneDriftRetires(t *testing.T) {
 	g := datagen.XMarkGraph(0.01, 1)
-	en := New(g, Options{Parallelism: 2, AutoTune: manualTuneConfig()})
+	en := mustNew(t, g, Options{Parallelism: 2, AutoTune: manualTuneConfig()})
 	defer en.Close()
 
 	phase1 := mustParse("//open_auction/bidder/personref/person")
@@ -175,7 +175,7 @@ func TestAutoTuneDriftRetires(t *testing.T) {
 // Support of the same FUP does no work and publishes nothing.
 func TestSupportAlreadySupportedIsNoop(t *testing.T) {
 	g := datagen.XMarkGraph(0.01, 1)
-	en := New(g, Options{})
+	en := mustNew(t, g, Options{})
 	e := mustParse("//person/name")
 
 	if !en.Support(e) {
@@ -203,7 +203,7 @@ func TestSupportAlreadySupportedIsNoop(t *testing.T) {
 // refined here publishes nothing and is counted as skipped.
 func TestEngineRetireUnknownIsNoop(t *testing.T) {
 	g := datagen.XMarkGraph(0.01, 1)
-	en := New(g, Options{})
+	en := mustNew(t, g, Options{})
 	if en.Retire(mustParse("//person/name")) {
 		t.Fatal("Retire of an unsupported expression published")
 	}
@@ -220,7 +220,7 @@ func TestAutoTuneRaceStress(t *testing.T) {
 	g := datagen.XMarkGraph(0.01, 1)
 	cfg := manualTuneConfig()
 	cfg.Interval = 2 * time.Millisecond
-	en := New(g, Options{Parallelism: 2, AutoTune: cfg})
+	en := mustNew(t, g, Options{Parallelism: 2, AutoTune: cfg})
 
 	exprs := make([]*pathexpr.Expr, len(testQueries))
 	truth := make([][]int, len(testQueries))

@@ -23,6 +23,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -58,6 +59,49 @@ type Options struct {
 	AutoTune *adapt.Config
 }
 
+// Validate rejects plainly invalid options with a wrapped error. Zero
+// values still select the documented defaults (they mean "unset"), but a
+// negative worker count, a negative resolution cap, an unknown strategy
+// name, or a nonsensical tuner configuration is a caller bug that silent
+// defaulting would hide; New refuses to construct an engine from one.
+func (o Options) Validate() error {
+	if o.Parallelism < 0 {
+		return fmt.Errorf("engine: %w: Parallelism %d (zero means GOMAXPROCS)", errInvalidOption, o.Parallelism)
+	}
+	if o.MStar.Parallelism < 0 {
+		return fmt.Errorf("engine: %w: MStar.Parallelism %d (zero inherits the engine's)", errInvalidOption, o.MStar.Parallelism)
+	}
+	if o.MStar.MaxK < 0 {
+		return fmt.Errorf("engine: %w: MStar.MaxK %d (zero means unlimited)", errInvalidOption, o.MStar.MaxK)
+	}
+	if o.MStar.Strategy != "" && !validStrategy(o.MStar.Strategy) {
+		return fmt.Errorf("engine: %w: unknown strategy %q", errInvalidOption, o.MStar.Strategy)
+	}
+	if o.AutoTune != nil {
+		if err := o.AutoTune.Validate(); err != nil {
+			return fmt.Errorf("engine: %w: %w", errInvalidOption, err)
+		}
+	}
+	return nil
+}
+
+// validStrategy reports whether s names one of the M*(k) query-evaluation
+// strategies ("static" is the engine's internal label for Register'd
+// indexes and is not configurable).
+func validStrategy(s core.Strategy) bool {
+	for _, n := range strategyNames[:numStrategies-1] {
+		if n == s {
+			return true
+		}
+	}
+	return false
+}
+
+// errInvalidOption is the sentinel wrapped by every Validate failure, so
+// callers can errors.Is their way to "the configuration, not the data, was
+// bad".
+var errInvalidOption = errors.New("invalid option")
+
 // snapshot is one immutable generation of the served index: the mutable
 // M*(k)-index refinement state (never mutated once published — the next
 // writer clones it) and its frozen read-path view, which serves every
@@ -89,9 +133,18 @@ type Engine struct {
 	stats stats
 }
 
+// The engine is the canonical ContextQuerier: the serving layer consumes
+// nothing else of it on the query path.
+var _ query.ContextQuerier = (*Engine)(nil)
+
 // New creates an engine serving queries over g through an adaptive
-// M*(k)-index initialized at component I0.
-func New(g *graph.Graph, opts Options) *Engine {
+// M*(k)-index initialized at component I0. It fails with a wrapped error
+// when opts is plainly invalid (see Options.Validate); zero-valued fields
+// select the documented defaults.
+func New(g *graph.Graph, opts Options) (*Engine, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	if opts.Parallelism <= 0 {
 		opts.Parallelism = runtime.GOMAXPROCS(0)
 	}
@@ -110,7 +163,7 @@ func New(g *graph.Graph, opts Options) *Engine {
 	if opts.AutoTune != nil {
 		en.tuner = adapt.NewTuner(en, *opts.AutoTune)
 	}
-	return en
+	return en, nil
 }
 
 // Data returns the underlying data graph.
@@ -144,6 +197,8 @@ func (en *Engine) Query(e *pathexpr.Expr) query.Result {
 // QueryCtx is Query with cancellation: validation polls ctx and aborts once
 // it is done, returning ctx's error. Traversal of the index graph itself is
 // not interruptible (it is the cheap part of the paper's cost metric).
+// QueryCtx makes Engine a query.ContextQuerier, the interface the network
+// serving layer consumes.
 func (en *Engine) QueryCtx(ctx context.Context, e *pathexpr.Expr) (query.Result, error) {
 	if err := ctx.Err(); err != nil {
 		en.stats.canceled.Add(1)

@@ -2,11 +2,13 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"reflect"
 	"strings"
 	"sync"
 	"testing"
 
+	"mrx/internal/adapt"
 	"mrx/internal/baseline"
 	"mrx/internal/core"
 	"mrx/internal/datagen"
@@ -30,7 +32,7 @@ var testQueries = []string{
 // times. Run under -race.
 func TestConcurrentReadersOneRefiner(t *testing.T) {
 	g := datagen.XMarkGraph(0.01, 1)
-	en := New(g, Options{Parallelism: 4})
+	en := mustNew(t, g, Options{Parallelism: 4})
 
 	exprs := make([]*pathexpr.Expr, len(testQueries))
 	truth := make([][]int, len(testQueries))
@@ -123,7 +125,7 @@ func TestConcurrentReadersOneRefiner(t *testing.T) {
 // regrouping paths.
 func TestConcurrentReadersCyclicGraph(t *testing.T) {
 	g := gtest.Random(7, 3000, 10, 0.15)
-	en := New(g, Options{})
+	en := mustNew(t, g, Options{})
 	exprs := []*pathexpr.Expr{
 		pathexpr.FromLabels([]string{"l1", "l2"}),
 		pathexpr.FromLabels([]string{"l3", "l4", "l5"}),
@@ -172,7 +174,7 @@ func TestConcurrentReadersCyclicGraph(t *testing.T) {
 
 func TestQueryCtx(t *testing.T) {
 	g := datagen.XMarkGraph(0.005, 2)
-	en := New(g, Options{})
+	en := mustNew(t, g, Options{})
 	e := mustParse("//open_auction/bidder/personref")
 
 	res, err := en.QueryCtx(context.Background(), e)
@@ -195,7 +197,7 @@ func TestQueryCtx(t *testing.T) {
 
 func TestSupportSkipsAndNoops(t *testing.T) {
 	g := datagen.XMarkGraph(0.005, 3)
-	en := New(g, Options{})
+	en := mustNew(t, g, Options{})
 	e := mustParse("//open_auction/bidder")
 
 	if !en.Support(e) {
@@ -222,7 +224,7 @@ func TestSupportSkipsAndNoops(t *testing.T) {
 // through refinement.
 func TestMaxKCapsComponents(t *testing.T) {
 	g := datagen.XMarkGraph(0.005, 4)
-	en := New(g, Options{MStar: core.MStarOptions{MaxK: 2}})
+	en := mustNew(t, g, Options{MStar: core.MStarOptions{MaxK: 2}})
 	e := mustParse("//open_auction/bidder/personref/person/name")
 	en.Support(e)
 	if n := en.Snapshot().NumComponents(); n > 3 {
@@ -232,7 +234,7 @@ func TestMaxKCapsComponents(t *testing.T) {
 
 func TestRegisterAndQueryNamed(t *testing.T) {
 	g := datagen.XMarkGraph(0.005, 5)
-	en := New(g, Options{})
+	en := mustNew(t, g, Options{})
 	e := mustParse("//open_auction/bidder")
 
 	en.Register("a2", query.AsQuerier(baseline.AK(g, 2)))
@@ -254,7 +256,7 @@ func TestRegisterAndQueryNamed(t *testing.T) {
 
 func TestStatsRendering(t *testing.T) {
 	g := datagen.XMarkGraph(0.005, 6)
-	en := New(g, Options{})
+	en := mustNew(t, g, Options{})
 	e := mustParse("//person/name")
 	en.Query(e)
 	en.Support(e)
@@ -270,7 +272,7 @@ func TestStatsRendering(t *testing.T) {
 // change when the engine refines.
 func TestSnapshotImmutability(t *testing.T) {
 	g := datagen.XMarkGraph(0.005, 7)
-	en := New(g, Options{})
+	en := mustNew(t, g, Options{})
 	e := mustParse("//open_auction/bidder/personref")
 
 	old := en.Snapshot()
@@ -285,4 +287,47 @@ func TestSnapshotImmutability(t *testing.T) {
 	if en.Snapshot() == old {
 		t.Fatal("snapshot pointer did not change on publish")
 	}
+}
+
+// New must refuse plainly invalid options with an error wrapping the
+// sentinel, and accept the zero value (which means "all defaults").
+func TestOptionsValidation(t *testing.T) {
+	g := gtest.Random(1, 60, 5, 0.1)
+	bad := []struct {
+		name string
+		opts Options
+	}{
+		{"negative parallelism", Options{Parallelism: -1}},
+		{"negative mstar parallelism", Options{MStar: core.MStarOptions{Parallelism: -2}}},
+		{"negative maxk", Options{MStar: core.MStarOptions{MaxK: -1}}},
+		{"unknown strategy", Options{MStar: core.MStarOptions{Strategy: "zigzag"}}},
+		{"static strategy reserved", Options{MStar: core.MStarOptions{Strategy: "static"}}},
+		{"bad autotune", Options{AutoTune: &adapt.Config{TopK: -5}}},
+	}
+	for _, tc := range bad {
+		en, err := New(g, tc.opts)
+		if err == nil {
+			en.Close()
+			t.Errorf("%s: New accepted %+v", tc.name, tc.opts)
+			continue
+		}
+		if !errors.Is(err, errInvalidOption) {
+			t.Errorf("%s: error %v does not wrap errInvalidOption", tc.name, err)
+		}
+		if tc.name == "bad autotune" && !errors.Is(err, adapt.ErrInvalidConfig) {
+			t.Errorf("%s: error %v does not wrap adapt.ErrInvalidConfig", tc.name, err)
+		}
+	}
+	en, err := New(g, Options{})
+	if err != nil {
+		t.Fatalf("zero options rejected: %v", err)
+	}
+	en.Close()
+	// Negative Cooldown is documented as "disable cooldowns", not a bug.
+	cfg := adapt.Config{Cooldown: -1}
+	en, err = New(g, Options{AutoTune: &cfg})
+	if err != nil {
+		t.Fatalf("negative Cooldown (documented disable) rejected: %v", err)
+	}
+	en.Close()
 }

@@ -12,7 +12,7 @@ import (
 // and reuse untouched frozen components between generations.
 func TestEngineFrozenServing(t *testing.T) {
 	g := gtest.RandomShallow(11, 160, 5)
-	en := New(g, Options{Parallelism: 2})
+	en := mustNew(t, g, Options{Parallelism: 2})
 
 	if en.FrozenSnapshot() == nil {
 		t.Fatal("no frozen snapshot at generation 0")
@@ -71,7 +71,7 @@ func TestEngineFrozenServing(t *testing.T) {
 // no-op, must not publish a new generation (version-vector no-op check).
 func TestEngineSkipsNoopPublish(t *testing.T) {
 	g := gtest.RandomShallow(21, 120, 4)
-	en := New(g, Options{})
+	en := mustNew(t, g, Options{})
 
 	var fup *pathexpr.Expr
 	for _, w := range gtest.RandomWorkload(22, g, gtest.WorkloadOptions{Size: 20, MaxLen: 3}) {

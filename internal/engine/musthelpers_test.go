@@ -1,6 +1,9 @@
 package engine
 
 import (
+	"testing"
+
+	"mrx/internal/graph"
 	"mrx/internal/pathexpr"
 )
 
@@ -11,4 +14,14 @@ func mustParse(s string) *pathexpr.Expr {
 		panic(err)
 	}
 	return e
+}
+
+// mustNew constructs an engine from options the test knows are valid.
+func mustNew(tb testing.TB, g *graph.Graph, o Options) *Engine {
+	tb.Helper()
+	en, err := New(g, o)
+	if err != nil {
+		tb.Fatalf("engine.New: %v", err)
+	}
+	return en
 }

@@ -3,80 +3,14 @@ package engine
 import (
 	"fmt"
 	"io"
-	"math/bits"
 	"sort"
 	"sync/atomic"
 	"time"
 
 	"mrx/internal/adapt"
 	"mrx/internal/core"
+	"mrx/internal/latstat"
 )
-
-// latencyBuckets is the number of power-of-two microsecond buckets in a
-// latency histogram: bucket i counts samples in [2^i, 2^(i+1)) µs, so the
-// range spans <1µs up to ~2s before the last bucket overflows.
-const latencyBuckets = 21
-
-// histogram is a lock-free power-of-two latency histogram.
-type histogram struct {
-	buckets  [latencyBuckets]atomic.Uint64
-	count    atomic.Uint64
-	sumMicro atomic.Uint64
-	maxMicro atomic.Uint64
-}
-
-func (h *histogram) record(d time.Duration) {
-	us := uint64(d.Microseconds())
-	b := bits.Len64(us) // 0 for <1µs, i for [2^(i-1), 2^i)
-	if b >= latencyBuckets {
-		b = latencyBuckets - 1
-	}
-	h.buckets[b].Add(1)
-	h.count.Add(1)
-	h.sumMicro.Add(us)
-	for {
-		cur := h.maxMicro.Load()
-		if us <= cur || h.maxMicro.CompareAndSwap(cur, us) {
-			break
-		}
-	}
-}
-
-// quantile returns the upper bound of the bucket containing the q-quantile
-// sample (0 < q <= 1), as a duration. It is an approximation within a factor
-// of two, which is what a serving dashboard needs.
-func (h *histogram) quantile(q float64) time.Duration {
-	total := h.count.Load()
-	if total == 0 {
-		return 0
-	}
-	rank := uint64(q * float64(total))
-	if rank >= total {
-		rank = total - 1
-	}
-	var seen uint64
-	for i := 0; i < latencyBuckets; i++ {
-		seen += h.buckets[i].Load()
-		if seen > rank {
-			return time.Duration(uint64(1)<<uint(i)) * time.Microsecond
-		}
-	}
-	return time.Duration(h.maxMicro.Load()) * time.Microsecond
-}
-
-func (h *histogram) summary() LatencySummary {
-	n := h.count.Load()
-	s := LatencySummary{Count: n}
-	if n == 0 {
-		return s
-	}
-	s.Mean = time.Duration(h.sumMicro.Load()/n) * time.Microsecond
-	s.P50 = h.quantile(0.50)
-	s.P90 = h.quantile(0.90)
-	s.P99 = h.quantile(0.99)
-	s.Max = time.Duration(h.maxMicro.Load()) * time.Microsecond
-	return s
-}
 
 // strategyStatic labels queries served from indexes attached with Register,
 // which bypass the adaptive snapshot's strategy dispatch.
@@ -108,7 +42,9 @@ func strategySlot(s core.Strategy) int {
 }
 
 // stats is the engine's internal counter block; all fields are atomics so
-// every serving goroutine can update them without coordination.
+// every serving goroutine can update them without coordination. The latency
+// histograms are latstat.Histogram — the same lock-free power-of-two
+// machinery the serving layer's admission controller windows over.
 type stats struct {
 	queries        atomic.Uint64
 	preciseQueries atomic.Uint64
@@ -122,7 +58,7 @@ type stats struct {
 	retiresSkipped atomic.Uint64
 	publishes      atomic.Uint64
 
-	latency [numStrategies]histogram
+	latency [numStrategies]latstat.Histogram
 }
 
 func (s *stats) recordQuery(strategy core.Strategy, indexNodes, dataNodes int, precise bool, d time.Duration) {
@@ -132,14 +68,11 @@ func (s *stats) recordQuery(strategy core.Strategy, indexNodes, dataNodes int, p
 	}
 	s.indexVisits.Add(uint64(indexNodes))
 	s.validations.Add(uint64(dataNodes))
-	s.latency[strategySlot(strategy)].record(d)
+	s.latency[strategySlot(strategy)].Record(d)
 }
 
 // LatencySummary condenses one strategy's latency histogram.
-type LatencySummary struct {
-	Count                    uint64
-	Mean, P50, P90, P99, Max time.Duration
-}
+type LatencySummary = latstat.Summary
 
 // StatsSnapshot is a point-in-time copy of the engine counters, safe to
 // read, print and compare after the fact.
@@ -192,7 +125,7 @@ func (s *stats) snapshot(generation uint64) StatsSnapshot {
 		Latency:            make(map[core.Strategy]LatencySummary),
 	}
 	for i := range s.latency {
-		if sum := s.latency[i].summary(); sum.Count > 0 {
+		if sum := s.latency[i].Summary(); sum.Count > 0 {
 			out.Latency[strategyNames[i]] = sum
 		}
 	}
@@ -236,8 +169,8 @@ func (s StatsSnapshot) WriteTo(w io.Writer) (int64, error) {
 	sort.Strings(names)
 	for _, name := range names {
 		l := s.Latency[name]
-		if err := pr("  latency %-9s %10d queries  mean %-9v p50 %-9v p90 %-9v p99 %-9v max %v\n",
-			name, l.Count, l.Mean, l.P50, l.P90, l.P99, l.Max); err != nil {
+		if err := pr("  latency %-9s %10d queries  mean %-9v p50 %-9v p90 %-9v p99 %-9v p999 %-9v max %v\n",
+			name, l.Count, l.Mean, l.P50, l.P90, l.P99, l.P999, l.Max); err != nil {
 			return n, err
 		}
 	}

@@ -42,7 +42,7 @@ type AdaptAblationResult struct {
 // oracle engine and the untuned baseline. This quantifies the acceptance
 // criterion that adaptive tuning converges to oracle-grade serving cost with
 // a bounded (retirement-pruned) index.
-func RunAdaptAblation(ds Dataset, queries []*pathexpr.Expr, phases, epochs int, progress Progress) AdaptAblationResult {
+func RunAdaptAblation(ds Dataset, queries []*pathexpr.Expr, phases, epochs int, progress Progress) (AdaptAblationResult, error) {
 	var fups []*pathexpr.Expr
 	for _, e := range queries {
 		if !e.HasWildcard() && e.RequiredK() != pathexpr.Unbounded {
@@ -63,15 +63,21 @@ func RunAdaptAblation(ds Dataset, queries []*pathexpr.Expr, phases, epochs int, 
 		hotSize = 4
 	}
 
-	en := engine.New(ds.Graph, engine.Options{AutoTune: &adapt.Config{
+	en, err := engine.New(ds.Graph, engine.Options{AutoTune: &adapt.Config{
 		TopK:         32,
 		HotThreshold: 3,
 		PromoteAfter: 2,
 		DemoteAfter:  2,
 		Cooldown:     1,
 	}})
+	if err != nil {
+		return AdaptAblationResult{}, fmt.Errorf("adapt ablation: %w", err)
+	}
 	defer en.Close()
-	naive := engine.New(ds.Graph, engine.Options{})
+	naive, err := engine.New(ds.Graph, engine.Options{})
+	if err != nil {
+		return AdaptAblationResult{}, fmt.Errorf("adapt ablation: %w", err)
+	}
 
 	avgCost := func(e *engine.Engine, hot []*pathexpr.Expr) float64 {
 		var total int
@@ -113,7 +119,10 @@ func RunAdaptAblation(ds Dataset, queries []*pathexpr.Expr, phases, epochs int, 
 			}
 		}
 
-		oracle := engine.New(ds.Graph, engine.Options{})
+		oracle, err := engine.New(ds.Graph, engine.Options{})
+		if err != nil {
+			return res, fmt.Errorf("adapt ablation: %w", err)
+		}
 		for _, q := range hot {
 			oracle.Support(q)
 		}
@@ -134,7 +143,7 @@ func RunAdaptAblation(ds Dataset, queries []*pathexpr.Expr, phases, epochs int, 
 			row.TunedComponents, row.OracleComponents, row.ConvergedAt)
 	}
 	res.Stats = en.Stats()
-	return res
+	return res, nil
 }
 
 // WriteAdaptTable renders the adaptive-tuning ablation.

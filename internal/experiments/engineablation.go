@@ -35,7 +35,7 @@ type EngineAblationResult struct {
 // Support for every workload query. Readers run lock-free against published
 // snapshots, so their throughput is the headline number; the final
 // generation shows how many refinements were published mid-flight.
-func RunEngineAblation(ds Dataset, queries []*pathexpr.Expr, readerCounts []int, passes int, progress Progress) EngineAblationResult {
+func RunEngineAblation(ds Dataset, queries []*pathexpr.Expr, readerCounts []int, passes int, progress Progress) (EngineAblationResult, error) {
 	if passes <= 0 {
 		passes = 1
 	}
@@ -44,7 +44,10 @@ func RunEngineAblation(ds Dataset, queries []*pathexpr.Expr, readerCounts []int,
 		if readers <= 0 {
 			continue
 		}
-		en := engine.New(ds.Graph, engine.Options{})
+		en, err := engine.New(ds.Graph, engine.Options{})
+		if err != nil {
+			return res, fmt.Errorf("engine ablation: %w", err)
+		}
 		var served atomic.Int64
 		var wg sync.WaitGroup
 		start := time.Now()
@@ -89,7 +92,7 @@ func RunEngineAblation(ds Dataset, queries []*pathexpr.Expr, readerCounts []int,
 		progress.log("engine %d readers: %d queries in %v (%.0f q/s, generation %d)",
 			row.Readers, row.Queries, elapsed.Round(time.Millisecond), row.Throughput, row.Generation)
 	}
-	return res
+	return res, nil
 }
 
 // WriteEngineTable renders the concurrent-serving ablation.

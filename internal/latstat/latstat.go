@@ -1,0 +1,211 @@
+// Package latstat provides the lock-free latency statistics shared by the
+// serving stack: a power-of-two bucketed histogram every goroutine can
+// record into without coordination, quantile summaries, and a rotating
+// time-window view used for load-shedding decisions.
+//
+// The histogram started life inside internal/engine's stats block; it moved
+// here so the network serving layer (internal/serve) can observe its own
+// end-to-end latencies — including queueing delay, which the engine never
+// sees — with the same machinery and the same bucket boundaries.
+package latstat
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Buckets is the number of power-of-two microsecond buckets in a Histogram:
+// bucket i counts samples in [2^(i-1), 2^i) µs (bucket 0 counts <1µs), so
+// the range spans sub-microsecond up to ~2s before the last bucket
+// overflows.
+const Buckets = 21
+
+// Histogram is a lock-free power-of-two latency histogram. The zero value
+// is ready to use; all methods are safe for concurrent use.
+type Histogram struct {
+	buckets  [Buckets]atomic.Uint64
+	count    atomic.Uint64
+	sumMicro atomic.Uint64
+	maxMicro atomic.Uint64
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(d time.Duration) {
+	us := uint64(d.Microseconds())
+	b := bits.Len64(us) // 0 for <1µs, i for [2^(i-1), 2^i)
+	if b >= Buckets {
+		b = Buckets - 1
+	}
+	h.buckets[b].Add(1)
+	h.count.Add(1)
+	h.sumMicro.Add(us)
+	for {
+		cur := h.maxMicro.Load()
+		if us <= cur || h.maxMicro.CompareAndSwap(cur, us) {
+			break
+		}
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Quantile returns the upper bound of the bucket containing the q-quantile
+// sample (0 < q <= 1), as a duration. It is an approximation within a
+// factor of two, which is what a serving dashboard (or a load shedder with
+// a hysteresis band) needs.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	return h.counts().quantile(q)
+}
+
+// Summary condenses the histogram into fixed quantiles.
+func (h *Histogram) Summary() Summary { return h.counts().summary() }
+
+// counts is a plain (non-atomic) snapshot of a histogram, used to compute
+// quantiles over one or several histograms consistently.
+type counts struct {
+	buckets  [Buckets]uint64
+	count    uint64
+	sumMicro uint64
+	maxMicro uint64
+}
+
+func (h *Histogram) counts() counts {
+	var c counts
+	for i := range h.buckets {
+		c.buckets[i] = h.buckets[i].Load()
+	}
+	c.count = h.count.Load()
+	c.sumMicro = h.sumMicro.Load()
+	c.maxMicro = h.maxMicro.Load()
+	return c
+}
+
+func (c counts) merge(o counts) counts {
+	for i := range c.buckets {
+		c.buckets[i] += o.buckets[i]
+	}
+	c.count += o.count
+	c.sumMicro += o.sumMicro
+	if o.maxMicro > c.maxMicro {
+		c.maxMicro = o.maxMicro
+	}
+	return c
+}
+
+func (c counts) quantile(q float64) time.Duration {
+	if c.count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(c.count))
+	if rank >= c.count {
+		rank = c.count - 1
+	}
+	var seen uint64
+	for i := 0; i < Buckets; i++ {
+		seen += c.buckets[i]
+		if seen > rank {
+			return time.Duration(uint64(1)<<uint(i)) * time.Microsecond
+		}
+	}
+	return time.Duration(c.maxMicro) * time.Microsecond
+}
+
+func (c counts) summary() Summary {
+	s := Summary{Count: c.count}
+	if c.count == 0 {
+		return s
+	}
+	s.Mean = time.Duration(c.sumMicro/c.count) * time.Microsecond
+	s.P50 = c.quantile(0.50)
+	s.P90 = c.quantile(0.90)
+	s.P99 = c.quantile(0.99)
+	s.P999 = c.quantile(0.999)
+	s.Max = time.Duration(c.maxMicro) * time.Microsecond
+	return s
+}
+
+// Summary condenses one histogram (or window) into fixed quantiles.
+type Summary struct {
+	Count                          uint64
+	Mean, P50, P90, P99, P999, Max time.Duration
+}
+
+// Window is a rotating two-slot histogram: samples land in the current
+// slot, and reads merge the current slot with the previous one, so every
+// observation covers between one and two window widths of traffic and old
+// load spikes age out. Rotation is lazy (driven by the timestamps callers
+// pass in), so a Window needs no background goroutine.
+//
+// The serving layer's admission controller reads P99 from a Window on
+// every request; both Record and the quantile reads are lock-free.
+type Window struct {
+	width int64 // nanoseconds
+	slot  atomic.Pointer[windowSlot]
+}
+
+type windowSlot struct {
+	start int64 // unix nanoseconds
+	cur   *Histogram
+	prev  *Histogram // nil when the previous slot is older than one width
+}
+
+// NewWindow returns a window of the given width (which must be positive).
+func NewWindow(width time.Duration) *Window {
+	w := &Window{width: int64(width)}
+	w.slot.Store(&windowSlot{cur: &Histogram{}})
+	return w
+}
+
+// advance rotates the slot so that it covers now, and returns it.
+func (w *Window) advance(now time.Time) *windowSlot {
+	ns := now.UnixNano()
+	for {
+		s := w.slot.Load()
+		if s.start == 0 {
+			// First sample fixes the window origin.
+			fresh := &windowSlot{start: ns, cur: s.cur}
+			if w.slot.CompareAndSwap(s, fresh) {
+				return fresh
+			}
+			continue
+		}
+		age := ns - s.start
+		if age < w.width {
+			return s
+		}
+		next := &windowSlot{start: ns, cur: &Histogram{}}
+		if age < 2*w.width {
+			next.prev = s.cur
+		}
+		if w.slot.CompareAndSwap(s, next) {
+			return next
+		}
+	}
+}
+
+// Record adds one sample observed at now.
+func (w *Window) Record(now time.Time, d time.Duration) {
+	w.advance(now).cur.Record(d)
+}
+
+// Quantile returns the q-quantile over the last one-to-two window widths as
+// of now.
+func (w *Window) Quantile(now time.Time, q float64) time.Duration {
+	return w.windowCounts(now).quantile(q)
+}
+
+// Summary condenses the window's recent samples.
+func (w *Window) Summary(now time.Time) Summary {
+	return w.windowCounts(now).summary()
+}
+
+func (w *Window) windowCounts(now time.Time) counts {
+	s := w.advance(now)
+	c := s.cur.counts()
+	if s.prev != nil {
+		c = c.merge(s.prev.counts())
+	}
+	return c
+}

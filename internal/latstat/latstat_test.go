@@ -1,0 +1,109 @@
+package latstat
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 900 fast samples, 95 slow, 5 very slow: p50 must land in the fast
+	// band, p99 in the slow band, p999 at the outliers' bucket.
+	for i := 0; i < 900; i++ {
+		h.Record(3 * time.Microsecond)
+	}
+	for i := 0; i < 95; i++ {
+		h.Record(900 * time.Microsecond)
+	}
+	for i := 0; i < 5; i++ {
+		h.Record(80 * time.Millisecond)
+	}
+
+	s := h.Summary()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d, want 1000", s.Count)
+	}
+	if s.P50 > 8*time.Microsecond {
+		t.Errorf("p50 = %v, want within the fast band", s.P50)
+	}
+	if s.P99 < 512*time.Microsecond || s.P99 > 2*time.Millisecond {
+		t.Errorf("p99 = %v, want within a factor of two of 900µs", s.P99)
+	}
+	if s.P999 < 64*time.Millisecond {
+		t.Errorf("p999 = %v, want to reflect the 80ms outlier", s.P999)
+	}
+	if s.Max != 80*time.Millisecond {
+		t.Errorf("max = %v, want 80ms", s.Max)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if s := h.Summary(); s != (Summary{}) {
+		t.Errorf("empty histogram summary = %+v, want zero", s)
+	}
+	if q := h.Quantile(0.99); q != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", q)
+	}
+}
+
+func TestHistogramConcurrentRecord(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 1000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Record(time.Duration(i%7) * 100 * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != goroutines*per {
+		t.Errorf("count = %d, want %d", got, goroutines*per)
+	}
+}
+
+func TestWindowRotation(t *testing.T) {
+	w := NewWindow(time.Second)
+	t0 := time.Unix(1000, 0)
+
+	// A latency spike fills the first window.
+	for i := 0; i < 100; i++ {
+		w.Record(t0, 50*time.Millisecond)
+	}
+	if p := w.Quantile(t0, 0.99); p < 32*time.Millisecond {
+		t.Fatalf("p99 during spike = %v, want >= 32ms", p)
+	}
+
+	// Half a window later the spike still dominates (merged slots).
+	t1 := t0.Add(1500 * time.Millisecond)
+	for i := 0; i < 100; i++ {
+		w.Record(t1, time.Millisecond)
+	}
+	if p := w.Quantile(t1, 0.99); p < 32*time.Millisecond {
+		t.Errorf("p99 one rotation after spike = %v, want spike still visible", p)
+	}
+
+	// More than two widths later the spike has aged out entirely.
+	t2 := t1.Add(2500 * time.Millisecond)
+	for i := 0; i < 100; i++ {
+		w.Record(t2, time.Millisecond)
+	}
+	if p := w.Quantile(t2, 0.99); p > 4*time.Millisecond {
+		t.Errorf("p99 after spike aged out = %v, want back to ~1ms", p)
+	}
+}
+
+func TestWindowEmpty(t *testing.T) {
+	w := NewWindow(time.Second)
+	if p := w.Quantile(time.Unix(5, 0), 0.99); p != 0 {
+		t.Errorf("empty window p99 = %v, want 0", p)
+	}
+	if s := w.Summary(time.Unix(6, 0)); s.Count != 0 {
+		t.Errorf("empty window count = %d, want 0", s.Count)
+	}
+}

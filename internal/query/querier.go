@@ -1,6 +1,8 @@
 package query
 
 import (
+	"context"
+
 	"mrx/internal/index"
 	"mrx/internal/pathexpr"
 )
@@ -13,6 +15,42 @@ import (
 // cost metric.
 type Querier interface {
 	Query(e *pathexpr.Expr) Result
+}
+
+// ContextQuerier is the context-aware counterpart of Querier: evaluation
+// observes ctx and aborts early — returning ctx's error — once it is
+// canceled or past its deadline, so a serving layer can stop validation
+// work the moment a client disconnects. The concurrent engine implements it
+// natively (its QueryCtx polls ctx between validation candidates); wrap any
+// plain Querier with AsContextQuerier to serve it through an interface that
+// only consumes ContextQuerier, such as the network serving layer.
+type ContextQuerier interface {
+	QueryCtx(ctx context.Context, e *pathexpr.Expr) (Result, error)
+}
+
+// AsContextQuerier adapts q to the ContextQuerier interface. If q already
+// implements it (the engine does), it is returned unchanged; otherwise the
+// adapter checks ctx before and after the (uninterruptible) Query call, so
+// an expired context is still honored at call boundaries even though the
+// wrapped index cannot abort mid-validation.
+func AsContextQuerier(q Querier) ContextQuerier {
+	if cq, ok := q.(ContextQuerier); ok {
+		return cq
+	}
+	return ctxAdapter{q: q}
+}
+
+type ctxAdapter struct{ q Querier }
+
+func (a ctxAdapter) QueryCtx(ctx context.Context, e *pathexpr.Expr) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	res := a.q.Query(e)
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	return res, nil
 }
 
 // QuerierFunc adapts a plain function to the Querier interface, for serving

@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"mrx/internal/latstat"
+)
+
+// ErrShed is wrapped by every admission failure that should surface as
+// 429 Too Many Requests.
+var ErrShed = errors.New("serve: overloaded")
+
+// admission is the server's load-shedding gate: a fixed pool of execution
+// slots, a bounded wait queue in front of it, and a latency breaker over
+// the observed service times. A request acquires a slot before evaluating
+// and releases it after; when all slots are busy it may wait, but only if
+// the queue is below QueueDepth, only for at most QueueTimeout, and only
+// while the windowed p99 is under ShedP99 (if the breaker is enabled).
+// Everything else is shed immediately — under overload the server's answer
+// degrades to a fast 429, never to an unbounded queue.
+type admission struct {
+	cfg    Config
+	slots  chan struct{} // buffered; a held token is an execution slot
+	queued atomic.Int64  // requests currently waiting for a slot
+	window *latstat.Window
+}
+
+func newAdmission(cfg Config) *admission {
+	return &admission{
+		cfg:    cfg,
+		slots:  make(chan struct{}, cfg.MaxConcurrent),
+		window: latstat.NewWindow(cfg.Window),
+	}
+}
+
+// acquire blocks until an execution slot is free, the request is shed, or
+// ctx is done. A nil error means the caller holds a slot and must release.
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	// All slots busy: this request would queue. Shed instead if the
+	// observed p99 says the backlog is already too slow to be worth
+	// joining, or if the queue itself is full.
+	if a.cfg.ShedP99 > 0 {
+		if p99 := a.window.Quantile(time.Now(), 0.99); p99 > a.cfg.ShedP99 {
+			return fmt.Errorf("%w: observed p99 %v above bound %v", ErrShed, p99, a.cfg.ShedP99)
+		}
+	}
+	if n := a.queued.Add(1); n > int64(a.cfg.QueueDepth) {
+		a.queued.Add(-1)
+		return fmt.Errorf("%w: wait queue full (%d waiting, depth %d)", ErrShed, n-1, a.cfg.QueueDepth)
+	}
+	defer a.queued.Add(-1)
+
+	timer := time.NewTimer(a.cfg.QueueTimeout)
+	defer timer.Stop()
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	case <-timer.C:
+		return fmt.Errorf("%w: queued longer than %v", ErrShed, a.cfg.QueueTimeout)
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns the slot acquired by a successful acquire.
+func (a *admission) release() { <-a.slots }
+
+// observe feeds one service latency into the shedding window.
+func (a *admission) observe(d time.Duration) { a.window.Record(time.Now(), d) }
+
+// depth is the current wait-queue length (a gauge for /stats).
+func (a *admission) depth() int64 { return a.queued.Load() }
+
+// inFlight is the number of execution slots currently held.
+func (a *admission) inFlight() int { return len(a.slots) }
+
+// latency summarizes the shedding window (for /stats).
+func (a *admission) latency() latstat.Summary { return a.window.Summary(time.Now()) }

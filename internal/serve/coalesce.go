@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"context"
+	"sync"
+
+	"mrx/internal/query"
+)
+
+// flight is one in-progress evaluation that any number of callers wait on.
+type flight struct {
+	done    chan struct{} // closed after res/err are set and the flight is unpublished
+	res     query.Result
+	err     error
+	waiters int                // guarded by coalescer.mu
+	cancel  context.CancelFunc // cancels the evaluation's context
+}
+
+// coalescer collapses concurrent evaluations of the same canonical path
+// expression into one: the first caller for a key starts the evaluation
+// (the "leader"), later callers for the same key join the existing flight,
+// and the single result fans out to every waiter. This is single-flight
+// with one refinement for a serving layer: the evaluation runs under its
+// own context that is canceled only when every waiter has detached, so one
+// impatient client cannot kill a result other clients still want, while a
+// query nobody is waiting for anymore stops validating mid-flight.
+type coalescer struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+}
+
+func newCoalescer() *coalescer {
+	return &coalescer{flights: make(map[string]*flight)}
+}
+
+// do returns exec's result for key, coalescing concurrent callers: at most
+// one exec runs per key at a time. shared reports whether this caller
+// joined a flight started by another (the coalesce counter). If ctx is
+// done before the flight completes, do detaches and returns ctx.Err(); the
+// last waiter to detach cancels the exec context.
+func (c *coalescer) do(ctx context.Context, key string, exec func(context.Context) (query.Result, error)) (res query.Result, shared bool, err error) {
+	c.mu.Lock()
+	f, ok := c.flights[key]
+	if ok {
+		f.waiters++
+	} else {
+		execCtx, cancel := context.WithCancel(context.Background())
+		f = &flight{done: make(chan struct{}), waiters: 1, cancel: cancel}
+		c.flights[key] = f
+		go func() {
+			res, err := exec(execCtx)
+			c.mu.Lock()
+			f.res, f.err = res, err
+			// Unpublish before signaling: a caller arriving after done is
+			// closed must start a fresh flight, never join a finished one.
+			delete(c.flights, key)
+			c.mu.Unlock()
+			close(f.done)
+			cancel()
+		}()
+	}
+	c.mu.Unlock()
+
+	select {
+	case <-f.done:
+		return f.res, ok, f.err
+	case <-ctx.Done():
+		c.mu.Lock()
+		f.waiters--
+		if f.waiters == 0 {
+			// Nobody is listening for this result anymore: stop the
+			// evaluation. The exec goroutine still runs to completion
+			// (promptly, once the engine observes the cancellation) and
+			// cleans up the flight itself.
+			f.cancel()
+		}
+		c.mu.Unlock()
+		return query.Result{}, ok, ctx.Err()
+	}
+}

@@ -1,0 +1,118 @@
+// Package serve is the network serving layer over the unified query
+// interface: an http.Handler that fronts any query.ContextQuerier (in
+// practice the concurrent engine) with single-flight request coalescing and
+// latency-aware admission control.
+//
+// The layer addresses the two failure modes of serving an adaptive index to
+// an open workload. First, frequent queries arrive in bursts of identical
+// expressions — exactly the FUPs the index refines for — so concurrent
+// duplicates are collapsed into one engine evaluation whose result fans out
+// to every waiter (coalesce.go). Second, an overloaded server that queues
+// without bound turns overload into unbounded latency for everyone;
+// admission control (admission.go) bounds the wait queue, sheds with
+// 429 + Retry-After when the queue or the observed p99 crosses configured
+// thresholds, and threads each request's context into the engine so a
+// disconnected client stops paying for validation.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// ErrInvalidConfig is wrapped by every Config.Validate failure.
+var ErrInvalidConfig = errors.New("serve: invalid config")
+
+// Config bounds the server's concurrency and shedding behavior. The zero
+// value of a field selects the documented default where one exists;
+// DefaultConfig returns them explicitly. A nonsensical value (negative
+// worker count, zero or negative queue depth, negative duration) is
+// rejected by Validate — New refuses to construct a server from one.
+type Config struct {
+	// MaxConcurrent bounds the queries executing in the backing querier at
+	// once. Zero means runtime.GOMAXPROCS(0); negative is invalid.
+	MaxConcurrent int
+
+	// QueueDepth bounds the requests allowed to wait for an execution
+	// slot once all MaxConcurrent slots are busy. Arrivals beyond the
+	// bound are shed with 429. It must be positive: an unbounded queue
+	// converts overload into unbounded latency, and a zero queue would
+	// make MaxConcurrent a hard rate limit — if that is what you want,
+	// say QueueDepth: 1 and QueueTimeout: 1 * time.Nanosecond.
+	QueueDepth int
+
+	// QueueTimeout bounds how long an admitted request may wait for an
+	// execution slot before it is shed. Zero means 500ms; negative is
+	// invalid.
+	QueueTimeout time.Duration
+
+	// ShedP99 is the p99 service latency (observed over Window) above
+	// which queued arrivals are shed even before the queue fills. Zero
+	// disables the breaker; negative is invalid.
+	ShedP99 time.Duration
+
+	// Window is the width of the rotating window the latency quantiles
+	// are observed over. Zero means 5s; negative is invalid.
+	Window time.Duration
+
+	// RetryAfter is the hint returned in the Retry-After header of a 429
+	// response, rounded up to whole seconds. Zero means 1s; negative is
+	// invalid.
+	RetryAfter time.Duration
+}
+
+// DefaultConfig returns the documented defaults.
+func DefaultConfig() Config {
+	return Config{
+		MaxConcurrent: runtime.GOMAXPROCS(0),
+		QueueDepth:    64,
+		QueueTimeout:  500 * time.Millisecond,
+		ShedP99:       0, // breaker disabled
+		Window:        5 * time.Second,
+		RetryAfter:    time.Second,
+	}
+}
+
+// Validate rejects plainly invalid configurations with an error wrapping
+// ErrInvalidConfig.
+func (c Config) Validate() error {
+	if c.MaxConcurrent < 0 {
+		return fmt.Errorf("%w: MaxConcurrent %d (zero means GOMAXPROCS)", ErrInvalidConfig, c.MaxConcurrent)
+	}
+	if c.QueueDepth <= 0 {
+		return fmt.Errorf("%w: QueueDepth %d (must be positive; an unbounded queue is unbounded latency)", ErrInvalidConfig, c.QueueDepth)
+	}
+	for _, f := range []struct {
+		name string
+		v    time.Duration
+	}{
+		{"QueueTimeout", c.QueueTimeout},
+		{"ShedP99", c.ShedP99},
+		{"Window", c.Window},
+		{"RetryAfter", c.RetryAfter},
+	} {
+		if f.v < 0 {
+			return fmt.Errorf("%w: %s %v (negative duration)", ErrInvalidConfig, f.name, f.v)
+		}
+	}
+	return nil
+}
+
+// withDefaults resolves the zero values that mean "use the default".
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent == 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueTimeout == 0 {
+		c.QueueTimeout = 500 * time.Millisecond
+	}
+	if c.Window == 0 {
+		c.Window = 5 * time.Second
+	}
+	if c.RetryAfter == 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}

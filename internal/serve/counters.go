@@ -1,0 +1,44 @@
+package serve
+
+import "sync/atomic"
+
+// counters is the server's lock-free event accounting. Received counts
+// every /query request after parsing; each then lands in exactly one of
+// Served, Shed, Canceled or Errored. Coalesced additionally counts served
+// requests that joined another request's in-flight evaluation instead of
+// executing their own, and Flights counts the evaluations actually run —
+// so under a bursty identical-query workload Flights + Coalesced ≈ Served
+// with Flights ≪ Served.
+type counters struct {
+	Received  atomic.Uint64
+	Served    atomic.Uint64
+	Coalesced atomic.Uint64
+	Flights   atomic.Uint64
+	Shed      atomic.Uint64
+	Canceled  atomic.Uint64
+	Errored   atomic.Uint64
+}
+
+// CountersSnapshot is a point-in-time copy of the serving counters,
+// JSON-encodable for /stats.
+type CountersSnapshot struct {
+	Received  uint64 `json:"received"`
+	Served    uint64 `json:"served"`
+	Coalesced uint64 `json:"coalesced"`
+	Flights   uint64 `json:"flights"`
+	Shed      uint64 `json:"shed"`
+	Canceled  uint64 `json:"canceled"`
+	Errored   uint64 `json:"errored"`
+}
+
+func (c *counters) snapshot() CountersSnapshot {
+	return CountersSnapshot{
+		Received:  c.Received.Load(),
+		Served:    c.Served.Load(),
+		Coalesced: c.Coalesced.Load(),
+		Flights:   c.Flights.Load(),
+		Shed:      c.Shed.Load(),
+		Canceled:  c.Canceled.Load(),
+		Errored:   c.Errored.Load(),
+	}
+}

@@ -1,0 +1,201 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"mrx/internal/graph"
+	"mrx/internal/latstat"
+	"mrx/internal/pathexpr"
+	"mrx/internal/query"
+)
+
+// Server serves path-expression queries over HTTP from any
+// query.ContextQuerier. It owns the request lifecycle — parse, coalesce,
+// admit, evaluate under the request's context, account — but is agnostic
+// about what answers the query: the engine, a frozen index behind
+// AsContextQuerier, or a test stub all serve identically.
+type Server struct {
+	// ExtraStats, when non-nil, is invoked per /stats request and its
+	// result embedded under "backend" in the response — the hook through
+	// which cmd/mrserve exposes engine stats and the AutoTune plan without
+	// this package importing the engine.
+	ExtraStats func() any
+
+	q     query.ContextQuerier
+	cfg   Config
+	adm   *admission
+	co    *coalescer
+	ctr   counters
+	start time.Time
+}
+
+// New validates cfg and constructs a Server over q.
+func New(q query.ContextQuerier, cfg Config) (*Server, error) {
+	if q == nil {
+		return nil, fmt.Errorf("%w: nil querier", ErrInvalidConfig)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	return &Server{
+		q:     q,
+		cfg:   cfg,
+		adm:   newAdmission(cfg),
+		co:    newCoalescer(),
+		start: time.Now(),
+	}, nil
+}
+
+// Handler returns the server's routing table:
+//
+//	GET /query?q=//a/b[&answers=1]  evaluate one path expression
+//	GET /stats                      serving counters, latency window, backend stats
+//	GET /healthz                    liveness probe
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+// Counters returns a snapshot of the serving counters (exported for tests
+// and for cmd/mrserve's exit summary).
+func (s *Server) Counters() CountersSnapshot { return s.ctr.snapshot() }
+
+// QueryResponse is the JSON body of a successful /query evaluation.
+type QueryResponse struct {
+	Query     string         `json:"query"`
+	Canonical string         `json:"canonical"`
+	Answers   int            `json:"answers"`
+	Answer    []graph.NodeID `json:"answer,omitempty"`
+	IndexCost int            `json:"index_cost"`
+	DataCost  int            `json:"data_cost"`
+	Precise   bool           `json:"precise"`
+	Coalesced bool           `json:"coalesced"`
+	Micros    int64          `json:"micros"`
+}
+
+// StatsResponse is the JSON body of /stats.
+type StatsResponse struct {
+	UptimeSeconds float64          `json:"uptime_seconds"`
+	Config        Config           `json:"config"`
+	Counters      CountersSnapshot `json:"counters"`
+	QueueDepth    int64            `json:"queue_depth"`
+	InFlight      int              `json:"in_flight"`
+	Latency       latstat.Summary  `json:"latency"`
+	Backend       any              `json:"backend,omitempty"`
+}
+
+// errorResponse is the JSON body of every non-2xx response.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "GET only"})
+		return
+	}
+	raw := r.URL.Query().Get("q")
+	if raw == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing q parameter"})
+		return
+	}
+	e, err := pathexpr.Parse(raw)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	s.ctr.Received.Add(1)
+
+	key := pathexpr.Canonical(e)
+	start := time.Now()
+	res, shared, err := s.co.do(r.Context(), key, func(execCtx context.Context) (query.Result, error) {
+		// Admission runs inside the flight: coalesced followers never
+		// consume queue capacity, only distinct expressions compete.
+		if err := s.adm.acquire(execCtx); err != nil {
+			return query.Result{}, err
+		}
+		defer s.adm.release()
+		s.ctr.Flights.Add(1)
+		t0 := time.Now()
+		r, err := s.q.QueryCtx(execCtx, e)
+		if err == nil {
+			s.adm.observe(time.Since(t0))
+		}
+		return r, err
+	})
+	switch {
+	case err == nil:
+		s.ctr.Served.Add(1)
+		if shared {
+			s.ctr.Coalesced.Add(1)
+		}
+		resp := QueryResponse{
+			Query:     raw,
+			Canonical: key,
+			Answers:   len(res.Answer),
+			IndexCost: res.Cost.IndexNodes,
+			DataCost:  res.Cost.DataNodes,
+			Precise:   res.Precise,
+			Coalesced: shared,
+			Micros:    time.Since(start).Microseconds(),
+		}
+		if r.URL.Query().Get("answers") == "1" {
+			resp.Answer = res.Answer
+		}
+		writeJSON(w, http.StatusOK, resp)
+	case errors.Is(err, ErrShed):
+		s.ctr.Shed.Add(1)
+		secs := int64((s.cfg.RetryAfter + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The waiting client went away (or timed out): usually the write
+		// below goes nowhere, but a deadline racing completion still gets
+		// a well-formed response.
+		s.ctr.Canceled.Add(1)
+		writeJSON(w, http.StatusRequestTimeout, errorResponse{Error: err.Error()})
+	default:
+		s.ctr.Errored.Add(1)
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := StatsResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Config:        s.cfg,
+		Counters:      s.ctr.snapshot(),
+		QueueDepth:    s.adm.depth(),
+		InFlight:      s.adm.inFlight(),
+		Latency:       s.adm.latency(),
+	}
+	if s.ExtraStats != nil {
+		resp.Backend = s.ExtraStats()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	// Encoding a response struct cannot fail structurally; a mid-body
+	// network error is the client's loss, not ours to handle.
+	_ = enc.Encode(v)
+}

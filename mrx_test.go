@@ -2,6 +2,7 @@ package mrx_test
 
 import (
 	"bytes"
+	"context"
 	"reflect"
 	"strings"
 	"testing"
@@ -39,7 +40,7 @@ func TestFacadeIndexes(t *testing.T) {
 	want := mrx.Eval(g, e)
 
 	a2 := mrx.BuildAK(g, 2)
-	if res := mrx.QueryIndex(a2, e); !reflect.DeepEqual(res.Answer, want) {
+	if res := mrx.AsQuerier(a2).Query(e); !reflect.DeepEqual(res.Answer, want) {
 		t.Error("A(2) wrong answer")
 	}
 
@@ -47,7 +48,7 @@ func TestFacadeIndexes(t *testing.T) {
 	if depth <= 0 {
 		t.Error("bisimulation depth")
 	}
-	if res := mrx.QueryIndex(one, e); !res.Precise {
+	if res := mrx.AsQuerier(one).Query(e); !res.Precise {
 		t.Error("1-index should be precise")
 	}
 
@@ -55,13 +56,13 @@ func TestFacadeIndexes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res := mrx.QueryIndex(dk, e); !res.Precise {
+	if res := mrx.AsQuerier(dk).Query(e); !res.Precise {
 		t.Error("D(k)-construct should be precise for its FUP")
 	}
 
 	dp := mrx.NewDKPromote(g)
 	dp.Support(e)
-	if res := mrx.QueryIndex(dp.Index(), e); !res.Precise {
+	if res := mrx.AsQuerier(dp.Index()).Query(e); !res.Precise {
 		t.Error("D(k)-promote should be precise after Support")
 	}
 
@@ -141,7 +142,7 @@ func TestFacadePersistence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(mrx.QueryIndex(ig2, e).Answer, mrx.QueryIndex(ig, e).Answer) {
+	if !reflect.DeepEqual(mrx.AsQuerier(ig2).Query(e).Answer, mrx.AsQuerier(ig).Query(e).Answer) {
 		t.Fatal("index round trip answer mismatch")
 	}
 
@@ -245,7 +246,10 @@ func TestFacadeQuerier(t *testing.T) {
 	mk.Support(e)
 	ms := mrx.NewMStarOpts(g, mrx.MStarOptions{Strategy: mrx.StrategyAuto})
 	ms.Support(e)
-	en := mrx.NewEngine(g, mrx.EngineOptions{})
+	en, err := mrx.NewEngine(g, mrx.EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	queriers := map[string]mrx.Querier{
 		"a2":        mrx.AsQuerier(mrx.BuildAK(g, 2)),
@@ -264,10 +268,28 @@ func TestFacadeQuerier(t *testing.T) {
 		}
 	}
 
-	// The deprecated entry point must keep matching the Querier path.
+	// Every Querier also serves through the context-aware interface: the
+	// adapter must return identical results under a live context, and the
+	// engine must be picked up natively (no wrapping).
+	for name, q := range queriers {
+		cq := mrx.AsContextQuerier(q)
+		res, err := cq.QueryCtx(context.Background(), e)
+		if err != nil {
+			t.Errorf("%s via ContextQuerier: %v", name, err)
+			continue
+		}
+		if !reflect.DeepEqual(res.Answer, want) {
+			t.Errorf("%s via ContextQuerier: %d answers, want %d", name, len(res.Answer), len(want))
+		}
+	}
+	if cq := mrx.AsContextQuerier(en); cq != mrx.ContextQuerier(en) {
+		t.Error("AsContextQuerier(engine) should return the engine itself")
+	}
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
 	ig := mrx.BuildAK(g, 2)
-	if !reflect.DeepEqual(mrx.QueryIndex(ig, e), mrx.AsQuerier(ig).Query(e)) {
-		t.Error("QueryIndex diverged from AsQuerier(ig).Query")
+	if _, err := mrx.AsContextQuerier(mrx.AsQuerier(ig)).QueryCtx(canceled, e); err == nil {
+		t.Error("ContextQuerier adapter ignored a canceled context")
 	}
 }
 
@@ -277,7 +299,10 @@ func TestFacadeEngine(t *testing.T) {
 	e := mrx.MustParsePath("//person/watches/watch")
 	want := mrx.Eval(g, e)
 
-	en := mrx.NewEngine(g, mrx.EngineOptions{Parallelism: 2})
+	en, err := mrx.NewEngine(g, mrx.EngineOptions{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res := en.Query(e); !reflect.DeepEqual(res.Answer, want) {
 		t.Fatal("engine wrong before refinement")
 	}

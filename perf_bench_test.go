@@ -16,6 +16,17 @@ import (
 	"mrx/internal/query"
 )
 
+// mustEngineB constructs an engine from options the benchmark knows are
+// valid.
+func mustEngineB(b *testing.B, g *mrx.Graph, o engine.Options) *engine.Engine {
+	b.Helper()
+	en, err := engine.New(g, o)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return en
+}
+
 func BenchmarkLoadXMarkXML(b *testing.B) {
 	doc := mrx.GenerateXMark(0.1, 1)
 	b.SetBytes(int64(len(doc)))
@@ -127,7 +138,7 @@ func BenchmarkEnginePublish(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		en := engine.New(g, engine.Options{})
+		en := mustEngineB(b, g, engine.Options{})
 		b.StartTimer()
 		if !en.Support(e) {
 			b.Fatal("FUP unexpectedly precise; nothing published")
@@ -173,7 +184,7 @@ func BenchmarkEngineServing(b *testing.B) {
 	}
 	for _, readers := range []int{1, 4, 8} {
 		b.Run(fmt.Sprintf("readers=%d", readers), func(b *testing.B) {
-			en := engine.New(g, engine.Options{})
+			en := mustEngineB(b, g, engine.Options{})
 			for _, q := range queries {
 				en.Support(q)
 			}
@@ -212,7 +223,7 @@ func BenchmarkEngineServingAutoTune(b *testing.B) {
 					// for plan execution.
 					opts.AutoTune = &adapt.Config{TopK: 64}
 				}
-				en := engine.New(g, opts)
+				en := mustEngineB(b, g, opts)
 				for _, q := range queries {
 					en.Support(q)
 				}
@@ -252,7 +263,7 @@ func BenchmarkAutoTuneSteadyState(b *testing.B) {
 		}
 	}
 	b.Run("tuned", func(b *testing.B) {
-		en := engine.New(g, engine.Options{AutoTune: &adapt.Config{
+		en := mustEngineB(b, g, engine.Options{AutoTune: &adapt.Config{
 			TopK: 64, HotThreshold: 3, PromoteAfter: 2, DemoteAfter: 3, Cooldown: 2,
 		}})
 		converge(en)
@@ -262,7 +273,7 @@ func BenchmarkAutoTuneSteadyState(b *testing.B) {
 		}
 	})
 	b.Run("oracle", func(b *testing.B) {
-		en := engine.New(g, engine.Options{})
+		en := mustEngineB(b, g, engine.Options{})
 		for _, q := range queries {
 			en.Support(q)
 		}
