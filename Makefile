@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race check bench bench-smoke drift-smoke serve-smoke fuzz cover
+.PHONY: all build vet lint test race check bench bench-smoke drift-smoke serve-smoke chaos-smoke chaos-bench fuzz cover
 
 all: check
 
@@ -58,6 +58,26 @@ drift-smoke:
 # serving layer.
 serve-smoke:
 	$(GO) test -run='^TestServeSmoke$$' -count=1 -v ./internal/clitest/
+
+# chaos-smoke drives the real mrserve and mrload binaries over an impaired
+# network: an in-process netem proxy degrades the server-side leg
+# (latency+jitter, throttling) while mrload's -impair-* flags degrade the
+# client leg, and a deep-query surge overloads the single evaluation slot —
+# asserting that wire impairment lands on the client round trip (never on
+# the service-side p99 the breaker governs) and that overload is answered
+# with fast 429s instead of unbounded queueing. The CI gate for the
+# impairment layer (internal/netem).
+chaos-smoke:
+	$(GO) test -run='^TestChaosSmoke$$' -count=1 -v ./internal/clitest/
+
+# chaos-bench is chaos-smoke with the combined per-level mrload reports
+# archived under results/ — the committed record that impaired and slow
+# clients are shed or timed out rather than pinning serving slots. It also
+# hard-gates on the surge level actually shedding.
+chaos-bench:
+	@mkdir -p results
+	MRX_CHAOS_REPORT=results/BENCH_$$(date +%Y-%m-%d)_chaos.json \
+		$(GO) test -run='^TestChaosSmoke$$' -count=1 -v ./internal/clitest/
 
 # Native fuzzing smoke: each target runs for FUZZTIME on top of its
 # committed seed corpus (testdata/fuzz/<FuzzName>/ in each package, which

@@ -39,6 +39,8 @@ import (
 
 	"mrx"
 	"mrx/internal/latstat"
+	"mrx/internal/loadgen"
+	"mrx/internal/netem"
 	"mrx/internal/serve"
 )
 
@@ -57,6 +59,12 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 512, "client-side cap on outstanding requests")
 	report := flag.String("report", "", "write the JSON report to this file (default stdout)")
 	check := flag.Bool("check", false, "exit nonzero unless served > 0 and errors == 0 at every level")
+	impLatency := flag.Duration("impair-latency", 0, "netem: one-way latency added to every client connection")
+	impJitter := flag.Duration("impair-jitter", 0, "netem: uniform jitter around -impair-latency")
+	impLoss := flag.Float64("impair-loss", 0, "netem: per-segment loss probability, modeled as retransmit stalls")
+	impBPS := flag.Int("impair-bps", 0, "netem: per-direction bandwidth cap in bytes/sec (0 disables)")
+	impChunk := flag.Int("impair-chunk", 0, "netem: max bytes per delivered segment (0 disables chunking)")
+	impSeed := flag.Int64("impair-seed", 1, "netem: root seed for the deterministic impairment schedule")
 	flag.Parse()
 
 	levels, err := parseQPS(*qpsList)
@@ -67,11 +75,22 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	base := "http://" + *addr
-	client := &http.Client{
-		Timeout:   10 * time.Second,
-		Transport: &http.Transport{MaxIdleConnsPerHost: *maxInflight},
+	impair := netem.Profile{
+		Latency: *impLatency, Jitter: *impJitter, LossRate: *impLoss,
+		BytesPerSec: *impBPS, ChunkBytes: *impChunk,
 	}
+	if err := impair.Validate(); err != nil {
+		fail(err)
+	}
+	base := "http://" + *addr
+	transport := &http.Transport{MaxIdleConnsPerHost: *maxInflight}
+	if !impair.IsZero() {
+		// Every client connection dials through the impairment shim, so the
+		// offered load reaches the server over the configured bad network.
+		dialer := &netem.Dialer{Profile: impair, Seed: *impSeed}
+		transport.DialContext = dialer.DialContext
+	}
+	client := &http.Client{Timeout: 10 * time.Second, Transport: transport}
 	if err := waitHealthy(client, base, 5*time.Second); err != nil {
 		fail(err)
 	}
@@ -79,6 +98,10 @@ func main() {
 	rep := Report{
 		Addr: *addr, Dataset: *dataset, Scale: *scale, Seed: *seed,
 		Queries: len(queries), Phases: *phases, HotSize: *hotSize, HotFrac: *hotFrac,
+	}
+	if !impair.IsZero() {
+		rep.Impairment = &impair
+		rep.ImpairSeed = *impSeed
 	}
 	if sr, err := fetchStats(client, base); err == nil {
 		rep.ServerConfig = &sr.Config
@@ -137,6 +160,12 @@ type Report struct {
 	Phases  int     `json:"phases"`
 	HotSize int     `json:"hot_size"`
 	HotFrac float64 `json:"hot_frac"`
+	// Impairment records the netem profile every client connection dialed
+	// through (absent for a clean-network run), and ImpairSeed the root
+	// seed of its deterministic schedule — together they are the full
+	// recipe for replaying the run's network conditions.
+	Impairment *netem.Profile `json:"impairment,omitempty"`
+	ImpairSeed int64          `json:"impair_seed,omitempty"`
 	// ServerConfig echoes the serving limits the run was shed against.
 	ServerConfig *serve.Config `json:"server_config,omitempty"`
 	Levels       []Level       `json:"levels"`
@@ -196,10 +225,6 @@ func runLevel(client *http.Client, base string, queries []string, cfg levelConfi
 	var wg sync.WaitGroup
 	inflight := make(chan struct{}, cfg.maxInflight)
 	rng := rand.New(rand.NewSource(cfg.seed*1000 + int64(cfg.qps)))
-	phaseLen := cfg.duration / time.Duration(cfg.phases)
-	if phaseLen <= 0 {
-		phaseLen = cfg.duration
-	}
 
 	send := func(q string) {
 		select {
@@ -235,24 +260,15 @@ func runLevel(client *http.Client, base string, queries []string, cfg levelConfi
 		}()
 	}
 
-	// Dispatch on a millisecond clock, sending however many requests the
-	// target rate owes by now: the offered load tracks cfg.qps exactly even
-	// when one tick cannot be scheduled per request (high rates drop ticker
-	// ticks; the deficit batch makes them up).
-	ticker := time.NewTicker(time.Millisecond)
-	defer ticker.Stop()
-	start := time.Now()
-	dispatched := 0
-	for now := range ticker.C {
-		elapsed := now.Sub(start)
-		if elapsed >= cfg.duration {
-			break
-		}
-		owed := int(int64(elapsed) * int64(cfg.qps) / int64(time.Second))
-		phase := int(elapsed / phaseLen)
-		for ; dispatched < owed; dispatched++ {
-			send(pickQuery(rng, queries, phase, cfg.hotSize, cfg.hotFrac))
-		}
+	// The open-loop deficit-batch dispatcher lives in internal/loadgen; it
+	// offers cfg.qps×cfg.duration requests regardless of dropped ticker
+	// ticks and hands each call its rotating-hot-set phase.
+	if _, err := loadgen.Run(nil, loadgen.Config{
+		QPS: cfg.qps, Duration: cfg.duration, Phases: cfg.phases,
+	}, func(_, phase int) {
+		send(pickQuery(rng, queries, phase, cfg.hotSize, cfg.hotFrac))
+	}); err != nil {
+		return Level{}, err
 	}
 	wg.Wait()
 

@@ -53,15 +53,23 @@ func main() {
 	shedP99 := flag.Duration("shed-p99", 0, "shed queued arrivals when observed p99 exceeds this (0 disables)")
 	window := flag.Duration("window", serve.DefaultConfig().Window, "latency observation window for -shed-p99")
 	retryAfter := flag.Duration("retry-after", serve.DefaultConfig().RetryAfter, "Retry-After hint on 429 responses")
+	readHeaderTimeout := flag.Duration("read-header-timeout", serve.DefaultConfig().ReadHeaderTimeout, "max time a client may take to send its request headers (slow-loris bound)")
+	readTimeout := flag.Duration("read-timeout", serve.DefaultConfig().ReadTimeout, "max time to read one whole request")
+	writeTimeout := flag.Duration("write-timeout", serve.DefaultConfig().WriteTimeout, "max time to write one whole response (half-open reader bound)")
+	idleTimeout := flag.Duration("idle-timeout", serve.DefaultConfig().IdleTimeout, "max keep-alive idle time before a connection is reaped")
 	flag.Parse()
 
 	cfg := serve.Config{
-		MaxConcurrent: *maxConcurrent,
-		QueueDepth:    *queueDepth,
-		QueueTimeout:  *queueTimeout,
-		ShedP99:       *shedP99,
-		Window:        *window,
-		RetryAfter:    *retryAfter,
+		MaxConcurrent:     *maxConcurrent,
+		QueueDepth:        *queueDepth,
+		QueueTimeout:      *queueTimeout,
+		ShedP99:           *shedP99,
+		Window:            *window,
+		RetryAfter:        *retryAfter,
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
 	}
 	// Validate the serving limits before paying for dataset and engine
 	// construction; serve.New re-checks below.
@@ -101,7 +109,10 @@ func main() {
 	// The actual address, so -addr with port 0 is scriptable.
 	fmt.Printf("mrserve: listening on http://%s\n", ln.Addr())
 
-	hs := &http.Server{Handler: srv.Handler()}
+	// HTTPServer applies the configured network timeouts, so a slow-loris
+	// header trickle or a client that stops reading its response is cut off
+	// instead of pinning a connection goroutine.
+	hs := cfg.HTTPServer(srv.Handler())
 	done := make(chan error, 1)
 	go func() { done <- hs.Serve(ln) }()
 

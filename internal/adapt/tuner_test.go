@@ -100,21 +100,24 @@ func TestSnapshotObservability(t *testing.T) {
 // Validate must reject nonsensical knobs with ErrInvalidConfig and accept
 // both the zero value and the documented negative-Cooldown disable.
 func TestConfigValidate(t *testing.T) {
-	bad := []Config{
-		{TopK: -1},
-		{PromoteAfter: -2},
-		{DemoteAfter: -1},
-		{MaxActionsPerEpoch: -4},
-		{Interval: -time.Second},
+	bad := []struct {
+		name string
+		cfg  Config
+	}{
+		{"negative topk", Config{TopK: -1}},
+		{"negative promote-after", Config{PromoteAfter: -2}},
+		{"negative demote-after", Config{DemoteAfter: -1}},
+		{"negative actions-per-epoch", Config{MaxActionsPerEpoch: -4}},
+		{"negative interval", Config{Interval: -time.Second}},
 	}
-	for _, cfg := range bad {
-		err := cfg.Validate()
+	for _, tc := range bad {
+		err := tc.cfg.Validate()
 		if err == nil {
-			t.Errorf("Validate accepted %+v", cfg)
+			t.Errorf("%s: Validate accepted %+v", tc.name, tc.cfg)
 			continue
 		}
 		if !errors.Is(err, ErrInvalidConfig) {
-			t.Errorf("error %v for %+v does not wrap ErrInvalidConfig", err, cfg)
+			t.Errorf("%s: error %v does not wrap ErrInvalidConfig", tc.name, err)
 		}
 	}
 	for _, cfg := range []Config{{}, {Cooldown: -1}, DefaultConfig()} {

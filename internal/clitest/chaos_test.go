@@ -1,0 +1,231 @@
+package clitest
+
+// Chaos smoke: the real mrserve and mrload binaries talking across an
+// impaired network. An in-process netem.Proxy sits in front of mrserve so
+// the server-side leg degrades (latency+jitter, throttling) without
+// touching either binary, while mrload's own -impair-* flags impair the
+// client leg; every level's full mrload report lands in one combined chaos
+// JSON (written to $MRX_CHAOS_REPORT when set — `make chaos-bench` — so
+// runs can be committed under results/).
+//
+// What the levels prove: wire impairment lands on the client-observed
+// round trip while the server-side service p99 — the number the -shed-p99
+// breaker governs — stays flat; and under a uniform-key surge the server
+// sheds with 429 instead of queueing without bound, even while impaired
+// clients hold connections.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"mrx/internal/netem"
+)
+
+// chaosLevel is one impairment scenario in the combined report.
+type chaosLevel struct {
+	Name string `json:"name"`
+	// ProxyProfile impairs the server-side leg (zero: clean); client-side
+	// impairment is recorded inside Report by mrload itself.
+	ProxyProfile netem.Profile   `json:"proxy_profile"`
+	ProxySeed    int64           `json:"proxy_seed,omitempty"`
+	Report       json.RawMessage `json:"report"`
+}
+
+// chaosReport is the combined artifact: one mrload run per level against
+// the same mrserve instance.
+type chaosReport struct {
+	Levels []chaosLevel `json:"levels"`
+}
+
+// loadLevel is the slice of mrload's report the assertions need.
+type loadLevel struct {
+	QPS       int    `json:"qps"`
+	Sent      uint64 `json:"sent"`
+	OK        uint64 `json:"ok"`
+	Shed      uint64 `json:"shed"`
+	Errors    uint64 `json:"errors"`
+	P99Micros int64  `json:"p99_micros"`
+	Server    *struct {
+		Served    uint64 `json:"served"`
+		Shed      uint64 `json:"shed"`
+		P99Micros int64  `json:"p99_micros"`
+	} `json:"server"`
+}
+
+type loadReport struct {
+	Impairment *netem.Profile `json:"impairment"`
+	ImpairSeed int64          `json:"impair_seed"`
+	Levels     []loadLevel    `json:"levels"`
+}
+
+// proxyFor starts an impaired TCP proxy in front of backend and returns
+// its client-facing address.
+func proxyFor(t *testing.T, backend string, prof netem.Profile, seed int64) string {
+	t.Helper()
+	front, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := netem.NewProxy(front, backend, prof, seed, nil)
+	p.Start()
+	t.Cleanup(func() { _ = p.Close() })
+	return p.Addr().String()
+}
+
+// TestChaosSmoke is the chaos-smoke make target.
+func TestChaosSmoke(t *testing.T) {
+	// Deliberately tight serving limits over a full-scale dataset, so the
+	// surge level below genuinely overloads the single evaluation slot:
+	// parallel validation makes each evaluation yield (so concurrent
+	// arrivals actually observe the busy slot), the 16-deep queue bounds
+	// waiting, and the 5ms p99 breaker sheds queued arrivals once the
+	// observed service tail crosses it.
+	addr, stop := startServe(t,
+		"-scale", "1.0", "-parallel", "4",
+		"-max-concurrent", "1", "-queue-depth", "16", "-queue-timeout", "20ms",
+		"-shed-p99", "5ms")
+	defer stop()
+
+	const (
+		jitterLatency = 60 * time.Millisecond
+		jitterJitter  = 20 * time.Millisecond
+	)
+	levels := []struct {
+		name      string
+		proxy     netem.Profile
+		proxySeed int64
+		extra     []string // extra mrload flags
+	}{
+		{name: "clean", extra: []string{"-qps", "150"}},
+		{name: "jitter",
+			proxy:     netem.Profile{Latency: jitterLatency, Jitter: jitterJitter},
+			proxySeed: 11,
+			extra:     []string{"-qps", "100"}},
+		{name: "lossy-trickle",
+			proxy:     netem.Profile{BytesPerSec: 1 << 20},
+			proxySeed: 12,
+			extra: []string{"-qps", "50",
+				"-impair-latency", "5ms", "-impair-jitter", "2ms",
+				"-impair-loss", "0.05", "-impair-chunk", "2048",
+				"-impair-seed", "17"}},
+		// Deep uniform-key queries (no coalescing, multi-ms evaluations)
+		// at 3× the slot's capacity: the p99 breaker and the bounded queue
+		// must answer with fast 429s instead of unbounded queueing.
+		{name: "surge", extra: []string{"-qps", "600", "-hotfrac", "0",
+			"-queries", "100", "-maxlen", "24", "-max-inflight", "256"}},
+	}
+
+	combined := chaosReport{}
+	parsed := map[string]loadReport{}
+	for _, lv := range levels {
+		target := addr
+		if !lv.proxy.IsZero() {
+			target = proxyFor(t, addr, lv.proxy, lv.proxySeed)
+		}
+		reportPath := filepath.Join(binDir, "chaos-"+lv.name+".json")
+		args := append([]string{"-addr", target, "-dataset", "xmark",
+			"-scale", "1.0", "-seed", "7", "-duration", "2s", "-queries", "60",
+			"-report", reportPath, "-check"}, lv.extra...)
+		out := run(t, false, "mrload", args...)
+		if !strings.Contains(out, "check passed") {
+			t.Fatalf("%s: mrload -check did not pass:\n%s", lv.name, out)
+		}
+		raw, err := os.ReadFile(reportPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rep loadReport
+		if err := json.Unmarshal(raw, &rep); err != nil {
+			t.Fatalf("%s: report is not valid JSON: %v", lv.name, err)
+		}
+		parsed[lv.name] = rep
+		combined.Levels = append(combined.Levels, chaosLevel{
+			Name: lv.name, ProxyProfile: lv.proxy, ProxySeed: lv.proxySeed,
+			Report: json.RawMessage(raw),
+		})
+	}
+
+	for name, rep := range parsed {
+		if len(rep.Levels) != 1 {
+			t.Fatalf("%s: report has %d levels, want 1", name, len(rep.Levels))
+		}
+		lv := rep.Levels[0]
+		if lv.OK == 0 || lv.Errors > 0 || lv.Server == nil {
+			t.Errorf("%s: implausible level %+v", name, lv)
+		}
+	}
+
+	// Wire impairment must land on the client round trip, never on the
+	// service-side latency the shed breaker observes: under 20ms±10ms
+	// one-way proxy latency the client p99 pays at least the 2×10ms floor,
+	// while the server-side p99 stays strictly under the one-way latency.
+	floor := (2 * (jitterLatency - jitterJitter)).Microseconds()
+	j := parsed["jitter"].Levels[0]
+	if j.P99Micros < floor {
+		t.Errorf("jitter: client p99 %dµs below the impairment floor %dµs", j.P99Micros, floor)
+	}
+	if j.Server.P99Micros >= jitterLatency.Microseconds() {
+		t.Errorf("jitter: server-side p99 %dµs absorbed the wire latency (one-way %dµs) — impairment leaked into service time",
+			j.Server.P99Micros, jitterLatency.Microseconds())
+	}
+
+	// The client-side impairment recipe must be in the report, so the run
+	// is replayable.
+	lt := parsed["lossy-trickle"]
+	if lt.Impairment == nil || lt.ImpairSeed != 17 {
+		t.Errorf("lossy-trickle: report does not record the impairment recipe: %+v seed %d",
+			lt.Impairment, lt.ImpairSeed)
+	} else if lt.Impairment.LossRate != 0.05 || lt.Impairment.ChunkBytes != 2048 {
+		t.Errorf("lossy-trickle: recorded profile %+v does not match the flags", lt.Impairment)
+	}
+
+	// The surge must be answered with load shedding, not unbounded
+	// queueing. Shed counts are machine-speed dependent, so the plain
+	// smoke only logs them; a chaos-bench run (MRX_CHAOS_REPORT set) is
+	// the committed record and must demonstrate shedding.
+	s := parsed["surge"].Levels[0]
+	t.Logf("surge: sent %d ok %d shed %d (server shed %d, server p99 %dµs)",
+		s.Sent, s.OK, s.Shed, s.Server.Shed, s.Server.P99Micros)
+
+	if path := os.Getenv("MRX_CHAOS_REPORT"); path != "" {
+		if s.Shed == 0 {
+			t.Errorf("chaos-bench artifact shows no shedding under surge: %+v", s)
+		}
+		writeChaosReport(t, path, combined)
+	} else {
+		writeChaosReport(t, filepath.Join(binDir, "chaos-combined.json"), combined)
+	}
+}
+
+func writeChaosReport(t *testing.T, path string, rep chaosReport) {
+	t.Helper()
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "chaos: wrote %s\n", path)
+}
+
+// The impair flags must be rejected when nonsensical, before any traffic.
+func TestChaosBadImpairFlags(t *testing.T) {
+	run(t, true, "mrload", "-impair-loss", "1.5")
+	run(t, true, "mrload", "-impair-latency", "-1ms")
+	run(t, true, "mrload", "-impair-bps", "-1")
+}

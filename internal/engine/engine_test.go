@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"mrx/internal/adapt"
 	"mrx/internal/baseline"
@@ -296,13 +297,17 @@ func TestOptionsValidation(t *testing.T) {
 	bad := []struct {
 		name string
 		opts Options
+		// wantAdapt: the error must ALSO wrap adapt.ErrInvalidConfig — the
+		// double-%w in Options.Validate keeps both sentinels reachable.
+		wantAdapt bool
 	}{
-		{"negative parallelism", Options{Parallelism: -1}},
-		{"negative mstar parallelism", Options{MStar: core.MStarOptions{Parallelism: -2}}},
-		{"negative maxk", Options{MStar: core.MStarOptions{MaxK: -1}}},
-		{"unknown strategy", Options{MStar: core.MStarOptions{Strategy: "zigzag"}}},
-		{"static strategy reserved", Options{MStar: core.MStarOptions{Strategy: "static"}}},
-		{"bad autotune", Options{AutoTune: &adapt.Config{TopK: -5}}},
+		{name: "negative parallelism", opts: Options{Parallelism: -1}},
+		{name: "negative mstar parallelism", opts: Options{MStar: core.MStarOptions{Parallelism: -2}}},
+		{name: "negative maxk", opts: Options{MStar: core.MStarOptions{MaxK: -1}}},
+		{name: "unknown strategy", opts: Options{MStar: core.MStarOptions{Strategy: "zigzag"}}},
+		{name: "static strategy reserved", opts: Options{MStar: core.MStarOptions{Strategy: "static"}}},
+		{name: "bad autotune topk", opts: Options{AutoTune: &adapt.Config{TopK: -5}}, wantAdapt: true},
+		{name: "bad autotune interval", opts: Options{AutoTune: &adapt.Config{Interval: -time.Second}}, wantAdapt: true},
 	}
 	for _, tc := range bad {
 		en, err := New(g, tc.opts)
@@ -314,7 +319,7 @@ func TestOptionsValidation(t *testing.T) {
 		if !errors.Is(err, errInvalidOption) {
 			t.Errorf("%s: error %v does not wrap errInvalidOption", tc.name, err)
 		}
-		if tc.name == "bad autotune" && !errors.Is(err, adapt.ErrInvalidConfig) {
+		if tc.wantAdapt && !errors.Is(err, adapt.ErrInvalidConfig) {
 			t.Errorf("%s: error %v does not wrap adapt.ErrInvalidConfig", tc.name, err)
 		}
 	}

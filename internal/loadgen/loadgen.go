@@ -1,0 +1,134 @@
+// Package loadgen is the open-loop dispatcher behind cmd/mrload: it turns
+// a target request rate into a stream of send calls on a fixed clock,
+// regardless of how slowly the system under test answers, so saturation
+// shows up as queueing and shedding on the server rather than as a
+// politely slowed client.
+//
+// The dispatcher is deficit-batched: at every tick it computes how many
+// requests the target rate owes since the start (owed = elapsed × QPS /
+// 1s) and sends the difference. That makes the offered load immune to tick
+// loss — at high rates the runtime drops ticker ticks rather than queue
+// them, and a naive one-request-per-tick loop silently under-offers; the
+// deficit batch makes dropped ticks up in full at the next tick that does
+// arrive. The Clock interface exists so tests can prove exactly that with
+// a virtual tick grid (see TestRunTickLossImmunity).
+package loadgen
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrInvalidConfig is wrapped by every Config.Validate failure.
+var ErrInvalidConfig = errors.New("loadgen: invalid config")
+
+// Clock abstracts the dispatcher's time source: the wall clock in
+// production, a virtual tick grid in tests.
+type Clock interface {
+	Now() time.Time
+	// Tick returns a channel delivering tick times at period d and a stop
+	// function releasing its resources.
+	Tick(d time.Duration) (<-chan time.Time, func())
+}
+
+// WallClock is the production Clock, backed by time.Ticker.
+type WallClock struct{}
+
+// Now returns the wall time.
+func (WallClock) Now() time.Time { return time.Now() }
+
+// Tick returns a time.Ticker channel and its Stop.
+func (WallClock) Tick(d time.Duration) (<-chan time.Time, func()) {
+	t := time.NewTicker(d)
+	return t.C, t.Stop
+}
+
+// Config bounds one dispatch run. Zero values of Phases and Tick select
+// the documented defaults; QPS and Duration must be set.
+type Config struct {
+	// QPS is the target request rate. It must be positive.
+	QPS int
+
+	// Duration is the wall time to dispatch for. It must be positive.
+	Duration time.Duration
+
+	// Phases splits Duration into equal workload phases; the current
+	// phase index is handed to every send call so the caller can rotate
+	// hot sets. Zero means 1; negative is invalid.
+	Phases int
+
+	// Tick is the dispatch clock period. Zero means 1ms; negative is
+	// invalid. The period bounds burst granularity, not the rate: the
+	// deficit batch offers QPS×Duration requests however coarse the grid.
+	Tick time.Duration
+}
+
+// Validate rejects plainly invalid configurations with an error wrapping
+// ErrInvalidConfig.
+func (c Config) Validate() error {
+	if c.QPS <= 0 {
+		return fmt.Errorf("%w: QPS %d (must be positive)", ErrInvalidConfig, c.QPS)
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("%w: Duration %v (must be positive)", ErrInvalidConfig, c.Duration)
+	}
+	if c.Phases < 0 {
+		return fmt.Errorf("%w: Phases %d (zero means one phase)", ErrInvalidConfig, c.Phases)
+	}
+	if c.Tick < 0 {
+		return fmt.Errorf("%w: Tick %v (zero means 1ms)", ErrInvalidConfig, c.Tick)
+	}
+	return nil
+}
+
+// withDefaults resolves the zero values that mean "use the default".
+func (c Config) withDefaults() Config {
+	if c.Phases == 0 {
+		c.Phases = 1
+	}
+	if c.Tick == 0 {
+		c.Tick = time.Millisecond
+	}
+	return c
+}
+
+// Run dispatches open-loop at cfg.QPS for cfg.Duration, calling send for
+// every owed request with its sequence number and the workload phase it
+// falls in. send must not block: the caller owns concurrency (mrload hands
+// the request to a bounded goroutine pool and drops when saturated). A nil
+// clock means WallClock. Run returns the number of requests dispatched.
+//
+// The dispatch total is a pure function of the tick times: after the last
+// tick before cfg.Duration at elapsed e, exactly e×QPS/1s requests have
+// been sent — however many intermediate ticks were dropped.
+func Run(clock Clock, cfg Config, send func(seq, phase int)) (int, error) {
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	cfg = cfg.withDefaults()
+	if clock == nil {
+		clock = WallClock{}
+	}
+	phaseLen := cfg.Duration / time.Duration(cfg.Phases)
+	if phaseLen <= 0 {
+		phaseLen = cfg.Duration
+	}
+
+	ticks, stop := clock.Tick(cfg.Tick)
+	defer stop()
+	start := clock.Now()
+	dispatched := 0
+	for now := range ticks {
+		elapsed := now.Sub(start)
+		if elapsed >= cfg.Duration {
+			break
+		}
+		owed := int(int64(elapsed) * int64(cfg.QPS) / int64(time.Second))
+		phase := int(elapsed / phaseLen)
+		for ; dispatched < owed; dispatched++ {
+			send(dispatched, phase)
+		}
+	}
+	return dispatched, nil
+}

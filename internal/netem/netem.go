@@ -1,0 +1,391 @@
+// Package netem is a deterministic, seeded network-impairment layer for
+// the serving stack's chaos tests and load generator: it wraps net.Conn,
+// net.Listener and a dialer with composable impairments — one-way latency
+// plus jitter, token-bucket bandwidth throttling, segment loss modeled as
+// retransmit stalls, mid-stream resets, and trickle (chunked) delivery —
+// so slow clients, lossy links and half-open peers get reproducible
+// coverage without touching the kernel.
+//
+// Determinism contract: the impairment schedule — the sequence of
+// (segment, delay, loss, reset) decisions a connection makes — is a pure
+// function of (Profile, seed, direction, operation index). Every
+// connection owns two independent PRNG streams (one per direction) derived
+// from its seed by a splitmix64 mix, so concurrent reads and writes cannot
+// perturb each other's draws, and the injectable Clock lets tests replay a
+// schedule under virtual time and assert it byte-for-byte
+// (TestScheduleReplay). Wall-clock interleaving across connections is the
+// scheduler's business, exactly as on a real network; what the seed pins
+// is each connection's own behavior.
+//
+// The three entry points mirror where a bad network can sit:
+//
+//   - WrapConn / Dialer: client-side impairment (cmd/mrload's -impair-*
+//     flags dial through this).
+//   - WrapListener: server-side impairment of every accepted connection.
+//   - Proxy: an impaired in-front TCP proxy, so real, unmodified binaries
+//     can be tested over a bad network (make chaos-smoke).
+package netem
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrReset is returned by Conn.Write once the profile's ResetAfterBytes
+// budget is exhausted: the connection has been torn down mid-stream (with
+// an RST when the transport supports it).
+var ErrReset = errors.New("netem: connection reset by impairment")
+
+// ErrInvalidProfile is wrapped by every Profile.Validate failure.
+var ErrInvalidProfile = errors.New("netem: invalid profile")
+
+// errClosed is returned when Close interrupts an in-flight impairment
+// sleep.
+var errClosed = errors.New("netem: connection closed during impairment delay")
+
+// Profile describes one direction-symmetric network impairment. The zero
+// value impairs nothing (IsZero reports true); each field composes
+// independently with the others.
+type Profile struct {
+	// Latency is the one-way delay added to every delivered segment.
+	Latency time.Duration `json:"latency_ns,omitempty"`
+
+	// Jitter widens Latency to a uniform draw in [Latency-Jitter,
+	// Latency+Jitter] per segment (clamped at zero).
+	Jitter time.Duration `json:"jitter_ns,omitempty"`
+
+	// LossRate is the per-segment probability of a loss event, modeled as
+	// a retransmit stall of Stall (TCP hides loss from the application;
+	// what an application sees is the delay).
+	LossRate float64 `json:"loss_rate,omitempty"`
+
+	// Stall is how long a lost segment stalls delivery. Zero with a
+	// positive LossRate means the 100ms default.
+	Stall time.Duration `json:"stall_ns,omitempty"`
+
+	// BytesPerSec throttles each direction to this sustained rate with a
+	// leaky-bucket pacer. Zero disables throttling.
+	BytesPerSec int `json:"bytes_per_sec,omitempty"`
+
+	// ChunkBytes caps the bytes moved per Read or Write segment, so a
+	// trickle-reading or trickle-writing peer (the slow-loris shape) can
+	// be modeled by combining a small chunk with per-segment Latency.
+	// Zero disables chunking.
+	ChunkBytes int `json:"chunk_bytes,omitempty"`
+
+	// ResetAfterBytes tears the connection down (ErrReset, with an RST
+	// when possible) once this many bytes have been written through it.
+	// Zero disables resets.
+	ResetAfterBytes int64 `json:"reset_after_bytes,omitempty"`
+}
+
+// IsZero reports whether the profile impairs nothing.
+func (p Profile) IsZero() bool { return p == Profile{} }
+
+// Validate rejects plainly invalid profiles with an error wrapping
+// ErrInvalidProfile.
+func (p Profile) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    time.Duration
+	}{
+		{"Latency", p.Latency},
+		{"Jitter", p.Jitter},
+		{"Stall", p.Stall},
+	} {
+		if f.v < 0 {
+			return fmt.Errorf("%w: %s %v (negative duration)", ErrInvalidProfile, f.name, f.v)
+		}
+	}
+	if p.LossRate < 0 || p.LossRate > 1 {
+		return fmt.Errorf("%w: LossRate %g (want [0,1])", ErrInvalidProfile, p.LossRate)
+	}
+	if p.BytesPerSec < 0 {
+		return fmt.Errorf("%w: BytesPerSec %d (zero disables throttling)", ErrInvalidProfile, p.BytesPerSec)
+	}
+	if p.ChunkBytes < 0 {
+		return fmt.Errorf("%w: ChunkBytes %d (zero disables chunking)", ErrInvalidProfile, p.ChunkBytes)
+	}
+	if p.ResetAfterBytes < 0 {
+		return fmt.Errorf("%w: ResetAfterBytes %d (zero disables resets)", ErrInvalidProfile, p.ResetAfterBytes)
+	}
+	return nil
+}
+
+// stall resolves the documented default for the loss stall.
+func (p Profile) stall() time.Duration {
+	if p.Stall > 0 {
+		return p.Stall
+	}
+	return 100 * time.Millisecond
+}
+
+// Clock abstracts time for the impairment layer: the system clock in
+// production, a virtual clock in the determinism tests.
+type Clock interface {
+	Now() time.Time
+	// Sleep blocks for d or until cancel closes; it reports whether the
+	// full duration elapsed.
+	Sleep(d time.Duration, cancel <-chan struct{}) bool
+}
+
+// SystemClock returns the wall clock.
+func SystemClock() Clock { return sysClock{} }
+
+type sysClock struct{}
+
+func (sysClock) Now() time.Time { return time.Now() }
+
+func (sysClock) Sleep(d time.Duration, cancel <-chan struct{}) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-cancel:
+		return false
+	}
+}
+
+// mix64 is splitmix64, the stream-splitting mixer: it derives independent
+// seeds for per-connection and per-direction PRNG streams so the schedule
+// of one never depends on the interleaving of another.
+func mix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// ConnSeed derives the deterministic seed of the id-th connection opened
+// under a root seed (exported so reports can name the exact per-connection
+// streams a run used).
+func ConnSeed(seed int64, id int64) int64 {
+	return int64(mix64(mix64(uint64(seed)) ^ uint64(id)))
+}
+
+// dirSeed splits a connection seed into its read (dir 0) and write (dir 1)
+// streams.
+func dirSeed(seed int64, dir int64) int64 {
+	return int64(mix64(uint64(seed)) + uint64(dir))
+}
+
+// shaper is one direction's impairment state: a PRNG stream and a
+// leaky-bucket pacer. delay is the only entry point; it draws the
+// deterministic schedule for the next n-byte segment.
+type shaper struct {
+	mu       sync.Mutex
+	rng      *rand.Rand
+	p        Profile
+	clock    Clock
+	nextFree time.Time // leaky bucket: when the link is free again
+}
+
+func newShaper(p Profile, seed int64, clock Clock) *shaper {
+	return &shaper{rng: rand.New(rand.NewSource(seed)), p: p, clock: clock}
+}
+
+// delay computes the impairment delay for the next n-byte segment: latency
+// with a jitter draw, a loss-stall draw, then bandwidth pacing. The draw
+// order is fixed so the schedule is a pure function of the stream.
+func (s *shaper) delay(n int) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := s.p.Latency
+	if s.p.Jitter > 0 {
+		d += time.Duration(s.rng.Int63n(int64(2*s.p.Jitter)+1)) - s.p.Jitter
+	}
+	if s.p.LossRate > 0 && s.rng.Float64() < s.p.LossRate {
+		d += s.p.stall()
+	}
+	if d < 0 {
+		d = 0
+	}
+	if s.p.BytesPerSec > 0 {
+		now := s.clock.Now()
+		if s.nextFree.After(now) {
+			d += s.nextFree.Sub(now)
+		} else {
+			s.nextFree = now
+		}
+		cost := time.Duration(int64(n) * int64(time.Second) / int64(s.p.BytesPerSec))
+		s.nextFree = s.nextFree.Add(cost)
+	}
+	return d
+}
+
+// Conn wraps a net.Conn with a Profile. Reads and writes each consume
+// their own deterministic schedule stream; deadlines and addresses
+// delegate to the wrapped connection.
+type Conn struct {
+	inner     net.Conn
+	clock     Clock
+	rd, wr    *shaper
+	wrote     atomic.Int64
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+// WrapConn impairs conn under p with the given per-connection seed. A nil
+// clock means SystemClock.
+func WrapConn(conn net.Conn, p Profile, seed int64, clock Clock) *Conn {
+	if clock == nil {
+		clock = SystemClock()
+	}
+	return &Conn{
+		inner:  conn,
+		clock:  clock,
+		rd:     newShaper(p, dirSeed(seed, 0), clock),
+		wr:     newShaper(p, dirSeed(seed, 1), clock),
+		closed: make(chan struct{}),
+	}
+}
+
+// Read delivers at most ChunkBytes per call, delayed by the read stream's
+// schedule for the delivered segment.
+func (c *Conn) Read(p []byte) (int, error) {
+	if c.rd.p.ChunkBytes > 0 && len(p) > c.rd.p.ChunkBytes {
+		p = p[:c.rd.p.ChunkBytes]
+	}
+	n, err := c.inner.Read(p)
+	if n > 0 {
+		if !c.clock.Sleep(c.rd.delay(n), c.closed) {
+			return n, errClosed
+		}
+	}
+	return n, err
+}
+
+// Write moves p through the write stream's schedule in ChunkBytes
+// segments, pacing each; once ResetAfterBytes is exhausted it tears the
+// connection down and fails with ErrReset (byte-exact: the budget's last
+// byte is still delivered).
+func (c *Conn) Write(p []byte) (int, error) {
+	total := 0
+	for len(p) > 0 {
+		if budget := c.wr.p.ResetAfterBytes; budget > 0 && c.wrote.Load() >= budget {
+			c.abort()
+			return total, ErrReset
+		}
+		seg := p
+		if c.wr.p.ChunkBytes > 0 && len(seg) > c.wr.p.ChunkBytes {
+			seg = seg[:c.wr.p.ChunkBytes]
+		}
+		if budget := c.wr.p.ResetAfterBytes; budget > 0 {
+			if left := budget - c.wrote.Load(); int64(len(seg)) > left {
+				seg = seg[:left]
+			}
+		}
+		if !c.clock.Sleep(c.wr.delay(len(seg)), c.closed) {
+			return total, errClosed
+		}
+		n, err := c.inner.Write(seg)
+		c.wrote.Add(int64(n))
+		total += n
+		if err != nil {
+			return total, err
+		}
+		p = p[n:]
+	}
+	return total, nil
+}
+
+// abort tears the connection down mid-stream, with an RST instead of an
+// orderly FIN when the transport is TCP — the shape of a peer crashing.
+func (c *Conn) abort() {
+	c.closeOnce.Do(func() {
+		close(c.closed)
+		if tc, ok := c.inner.(*net.TCPConn); ok {
+			_ = tc.SetLinger(0)
+		}
+		_ = c.inner.Close()
+	})
+}
+
+// Close closes the wrapped connection and interrupts any in-flight
+// impairment delay.
+func (c *Conn) Close() error {
+	var err error
+	c.closeOnce.Do(func() {
+		close(c.closed)
+		err = c.inner.Close()
+	})
+	return err
+}
+
+func (c *Conn) LocalAddr() net.Addr                { return c.inner.LocalAddr() }
+func (c *Conn) RemoteAddr() net.Addr               { return c.inner.RemoteAddr() }
+func (c *Conn) SetDeadline(t time.Time) error      { return c.inner.SetDeadline(t) }
+func (c *Conn) SetReadDeadline(t time.Time) error  { return c.inner.SetReadDeadline(t) }
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.inner.SetWriteDeadline(t) }
+
+// Listener wraps a net.Listener so every accepted connection is impaired
+// under the profile, each with its own deterministic seed (ConnSeed of the
+// accept index).
+type Listener struct {
+	net.Listener
+	prof  Profile
+	seed  int64
+	clock Clock
+	next  atomic.Int64
+}
+
+// WrapListener impairs every connection ln accepts. A nil clock means
+// SystemClock.
+func WrapListener(ln net.Listener, p Profile, seed int64, clock Clock) *Listener {
+	if clock == nil {
+		clock = SystemClock()
+	}
+	return &Listener{Listener: ln, prof: p, seed: seed, clock: clock}
+}
+
+// Accept waits for the next connection and wraps it.
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	id := l.next.Add(1) - 1
+	return WrapConn(c, l.prof, ConnSeed(l.seed, id), l.clock), nil
+}
+
+// Dialer dials through the impairment layer: every connection it opens is
+// wrapped under Profile, seeded by the dial index. The zero value of Base
+// uses a default net.Dialer; a nil Clock means SystemClock.
+type Dialer struct {
+	Profile Profile
+	Seed    int64
+	Clock   Clock
+	Base    *net.Dialer
+	next    atomic.Int64
+}
+
+// Dial opens and wraps one connection (net.Dial signature, so it plugs
+// into http.Transport.Dial-style hooks via a closure).
+func (d *Dialer) Dial(network, address string) (net.Conn, error) {
+	return d.DialContext(context.Background(), network, address)
+}
+
+// DialContext opens and wraps one connection; it is the
+// http.Transport.DialContext hook cmd/mrload installs for -impair-* runs.
+func (d *Dialer) DialContext(ctx context.Context, network, address string) (net.Conn, error) {
+	base := d.Base
+	if base == nil {
+		base = &net.Dialer{}
+	}
+	c, err := base.DialContext(ctx, network, address)
+	if err != nil {
+		return nil, err
+	}
+	id := d.next.Add(1) - 1
+	return WrapConn(c, d.Profile, ConnSeed(d.Seed, id), d.Clock), nil
+}

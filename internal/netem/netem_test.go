@@ -1,0 +1,337 @@
+package netem
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a virtual clock: Sleep advances time instantly and records
+// the requested delay, so an impairment schedule can be replayed and
+// asserted without real waiting.
+type fakeClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	sleeps []time.Duration
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Sleep(d time.Duration, cancel <-chan struct{}) bool {
+	if d < 0 {
+		d = 0
+	}
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.sleeps = append(c.sleeps, d)
+	c.mu.Unlock()
+	return true
+}
+
+func (c *fakeClock) schedule() []time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]time.Duration(nil), c.sleeps...)
+}
+
+// drain consumes everything the raw side of a pipe delivers.
+func drain(t *testing.T, c net.Conn, done chan<- []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	_, _ = io.Copy(&buf, c)
+	done <- buf.Bytes()
+}
+
+// runScript writes the scripted segments through an impaired conn over a
+// net.Pipe and returns the recorded impairment schedule plus the bytes the
+// peer received.
+func runScript(t *testing.T, p Profile, seed int64, segments [][]byte) ([]time.Duration, []byte) {
+	t.Helper()
+	clock := newFakeClock()
+	a, b := net.Pipe()
+	conn := WrapConn(a, p, seed, clock)
+	got := make(chan []byte, 1)
+	go drain(t, b, got)
+	for _, seg := range segments {
+		if _, err := conn.Write(seg); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	}
+	conn.Close()
+	return clock.schedule(), <-got
+}
+
+// The determinism contract: same profile + same seed ⇒ the identical
+// impairment schedule, byte for byte; a different seed ⇒ a different one.
+func TestScheduleReplay(t *testing.T) {
+	prof := Profile{
+		Latency:    2 * time.Millisecond,
+		Jitter:     time.Millisecond,
+		LossRate:   0.3,
+		Stall:      20 * time.Millisecond,
+		ChunkBytes: 7,
+	}
+	script := [][]byte{
+		bytes.Repeat([]byte("a"), 40),
+		[]byte("hello"),
+		bytes.Repeat([]byte("b"), 23),
+	}
+	s1, b1 := runScript(t, prof, 42, script)
+	s2, b2 := runScript(t, prof, 42, script)
+	if len(s1) == 0 {
+		t.Fatal("no impairment events recorded")
+	}
+	if len(s1) != len(s2) {
+		t.Fatalf("schedules differ in length: %d vs %d", len(s1), len(s2))
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("schedule diverges at op %d: %v vs %v", i, s1[i], s2[i])
+		}
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("delivered bytes differ between replays")
+	}
+
+	s3, _ := runScript(t, prof, 43, script)
+	same := len(s3) == len(s1)
+	if same {
+		for i := range s1 {
+			if s1[i] != s3[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced the identical schedule")
+	}
+}
+
+// Latency without jitter or loss delays every segment by exactly the
+// configured one-way delay, and chunking splits writes into ChunkBytes
+// segments.
+func TestLatencyAndChunking(t *testing.T) {
+	prof := Profile{Latency: 5 * time.Millisecond, ChunkBytes: 10}
+	sched, got := runScript(t, prof, 1, [][]byte{bytes.Repeat([]byte("x"), 35)})
+	if len(got) != 35 {
+		t.Fatalf("delivered %d bytes, want 35", len(got))
+	}
+	if len(sched) != 4 { // 10+10+10+5
+		t.Fatalf("%d segments, want 4 (chunked at 10)", len(sched))
+	}
+	for i, d := range sched {
+		if d != 5*time.Millisecond {
+			t.Fatalf("segment %d delayed %v, want 5ms", i, d)
+		}
+	}
+}
+
+// The leaky-bucket pacer holds the configured sustained rate: after the
+// first free segment, each n-byte segment waits n/BytesPerSec.
+func TestThrottlePacing(t *testing.T) {
+	prof := Profile{BytesPerSec: 1000, ChunkBytes: 100}
+	sched, _ := runScript(t, prof, 1, [][]byte{bytes.Repeat([]byte("x"), 500)})
+	if len(sched) != 5 {
+		t.Fatalf("%d segments, want 5", len(sched))
+	}
+	if sched[0] != 0 {
+		t.Fatalf("first segment waited %v, want 0 (bucket starts free)", sched[0])
+	}
+	for i, d := range sched[1:] {
+		if d != 100*time.Millisecond {
+			t.Fatalf("segment %d waited %v, want 100ms (100B at 1000B/s)", i+1, d)
+		}
+	}
+}
+
+// LossRate 1 stalls every segment by the configured stall on top of the
+// latency floor.
+func TestLossStalls(t *testing.T) {
+	prof := Profile{Latency: time.Millisecond, LossRate: 1, Stall: 50 * time.Millisecond}
+	sched, _ := runScript(t, prof, 9, [][]byte{[]byte("abc"), []byte("def")})
+	for i, d := range sched {
+		if d != 51*time.Millisecond {
+			t.Fatalf("segment %d delayed %v, want 51ms (1ms latency + 50ms stall)", i, d)
+		}
+	}
+}
+
+// The reset budget is byte-exact: the last budgeted byte is delivered, the
+// next write fails with ErrReset and the connection is dead.
+func TestResetAfterBytes(t *testing.T) {
+	clock := newFakeClock()
+	a, b := net.Pipe()
+	conn := WrapConn(a, Profile{ResetAfterBytes: 10}, 5, clock)
+	got := make(chan []byte, 1)
+	go drain(t, b, got)
+
+	if n, err := conn.Write([]byte("12345678")); n != 8 || err != nil {
+		t.Fatalf("first write: n=%d err=%v", n, err)
+	}
+	n, err := conn.Write([]byte("abcdef"))
+	if n != 2 || !errors.Is(err, ErrReset) {
+		t.Fatalf("budget-crossing write: n=%d err=%v, want n=2 ErrReset", n, err)
+	}
+	if _, err := conn.Write([]byte("x")); !errors.Is(err, ErrReset) {
+		t.Fatalf("post-reset write: %v, want ErrReset", err)
+	}
+	if delivered := <-got; string(delivered) != "12345678ab" {
+		t.Fatalf("peer saw %q, want the exact 10-byte budget", delivered)
+	}
+}
+
+// Reads are chunked and delayed by the read-direction stream, which is
+// independent of the write stream.
+func TestReadImpairment(t *testing.T) {
+	clock := newFakeClock()
+	a, b := net.Pipe()
+	conn := WrapConn(a, Profile{Latency: 3 * time.Millisecond, ChunkBytes: 4}, 11, clock)
+
+	go func() {
+		_, _ = b.Write([]byte("0123456789"))
+		_ = b.Close()
+	}()
+	var buf bytes.Buffer
+	chunks := 0
+	tmp := make([]byte, 64)
+	for {
+		n, err := conn.Read(tmp)
+		if n > 0 {
+			chunks++
+			buf.Write(tmp[:n])
+			if n > 4 {
+				t.Fatalf("read delivered %d bytes, chunk cap is 4", n)
+			}
+		}
+		if err != nil {
+			break
+		}
+	}
+	if buf.String() != "0123456789" {
+		t.Fatalf("read %q", buf.String())
+	}
+	if chunks != 3 {
+		t.Fatalf("%d chunks, want 3 (4+4+2)", chunks)
+	}
+	sched := clock.schedule()
+	if len(sched) != 3 {
+		t.Fatalf("%d read delays, want 3", len(sched))
+	}
+	for i, d := range sched {
+		if d != 3*time.Millisecond {
+			t.Fatalf("chunk %d delayed %v, want 3ms", i, d)
+		}
+	}
+}
+
+// Validate must reject each nonsensical field with ErrInvalidProfile and
+// accept the zero profile and a fully-populated sane one.
+func TestProfileValidate(t *testing.T) {
+	bad := []struct {
+		name string
+		p    Profile
+	}{
+		{"negative latency", Profile{Latency: -1}},
+		{"negative jitter", Profile{Jitter: -time.Millisecond}},
+		{"negative stall", Profile{Stall: -time.Second}},
+		{"loss below zero", Profile{LossRate: -0.1}},
+		{"loss above one", Profile{LossRate: 1.5}},
+		{"negative rate", Profile{BytesPerSec: -1}},
+		{"negative chunk", Profile{ChunkBytes: -8}},
+		{"negative reset budget", Profile{ResetAfterBytes: -2}},
+	}
+	for _, tc := range bad {
+		if err := tc.p.Validate(); !errors.Is(err, ErrInvalidProfile) {
+			t.Errorf("%s: Validate = %v, want ErrInvalidProfile", tc.name, err)
+		}
+	}
+	good := []Profile{
+		{},
+		{Latency: time.Millisecond, Jitter: time.Millisecond, LossRate: 0.5,
+			Stall: time.Second, BytesPerSec: 1 << 20, ChunkBytes: 1, ResetAfterBytes: 1 << 30},
+	}
+	for _, p := range good {
+		if err := p.Validate(); err != nil {
+			t.Errorf("Validate rejected %+v: %v", p, err)
+		}
+	}
+	if !(Profile{}).IsZero() {
+		t.Error("zero profile must report IsZero")
+	}
+	if (Profile{Latency: 1}).IsZero() {
+		t.Error("non-zero profile must not report IsZero")
+	}
+}
+
+// ConnSeed must derive distinct per-connection streams from one root seed.
+func TestConnSeedSplits(t *testing.T) {
+	seen := map[int64]bool{}
+	for i := int64(0); i < 100; i++ {
+		s := ConnSeed(7, i)
+		if seen[s] {
+			t.Fatalf("ConnSeed collision at conn %d", i)
+		}
+		seen[s] = true
+	}
+	if ConnSeed(7, 0) == ConnSeed(8, 0) {
+		t.Fatal("different root seeds produced the same conn seed")
+	}
+}
+
+// A listener must impair every accepted connection, each under its own
+// deterministic per-connection seed.
+func TestWrapListener(t *testing.T) {
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := WrapListener(raw, Profile{Latency: time.Millisecond}, 3, nil)
+	defer ln.Close()
+
+	done := make(chan string, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			done <- ""
+			return
+		}
+		defer c.Close()
+		if _, ok := c.(*Conn); !ok {
+			done <- ""
+			return
+		}
+		buf := make([]byte, 16)
+		n, _ := c.Read(buf)
+		done <- string(buf[:n])
+	}()
+
+	c, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-done:
+		if got != "ping" {
+			t.Fatalf("accepted conn saw %q (or was not impaired)", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("accept/read never completed")
+	}
+}

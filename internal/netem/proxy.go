@@ -1,0 +1,137 @@
+package netem
+
+import (
+	"io"
+	"net"
+	"sync"
+)
+
+// Proxy is an impaired in-front TCP proxy: it accepts on a front listener,
+// dials a clean connection to the backend for each client, and shuttles
+// bytes both ways with the impairment applied on the client-facing side.
+// This is how real, unmodified binaries are chaos-tested (make
+// chaos-smoke): mrserve listens on a clean loopback socket, the proxy sits
+// in front of it, and mrload talks to the proxy — every byte between them
+// crosses the impaired leg.
+type Proxy struct {
+	front   *Listener
+	backend string
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+}
+
+// NewProxy builds a proxy that impairs front's connections under p/seed
+// and forwards them to backendAddr. Call Start to begin accepting and
+// Close to drain. A nil clock means SystemClock.
+func NewProxy(front net.Listener, backendAddr string, p Profile, seed int64, clock Clock) *Proxy {
+	return &Proxy{
+		front:   WrapListener(front, p, seed, clock),
+		backend: backendAddr,
+		stop:    make(chan struct{}),
+		conns:   make(map[net.Conn]struct{}),
+	}
+}
+
+// Addr is the proxy's client-facing address.
+func (p *Proxy) Addr() net.Addr { return p.front.Addr() }
+
+// Start launches the accept loop. The proxy stops when Close is called.
+func (p *Proxy) Start() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		for {
+			c, err := p.front.Accept()
+			if err != nil {
+				// Closed listener (Close closed p.stop and the front) or a
+				// fatal accept error: either way the loop is done; Close
+				// joins p.wg.
+				<-p.stop
+				return
+			}
+			p.wg.Add(1)
+			go p.handle(c, &p.wg)
+		}
+	}()
+}
+
+// Close stops accepting, tears down every open connection, and joins all
+// proxy goroutines.
+func (p *Proxy) Close() error {
+	var err error
+	p.stopOnce.Do(func() {
+		close(p.stop)
+		err = p.front.Close()
+		p.mu.Lock()
+		for c := range p.conns {
+			_ = c.Close()
+		}
+		p.mu.Unlock()
+		p.wg.Wait()
+	})
+	return err
+}
+
+// track registers a connection for teardown on Close; it reports false
+// when the proxy is already stopping (the caller must close the conn).
+func (p *Proxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	select {
+	case <-p.stop:
+		return false
+	default:
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+// handle shuttles one client connection: dial the backend clean, copy both
+// directions, close both sides when either direction ends (so a half-open
+// impaired leg cannot leak the clean one).
+func (p *Proxy) handle(client net.Conn, wg *sync.WaitGroup) {
+	defer wg.Done()
+	if !p.track(client) {
+		_ = client.Close()
+		return
+	}
+	defer p.untrack(client)
+
+	server, err := net.Dial("tcp", p.backend)
+	if err != nil {
+		_ = client.Close()
+		return
+	}
+	if !p.track(server) {
+		_ = server.Close()
+		_ = client.Close()
+		return
+	}
+	defer p.untrack(server)
+
+	var halves sync.WaitGroup
+	halves.Add(2)
+	go shuttle(server, client, &halves)
+	go shuttle(client, server, &halves)
+	halves.Wait()
+}
+
+// shuttle copies src into dst until either side dies, then closes both to
+// unblock the opposite direction.
+func shuttle(dst, src net.Conn, wg *sync.WaitGroup) {
+	defer wg.Done()
+	_, _ = io.Copy(dst, src)
+	_ = dst.Close()
+	_ = src.Close()
+}

@@ -1,0 +1,150 @@
+package netem
+
+import (
+	"bytes"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// startEcho runs a TCP echo backend and returns its address and a stop
+// function.
+func startEcho(t *testing.T) (string, func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func(c net.Conn) {
+				defer wg.Done()
+				defer c.Close()
+				buf := make([]byte, 4096)
+				for {
+					n, err := c.Read(buf)
+					if n > 0 {
+						if _, werr := c.Write(buf[:n]); werr != nil {
+							return
+						}
+					}
+					if err != nil {
+						return
+					}
+				}
+			}(c)
+		}
+	}()
+	return ln.Addr().String(), func() {
+		ln.Close()
+		wg.Wait()
+	}
+}
+
+// Bytes must survive the impaired round trip through the proxy, delayed by
+// at least the latency floor, and Close must join every proxy goroutine.
+func TestProxyEndToEnd(t *testing.T) {
+	backend, stopEcho := startEcho(t)
+	defer stopEcho()
+
+	front, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const latency = 5 * time.Millisecond
+	p := NewProxy(front, backend, Profile{Latency: latency}, 21, nil)
+	p.Start()
+	defer p.Close()
+
+	c, err := net.Dial("tcp", p.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	msg := []byte("through the impaired leg")
+	start := time.Now()
+	if _, err := c.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := readFull(c, got, 5*time.Second); err != nil {
+		t.Fatalf("echo read: %v", err)
+	}
+	elapsed := time.Since(start)
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("echoed %q, want %q", got, msg)
+	}
+	// The client-facing leg is impaired in both directions: the round trip
+	// pays the one-way latency at least twice.
+	if elapsed < 2*latency {
+		t.Fatalf("round trip took %v, impairment floor is %v", elapsed, 2*latency)
+	}
+}
+
+// Close must tear down in-flight connections promptly, not wait for them.
+func TestProxyCloseTearsDownConns(t *testing.T) {
+	backend, stopEcho := startEcho(t)
+	defer stopEcho()
+
+	front, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewProxy(front, backend, Profile{Latency: time.Millisecond}, 4, nil)
+	p.Start()
+
+	c, err := net.Dial("tcp", p.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 2)
+	if _, err := readFull(c, buf, 5*time.Second); err != nil {
+		t.Fatalf("pre-close echo: %v", err)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		p.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("proxy Close hung on an open connection")
+	}
+	// The torn-down conn must now fail.
+	_ = c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c.Read(buf); err == nil {
+		t.Fatal("read on a torn-down proxy conn succeeded")
+	}
+}
+
+// readFull reads exactly len(p) bytes under a deadline.
+func readFull(c net.Conn, p []byte, budget time.Duration) (int, error) {
+	if err := c.SetReadDeadline(time.Now().Add(budget)); err != nil {
+		return 0, err
+	}
+	total := 0
+	for total < len(p) {
+		n, err := c.Read(p[total:])
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, c.SetReadDeadline(time.Time{})
+}

@@ -18,6 +18,7 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"net/http"
 	"runtime"
 	"time"
 )
@@ -61,17 +62,43 @@ type Config struct {
 	// response, rounded up to whole seconds. Zero means 1s; negative is
 	// invalid.
 	RetryAfter time.Duration
+
+	// The four HTTP network timeouts below are applied by HTTPServer; they
+	// bound what a slow or hostile client can pin. Zero selects the
+	// documented default; negative is invalid. (There is deliberately no
+	// "disable" spelling — an untimed server hands slow-loris clients a
+	// connection for free.)
+
+	// ReadHeaderTimeout bounds how long a client may take to finish its
+	// request headers — the classic slow-loris vector. Zero means 5s.
+	ReadHeaderTimeout time.Duration
+
+	// ReadTimeout bounds reading one whole request. Zero means 30s.
+	ReadTimeout time.Duration
+
+	// WriteTimeout bounds writing one whole response, so a trickle-reading
+	// (or half-open, no-longer-reading) client cannot pin the connection's
+	// goroutine past it. Zero means 30s.
+	WriteTimeout time.Duration
+
+	// IdleTimeout reaps keep-alive connections with no request in flight.
+	// Zero means 2m.
+	IdleTimeout time.Duration
 }
 
 // DefaultConfig returns the documented defaults.
 func DefaultConfig() Config {
 	return Config{
-		MaxConcurrent: runtime.GOMAXPROCS(0),
-		QueueDepth:    64,
-		QueueTimeout:  500 * time.Millisecond,
-		ShedP99:       0, // breaker disabled
-		Window:        5 * time.Second,
-		RetryAfter:    time.Second,
+		MaxConcurrent:     runtime.GOMAXPROCS(0),
+		QueueDepth:        64,
+		QueueTimeout:      500 * time.Millisecond,
+		ShedP99:           0, // breaker disabled
+		Window:            5 * time.Second,
+		RetryAfter:        time.Second,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
 	}
 }
 
@@ -92,6 +119,10 @@ func (c Config) Validate() error {
 		{"ShedP99", c.ShedP99},
 		{"Window", c.Window},
 		{"RetryAfter", c.RetryAfter},
+		{"ReadHeaderTimeout", c.ReadHeaderTimeout},
+		{"ReadTimeout", c.ReadTimeout},
+		{"WriteTimeout", c.WriteTimeout},
+		{"IdleTimeout", c.IdleTimeout},
 	} {
 		if f.v < 0 {
 			return fmt.Errorf("%w: %s %v (negative duration)", ErrInvalidConfig, f.name, f.v)
@@ -114,5 +145,34 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfter == 0 {
 		c.RetryAfter = time.Second
 	}
+	if c.ReadHeaderTimeout == 0 {
+		c.ReadHeaderTimeout = 5 * time.Second
+	}
+	if c.ReadTimeout == 0 {
+		c.ReadTimeout = 30 * time.Second
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 30 * time.Second
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = 2 * time.Minute
+	}
 	return c
+}
+
+// HTTPServer returns an http.Server serving h with the configured network
+// timeouts applied (resolving zero fields to their defaults). The serving
+// layer's slot pool protects the engine; these timeouts protect the
+// connection layer in front of it — without them a client trickling its
+// header bytes (slow loris) or never reading its response (half-open)
+// holds a connection goroutine forever.
+func (c Config) HTTPServer(h http.Handler) *http.Server {
+	c = c.withDefaults()
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: c.ReadHeaderTimeout,
+		ReadTimeout:       c.ReadTimeout,
+		WriteTimeout:      c.WriteTimeout,
+		IdleTimeout:       c.IdleTimeout,
+	}
 }

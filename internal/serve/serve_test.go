@@ -427,29 +427,38 @@ func TestServerCancelPropagates(t *testing.T) {
 	}
 }
 
-// New must reject invalid configurations and a nil backend.
+// New must reject invalid configurations and a nil backend: every
+// validated Config field is exercised once, and every failure wraps the
+// errors.Is-able sentinel.
 func TestConfigValidation(t *testing.T) {
 	st := &stubQuerier{}
-	bad := []Config{
-		{MaxConcurrent: -1, QueueDepth: 1},
-		{QueueDepth: 0},
-		{QueueDepth: -3},
-		{QueueDepth: 1, QueueTimeout: -time.Second},
-		{QueueDepth: 1, ShedP99: -1},
-		{QueueDepth: 1, Window: -time.Minute},
-		{QueueDepth: 1, RetryAfter: -time.Second},
+	bad := []struct {
+		name string
+		cfg  Config
+	}{
+		{"negative max concurrent", Config{MaxConcurrent: -1, QueueDepth: 1}},
+		{"zero queue depth", Config{QueueDepth: 0}},
+		{"negative queue depth", Config{QueueDepth: -3}},
+		{"negative queue timeout", Config{QueueDepth: 1, QueueTimeout: -time.Second}},
+		{"negative shed p99", Config{QueueDepth: 1, ShedP99: -1}},
+		{"negative window", Config{QueueDepth: 1, Window: -time.Minute}},
+		{"negative retry after", Config{QueueDepth: 1, RetryAfter: -time.Second}},
+		{"negative read header timeout", Config{QueueDepth: 1, ReadHeaderTimeout: -time.Second}},
+		{"negative read timeout", Config{QueueDepth: 1, ReadTimeout: -1}},
+		{"negative write timeout", Config{QueueDepth: 1, WriteTimeout: -time.Minute}},
+		{"negative idle timeout", Config{QueueDepth: 1, IdleTimeout: -time.Hour}},
 	}
-	for _, cfg := range bad {
-		s, err := New(st, cfg)
+	for _, tc := range bad {
+		s, err := New(st, tc.cfg)
 		if err == nil {
-			t.Errorf("New accepted %+v", cfg)
+			t.Errorf("%s: New accepted %+v", tc.name, tc.cfg)
 			continue
 		}
 		if !errors.Is(err, ErrInvalidConfig) {
-			t.Errorf("error %v for %+v does not wrap ErrInvalidConfig", err, cfg)
+			t.Errorf("%s: error %v does not wrap ErrInvalidConfig", tc.name, err)
 		}
 		if s != nil {
-			t.Errorf("New returned both a server and an error for %+v", cfg)
+			t.Errorf("%s: New returned both a server and an error", tc.name)
 		}
 	}
 	if _, err := New(nil, DefaultConfig()); !errors.Is(err, ErrInvalidConfig) {
@@ -458,6 +467,77 @@ func TestConfigValidation(t *testing.T) {
 	if _, err := New(st, DefaultConfig()); err != nil {
 		t.Errorf("New rejected DefaultConfig: %v", err)
 	}
+}
+
+// HTTPServer must carry the configured timeouts onto the http.Server and
+// resolve zero fields to the documented defaults.
+func TestConfigHTTPServer(t *testing.T) {
+	cfg := Config{QueueDepth: 1, ReadHeaderTimeout: 123 * time.Millisecond,
+		WriteTimeout: 456 * time.Millisecond}
+	hs := cfg.HTTPServer(http.NotFoundHandler())
+	if hs.ReadHeaderTimeout != 123*time.Millisecond || hs.WriteTimeout != 456*time.Millisecond {
+		t.Fatalf("explicit timeouts not applied: %+v", hs)
+	}
+	if hs.ReadTimeout != 30*time.Second || hs.IdleTimeout != 2*time.Minute {
+		t.Fatalf("zero timeouts not defaulted: read %v idle %v", hs.ReadTimeout, hs.IdleTimeout)
+	}
+	if hs.Handler == nil {
+		t.Fatal("handler not installed")
+	}
+}
+
+// A request canceled while waiting in the admission queue must release its
+// queue slot immediately — not at QueueTimeout — so the capacity is
+// available to the next arrival.
+func TestAdmissionQueueSlotReclaimedOnPreAdmissionCancel(t *testing.T) {
+	cfg := Config{MaxConcurrent: 1, QueueDepth: 1, QueueTimeout: time.Minute,
+		Window: time.Second, RetryAfter: time.Second}
+	a := newAdmission(cfg.withDefaults())
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err) // hold the only slot
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	queued := make(chan error, 1)
+	go func() { queued <- a.acquire(ctx) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for a.depth() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if a.depth() != 1 {
+		t.Fatal("waiter never queued")
+	}
+
+	cancel()
+	if err := <-queued; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled waiter got %v, want context.Canceled", err)
+	}
+	// The slot must be back immediately — with QueueTimeout at a minute, a
+	// leak would keep depth at 1 far beyond this poll.
+	deadline = time.Now().Add(5 * time.Second)
+	for a.depth() != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := a.depth(); got != 0 {
+		t.Fatalf("queue depth %d after cancel, want 0 (slot leaked)", got)
+	}
+
+	// Reclaimed capacity: a fresh arrival queues (is not shed) and gets
+	// the slot once the holder releases.
+	again := make(chan error, 1)
+	go func() { again <- a.acquire(context.Background()) }()
+	deadline = time.Now().Add(5 * time.Second)
+	for a.depth() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if a.depth() != 1 {
+		t.Fatal("post-cancel arrival did not reuse the reclaimed queue slot")
+	}
+	a.release()
+	if err := <-again; err != nil {
+		t.Fatalf("post-cancel arrival failed: %v", err)
+	}
+	a.release()
 }
 
 func mustParse(t *testing.T, s string) *pathexpr.Expr {
