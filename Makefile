@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race check bench bench-smoke drift-smoke serve-smoke chaos-smoke chaos-bench fuzz cover
+.PHONY: all build vet lint lint-stats test race check bench bench-smoke drift-smoke serve-smoke chaos-smoke chaos-bench fuzz cover
 
 all: check
 
@@ -11,10 +11,18 @@ vet:
 	$(GO) vet ./...
 
 # lint runs mrlint, the repository's own static-analysis suite
-# (internal/analysis): nopanic, atomicdiscipline, snapshotmut, errwrap and
-# noleak. Suppress a finding with //mrlint:allow <analyzer> <reason>.
+# (internal/analysis): nopanic, atomicdiscipline, snapshotmut, errwrap,
+# noleak, plus the interprocedural hotpathalloc, ctxflow and lifecycle
+# (DESIGN.md §16). Suppress a finding with //mrlint:allow <analyzer> <reason>.
 lint:
 	$(GO) run ./cmd/mrlint ./...
+
+# lint-stats prints per-analyzer finding/suppression counts and enforces the
+# committed suppression ceiling: if any analyzer's //mrlint:allow count grew
+# past lint-suppressions.json, the build fails until that file is raised in
+# the same change (putting the reason in front of a reviewer).
+lint-stats:
+	$(GO) run ./cmd/mrlint -stats -baseline lint-suppressions.json ./...
 
 test:
 	$(GO) test ./...
@@ -22,10 +30,10 @@ test:
 race:
 	$(GO) test -race ./...
 
-# check is what CI runs: static analysis (vet + mrlint), a full build, and
-# the test suite under the race detector (the Engine's concurrency tests
-# need it).
-check: vet lint build race
+# check is what CI runs: static analysis (vet + mrlint + the suppression
+# ceiling), a full build, and the test suite under the race detector (the
+# Engine's concurrency tests need it).
+check: vet lint lint-stats build race
 
 # bench runs every benchmark with -benchmem and archives the results as
 # machine-readable JSON under results/ (cmd/benchjson parses the standard
@@ -92,6 +100,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzStoreMStar -fuzztime=$(FUZZTIME) ./internal/store/
 	$(GO) test -run='^$$' -fuzz=FuzzStoreFrozen -fuzztime=$(FUZZTIME) ./internal/store/
 	$(GO) test -run='^$$' -fuzz=FuzzDifferential -fuzztime=$(FUZZTIME) ./internal/difftest/
+	$(GO) test -run='^$$' -fuzz=FuzzDirectives -fuzztime=$(FUZZTIME) ./internal/analysis/
 
 cover:
 	$(GO) test -coverprofile=coverage.out ./...

@@ -1,16 +1,21 @@
 // Command mrlint runs the module's static-analysis suite (internal/analysis)
 // over the repository. It is stdlib-only and enforces the project conventions
-// described in DESIGN.md, "Static enforcement of invariants":
+// described in DESIGN.md, "Static enforcement of invariants" and
+// "Interprocedural enforcement":
 //
 //	nopanic          no panic in library code unless annotated
 //	atomicdiscipline atomic fields are never accessed plainly; no lock copies
 //	snapshotmut      published snapshot/index state is written only by owners
 //	errwrap          store read errors wrap with %w and name the section
 //	noleak           goroutines carry a lifecycle signal; no bare time.Sleep
+//	hotpathalloc     //mrx:hotpath closures stay allocation-disciplined
+//	ctxflow          context flows down from context-bearing roots
+//	lifecycle        WaitGroup Add/Done, ticker Stop and cancel retention
+//	                 balance across function boundaries
 //
 // Usage:
 //
-//	mrlint [-json] [packages]
+//	mrlint [-json | -github | -stats] [-baseline file] [packages]
 //
 // Packages follow the go tool's pattern syntax in its common forms: "./..."
 // (the default) loads every package in the module, "./dir/..." a subtree, and
@@ -19,8 +24,19 @@
 //	file:line:col: analyzer: message
 //
 // or, with -json, as a JSON array of {file, line, col, analyzer, message}
-// objects. The exit status is 0 when the module is clean, 1 when there are
-// findings, and 2 when loading or type-checking fails.
+// objects, or, with -github, as GitHub Actions workflow commands
+// (::error file=F,line=L,col=C::analyzer: message) that the Actions runner
+// turns into PR annotations. The exit status is 0 when the module is clean,
+// 1 when there are findings, and 2 when loading or type-checking fails.
+//
+// -stats replaces the finding listing with a JSON summary of per-analyzer
+// finding and suppression counts (suppression = a reported finding silenced
+// by an allow directive; stale directives count for nothing). -baseline
+// compares those suppression counts against a committed ceiling file (see
+// lint-suppressions.json at the module root) and fails when any analyzer's
+// count grew — growing the ceiling requires editing the committed file,
+// which puts the reason in front of a reviewer. Interprocedural analyzers
+// see exactly the packages loaded, so baseline checks should run on "./...".
 //
 // A finding is silenced — deliberately, reviewably — by annotating the line
 // (or the line above) with:
@@ -35,6 +51,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"mrx/internal/analysis"
@@ -48,8 +65,11 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	flags := flag.NewFlagSet("mrlint", flag.ContinueOnError)
 	flags.SetOutput(stderr)
 	jsonOut := flags.Bool("json", false, "emit findings as a JSON array")
+	githubOut := flags.Bool("github", false, "emit findings as GitHub Actions ::error commands")
+	statsOut := flags.Bool("stats", false, "emit per-analyzer finding/suppression counts instead of findings")
+	baseline := flags.String("baseline", "", "suppression ceiling `file`; fail when any analyzer's suppression count grew past it")
 	flags.Usage = func() {
-		fmt.Fprintf(stderr, "usage: mrlint [-json] [packages]\n")
+		fmt.Fprintf(stderr, "usage: mrlint [-json | -github | -stats] [-baseline file] [packages]\n")
 		flags.PrintDefaults()
 	}
 	if err := flags.Parse(argv); err != nil {
@@ -82,14 +102,22 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	findings := analysis.Run(pkgs, analysis.DefaultAnalyzers())
+	findings, stats := analysis.RunWithStats(pkgs, analysis.DefaultAnalyzers())
 	for i := range findings {
 		if rel, err := filepath.Rel(cwd, findings[i].File); err == nil && !strings.HasPrefix(rel, "..") {
 			findings[i].File = rel
 		}
 	}
 
-	if *jsonOut {
+	switch {
+	case *statsOut:
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(stats); err != nil {
+			fmt.Fprintf(stderr, "mrlint: %v\n", err)
+			return 2
+		}
+	case *jsonOut:
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if findings == nil {
@@ -99,15 +127,82 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "mrlint: %v\n", err)
 			return 2
 		}
-	} else {
+	case *githubOut:
+		for _, f := range findings {
+			fmt.Fprintf(stdout, "::error file=%s,line=%d,col=%d::%s: %s\n",
+				f.File, f.Line, f.Col, f.Analyzer, githubEscape(f.Message))
+		}
+	default:
 		for _, f := range findings {
 			fmt.Fprintln(stdout, f)
 		}
 	}
+
+	code := 0
 	if len(findings) > 0 {
-		return 1
+		code = 1
 	}
-	return 0
+	if *baseline != "" {
+		if !checkBaseline(*baseline, stats, stderr) {
+			code = 1
+		}
+	}
+	return code
+}
+
+// githubEscape encodes the characters the Actions runner treats as command
+// data delimiters (https://docs.github.com/actions workflow commands).
+func githubEscape(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
+}
+
+// suppressionBaseline is the schema of the committed ceiling file.
+type suppressionBaseline struct {
+	Comment    string         `json:"comment,omitempty"`
+	Suppressed map[string]int `json:"suppressed"`
+}
+
+// checkBaseline compares the run's per-analyzer suppression counts against
+// the committed ceiling and reports violations to stderr. Counts below the
+// ceiling get an advisory nudge (ratchet the file down) but still pass.
+func checkBaseline(path string, stats analysis.Stats, stderr io.Writer) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "mrlint: baseline: %v\n", err)
+		return false
+	}
+	var base suppressionBaseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(stderr, "mrlint: baseline %s: %v\n", path, err)
+		return false
+	}
+	names := make([]string, 0, len(stats.Suppressed)+len(base.Suppressed))
+	for name := range stats.Suppressed {
+		names = append(names, name)
+	}
+	for name := range base.Suppressed {
+		if _, ok := stats.Suppressed[name]; !ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	ok := true
+	for _, name := range names {
+		got, want := stats.Suppressed[name], base.Suppressed[name]
+		switch {
+		case got > want:
+			ok = false
+			fmt.Fprintf(stderr, "mrlint: %s suppressions grew: %d > baseline %d; remove the new //mrlint:allow or raise %s with the reason in the same change\n",
+				name, got, want, path)
+		case got < want:
+			fmt.Fprintf(stderr, "mrlint: note: %s suppressions shrank to %d (baseline %d); ratchet %s down\n",
+				name, got, want, path)
+		}
+	}
+	return ok
 }
 
 // loadPatterns resolves go-tool-style package patterns against the module and

@@ -92,6 +92,106 @@ func TestRunReportsFindingsJSON(t *testing.T) {
 	}
 }
 
+func TestRunReportsFindingsGitHub(t *testing.T) {
+	writeBadModule(t)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-github"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("want exit 1, got %d\nstderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	want := "::error file=" + filepath.Join("lib", "lib.go") + ",line=4,col="
+	if !strings.HasPrefix(out, want) || !strings.Contains(out, "::nopanic: ") {
+		t.Errorf("finding not reported as a workflow command, got %q", out)
+	}
+}
+
+func TestGitHubEscape(t *testing.T) {
+	got := githubEscape("50% of\nlines\r")
+	if got != "50%25 of%0Alines%0D" {
+		t.Errorf("githubEscape = %q", got)
+	}
+}
+
+// writeSuppressedModule creates a throwaway module whose one nopanic
+// violation carries an allow directive, and chdirs into it.
+func writeSuppressedModule(t *testing.T) {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module tmpmod\n\ngo 1.24\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	lib := filepath.Join(dir, "lib")
+	if err := os.Mkdir(lib, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	src := "package lib\n\nfunc Boom() {\n\t//mrlint:allow nopanic test fixture\n\tpanic(\"x\")\n}\n"
+	if err := os.WriteFile(filepath.Join(lib, "lib.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Chdir(dir)
+}
+
+func TestRunStats(t *testing.T) {
+	writeSuppressedModule(t)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-stats"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("suppressed module should be clean, exit %d\nstderr: %s", code, stderr.String())
+	}
+	var stats struct {
+		Findings   map[string]int `json:"findings"`
+		Suppressed map[string]int `json:"suppressed"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &stats); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, stdout.String())
+	}
+	if len(stats.Findings) != 0 || stats.Suppressed["nopanic"] != 1 {
+		t.Errorf("unexpected stats: %+v", stats)
+	}
+}
+
+func TestRunBaseline(t *testing.T) {
+	writeSuppressedModule(t)
+	writeBaseline := func(name, body string) string {
+		t.Helper()
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return name
+	}
+
+	var stdout, stderr bytes.Buffer
+	ok := writeBaseline("ok.json", `{"suppressed":{"nopanic":1}}`)
+	if code := run([]string{"-stats", "-baseline", ok}, &stdout, &stderr); code != 0 {
+		t.Fatalf("at-ceiling baseline should pass, exit %d\nstderr: %s", code, stderr.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	grew := writeBaseline("grew.json", `{"suppressed":{}}`)
+	if code := run([]string{"-stats", "-baseline", grew}, &stdout, &stderr); code != 1 {
+		t.Fatalf("grown suppression count should fail, exit %d", code)
+	}
+	if !strings.Contains(stderr.String(), "nopanic suppressions grew: 1 > baseline 0") {
+		t.Errorf("violation not explained, stderr: %q", stderr.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	slack := writeBaseline("slack.json", `{"suppressed":{"nopanic":5}}`)
+	if code := run([]string{"-stats", "-baseline", slack}, &stdout, &stderr); code != 0 {
+		t.Fatalf("below-ceiling baseline should pass, exit %d\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "ratchet") {
+		t.Errorf("slack should be nudged, stderr: %q", stderr.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-baseline", "missing.json"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("missing baseline file should fail, exit %d", code)
+	}
+}
+
 func TestRunBadPattern(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run([]string{"/definitely/not/in/module"}, &stdout, &stderr); code != 2 {

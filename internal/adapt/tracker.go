@@ -76,6 +76,8 @@ func NewTracker(capacity int) *Tracker {
 // callers and does not allocate when e is already tracked. The expression
 // is retained by pointer on first observation; callers must treat observed
 // expressions as immutable (every index in this repository already does).
+//
+//mrx:hotpath workload sketch probe on every served query; insert is the cold slow path
 func (t *Tracker) Observe(e *pathexpr.Expr, d time.Duration, validated int, precise bool) {
 	var buf [stackBufSize]byte
 	var key []byte
@@ -105,6 +107,8 @@ func (t *Tracker) Observe(e *pathexpr.Expr, d time.Duration, validated int, prec
 // insert is the exclusive slow path: track a new expression, evicting the
 // minimum-score entry when the sketch is full (space-saving: the newcomer
 // inherits the evicted score as its overestimation bound).
+//
+//mrx:coldpath first-observation slow path: takes the exclusive lock and allocates the entry by design
 func (t *Tracker) insert(key string, e *pathexpr.Expr, d time.Duration, validated int, precise bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()

@@ -3,7 +3,10 @@ package analysis
 import (
 	"fmt"
 	"go/token"
+	"go/types"
+	"runtime"
 	"sort"
+	"sync"
 )
 
 // An Analyzer checks one convention. Run inspects the package behind the
@@ -14,10 +17,15 @@ type Analyzer struct {
 	Run  func(*Pass)
 }
 
-// A Pass carries one (package, analyzer) pairing during Run.
+// A Pass carries one (package, analyzer) pairing during Run. Pass.Module
+// exposes the module-wide context — every loaded package plus the shared
+// call graph — to interprocedural analyzers; a Pass still reports findings
+// for its own package only, which keeps (package × analyzer) passes
+// independent and parallelizable.
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
+	Module   *Module
 	report   func(Finding)
 }
 
@@ -47,25 +55,187 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
 }
 
+// Module is the shared, read-only context of one Run: the loaded packages,
+// the lazily built call graph, the module's function annotations, and a
+// memo table for module-wide computations (hot-path closures, reachability
+// sets) that per-package passes would otherwise redo once per package.
+//
+// Interprocedural analyzers see exactly the packages handed to Run: running
+// them on a subset of the module narrows the call graph, which can produce
+// findings a whole-module run would not (an acquire whose release lives in
+// an unloaded package). `make lint` and TestModuleIsClean always run the
+// full module.
+type Module struct {
+	Pkgs []*Package
+
+	hot  map[*types.Func]string // //mrx:hotpath roots -> note
+	cold map[*types.Func]string // //mrx:coldpath boundaries -> reason
+	bad  []Finding              // malformed/misplaced function directives
+
+	graphOnce sync.Once
+	graph     *CallGraph
+
+	memoMu sync.Mutex
+	memos  map[string]*memoEntry
+}
+
+type memoEntry struct {
+	once sync.Once
+	val  any
+}
+
+// NewModule assembles the shared context over pkgs, parsing function-level
+// //mrx: directives up front. The call graph is built on first use.
+func NewModule(pkgs []*Package) *Module {
+	m := &Module{
+		Pkgs:  pkgs,
+		hot:   make(map[*types.Func]string),
+		cold:  make(map[*types.Func]string),
+		memos: make(map[string]*memoEntry),
+	}
+	for _, pkg := range pkgs {
+		fd, bad := parseFuncDirectives(pkg)
+		m.bad = append(m.bad, bad...)
+		for fn, note := range fd.hot {
+			m.hot[fn] = note
+		}
+		for fn, reason := range fd.cold {
+			m.cold[fn] = reason
+		}
+	}
+	return m
+}
+
+// CallGraph returns the module call graph, building it exactly once; the
+// result is shared read-only across concurrent passes.
+func (m *Module) CallGraph() *CallGraph {
+	m.graphOnce.Do(func() { m.graph = BuildCallGraph(m.Pkgs) })
+	return m.graph
+}
+
+// HotRoots returns the functions annotated //mrx:hotpath.
+func (m *Module) HotRoots() map[*types.Func]string { return m.hot }
+
+// ColdBoundaries returns the functions annotated //mrx:coldpath.
+func (m *Module) ColdBoundaries() map[*types.Func]string { return m.cold }
+
+// Memo computes a module-wide value once per key and returns the cached
+// result on every later call, including concurrent ones: passes of the same
+// analyzer running in parallel over different packages share one closure
+// computation.
+func (m *Module) Memo(key string, compute func() any) any {
+	m.memoMu.Lock()
+	e := m.memos[key]
+	if e == nil {
+		e = &memoEntry{}
+		m.memos[key] = e
+	}
+	m.memoMu.Unlock()
+	e.once.Do(func() { e.val = compute() })
+	return e.val
+}
+
+// Stats summarizes one Run per analyzer: how many findings survived and how
+// many were silenced by //mrlint:allow directives. The "mrlint"
+// pseudo-analyzer counts malformed directives. Suppressed counts tally
+// findings an analyzer actually reported against an allowing directive —
+// stale directives that no longer match anything contribute nothing — which
+// makes the count a ratchet: it only grows when new real findings are waved
+// through.
+type Stats struct {
+	Findings   map[string]int `json:"findings"`
+	Suppressed map[string]int `json:"suppressed"`
+}
+
 // Run applies every analyzer to every package and returns the surviving
 // findings sorted by position: suppressed sites (see allowPrefix) are
-// dropped, malformed suppression directives are themselves reported.
+// dropped, malformed suppression or annotation directives are themselves
+// reported.
+//
+// The (package × analyzer) passes run concurrently across a bounded worker
+// pool; the call graph and module-wide closures are built once and shared
+// read-only, and the final sort (file, line, col, analyzer, message) makes
+// the output order deterministic regardless of scheduling.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
-	var out []Finding
-	for _, pkg := range pkgs {
+	findings, _ := RunWithStats(pkgs, analyzers)
+	return findings
+}
+
+// RunWithStats is Run plus the per-analyzer accounting that `mrlint -stats`
+// and the suppression-ceiling check consume.
+func RunWithStats(pkgs []*Package, analyzers []*Analyzer) ([]Finding, Stats) {
+	mod := NewModule(pkgs)
+	out := append([]Finding(nil), mod.bad...)
+
+	sups := make([]suppressions, len(pkgs))
+	for i, pkg := range pkgs {
 		sup, bad := parseDirectives(pkg.Fset, pkg.Files)
+		sups[i] = sup
 		out = append(out, bad...)
+	}
+
+	type task struct {
+		pkg *Package
+		sup suppressions
+		a   *Analyzer
+	}
+	var tasks []task
+	for i, pkg := range pkgs {
 		for _, a := range analyzers {
-			pass := &Pass{
-				Analyzer: a,
-				Pkg:      pkg,
-				report: func(f Finding) {
-					if !sup.allows(f.File, f.Line, f.Analyzer) {
-						out = append(out, f)
-					}
-				},
+			tasks = append(tasks, task{pkg: pkg, sup: sups[i], a: a})
+		}
+	}
+
+	results := make([][]Finding, len(tasks))
+	silenced := make([]map[string]int, len(tasks))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(wg *sync.WaitGroup) {
+			defer wg.Done()
+			for i := range idx {
+				t := tasks[i]
+				var local []Finding
+				sup := make(map[string]int)
+				pass := &Pass{
+					Analyzer: t.a,
+					Pkg:      t.pkg,
+					Module:   mod,
+					report: func(f Finding) {
+						if t.sup.allows(f.File, f.Line, f.Analyzer) {
+							sup[f.Analyzer]++
+							return
+						}
+						local = append(local, f)
+					},
+				}
+				t.a.Run(pass)
+				results[i] = local
+				silenced[i] = sup
 			}
-			a.Run(pass)
+		}(&wg)
+	}
+	for i := range tasks {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, r := range results {
+		out = append(out, r...)
+	}
+
+	stats := Stats{Findings: make(map[string]int), Suppressed: make(map[string]int)}
+	for _, sup := range silenced {
+		for name, n := range sup {
+			stats.Suppressed[name] += n
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -79,7 +249,13 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 		if a.Col != b.Col {
 			return a.Col < b.Col
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return out
+	for _, f := range out {
+		stats.Findings[f.Analyzer]++
+	}
+	return out, stats
 }

@@ -27,7 +27,26 @@ func RunTest(t *testing.T, root, importPath string, analyzers ...*Analyzer) {
 		t.Fatalf("loading %s: %v", importPath, err)
 	}
 	findings := Run([]*Package{pkg}, analyzers)
-	checkExpectations(t, pkg, findings)
+	checkExpectations(t, []*Package{pkg}, findings)
+}
+
+// RunTestPkgs is RunTest over several packages loaded into one module view —
+// the shape the interprocedural analyzers need when a root annotation, the
+// code it reaches, or a field's releasing reference live in different
+// packages. Expectations are checked across all listed packages.
+func RunTestPkgs(t *testing.T, root string, importPaths []string, analyzers ...*Analyzer) {
+	t.Helper()
+	l := NewLoader(root, "")
+	var pkgs []*Package
+	for _, path := range importPaths {
+		pkg, err := l.Load(path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	findings := Run(pkgs, analyzers)
+	checkExpectations(t, pkgs, findings)
 }
 
 type expectation struct {
@@ -79,11 +98,15 @@ func parseExpectations(pkg *Package) ([]*expectation, error) {
 	return wants, nil
 }
 
-func checkExpectations(t *testing.T, pkg *Package, findings []Finding) {
+func checkExpectations(t *testing.T, pkgs []*Package, findings []Finding) {
 	t.Helper()
-	wants, err := parseExpectations(pkg)
-	if err != nil {
-		t.Fatal(err)
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		ws, err := parseExpectations(pkg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants = append(wants, ws...)
 	}
 	for _, f := range findings {
 		matched := false

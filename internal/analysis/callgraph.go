@@ -1,0 +1,411 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// CallGraph is a conservative module-wide call graph over every function
+// declared in a set of loaded packages. It is built once per Run and shared
+// read-only by all interprocedural analyzers (hotpathalloc, ctxflow,
+// lifecycle).
+//
+// Edges are resolved three ways, in decreasing order of precision:
+//
+//   - Static calls: the callee expression resolves through go/types to a
+//     concrete *types.Func (package functions, methods on concrete types,
+//     generic instantiations normalized via Origin).
+//   - Interface-method calls: the callee is a method of an interface type.
+//     The edge fans out to every module-local concrete method that the
+//     dispatch could reach — every named type in the module that implements
+//     the interface contributes its method of that name.
+//   - Function-value calls: the callee is an expression of function type
+//     that does not name a function (a parameter, field, or variable). The
+//     edge fans out to every module-local function whose value escapes
+//     somewhere in the module (referenced outside a direct call position)
+//     with an identical signature.
+//
+// Soundness limits, by construction: calls made by function literals are
+// attributed to the function whose declaration lexically contains the
+// literal (the literal may in fact run elsewhere, or never); function
+// literals are not themselves dynamic-call targets; package-level variable
+// initializers have no enclosing function and are not walked; generic named
+// types with unbound type parameters are skipped during interface-implementer
+// scans. Every limit widens or narrows the graph conservatively for the
+// checks built on it and is documented in DESIGN.md §16.
+type CallGraph struct {
+	fset  *token.FileSet
+	nodes map[*types.Func]*CallNode
+	fns   []*types.Func // deterministic declaration order
+}
+
+// CallNode is one declared function with its resolved module-local callees.
+type CallNode struct {
+	Fn      *types.Func
+	Decl    *ast.FuncDecl
+	Pkg     *Package
+	callees []*types.Func
+}
+
+// Callees returns the module-local functions this node may call, in
+// deterministic (declaration position) order.
+func (n *CallNode) Callees() []*types.Func { return n.callees }
+
+// Node returns the call-graph node of fn (normalized through Origin), or nil
+// when fn is not declared in the analyzed packages.
+func (g *CallGraph) Node(fn *types.Func) *CallNode {
+	if fn == nil {
+		return nil
+	}
+	return g.nodes[fn.Origin()]
+}
+
+// Functions lists every declared function in deterministic order.
+func (g *CallGraph) Functions() []*types.Func { return g.fns }
+
+// Reachable returns the set of functions reachable from roots through
+// module-local call edges, including the roots themselves. Functions for
+// which stop returns true are included in the set but their outgoing edges
+// are not followed (an explicit enforcement boundary); a nil stop follows
+// every edge.
+func (g *CallGraph) Reachable(roots []*types.Func, stop func(*types.Func) bool) map[*types.Func]bool {
+	prov := g.Provenance(roots, stop)
+	seen := make(map[*types.Func]bool, len(prov))
+	for fn := range prov {
+		seen[fn] = true
+	}
+	return seen
+}
+
+// Provenance is Reachable with blame: each reachable function maps to the
+// root it was first discovered from. Roots are visited in deterministic
+// (declaration position) order, so the blame assignment is stable across
+// runs and does not depend on map iteration.
+func (g *CallGraph) Provenance(roots []*types.Func, stop func(*types.Func) bool) map[*types.Func]*types.Func {
+	ordered := make([]*types.Func, 0, len(roots))
+	for _, r := range roots {
+		if r = r.Origin(); g.nodes[r] != nil {
+			ordered = append(ordered, r)
+		}
+	}
+	ordered = (&cgBuilder{g: g}).canonical(ordered)
+
+	prov := make(map[*types.Func]*types.Func)
+	var queue []*types.Func
+	for _, r := range ordered {
+		if _, ok := prov[r]; !ok {
+			prov[r] = r
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		if stop != nil && stop(fn) {
+			continue
+		}
+		for _, c := range g.nodes[fn].callees {
+			if _, ok := prov[c]; !ok {
+				prov[c] = prov[fn]
+				queue = append(queue, c)
+			}
+		}
+	}
+	return prov
+}
+
+// cgBuilder accumulates unresolved edges during the AST walk; interface and
+// function-value edges need the whole module collected before they can be
+// resolved.
+type cgBuilder struct {
+	g *CallGraph
+
+	// ifaceCalls: caller -> interface methods it invokes.
+	ifaceCalls map[*types.Func][]*types.Func
+	// dynCalls: caller -> signature keys of function-value calls it makes.
+	dynCalls map[*types.Func][]string
+	// escaped: signature key -> module functions whose value escapes.
+	escaped map[string][]*types.Func
+	// namedTypes: every named (non-generic) type declared in the module.
+	namedTypes []*types.Named
+	// implMemo caches interface-method fan-out per interface method.
+	implMemo map[*types.Func][]*types.Func
+}
+
+// BuildCallGraph builds the call graph over pkgs. The packages must share
+// one token.FileSet (which one Loader guarantees).
+func BuildCallGraph(pkgs []*Package) *CallGraph {
+	b := &cgBuilder{
+		g:          &CallGraph{nodes: make(map[*types.Func]*CallNode)},
+		ifaceCalls: make(map[*types.Func][]*types.Func),
+		dynCalls:   make(map[*types.Func][]string),
+		escaped:    make(map[string][]*types.Func),
+		implMemo:   make(map[*types.Func][]*types.Func),
+	}
+	for _, pkg := range pkgs {
+		if b.g.fset == nil {
+			b.g.fset = pkg.Fset
+		}
+		b.collectDecls(pkg)
+		b.collectNamedTypes(pkg)
+	}
+	for _, fn := range b.g.fns {
+		b.walkBody(b.g.nodes[fn])
+	}
+	b.resolve()
+	return b.g
+}
+
+// collectDecls registers every function declaration of pkg as a node.
+func (b *cgBuilder) collectDecls(pkg *Package) {
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			fn, ok := pkg.Info.Defs[decl.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fn = fn.Origin()
+			b.g.nodes[fn] = &CallNode{Fn: fn, Decl: decl, Pkg: pkg}
+			b.g.fns = append(b.g.fns, fn)
+		}
+	}
+}
+
+// collectNamedTypes records the module's named types for interface-dispatch
+// resolution. Generic types with unbound parameters are skipped: the graph
+// only sees their instantiated methods through static edges.
+func (b *cgBuilder) collectNamedTypes(pkg *Package) {
+	scope := pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok || named.TypeParams().Len() > 0 {
+			continue
+		}
+		b.namedTypes = append(b.namedTypes, named)
+	}
+}
+
+// walkBody records the outgoing edges of one declared function: its own body
+// plus the bodies of every function literal it lexically contains.
+func (b *cgBuilder) walkBody(n *CallNode) {
+	if n.Decl.Body == nil {
+		return
+	}
+	info := n.Pkg.Info
+	// Direct callee positions: expressions used as the Fun of a call are not
+	// "escaped" function values.
+	direct := make(map[ast.Expr]bool)
+	ast.Inspect(n.Decl.Body, func(nd ast.Node) bool {
+		call, ok := nd.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		direct[unwrapCallee(call.Fun)] = true
+		b.recordCall(n, call)
+		return true
+	})
+	// Escaped function values: any reference to a *types.Func outside a
+	// direct call position makes the function a potential dynamic callee.
+	// Sel identifiers are handled through their enclosing SelectorExpr, not
+	// on their own.
+	selIdent := make(map[*ast.Ident]bool)
+	ast.Inspect(n.Decl.Body, func(nd ast.Node) bool {
+		if sel, ok := nd.(*ast.SelectorExpr); ok {
+			selIdent[sel.Sel] = true
+		}
+		return true
+	})
+	ast.Inspect(n.Decl.Body, func(nd ast.Node) bool {
+		var obj types.Object
+		switch e := nd.(type) {
+		case *ast.Ident:
+			if selIdent[e] {
+				return true
+			}
+			obj = info.Uses[e]
+		case *ast.SelectorExpr:
+			obj = info.Uses[e.Sel]
+		default:
+			return true
+		}
+		fn, ok := obj.(*types.Func)
+		if !ok || direct[nd.(ast.Expr)] {
+			return true
+		}
+		fn = fn.Origin()
+		if b.g.nodes[fn] != nil {
+			key := sigKey(fn.Type().(*types.Signature))
+			b.escaped[key] = append(b.escaped[key], fn)
+		}
+		return true
+	})
+}
+
+// unwrapCallee strips parens and generic instantiation indexes from a call's
+// Fun expression, so f[T](x) and (f)(x) resolve like f(x).
+func unwrapCallee(e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.IndexListExpr:
+			e = x.X
+		default:
+			return e
+		}
+	}
+}
+
+// recordCall classifies one call expression in caller n.
+func (b *cgBuilder) recordCall(n *CallNode, call *ast.CallExpr) {
+	info := n.Pkg.Info
+	fun := unwrapCallee(call.Fun)
+
+	// Type conversions are not calls.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return
+	}
+
+	var obj types.Object
+	switch e := fun.(type) {
+	case *ast.Ident:
+		obj = info.Uses[e]
+	case *ast.SelectorExpr:
+		obj = info.Uses[e.Sel]
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+			if _, isIface := recv.Type().Underlying().(*types.Interface); isIface {
+				b.ifaceCalls[n.Fn] = append(b.ifaceCalls[n.Fn], fn)
+				return
+			}
+		}
+		fn = fn.Origin()
+		if b.g.nodes[fn] != nil {
+			n.callees = append(n.callees, fn)
+		}
+		return
+	}
+	if _, ok := fun.(*ast.FuncLit); ok {
+		// Immediately invoked literal: its body is already attributed to n.
+		return
+	}
+	// Function-value call: resolve by signature against escaped functions.
+	if tv, ok := info.Types[call.Fun]; ok {
+		if sig, ok := tv.Type.Underlying().(*types.Signature); ok {
+			b.dynCalls[n.Fn] = append(b.dynCalls[n.Fn], sigKey(sig))
+		}
+	}
+}
+
+// resolve turns the deferred interface and function-value callsites into
+// concrete edges and canonicalizes every adjacency list.
+func (b *cgBuilder) resolve() {
+	for caller, methods := range b.ifaceCalls {
+		n := b.g.nodes[caller]
+		for _, m := range methods {
+			n.callees = append(n.callees, b.implementers(m)...)
+		}
+	}
+	for caller, keys := range b.dynCalls {
+		n := b.g.nodes[caller]
+		for _, key := range keys {
+			n.callees = append(n.callees, b.escaped[key]...)
+		}
+	}
+	for _, n := range b.g.nodes {
+		n.callees = b.canonical(n.callees)
+	}
+	b.g.fns = b.canonical(b.g.fns)
+}
+
+// implementers returns the module-local concrete methods an interface-method
+// call could dispatch to.
+func (b *cgBuilder) implementers(m *types.Func) []*types.Func {
+	if out, ok := b.implMemo[m]; ok {
+		return out
+	}
+	iface, ok := m.Type().(*types.Signature).Recv().Type().Underlying().(*types.Interface)
+	var out []*types.Func
+	if ok {
+		for _, named := range b.namedTypes {
+			ptr := types.NewPointer(named)
+			if !types.Implements(named, iface) && !types.Implements(ptr, iface) {
+				continue
+			}
+			sel := types.NewMethodSet(ptr).Lookup(m.Pkg(), m.Name())
+			if sel == nil {
+				continue
+			}
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				if fn = fn.Origin(); b.g.nodes[fn] != nil {
+					out = append(out, fn)
+				}
+			}
+		}
+	}
+	b.implMemo[m] = out
+	return out
+}
+
+// canonical sorts by declaration position and drops duplicates, giving every
+// adjacency list a deterministic order independent of map iteration.
+func (b *cgBuilder) canonical(fns []*types.Func) []*types.Func {
+	sort.Slice(fns, func(i, j int) bool {
+		pi, pj := b.g.fset.Position(fns[i].Pos()), b.g.fset.Position(fns[j].Pos())
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		return pi.Offset < pj.Offset
+	})
+	w := 0
+	for i, fn := range fns {
+		if i == 0 || fn != fns[i-1] {
+			fns[w] = fn
+			w++
+		}
+	}
+	return fns[:w]
+}
+
+// sigKey renders a signature as a receiver-free type key: two functions are
+// dynamic-call-compatible iff their keys match. Method values compare by
+// their bound signature, so a stored t.Stop matches calls through func().
+func sigKey(sig *types.Signature) string {
+	var sb strings.Builder
+	sb.WriteString("func(")
+	writeTuple(&sb, sig.Params(), sig.Variadic())
+	sb.WriteString(")(")
+	writeTuple(&sb, sig.Results(), false)
+	sb.WriteString(")")
+	return sb.String()
+}
+
+func writeTuple(sb *strings.Builder, t *types.Tuple, variadic bool) {
+	for i := 0; i < t.Len(); i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		typ := t.At(i).Type()
+		if variadic && i == t.Len()-1 {
+			sb.WriteString("...")
+			if sl, ok := typ.(*types.Slice); ok {
+				typ = sl.Elem()
+			}
+		}
+		sb.WriteString(types.TypeString(typ, nil))
+	}
+}

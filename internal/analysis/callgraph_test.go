@@ -1,0 +1,174 @@
+package analysis
+
+import (
+	"go/types"
+	"testing"
+)
+
+// loadCG loads one testdata package and builds its call graph.
+func loadCG(t *testing.T, path string) *CallGraph {
+	t.Helper()
+	l := NewLoader(testdata, "")
+	pkg, err := l.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return BuildCallGraph([]*Package{pkg})
+}
+
+// fnLabel names a function Recv.Name or Name, enough to address fixture code.
+func fnLabel(fn *types.Func) string {
+	sig := fn.Type().(*types.Signature)
+	if recv := sig.Recv(); recv != nil {
+		rt := recv.Type()
+		if p, ok := rt.(*types.Pointer); ok {
+			rt = p.Elem()
+		}
+		if n, ok := rt.(*types.Named); ok {
+			return n.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return fn.Name()
+}
+
+func findFn(t *testing.T, cg *CallGraph, label string) *types.Func {
+	t.Helper()
+	for _, fn := range cg.Functions() {
+		if fnLabel(fn) == label {
+			return fn
+		}
+	}
+	t.Fatalf("function %q not found in call graph", label)
+	return nil
+}
+
+func calleeLabels(cg *CallGraph, fn *types.Func) map[string]bool {
+	out := make(map[string]bool)
+	for _, c := range cg.Node(fn).Callees() {
+		out[fnLabel(c)] = true
+	}
+	return out
+}
+
+func TestCallGraphStaticEdges(t *testing.T) {
+	cg := loadCG(t, "callgraph")
+	callees := calleeLabels(cg, findFn(t, cg, "CallStatic"))
+	for _, want := range []string{"CallIface", "helper"} {
+		if !callees[want] {
+			t.Errorf("CallStatic should call %s, has %v", want, callees)
+		}
+	}
+}
+
+func TestCallGraphInterfaceDispatch(t *testing.T) {
+	cg := loadCG(t, "callgraph")
+	callees := calleeLabels(cg, findFn(t, cg, "CallIface"))
+	for _, want := range []string{"Value.Do", "Pointer.Do"} {
+		if !callees[want] {
+			t.Errorf("interface dispatch should fan out to %s, has %v", want, callees)
+		}
+	}
+	if callees["Loner.Other"] {
+		t.Errorf("Loner does not implement Doer; edges %v", callees)
+	}
+}
+
+func TestCallGraphFunctionValueEdges(t *testing.T) {
+	cg := loadCG(t, "callgraph")
+
+	callees := calleeLabels(cg, findFn(t, cg, "TakeFunc"))
+	if !callees["escapee"] {
+		t.Errorf("TakeFunc's f() should resolve to the escaped escapee, has %v", callees)
+	}
+	if callees["sameSig"] {
+		t.Errorf("sameSig never escapes; a dynamic edge to it is wrong: %v", callees)
+	}
+
+	callees = calleeLabels(cg, findFn(t, cg, "InvokeParam"))
+	if !callees["otherSig"] {
+		t.Errorf("InvokeParam's f(7) should resolve to otherSig (escaped at the PassFunc call), has %v", callees)
+	}
+}
+
+func TestCallGraphMethodValueEdge(t *testing.T) {
+	cg := loadCG(t, "callgraph")
+	callees := calleeLabels(cg, findFn(t, cg, "MethodValue"))
+	if !callees["Value.Do"] {
+		t.Errorf("v.Do taken as a value then called should edge to Value.Do, has %v", callees)
+	}
+}
+
+func TestCallGraphLiteralAttribution(t *testing.T) {
+	cg := loadCG(t, "callgraph")
+	callees := calleeLabels(cg, findFn(t, cg, "Lits"))
+	for _, want := range []string{"helper", "CallStatic"} {
+		if !callees[want] {
+			t.Errorf("calls inside literals should be attributed to Lits: want %s in %v", want, callees)
+		}
+	}
+}
+
+func TestCallGraphProvenance(t *testing.T) {
+	cg := loadCG(t, "callgraph")
+	root := findFn(t, cg, "CallStatic")
+
+	prov := cg.Provenance([]*types.Func{root}, nil)
+	for _, want := range []string{"CallStatic", "CallIface", "Value.Do", "Pointer.Do", "helper"} {
+		fn := findFn(t, cg, want)
+		if prov[fn] != root {
+			t.Errorf("%s should be blamed on CallStatic, got %v", want, prov[fn])
+		}
+	}
+	if _, ok := prov[findFn(t, cg, "TakeFunc")]; ok {
+		t.Errorf("TakeFunc is not reachable from CallStatic")
+	}
+
+	// A stop boundary is included but not traversed.
+	boundary := findFn(t, cg, "CallIface")
+	stopped := cg.Reachable([]*types.Func{root}, func(fn *types.Func) bool { return fn == boundary })
+	if !stopped[boundary] {
+		t.Errorf("the boundary itself should be reachable")
+	}
+	if stopped[findFn(t, cg, "Value.Do")] || stopped[findFn(t, cg, "Pointer.Do")] {
+		t.Errorf("edges beyond the stop boundary must not be followed: %d reachable", len(stopped))
+	}
+}
+
+func TestCallGraphGenerics(t *testing.T) {
+	cg := loadCG(t, "generics")
+
+	callees := calleeLabels(cg, findFn(t, cg, "Hot"))
+	if !callees["NewSet"] {
+		t.Errorf("instantiated NewSet[int] should edge to the origin declaration, has %v", callees)
+	}
+
+	callees = calleeLabels(cg, findFn(t, cg, "UseStack"))
+	for _, want := range []string{"Stack.Push", "Stack.Pop", "below"} {
+		if !callees[want] {
+			t.Errorf("UseStack should call %s (instantiated method resolves to origin), has %v", want, callees)
+		}
+	}
+}
+
+func TestCallGraphDeterministic(t *testing.T) {
+	a := loadCG(t, "callgraph")
+	b := loadCG(t, "callgraph")
+	af, bf := a.Functions(), b.Functions()
+	if len(af) != len(bf) {
+		t.Fatalf("function counts differ: %d vs %d", len(af), len(bf))
+	}
+	for i := range af {
+		if fnLabel(af[i]) != fnLabel(bf[i]) {
+			t.Fatalf("function order differs at %d: %s vs %s", i, fnLabel(af[i]), fnLabel(bf[i]))
+		}
+		ac, bc := a.Node(af[i]).Callees(), b.Node(bf[i]).Callees()
+		if len(ac) != len(bc) {
+			t.Fatalf("%s: callee counts differ", fnLabel(af[i]))
+		}
+		for j := range ac {
+			if fnLabel(ac[j]) != fnLabel(bc[j]) {
+				t.Errorf("%s: callee order differs at %d: %s vs %s", fnLabel(af[i]), j, fnLabel(ac[j]), fnLabel(bc[j]))
+			}
+		}
+	}
+}

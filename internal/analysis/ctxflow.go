@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow returns the interprocedural analyzer enforcing end-to-end context
+// propagation.
+//
+// mrx.ContextQuerier made cancellation part of the public serving contract:
+// a request's context must flow from the HTTP handler down through
+// coalescing, admission, engine evaluation and validation. A
+// context.Background() or context.TODO() anywhere below that chain silently
+// detaches everything underneath it from the caller's cancellation — the
+// serving path keeps validating for a client that hung up.
+//
+// The analyzer computes the set of functions that receive a context.Context
+// parameter (the roots) plus everything reachable from them through
+// module-local call edges, and reports:
+//
+//   - calls to context.Background() or context.TODO() inside that set: the
+//     function is on a cancellation-bearing path, so a fresh root context
+//     severs it. A deliberate detach (the coalescer's flight context, whose
+//     lifetime is refcounted by waiters rather than owned by any one
+//     request) is annotated //mrlint:allow ctxflow <reason>;
+//   - context.Context stored in a struct field, at the field declaration:
+//     contexts flow down call stacks, not into long-lived state. An owner
+//     with a documented reason is annotated the same way.
+func CtxFlow() *Analyzer {
+	return &Analyzer{
+		Name: "ctxflow",
+		Doc:  "no context.Background/TODO below a context-bearing function; no context.Context struct fields",
+		Run:  runCtxFlow,
+	}
+}
+
+// ctxClosure maps every function on a cancellation-bearing path to the
+// context-taking root it is blamed on.
+type ctxClosure struct {
+	prov map[*types.Func]*types.Func
+}
+
+func ctxFlowClosure(mod *Module) *ctxClosure {
+	return mod.Memo("ctxflow.closure", func() any {
+		cg := mod.CallGraph()
+		var roots []*types.Func
+		for _, fn := range cg.Functions() {
+			if takesContext(fn) {
+				roots = append(roots, fn)
+			}
+		}
+		return &ctxClosure{prov: cg.Provenance(roots, nil)}
+	}).(*ctxClosure)
+}
+
+// takesContext reports whether fn has a context.Context parameter.
+func takesContext(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if isNamed(params.At(i).Type(), "context", "Context") {
+			return true
+		}
+	}
+	return false
+}
+
+func runCtxFlow(pass *Pass) {
+	closure := ctxFlowClosure(pass.Module)
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			switch decl := d.(type) {
+			case *ast.FuncDecl:
+				if decl.Body == nil {
+					continue
+				}
+				fn, ok := info.Defs[decl.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				root, onPath := closure.prov[fn.Origin()]
+				if !onPath {
+					continue
+				}
+				checkCtxBody(pass, decl, root)
+			case *ast.GenDecl:
+				checkCtxFields(pass, decl)
+			}
+		}
+	}
+}
+
+func checkCtxBody(pass *Pass, decl *ast.FuncDecl, root *types.Func) {
+	info := pass.Pkg.Info
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, name := range [...]string{"Background", "TODO"} {
+			if isPkgFunc(info, call.Fun, "context", name) {
+				pass.Reportf(call.Pos(), "context.%s below context-bearing root %s severs cancellation; derive from the caller's ctx", name, root.FullName())
+			}
+		}
+		return true
+	})
+}
+
+// checkCtxFields reports struct fields of type context.Context.
+func checkCtxFields(pass *Pass, decl *ast.GenDecl) {
+	info := pass.Pkg.Info
+	for _, spec := range decl.Specs {
+		ts, ok := spec.(*ast.TypeSpec)
+		if !ok {
+			continue
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			continue
+		}
+		for _, field := range st.Fields.List {
+			tv, ok := info.Types[field.Type]
+			if !ok {
+				continue
+			}
+			if isNamed(tv.Type, "context", "Context") {
+				pass.Reportf(field.Pos(), "context.Context stored in a field of %s; contexts flow down call stacks, not into struct state", ts.Name.Name)
+			}
+		}
+	}
+}

@@ -1,7 +1,10 @@
 package analysis
 
-// DefaultAnalyzers returns the five analyzers with this repository's
-// production configuration — what cmd/mrlint and `make lint` run.
+// DefaultAnalyzers returns the eight analyzers with this repository's
+// production configuration — what cmd/mrlint and `make lint` run. The first
+// five are intraprocedural; hotpathalloc, ctxflow and lifecycle reason over
+// the shared module call graph and are only as strong as the package set they
+// run on (a subset run sees a narrower graph; `make lint` runs all packages).
 func DefaultAnalyzers() []*Analyzer {
 	return []*Analyzer{
 		NoPanic(),
@@ -27,5 +30,8 @@ func DefaultAnalyzers() []*Analyzer {
 			ReadPrefixes: DefaultReadPrefixes,
 		}),
 		NoLeak(),
+		HotPathAlloc(),
+		CtxFlow(),
+		Lifecycle(),
 	}
 }

@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/token"
+	"go/types"
 	"strings"
 )
 
@@ -49,33 +50,19 @@ func parseDirectives(fset *token.FileSet, files []*ast.File) (suppressions, []Fi
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				rest, ok := strings.CutPrefix(c.Text, allowPrefix)
+				names, problem, ok := parseAllowDirective(c.Text)
 				if !ok {
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
-					continue // e.g. //mrlint:allowother — not our directive
-				}
-				fields := strings.Fields(rest)
-				if len(fields) == 0 {
+				if problem != "" {
 					bad = append(bad, Finding{
 						Analyzer: "mrlint", File: pos.Filename, Line: pos.Line, Col: pos.Column,
-						Message: "malformed directive: //mrlint:allow needs an analyzer name and a reason",
+						Message: problem,
 					})
 					continue
 				}
-				if len(fields) < 2 {
-					bad = append(bad, Finding{
-						Analyzer: "mrlint", File: pos.Filename, Line: pos.Line, Col: pos.Column,
-						Message: "malformed directive: //mrlint:allow " + fields[0] + " is missing a reason",
-					})
-					continue
-				}
-				for _, name := range strings.Split(fields[0], ",") {
-					if name == "" {
-						continue
-					}
+				for _, name := range names {
 					sup.add(pos.Filename, pos.Line, name)
 					sup.add(pos.Filename, pos.Line+1, name)
 				}
@@ -83,4 +70,150 @@ func parseDirectives(fset *token.FileSet, files []*ast.File) (suppressions, []Fi
 		}
 	}
 	return sup, bad
+}
+
+// parseAllowDirective parses one comment's text as an //mrlint:allow
+// directive. ok is false when the comment is not an allow directive at all;
+// a non-empty problem describes a malformed directive (which suppresses
+// nothing); otherwise names lists the suppressed analyzers.
+func parseAllowDirective(text string) (names []string, problem string, ok bool) {
+	rest, ok := strings.CutPrefix(text, allowPrefix)
+	if !ok {
+		return nil, "", false
+	}
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return nil, "", false // e.g. //mrlint:allowother — not our directive
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return nil, "malformed directive: //mrlint:allow needs an analyzer name and a reason", true
+	}
+	if len(fields) < 2 {
+		return nil, "malformed directive: //mrlint:allow " + fields[0] + " is missing a reason", true
+	}
+	for _, name := range strings.Split(fields[0], ",") {
+		if name != "" {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return nil, "malformed directive: //mrlint:allow " + fields[0] + " names no analyzer", true
+	}
+	return names, "", true
+}
+
+// Function-level annotations. Like //mrlint:allow they are machine-checked
+// comments, but they attach to a function declaration (in its doc comment)
+// rather than a line, and they widen or narrow interprocedural analysis
+// instead of silencing a finding:
+//
+//	//mrx:hotpath <note, optional>
+//	func TraverseFrozen(...)          // root of the allocation-free closure
+//
+//	//mrx:coldpath <reason, mandatory>
+//	func validateCandidates(...)      // explicit boundary: reachable code
+//	                                  // beyond it is not held to hot-path rules
+const (
+	hotpathPrefix  = "//mrx:hotpath"
+	coldpathPrefix = "//mrx:coldpath"
+	mrxPrefix      = "//mrx:"
+)
+
+// funcDirectives holds one package's parsed function annotations.
+type funcDirectives struct {
+	hot  map[*types.Func]string // annotated function -> note (may be empty)
+	cold map[*types.Func]string // annotated function -> mandatory reason
+}
+
+// parseMrxDirective parses one comment's text as an //mrx: function
+// directive. ok is false when the comment is not an //mrx: directive; a
+// non-empty problem describes a malformed one.
+func parseMrxDirective(text string) (kind, note, problem string, ok bool) {
+	rest, found := strings.CutPrefix(text, mrxPrefix)
+	if !found {
+		return "", "", "", false
+	}
+	kind = rest
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		kind, note = rest[:i], strings.TrimSpace(rest[i+1:])
+	}
+	switch kind {
+	case "hotpath":
+		return kind, note, "", true
+	case "coldpath":
+		if note == "" {
+			return kind, note, "malformed directive: //mrx:coldpath requires a reason (it weakens hot-path enforcement)", true
+		}
+		return kind, note, "", true
+	default:
+		return kind, note, "unknown directive //mrx:" + kind + " (known: hotpath, coldpath)", true
+	}
+}
+
+// parseFuncDirectives extracts //mrx: annotations from pkg's function doc
+// comments. Directives anywhere else — inside a body, on a type, floating —
+// are misplaced and reported; they annotate nothing.
+func parseFuncDirectives(pkg *Package) (funcDirectives, []Finding) {
+	fd := funcDirectives{
+		hot:  make(map[*types.Func]string),
+		cold: make(map[*types.Func]string),
+	}
+	var bad []Finding
+	attached := make(map[*ast.Comment]bool)
+	report := func(c *ast.Comment, msg string) {
+		pos := pkg.Fset.Position(c.Pos())
+		bad = append(bad, Finding{
+			Analyzer: "mrlint", File: pos.Filename, Line: pos.Line, Col: pos.Column,
+			Message: msg,
+		})
+	}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Doc == nil {
+				continue
+			}
+			for _, c := range decl.Doc.List {
+				kind, note, problem, ok := parseMrxDirective(c.Text)
+				if !ok {
+					continue
+				}
+				attached[c] = true
+				if problem != "" {
+					report(c, problem)
+					continue
+				}
+				fn, ok := pkg.Info.Defs[decl.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				switch kind {
+				case "hotpath":
+					fd.hot[fn.Origin()] = note
+				case "coldpath":
+					fd.cold[fn.Origin()] = note
+				}
+			}
+		}
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if attached[c] {
+					continue
+				}
+				if _, _, _, ok := parseMrxDirective(c.Text); ok {
+					report(c, "misplaced directive "+firstField(c.Text)+": //mrx: annotations attach to a function declaration's doc comment")
+				}
+			}
+		}
+	}
+	return fd, bad
+}
+
+func firstField(text string) string {
+	if i := strings.IndexAny(text, " \t"); i >= 0 {
+		return text[:i]
+	}
+	return text
 }

@@ -1,0 +1,309 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotPathAlloc returns the interprocedural analyzer enforcing allocation
+// discipline on the frozen read path.
+//
+// The CSR split (DESIGN.md §12) bought its −31…−37% ns/op precisely by
+// keeping the frozen M*(k) read path free of maps and incidental
+// allocation; nothing at runtime notices when a later change quietly
+// reintroduces one. Functions annotated //mrx:hotpath — and everything
+// reachable from them through module-local call edges in the shared call
+// graph — may not:
+//
+//   - allocate a map (make(map...) or a map composite literal): hot
+//     bookkeeping uses stamp arrays (query.Mark) and flat memo tables;
+//   - call into fmt or reflect: both allocate and both are formatting/
+//     introspection machinery that has no business on a read path;
+//   - convert a concrete value to an interface inside a loop (explicitly
+//     or implicitly at a call argument): each iteration boxes;
+//   - grow a bare slice (declared `var s []T` or `s := []T{}` with no
+//     capacity) with append inside a loop: preallocate with make and a
+//     capacity hint instead.
+//
+// A function annotated //mrx:coldpath is an explicit boundary: calls may
+// reach it from hot code (validation fan-out is the paper's deliberate
+// expensive term), but neither its body nor anything only reachable
+// through it is held to hot-path rules. Individual findings are silenced
+// with //mrlint:allow hotpathalloc <reason>.
+func HotPathAlloc() *Analyzer {
+	return &Analyzer{
+		Name: "hotpathalloc",
+		Doc:  "functions reachable from //mrx:hotpath roots may not allocate maps, call fmt/reflect, box into interfaces in loops, or grow bare slices in loops",
+		Run:  runHotPathAlloc,
+	}
+}
+
+// hotClosure is the module-wide result shared by every hotpathalloc pass:
+// which functions are hot, and which hot root each one is blamed on.
+type hotClosure struct {
+	prov map[*types.Func]*types.Func
+}
+
+func hotPathClosure(mod *Module) *hotClosure {
+	return mod.Memo("hotpathalloc.closure", func() any {
+		roots := make([]*types.Func, 0, len(mod.HotRoots()))
+		for fn := range mod.HotRoots() {
+			roots = append(roots, fn)
+		}
+		cold := mod.ColdBoundaries()
+		prov := mod.CallGraph().Provenance(roots, func(fn *types.Func) bool {
+			_, isCold := cold[fn]
+			return isCold
+		})
+		for fn := range cold {
+			delete(prov, fn)
+		}
+		return &hotClosure{prov: prov}
+	}).(*hotClosure)
+}
+
+func runHotPathAlloc(pass *Pass) {
+	closure := hotPathClosure(pass.Module)
+	if len(closure.prov) == 0 {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil {
+				continue
+			}
+			fn, ok := pass.Pkg.Info.Defs[decl.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			root, hot := closure.prov[fn.Origin()]
+			if !hot {
+				continue
+			}
+			checkHotBody(pass, decl, root)
+		}
+	}
+}
+
+// checkHotBody walks one hot function's body, tracking loop depth.
+func checkHotBody(pass *Pass, decl *ast.FuncDecl, root *types.Func) {
+	info := pass.Pkg.Info
+	bare := bareSlices(info, decl.Body)
+	where := "on hot path (via //mrx:hotpath root " + root.FullName() + ")"
+
+	var walk func(n ast.Node, inLoop bool)
+	walk = func(n ast.Node, inLoop bool) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.ForStmt:
+			walkChildren(n, func(c ast.Node) { walk(c, true) })
+			return
+		case *ast.RangeStmt:
+			walkChildren(n, func(c ast.Node) { walk(c, true) })
+			return
+		case *ast.CompositeLit:
+			if tv, ok := info.Types[n]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					pass.Reportf(n.Pos(), "map literal allocates %s; use a stamp array or flat table", where)
+				}
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, info, n, bare, inLoop, where)
+		}
+		walkChildren(n, func(c ast.Node) { walk(c, inLoop) })
+	}
+	walk(decl.Body, false)
+}
+
+// walkChildren visits the direct children of n.
+func walkChildren(n ast.Node, visit func(ast.Node)) {
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			visit(c)
+		}
+		return false
+	})
+}
+
+func checkHotCall(pass *Pass, info *types.Info, call *ast.CallExpr, bare map[types.Object]bool, inLoop bool, where string) {
+	// Explicit conversion T(x)?
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if inLoop && isInterface(tv.Type) && len(call.Args) == 1 && !isInterface(typeOf(info, call.Args[0])) {
+			pass.Reportf(call.Pos(), "conversion to interface %s inside a loop %s boxes every iteration", types.TypeString(tv.Type, nil), where)
+		}
+		return
+	}
+
+	if id, ok := unwrapCallee(call.Fun).(*ast.Ident); ok {
+		if b, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch b.Name() {
+			case "make":
+				if len(call.Args) > 0 {
+					if tv, ok := info.Types[call.Args[0]]; ok {
+						if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+							pass.Reportf(call.Pos(), "make(map) allocates %s; use a stamp array or flat table", where)
+						}
+					}
+				}
+			case "append":
+				if inLoop && len(call.Args) > 0 {
+					if id, ok := call.Args[0].(*ast.Ident); ok && bare[info.Uses[id]] {
+						pass.Reportf(call.Pos(), "append grows %s (declared without capacity) inside a loop %s; preallocate with make and a capacity hint", id.Name, where)
+					}
+				}
+			}
+			return
+		}
+	}
+
+	if path, name, ok := pkgFuncOf(info, call.Fun); ok {
+		switch path {
+		case "fmt", "reflect":
+			pass.Reportf(call.Pos(), "call to %s.%s %s; formatting and reflection never belong on the read path", path, name, where)
+			return
+		}
+	}
+
+	// Implicit interface conversions at argument positions, in loops only.
+	if !inLoop {
+		return
+	}
+	sig := signatureOf(info, call.Fun)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case i < params.Len()-1 || (i == params.Len()-1 && !sig.Variadic()):
+			pt = params.At(i).Type()
+		case sig.Variadic() && params.Len() > 0:
+			if sl, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		}
+		if pt == nil || !isInterface(pt) {
+			continue
+		}
+		at := typeOf(info, arg)
+		if at == nil || isInterface(at) || isUntypedNil(info, arg) {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "argument %s boxes into interface %s inside a loop %s", types.TypeString(at, nil), types.TypeString(pt, nil), where)
+	}
+}
+
+// bareSlices collects the slice variables declared in body with no capacity
+// to their name: `var s []T`, or `s := []T{}` / `s := []T(nil)`. Appending
+// to one of these inside a loop grows it a step at a time.
+func bareSlices(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	bare := make(map[types.Object]bool)
+	mark := func(id *ast.Ident) {
+		obj := info.Defs[id]
+		if obj == nil {
+			return
+		}
+		if _, isSlice := obj.Type().Underlying().(*types.Slice); isSlice {
+			bare[obj] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeclStmt:
+			gd, ok := n.Decl.(*ast.GenDecl)
+			if !ok {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) != 0 {
+					continue
+				}
+				for _, name := range vs.Names {
+					mark(name)
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok.String() != ":=" || len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if isEmptySliceExpr(info, n.Rhs[i]) {
+					mark(id)
+				}
+			}
+		}
+		return true
+	})
+	return bare
+}
+
+// isEmptySliceExpr reports whether e is `[]T{}` or `[]T(nil)`.
+func isEmptySliceExpr(info *types.Info, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		tv, ok := info.Types[e]
+		if !ok {
+			return false
+		}
+		_, isSlice := tv.Type.Underlying().(*types.Slice)
+		return isSlice && len(e.Elts) == 0
+	case *ast.CallExpr:
+		tv, ok := info.Types[e.Fun]
+		if !ok || !tv.IsType() {
+			return false
+		}
+		_, isSlice := tv.Type.Underlying().(*types.Slice)
+		return isSlice && len(e.Args) == 1 && isUntypedNil(info, e.Args[0])
+	}
+	return false
+}
+
+func isInterface(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+func isUntypedNil(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok {
+		return false
+	}
+	if b, ok := tv.Type.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return true
+	}
+	return tv.IsNil()
+}
+
+// signatureOf returns the signature of the called expression, or nil when it
+// is not a function call (builtin, conversion).
+func signatureOf(info *types.Info, fun ast.Expr) *types.Signature {
+	tv, ok := info.Types[fun]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}

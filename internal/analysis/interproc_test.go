@@ -1,0 +1,180 @@
+package analysis
+
+import (
+	"go/types"
+	"strings"
+	"testing"
+)
+
+func TestHotPathAlloc(t *testing.T) {
+	RunTest(t, testdata, "hotpathalloc", HotPathAlloc())
+}
+
+func TestCtxFlow(t *testing.T) {
+	RunTest(t, testdata, "ctxflow", CtxFlow())
+}
+
+func TestLifecycle(t *testing.T) {
+	RunTestPkgs(t, testdata, []string{"lifecycle", "lifecycle/waitutil"}, Lifecycle())
+}
+
+// TestGenerics runs all three interprocedural analyzers over generic code:
+// instantiations must resolve without crashing, and the closure must include
+// origin declarations reached through instantiated calls.
+func TestGenerics(t *testing.T) {
+	RunTest(t, testdata, "generics", HotPathAlloc(), CtxFlow(), Lifecycle())
+}
+
+// TestFuncDirectives pins the //mrx: attachment rules: doc-comment directives
+// register the function, anything floating is misplaced.
+func TestFuncDirectives(t *testing.T) {
+	l := NewLoader(testdata, "")
+	pkg, err := l.Load("hotpathalloc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd, bad := parseFuncDirectives(pkg)
+	if len(bad) != 0 {
+		t.Fatalf("unexpected directive findings: %v", bad)
+	}
+	var hotNames, coldNames []string
+	for fn := range fd.hot {
+		hotNames = append(hotNames, fn.Name())
+	}
+	for fn := range fd.cold {
+		coldNames = append(coldNames, fn.Name())
+	}
+	if len(hotNames) != 9 {
+		t.Errorf("want 9 hot roots in hotpathalloc testdata, got %v", hotNames)
+	}
+	if len(coldNames) != 1 || coldNames[0] != "expensive" {
+		t.Errorf("want exactly expensive as cold boundary, got %v", coldNames)
+	}
+	if note := fd.hot[hotOrigin(t, fd)]; note != "the frozen read path archetype" {
+		t.Errorf("hot note not preserved: %q", note)
+	}
+}
+
+func hotOrigin(t *testing.T, fd funcDirectives) *types.Func {
+	t.Helper()
+	for f := range fd.hot {
+		if f.Name() == "Hot" {
+			return f
+		}
+	}
+	t.Fatal("Hot root not parsed")
+	return nil
+}
+
+// TestRunDeterministicParallel runs the full default suite repeatedly over the
+// same module view: the parallel (package × analyzer) execution must produce
+// byte-identical, sorted output every time. Under -race this also proves the
+// shared call graph and memo table are race-clean.
+func TestRunDeterministicParallel(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	module, err := ModulePath(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := NewLoader(root, module).LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func(fs []Finding) string {
+		var sb strings.Builder
+		for _, f := range fs {
+			sb.WriteString(f.String())
+			sb.WriteByte('\n')
+		}
+		return sb.String()
+	}
+	base := render(Run(pkgs, DefaultAnalyzers()))
+	for i := 0; i < 3; i++ {
+		if got := render(Run(pkgs, DefaultAnalyzers())); got != base {
+			t.Fatalf("run %d differs:\n--- first\n%s--- now\n%s", i, base, got)
+		}
+	}
+}
+
+// TestModuleMemoSharing: the same key computes once, different keys don't
+// collide.
+func TestModuleMemo(t *testing.T) {
+	mod := NewModule(nil)
+	calls := 0
+	for i := 0; i < 4; i++ {
+		v := mod.Memo("k", func() any { calls++; return 42 }).(int)
+		if v != 42 {
+			t.Fatalf("memo returned %v", v)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+	if v := mod.Memo("other", func() any { return 7 }).(int); v != 7 {
+		t.Fatalf("different key collided: %v", v)
+	}
+}
+
+// FuzzDirectives fuzzes both comment-directive parsers: whatever the input,
+// they must not panic and must keep their contracts — an allow directive
+// never yields empty analyzer names, a malformed one suppresses nothing, a
+// coldpath without a reason is always a problem.
+func FuzzDirectives(f *testing.F) {
+	for _, seed := range []string{
+		"//mrlint:allow nopanic internal invariant, unreachable on valid input",
+		"//mrlint:allow nopanic,noleak multi-analyzer reason",
+		"//mrlint:allow",
+		"//mrlint:allow nopanic",
+		"//mrlint:allow , dangling comma",
+		"//mrlint:allow ,,, only commas",
+		"//mrlint:allowother not ours",
+		"//mrlint:allow\tnopanic\ttabs as separators",
+		"//mrx:hotpath",
+		"//mrx:hotpath the frozen read path",
+		"//mrx:coldpath",
+		"//mrx:coldpath validation fan-out is deliberate",
+		"//mrx:unknown directive kind",
+		"//mrx:",
+		"// mrx:hotpath space disqualifies",
+		"//mrx:hotpath\r\ncarriage return smuggled in",
+		"//mrlint:allow a,b reason\r\nwith CRLF tail",
+		"//mrx:hotpath one //mrx:coldpath two directives one line",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		names, problem, ok := parseAllowDirective(text)
+		if !ok && (len(names) != 0 || problem != "") {
+			t.Errorf("non-directive %q must return nothing, got names=%v problem=%q", text, names, problem)
+		}
+		if ok && problem == "" {
+			if len(names) == 0 {
+				t.Errorf("well-formed allow %q parsed to zero analyzer names", text)
+			}
+			for _, n := range names {
+				if n == "" || strings.ContainsAny(n, ", \t") {
+					t.Errorf("allow %q yielded invalid analyzer name %q", text, n)
+				}
+			}
+		}
+
+		kind, note, problem, ok := parseMrxDirective(text)
+		if !ok && (kind != "" || note != "" || problem != "") {
+			t.Errorf("non-mrx %q must return nothing, got kind=%q note=%q problem=%q", text, kind, note, problem)
+		}
+		if ok {
+			if strings.ContainsAny(kind, " \t") {
+				t.Errorf("mrx kind %q contains whitespace (input %q)", kind, text)
+			}
+			if kind == "coldpath" && note == "" && problem == "" {
+				t.Errorf("coldpath without a reason must be a problem (input %q)", text)
+			}
+			if kind != "hotpath" && kind != "coldpath" && problem == "" {
+				t.Errorf("unknown kind %q must be a problem (input %q)", kind, text)
+			}
+		}
+	})
+}

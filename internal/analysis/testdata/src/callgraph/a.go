@@ -1,0 +1,85 @@
+// Package callgraph is fixture code for the call graph unit tests: static
+// calls, interface dispatch, function values, literals and method values.
+package callgraph
+
+// Doer is implemented by Value (value receiver) and Pointer (pointer
+// receiver); a call through the interface must fan out to both.
+type Doer interface {
+	Do()
+}
+
+type Value struct{}
+
+func (Value) Do() {}
+
+type Pointer struct{}
+
+func (*Pointer) Do() {}
+
+// Loner implements nothing relevant.
+type Loner struct{}
+
+func (Loner) Other() {}
+
+// CallIface dispatches through the interface: conservative fan-out to every
+// module-local implementer's Do.
+func CallIface(d Doer) {
+	d.Do()
+}
+
+// CallStatic is a plain static edge.
+func CallStatic() {
+	CallIface(Value{})
+	helper()
+}
+
+func helper() {}
+
+// TakeFunc invokes a function value: the dynamic edge goes to every
+// module-local function whose address is taken and whose signature matches.
+func TakeFunc() {
+	f := escapee
+	f()
+}
+
+// escapee's address is taken in TakeFunc; sameSig's never is, so only
+// escapee gets the dynamic edge despite the identical signature.
+func escapee() {}
+
+func sameSig() {}
+
+// UseSameSig calls sameSig statically so it is not dead code — but its
+// address still never escapes.
+func UseSameSig() {
+	sameSig()
+}
+
+// PassFunc escapes otherSig by argument; InvokeParam calls its parameter.
+func PassFunc() {
+	InvokeParam(otherSig)
+}
+
+func InvokeParam(f func(int) int) int {
+	return f(7)
+}
+
+func otherSig(x int) int { return x }
+
+// Lits attributes calls inside a function literal to the enclosing
+// declaration, and skips the immediately-invoked literal itself.
+func Lits() {
+	g := func() {
+		helper()
+	}
+	g()
+	func() {
+		CallStatic()
+	}()
+}
+
+// MethodValue takes v.Do as a value: the method escapes and receiver-free
+// signature matching finds it at the dynamic call site.
+func MethodValue(v Value) {
+	f := v.Do
+	f()
+}

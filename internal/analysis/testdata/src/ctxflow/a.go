@@ -1,0 +1,62 @@
+// Package ctxflow exercises the ctxflow analyzer: no context.Background/TODO
+// below a context-bearing function, no context.Context struct fields.
+package ctxflow
+
+import "context"
+
+// Serve is a root: it takes a context, so everything it reaches is on a
+// cancellation-bearing path.
+func Serve(ctx context.Context) error {
+	if err := step(); err != nil {
+		return err
+	}
+	return finish(ctx)
+}
+
+// step is below Serve: minting a fresh root context here severs the caller's
+// cancellation.
+func step() error {
+	ctx := context.Background() // want `context.Background below context-bearing root ctxflow\.Serve`
+	return work(ctx)
+}
+
+func finish(ctx context.Context) error {
+	_ = context.TODO() // want `context.TODO below context-bearing root`
+	return work(ctx)
+}
+
+func work(ctx context.Context) error {
+	<-ctx.Done()
+	return nil
+}
+
+// Detached is NOT reachable from any context-bearing function: a fresh root
+// context is exactly what a detached entry point should make.
+func Detached() error {
+	return work(context.Background())
+}
+
+// AllowedDetach documents a deliberate refcounted detach, coalescer-style.
+func AllowedDetach(ctx context.Context) error {
+	//mrlint:allow ctxflow flight context outlives any one waiter; lifetime is refcounted
+	flight := context.Background()
+	_ = ctx
+	return work(flight)
+}
+
+// holder stores a context in struct state: flagged at the field regardless of
+// reachability — contexts flow down call stacks.
+type holder struct {
+	ctx context.Context // want `context.Context stored in a field of holder`
+	n   int
+}
+
+// owner is an annotated exception.
+type owner struct {
+	//mrlint:allow ctxflow request-scoped carrier; cleared when the request ends
+	ctx context.Context
+}
+
+func (h *holder) use() int { return h.n }
+
+func (o *owner) use(ctx context.Context) { o.ctx = ctx }

@@ -1,0 +1,91 @@
+// Package generics exercises the call graph and interprocedural analyzers on
+// generic code: instantiations must resolve to their Origin declarations, and
+// generic named types must not crash interface-implementer scanning.
+package generics
+
+import "context"
+
+// NewSet is a generic allocator; instantiating it from a hot root must pull
+// the origin declaration into the closure.
+func NewSet[T comparable]() map[T]bool {
+	return make(map[T]bool) // want `make\(map\) allocates .*via //mrx:hotpath root generics\.Hot`
+}
+
+//mrx:hotpath instantiation edges must resolve to Origin
+func Hot(xs []int) int {
+	seen := NewSet[int]()
+	n := 0
+	for _, x := range xs {
+		if !seen[x] {
+			n++
+		}
+	}
+	return n
+}
+
+// Stack is a generic container with methods; its instantiated methods route
+// to the generic declarations.
+type Stack[T any] struct {
+	items []T
+}
+
+func (s *Stack[T]) Push(v T) {
+	s.items = append(s.items, v)
+}
+
+func (s *Stack[T]) Pop() (T, bool) {
+	var zero T
+	if len(s.items) == 0 {
+		return zero, false
+	}
+	v := s.items[len(s.items)-1]
+	s.items = s.items[:len(s.items)-1]
+	return v, true
+}
+
+// UseStack calls instantiated methods: callee resolution must not crash and
+// must land on the origin method declarations.
+func UseStack(ctx context.Context) int {
+	var s Stack[int]
+	s.Push(1)
+	s.Push(2)
+	if v, ok := s.Pop(); ok {
+		return v
+	}
+	return below()
+}
+
+// below is reachable from the context-bearing UseStack.
+func below() int {
+	ctx := context.Background() // want `context.Background below context-bearing root generics\.UseStack`
+	_ = ctx
+	return 0
+}
+
+// Apply takes a function value generically: the dynamic edge is signature-
+// matched after instantiation.
+func Apply[T any](f func(T) T, v T) T {
+	return f(v)
+}
+
+func double(x int) int { return 2 * x }
+
+func CallApply() int {
+	return Apply(double, 21)
+}
+
+// iface + generic implementer interplay: the implementer scan skips generic
+// named types rather than crashing on them.
+type Sizer interface {
+	Size() int
+}
+
+type Box[T any] struct {
+	v T
+}
+
+func (b Box[T]) Size() int { return 1 }
+
+func Measure(s Sizer) int {
+	return s.Size()
+}

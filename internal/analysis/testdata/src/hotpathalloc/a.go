@@ -1,0 +1,103 @@
+// Package hotpathalloc exercises the hotpathalloc analyzer: allocation
+// discipline on the closure of //mrx:hotpath roots, bounded by //mrx:coldpath.
+package hotpathalloc
+
+import "fmt"
+
+//mrx:hotpath the frozen read path archetype
+func Hot(xs []int) int {
+	m := make(map[int]bool) // want `make\(map\) allocates`
+	total := 0
+	for _, x := range xs {
+		total += x
+		m[x] = true
+	}
+	return total
+}
+
+//mrx:hotpath
+func HotLiteral() map[string]int {
+	return map[string]int{} // want `map literal allocates`
+}
+
+//mrx:hotpath
+func HotFmt(n int) string {
+	return fmt.Sprintf("%d", n) // want `call to fmt.Sprintf`
+}
+
+//mrx:hotpath
+func HotTransitive(xs []int) int {
+	return helper(xs) // not annotated, but reachable: checked via provenance
+}
+
+// helper is hot only because HotTransitive reaches it.
+func helper(xs []int) int {
+	sink := make(map[int]int) // want `make\(map\) allocates .*via //mrx:hotpath root hotpathalloc\.HotTransitive`
+	for _, x := range xs {
+		sink[x] = x
+	}
+	return len(sink)
+}
+
+//mrx:hotpath
+func HotBox(xs []int) {
+	for _, x := range xs {
+		consume(x) // want `boxes into interface`
+	}
+	consume(xs[0]) // outside a loop: one box at the boundary is fine
+}
+
+func consume(v any) { _ = v }
+
+//mrx:hotpath
+func HotExplicitConvert(xs []int) {
+	for _, x := range xs {
+		v := any(x) // want `conversion to interface`
+		_ = v
+	}
+}
+
+//mrx:hotpath
+func HotAppend(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x) // want `append grows out`
+	}
+	pre := make([]int, 0, len(xs))
+	for _, x := range xs {
+		pre = append(pre, x) // preallocated: clean
+	}
+	return append(out, pre...)
+}
+
+//mrx:hotpath
+func HotAllowed() map[int]bool {
+	//mrlint:allow hotpathalloc one-time table built before the loop, amortised
+	return make(map[int]bool)
+}
+
+//mrx:hotpath
+func HotToCold(xs []int) int {
+	return expensive(xs)
+}
+
+//mrx:coldpath validation fan-out is the paper's deliberate expensive term
+func expensive(xs []int) int {
+	seen := make(map[int]bool) // cold boundary: not held to hot-path rules
+	for _, x := range xs {
+		seen[x] = true
+	}
+	return len(seen) + len(onlyBeyondCold())
+}
+
+// onlyBeyondCold is reachable from Hot code only through the cold boundary:
+// the closure is pruned there, so this map is unchecked too.
+func onlyBeyondCold() map[string]int {
+	return map[string]int{"unchecked": 1}
+}
+
+// NotHot is plain warm code: maps and fmt are fine here.
+func NotHot() string {
+	m := map[string]int{"a": 1}
+	return fmt.Sprint(len(m))
+}

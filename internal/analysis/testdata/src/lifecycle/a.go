@@ -1,0 +1,179 @@
+// Package lifecycle exercises the lifecycle analyzer: WaitGroup Add→Done
+// pairing through call arguments, ticker/timer Stop, and context cancel
+// retention.
+package lifecycle
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"lifecycle/waitutil"
+)
+
+// AddNoDone: nothing ever signals this WaitGroup.
+func AddNoDone() {
+	var wg sync.WaitGroup
+	wg.Add(1) // want `WaitGroup.Add has no matching Done`
+	go func() {}()
+	wg.Wait()
+}
+
+// AddDoneLocal pairs through closure capture.
+func AddDoneLocal() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done() }()
+	wg.Wait()
+}
+
+// AddDoneCallee pairs through a same-package callee parameter.
+func AddDoneCallee() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go worker(&wg)
+	wg.Wait()
+}
+
+func worker(wg *sync.WaitGroup) { defer wg.Done() }
+
+// AddDoneCrossPackage pairs through an imported callee's parameter.
+func AddDoneCrossPackage() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go waitutil.Worker(&wg)
+	wg.Wait()
+}
+
+// AddSwallowed aliases into a callee that never calls Done.
+func AddSwallowed() {
+	var wg sync.WaitGroup
+	wg.Add(1) // want `WaitGroup.Add has no matching Done`
+	go waitutil.Swallow(&wg)
+	wg.Wait()
+}
+
+// AddDoneLit pairs through a directly-invoked function literal's parameter.
+func AddDoneLit() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func(g *sync.WaitGroup) { defer g.Done() }(&wg)
+	wg.Wait()
+}
+
+// pool pairs a field WaitGroup: Add in Spawn, Done in run.
+type pool struct {
+	wg sync.WaitGroup
+}
+
+func (p *pool) Spawn() {
+	p.wg.Add(1)
+	go p.run()
+}
+
+func (p *pool) run() { defer p.wg.Done() }
+
+func (p *pool) Wait() { p.wg.Wait() }
+
+// TickNoStop leaks its ticker.
+func TickNoStop(d time.Duration) {
+	t := time.NewTicker(d) // want `time.NewTicker result t is never stopped`
+	<-t.C
+}
+
+// TickStop stops it.
+func TickStop(d time.Duration) {
+	t := time.NewTicker(d)
+	defer t.Stop()
+	<-t.C
+}
+
+// TimerMethodValue hands Stop out as a value, loadgen-style: referencing
+// v.Stop is enough, called or not.
+func TimerMethodValue(d time.Duration) (<-chan time.Time, func() bool) {
+	t := time.NewTimer(d)
+	return t.C, t.Stop
+}
+
+// TickHandOff passes the ticker whole to someone else: their problem now.
+func TickHandOff(d time.Duration) {
+	t := time.NewTicker(d)
+	adopt(t)
+}
+
+func adopt(t *time.Ticker) { t.Stop() }
+
+// TickDiscard throws the ticker away unstoppable.
+func TickDiscard(d time.Duration) {
+	_ = time.NewTicker(d) // want `time.NewTicker result is discarded`
+}
+
+// svc stores tickers in fields: tk is stopped by Close, orphan never is.
+type svc struct {
+	tk     *time.Ticker
+	orphan *time.Ticker
+}
+
+func (s *svc) Start(d time.Duration) {
+	s.tk = time.NewTicker(d)
+	s.orphan = time.NewTicker(d) // want `time.NewTicker stored in field orphan is never stopped`
+}
+
+func (s *svc) Close() {
+	s.tk.Stop()
+}
+
+// After leaks a timer until it fires.
+func After(d time.Duration) <-chan time.Time {
+	return time.After(d) // want `time.After leaks its timer`
+}
+
+// CancelUnused mints a cancel and forgets it.
+func CancelUnused(ctx context.Context) context.Context {
+	ctx2, cancel := context.WithCancel(ctx) // want `cancel function cancel is never used`
+	_ = cancel
+	return ctx2
+}
+
+// CancelDiscarded blanks it outright.
+func CancelDiscarded(ctx context.Context) context.Context {
+	ctx2, _ := context.WithCancel(ctx) // want `cancel function is discarded`
+	return ctx2
+}
+
+// CancelDeferred is the ordinary correct shape.
+func CancelDeferred(ctx context.Context, d time.Duration) error {
+	ctx2, cancel := context.WithTimeout(ctx, d)
+	defer cancel()
+	<-ctx2.Done()
+	return ctx2.Err()
+}
+
+// flight stores its cancel in a field; abort invokes it module-wide: ok.
+type flight struct {
+	cancel context.CancelFunc
+}
+
+func NewFlight(ctx context.Context) (*flight, context.Context) {
+	fctx, cancel := context.WithCancel(ctx)
+	return &flight{cancel: cancel}, fctx
+}
+
+func (f *flight) abort() { f.cancel() }
+
+// orphanFlight stores its cancel in a field nothing ever invokes.
+type orphanFlight struct {
+	cancel context.CancelFunc
+}
+
+func NewOrphanFlight(ctx context.Context) (*orphanFlight, context.Context) {
+	fctx, cancel := context.WithCancel(ctx) // want `cancel function stored in field cancel is never invoked`
+	return &orphanFlight{cancel: cancel}, fctx
+}
+
+// AllowedAdd is a justified exception.
+func AllowedAdd() {
+	var wg sync.WaitGroup
+	wg.Add(1) //mrlint:allow lifecycle released by a process-lifetime watchdog, joined at exit
+	go func() {}()
+}

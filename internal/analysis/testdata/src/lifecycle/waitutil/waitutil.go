@@ -1,0 +1,15 @@
+// Package waitutil is a cross-package callee for the lifecycle testdata: the
+// Done lives here, the Add in the importing package.
+package waitutil
+
+import "sync"
+
+// Worker signals wg when it finishes.
+func Worker(wg *sync.WaitGroup) {
+	defer wg.Done()
+}
+
+// Swallow takes a WaitGroup and never signals it.
+func Swallow(wg *sync.WaitGroup) {
+	_ = wg
+}

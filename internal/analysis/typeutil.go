@@ -27,6 +27,9 @@ func isPkgFunc(info *types.Info, fun ast.Expr, pkgPath, name string) bool {
 	if !ok {
 		return false
 	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return false // a method like time.Time.After, not the package function
+	}
 	return fn.Pkg() != nil && fn.Pkg().Path() == pkgPath && fn.Name() == name
 }
 

@@ -107,6 +107,8 @@ func (fm *FrozenMStar) Query(e *pathexpr.Expr) query.Result {
 // QueryOpts evaluates e with the configured strategy under explicit
 // validation options, reporting which strategy ran. This is the engine's
 // read path: it touches only frozen arrays.
+//
+//mrx:hotpath root of every frozen query strategy (naive, top-down, subpath, auto)
 func (fm *FrozenMStar) QueryOpts(e *pathexpr.Expr, opt query.ValidateOpts) (query.Result, Strategy) {
 	switch fm.opts.Strategy {
 	case StrategyNaive:
@@ -226,7 +228,7 @@ func (fm *FrozenMStar) initialFrontier(comp *index.Frozen, s pathexpr.Step, cost
 func expandStep(comp *index.Frozen, data *graph.Graph, frontier []index.FrozenID, s pathexpr.Step, cost *query.Cost) []index.FrozenID {
 	seen := query.NewMark(comp.NumNodes())
 	seen.Next()
-	var next []index.FrozenID
+	next := make([]index.FrozenID, 0, len(frontier))
 	for _, u := range frontier {
 		for _, c := range comp.Children(u) {
 			cost.IndexNodes++
@@ -245,7 +247,7 @@ func expandStep(comp *index.Frozen, data *graph.Graph, frontier []index.FrozenID
 func (fm *FrozenMStar) descend(frontier []index.FrozenID, coarse, fine *index.Frozen) []index.FrozenID {
 	seen := query.NewMark(fine.NumNodes())
 	seen.Next()
-	var out []index.FrozenID
+	out := make([]index.FrozenID, 0, len(frontier))
 	for _, u := range frontier {
 		for _, o := range coarse.Extent(u) {
 			n := fine.NodeOf(o)
@@ -284,7 +286,7 @@ func (fm *FrozenMStar) querySubpath(e *pathexpr.Expr, start, end int, opt query.
 	// overlapping ancestor cones are walked once.
 	if end > 0 {
 		memo := newPrefixMemo(comp.NumNodes(), end+1)
-		var kept []index.FrozenID
+		kept := make([]index.FrozenID, 0, len(candidates))
 		for _, c := range candidates {
 			if fm.hasPrefixInto(comp, c, e.Steps[:end+1], memo, &res.Cost) {
 				kept = append(kept, c)

@@ -215,6 +215,11 @@ func (en *Engine) QueryCtx(ctx context.Context, e *pathexpr.Expr) (query.Result,
 	return res, nil
 }
 
+// query is the shared snapshot read path under Query/QueryCtx/QueryNamed:
+// one atomic snapshot load, the frozen strategy dispatch, counter bumps and
+// the tracker's sketch probe.
+//
+//mrx:hotpath engine snapshot read path
 func (en *Engine) query(e *pathexpr.Expr, opt query.ValidateOpts) (query.Result, core.Strategy) {
 	s := en.snap.Load()
 	start := time.Now()

@@ -31,6 +31,8 @@ type Histogram struct {
 }
 
 // Record adds one sample.
+//
+//mrx:hotpath per-request latency recording: atomics only
 func (h *Histogram) Record(d time.Duration) {
 	us := uint64(d.Microseconds())
 	b := bits.Len64(us) // 0 for <1µs, i for [2^(i-1), 2^i)

@@ -45,10 +45,12 @@ func (q FrozenQuerier) Query(e *pathexpr.Expr) Result { return EvalFrozen(q.fz, 
 // are validated against the data graph per opt. Both variants share the
 // candidate validation machinery, so frozen and mutable serving cannot
 // diverge in validation semantics.
+//
+//mrx:hotpath frozen answer collection; validation beyond it is the deliberate expensive term
 func CollectAnswersFrozen(fz *index.Frozen, e *pathexpr.Expr, targets []index.FrozenID, opt ValidateOpts) (answer []graph.NodeID, visited int, precise, stopped bool) {
 	precise = true
 	req := e.RequiredK()
-	var candidates []graph.NodeID
+	candidates := make([]graph.NodeID, 0, len(targets))
 	for _, v := range targets {
 		if fz.K(v) >= req {
 			answer = append(answer, fz.Extent(v)...)
@@ -89,35 +91,18 @@ func (m *Mark) Set(v index.FrozenID) { m.stamp[v] = m.round }
 // TraverseFrozen evaluates only the index traversal of e over a frozen
 // snapshot and returns the matched frozen nodes in ascending order,
 // accumulating the index-node cost — the frozen counterpart of TargetNodes.
+//
+//mrx:hotpath frozen index traversal: stamp arrays, CSR windows, no maps (DESIGN.md §12)
 func TraverseFrozen(fz *index.Frozen, e *pathexpr.Expr, cost *Cost) []index.FrozenID {
 	data := fz.Data()
-	var frontier []index.FrozenID
-	if e.Rooted {
-		root := fz.Root()
-		cost.IndexNodes++
-		for _, c := range fz.Children(root) {
-			cost.IndexNodes++
-			if e.Steps[0].Matches(data.LabelName(fz.Label(c))) {
-				frontier = append(frontier, c)
-			}
-		}
-	} else if e.Steps[0].Wildcard {
-		frontier = make([]index.FrozenID, fz.NumNodes())
-		for i := range frontier {
-			frontier[i] = index.FrozenID(i)
-		}
-		cost.IndexNodes += len(frontier)
-	} else if l, ok := data.LabelIDOf(e.Steps[0].Label); ok {
-		frontier = append(frontier, fz.NodesWithLabel(l)...)
-		cost.IndexNodes += len(frontier)
-	}
+	frontier := frozenStepZero(fz, data, e, cost)
 	if len(e.Steps) == 1 {
 		return frontier
 	}
 	seen := NewMark(fz.NumNodes())
 	for i := 1; i < len(e.Steps); i++ {
 		seen.Next()
-		var next []index.FrozenID
+		next := make([]index.FrozenID, 0, len(frontier))
 		if e.Steps[i].Descendant {
 			// Descendant axis: closure over index edges, filtered by label.
 			queue := append([]index.FrozenID(nil), frontier...)
@@ -158,4 +143,37 @@ func TraverseFrozen(fz *index.Frozen, e *pathexpr.Expr, cost *Cost) []index.Froz
 	}
 	sort.Slice(frontier, func(i, j int) bool { return frontier[i] < frontier[j] })
 	return frontier
+}
+
+// frozenStepZero materializes the step-0 frontier, preallocated to its known
+// bound in every branch. The label-bucket case copies the CSR window: the
+// caller sorts the frontier in place, and the snapshot's arrays are immutable.
+func frozenStepZero(fz *index.Frozen, data *graph.Graph, e *pathexpr.Expr, cost *Cost) []index.FrozenID {
+	if e.Rooted {
+		root := fz.Root()
+		cost.IndexNodes++
+		children := fz.Children(root)
+		frontier := make([]index.FrozenID, 0, len(children))
+		for _, c := range children {
+			cost.IndexNodes++
+			if e.Steps[0].Matches(data.LabelName(fz.Label(c))) {
+				frontier = append(frontier, c)
+			}
+		}
+		return frontier
+	}
+	if e.Steps[0].Wildcard {
+		frontier := make([]index.FrozenID, fz.NumNodes())
+		for i := range frontier {
+			frontier[i] = index.FrozenID(i)
+		}
+		cost.IndexNodes += len(frontier)
+		return frontier
+	}
+	if l, ok := data.LabelIDOf(e.Steps[0].Label); ok {
+		frontier := append([]index.FrozenID(nil), fz.NodesWithLabel(l)...)
+		cost.IndexNodes += len(frontier)
+		return frontier
+	}
+	return nil
 }

@@ -61,6 +61,8 @@ func CollectAnswers(g *graph.Graph, e *pathexpr.Expr, targets []*index.Node, opt
 
 // validateCandidates checks which candidate data nodes terminate an instance
 // of e, sequentially or across a bounded worker pool.
+//
+//mrx:coldpath validation fan-out is the paper's deliberate expensive term: memo maps, per-worker validators and pool spin-up are the cost being measured, not incidental allocation
 func validateCandidates(g *graph.Graph, e *pathexpr.Expr, candidates []graph.NodeID, opt ValidateOpts) (matched []graph.NodeID, visited int, stopped bool) {
 	workers := opt.Workers
 	if max := len(candidates) / minPerWorker; workers > max {

@@ -38,12 +38,15 @@ func newCoalescer() *coalescer {
 // joined a flight started by another (the coalesce counter). If ctx is
 // done before the flight completes, do detaches and returns ctx.Err(); the
 // last waiter to detach cancels the exec context.
+//
+//mrx:hotpath coalescer fast path: every served request passes through here
 func (c *coalescer) do(ctx context.Context, key string, exec func(context.Context) (query.Result, error)) (res query.Result, shared bool, err error) {
 	c.mu.Lock()
 	f, ok := c.flights[key]
 	if ok {
 		f.waiters++
 	} else {
+		//mrlint:allow ctxflow flight outlives any one waiter; detach is deliberate, lifetime is refcounted and the last detaching waiter cancels
 		execCtx, cancel := context.WithCancel(context.Background())
 		f = &flight{done: make(chan struct{}), waiters: 1, cancel: cancel}
 		c.flights[key] = f
