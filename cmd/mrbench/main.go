@@ -26,10 +26,11 @@ import (
 
 func main() {
 	fig := flag.String("fig", "", "figure to reproduce: 8..26 or all")
-	ablation := flag.String("ablation", "", "ablation to run: strategies, literal, accounting, apex, engine, adapt")
+	ablation := flag.String("ablation", "", "ablation to run: strategies, literal, accounting, apex, engine, adapt, shard")
 	readers := flag.String("readers", "1,4,8", "reader-goroutine counts for -ablation engine")
-	passes := flag.Int("passes", 2, "workload replays per reader for -ablation engine")
-	dataset := flag.String("dataset", "xmark", "dataset for ablations: xmark or nasa")
+	passes := flag.Int("passes", 2, "workload replays per reader for -ablation engine/shard")
+	shards := flag.String("shards", "1,2,4,8", "shard counts for -ablation shard")
+	dataset := flag.String("dataset", "xmark", "dataset for ablations: xmark, nasa or corpus (multi-document; required for meaningful -ablation shard)")
 	scale := flag.Float64("scale", 0.1, "dataset scale (1.0 = paper size)")
 	queries := flag.Int("queries", 500, "workload size (paper: 500)")
 	maxQueryLen := flag.Int("maxlen", 9, "max query length for ablations")
@@ -59,7 +60,7 @@ func main() {
 
 	switch {
 	case *ablation != "":
-		runAblation(*ablation, *dataset, cfg, *maxQueryLen, *readers, *passes, progress)
+		runAblation(*ablation, *dataset, cfg, *maxQueryLen, *readers, *shards, *passes, progress)
 	case *fig == "all":
 		for _, f := range experiments.Figures {
 			if err := runOne(f.ID, cfg, *svgDir, *csvDir, progress); err != nil {
@@ -116,7 +117,7 @@ func runOne(id int, cfg experiments.Config, svgDir, csvDir string, progress expe
 	})
 }
 
-func runAblation(name, dataset string, cfg experiments.Config, maxQueryLen int, readers string, passes int, progress experiments.Progress) {
+func runAblation(name, dataset string, cfg experiments.Config, maxQueryLen int, readers, shards string, passes int, progress experiments.Progress) {
 	ds, err := experiments.LoadDataset(dataset, cfg.Scale, cfg.Seed)
 	if err != nil {
 		fail(err)
@@ -146,6 +147,25 @@ func runAblation(name, dataset string, cfg experiments.Config, maxQueryLen int, 
 			fail(err)
 		}
 		experiments.WriteEngineTable(os.Stdout, res)
+	case "shard":
+		counts, err := parseReaderCounts(shards)
+		if err != nil {
+			fail(err)
+		}
+		rcounts, err := parseReaderCounts(readers)
+		if err != nil {
+			fail(err)
+		}
+		// The widest reader count stresses the scatter path hardest; the
+		// shard sweep is the variable under study.
+		r := rcounts[len(rcounts)-1]
+		fmt.Printf("sharded scatter-gather serving on %s (scale %g, %d queries, %d readers, %d passes/reader)\n",
+			dataset, cfg.Scale, len(queries), r, passes)
+		res, err := experiments.RunShardAblation(ds, queries, counts, r, passes, progress)
+		if err != nil {
+			fail(err)
+		}
+		experiments.WriteShardTable(os.Stdout, res)
 	case "adapt":
 		fmt.Printf("adaptive tuning vs static oracle on %s (scale %g, %d queries)\n",
 			dataset, cfg.Scale, len(queries))
@@ -163,7 +183,7 @@ func runAblation(name, dataset string, cfg experiments.Config, maxQueryLen int, 
 		fmt.Printf("%-14s %10d %10d\n", "logical", row.LogicalNodes, row.LogicalEdges)
 		fmt.Printf("cross-links: %d\n", row.CrossLinks)
 	default:
-		fail(fmt.Errorf("unknown ablation %q (want strategies, literal, accounting, apex, engine or adapt)", name))
+		fail(fmt.Errorf("unknown ablation %q (want strategies, literal, accounting, apex, engine, adapt or shard)", name))
 	}
 }
 

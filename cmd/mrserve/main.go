@@ -6,6 +6,7 @@
 // Usage:
 //
 //	mrserve -dataset xmark -scale 0.1 -autotune
+//	mrserve -dataset corpus -shards 4    # scatter-gather over a sharded engine
 //	mrserve -in doc.xml -addr 127.0.0.1:8080 -queue-depth 128 -shed-p99 50ms
 //	mrserve -addr 127.0.0.1:0     # pick a free port; the chosen one is printed
 //
@@ -35,16 +36,18 @@ import (
 	"time"
 
 	"mrx"
+	"mrx/internal/query"
 	"mrx/internal/serve"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
 	in := flag.String("in", "", "serve this XML file instead of a generated dataset")
-	dataset := flag.String("dataset", "xmark", "generated dataset: xmark or nasa")
+	dataset := flag.String("dataset", "xmark", "generated dataset: xmark, nasa or corpus (multi-document)")
 	scale := flag.Float64("scale", 0.1, "generated dataset scale (1.0 = paper size)")
 	seed := flag.Int64("seed", 1, "generated dataset seed")
 	parallel := flag.Int("parallel", 0, "validation workers per query (default GOMAXPROCS)")
+	shards := flag.Int("shards", 0, "serve from a sharded engine with this many shards (0 = monolithic; clamped to the dataset's weak component count)")
 	autotune := flag.Bool("autotune", false, "enable online workload tracking and adaptive refinement")
 	tuneInterval := flag.Duration("tune-interval", time.Second, "tuning epoch length with -autotune")
 	maxConcurrent := flag.Int("max-concurrent", serve.DefaultConfig().MaxConcurrent, "queries evaluating at once")
@@ -90,17 +93,36 @@ func main() {
 		cfg.Interval = *tuneInterval
 		tune = &cfg
 	}
-	en, err := mrx.NewEngine(g, mrx.EngineOptions{Parallelism: *parallel, AutoTune: tune})
-	if err != nil {
-		fail(err)
+	// Both engines serve through query.ContextQuerier; the serving layer
+	// cannot tell them apart. -shards selects the scatter-gather path.
+	var (
+		backend    query.ContextQuerier
+		extraStats func() any
+		closeEng   func()
+	)
+	if *shards > 0 {
+		en, err := mrx.NewShardedEngine(g, mrx.ShardedEngineOptions{
+			Shards: *shards, Parallelism: *parallel, AutoTune: tune,
+		})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("mrserve: sharded engine: %d shards\n", en.NumShards())
+		backend, extraStats, closeEng = en, func() any { return en.Stats() }, en.Close
+	} else {
+		en, err := mrx.NewEngine(g, mrx.EngineOptions{Parallelism: *parallel, AutoTune: tune})
+		if err != nil {
+			fail(err)
+		}
+		backend, extraStats, closeEng = en, func() any { return en.Stats() }, en.Close
 	}
-	defer en.Close()
+	defer closeEng()
 
-	srv, err := serve.New(en, cfg)
+	srv, err := serve.New(backend, cfg)
 	if err != nil {
 		fail(err)
 	}
-	srv.ExtraStats = func() any { return en.Stats() }
+	srv.ExtraStats = extraStats
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -158,8 +180,14 @@ func loadGraph(in, dataset string, scale float64, seed int64) (*mrx.Graph, strin
 		return mrx.XMarkGraph(scale, seed), desc, nil
 	case "nasa":
 		return mrx.NASAGraph(scale, seed), desc, nil
+	case "corpus":
+		g, err := mrx.CorpusGraph(scale, seed, 12)
+		if err != nil {
+			return nil, "", fmt.Errorf("corpus: %w", err)
+		}
+		return g, desc, nil
 	default:
-		return nil, "", fmt.Errorf("unknown dataset %q (want xmark or nasa)", dataset)
+		return nil, "", fmt.Errorf("unknown dataset %q (want xmark, nasa or corpus)", dataset)
 	}
 }
 

@@ -21,6 +21,14 @@ func XMarkGraph(scale float64, seed int64) *Graph { return datagen.XMarkGraph(sc
 // NASAGraph generates and parses a NASA-like document in one step.
 func NASAGraph(scale float64, seed int64) *Graph { return datagen.NASAGraph(scale, seed) }
 
+// CorpusGraph generates a multi-document corpus: docs alternating XMark-
+// and NASA-like documents loaded side by side into one graph with one
+// weakly-connected component per document — the shape ShardedEngine
+// partitions along document lines.
+func CorpusGraph(scale float64, seed int64, docs int) (*Graph, error) {
+	return datagen.CorpusGraph(scale, seed, docs)
+}
+
 // WorkloadOptions configures synthetic query-workload generation.
 type WorkloadOptions = workload.Options
 

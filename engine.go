@@ -35,6 +35,32 @@ type EngineStats = engine.StatsSnapshot
 // configuration); zero-valued fields select the documented defaults.
 func NewEngine(g *Graph, opts EngineOptions) (*Engine, error) { return engine.New(g, opts) }
 
+// ShardedEngine serves queries over a data graph partitioned into
+// shard-local M*(k)-indexes along weakly-connected component boundaries
+// (package mrx/internal/shard). Each shard owns an independent snapshot
+// behind its own write lock, so refinements on different shards proceed
+// concurrently and freezes fan out across a bounded worker pool; queries
+// scatter to the shards that can match and gather the disjoint per-shard
+// answers into one globally sorted result, identical to the monolithic
+// Engine's.
+type ShardedEngine = engine.Sharded
+
+// ShardedEngineOptions configures a ShardedEngine: the desired shard count,
+// the freeze worker pool, and the same index/validation options as
+// EngineOptions.
+type ShardedEngineOptions = engine.ShardedOptions
+
+// ShardStats is the per-shard slice of a ShardedEngine's EngineStats.
+type ShardStats = engine.ShardStats
+
+// NewShardedEngine creates a sharded serving engine over g. The shard
+// count is clamped to the number of weakly-connected components; a
+// single-component graph yields one shard and behaves like a monolithic
+// Engine.
+func NewShardedEngine(g *Graph, opts ShardedEngineOptions) (*ShardedEngine, error) {
+	return engine.NewSharded(g, opts)
+}
+
 // AutoTuneConfig configures the engine's online workload tracker and
 // adaptive tuner (EngineOptions.AutoTune): a bounded space-saving sketch of
 // the hottest canonical path expressions drives epoch-based promotion

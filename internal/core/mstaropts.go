@@ -52,6 +52,17 @@ func NewMStarOpts(g *graph.Graph, opts MStarOptions) *MStar {
 // Options returns the options the index was built with.
 func (ms *MStar) Options() MStarOptions { return ms.opts }
 
+// WithParallelism returns a copy of o whose Parallelism is p when o leaves
+// it zero ("inherit the engine's"); a set value wins. Engines use it to
+// push their worker-pool default down into the index options they build
+// with, without mutating an options value they do not own.
+func (o MStarOptions) WithParallelism(p int) MStarOptions {
+	if o.Parallelism == 0 {
+		o.Parallelism = p
+	}
+	return o
+}
+
 // validateOpts derives the default validation options from the index
 // configuration.
 func (ms *MStar) validateOpts() query.ValidateOpts {

@@ -1,0 +1,51 @@
+package datagen
+
+import "mrx/internal/graph"
+
+// CorpusGraph builds a multi-document data graph: docs generated documents
+// (alternating XMark- and NASA-like, each scaled so the corpus totals
+// roughly the requested scale) loaded side by side into one graph with one
+// weakly-connected component per document. No edge crosses documents, so
+// graph.WeakComponents recovers exactly the document boundaries — the
+// workload package shard is built for: a corpus served as one logical
+// index, partitionable along document lines.
+//
+// Node 0 is the first document's root; the other document roots are
+// parentless interior nodes, reachable only by label. Rooted expressions
+// therefore match inside the first document only, exactly as they would if
+// the corpus had been concatenated under a single physical root without
+// edges.
+func CorpusGraph(scale float64, seed int64, docs int) (*graph.Graph, error) {
+	if docs < 1 {
+		docs = 1
+	}
+	per := scale / float64(docs)
+	b := graph.NewBuilder()
+	for i := 0; i < docs; i++ {
+		var doc *graph.Graph
+		if i%2 == 0 {
+			doc = XMarkGraph(per, seed+int64(i))
+		} else {
+			doc = NASAGraph(per, seed+int64(i))
+		}
+		appendDoc(b, doc)
+	}
+	return b.Freeze()
+}
+
+// appendDoc copies one document graph into the builder at the current node
+// offset, preserving labels and edge kinds. Document roots have in-degree 0
+// by construction, so the copy never violates the builder's root-entry-only
+// rule for global node 0.
+func appendDoc(b *graph.Builder, doc *graph.Graph) {
+	off := graph.NodeID(b.NumNodes())
+	for v := 0; v < doc.NumNodes(); v++ {
+		b.AddNode(doc.NodeLabelName(graph.NodeID(v)))
+	}
+	for v := 0; v < doc.NumNodes(); v++ {
+		kinds := doc.ChildKinds(graph.NodeID(v))
+		for j, c := range doc.Children(graph.NodeID(v)) {
+			b.AddEdge(off+graph.NodeID(v), off+c, kinds[j])
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package datagen
+
+import (
+	"testing"
+
+	"mrx/internal/graph"
+)
+
+func TestCorpusGraphComponents(t *testing.T) {
+	g, err := CorpusGraph(0.1, 42, 5)
+	if err != nil {
+		t.Fatalf("CorpusGraph: %v", err)
+	}
+	comps := g.WeakComponents()
+	if len(comps) != 5 {
+		t.Fatalf("%d weak components, want 5 (one per document)", len(comps))
+	}
+	// Exactly one entry node per document, and the first is the global root.
+	entries := 0
+	for v := 0; v < g.NumNodes(); v++ {
+		if len(g.Parents(graph.NodeID(v))) == 0 {
+			entries++
+		}
+	}
+	// Ref edges add parents, so entries can only undercount; every document
+	// root must still be parentless.
+	for _, c := range comps {
+		if len(g.Parents(c[0])) != 0 {
+			t.Fatalf("document root %d has parents", c[0])
+		}
+	}
+	if entries < 5 {
+		t.Fatalf("%d parentless entries, want >= 5", entries)
+	}
+}
+
+func TestCorpusGraphDeterministic(t *testing.T) {
+	a, err := CorpusGraph(0.1, 7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CorpusGraph(0.1, 7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		t.Fatalf("corpus not deterministic: %d/%d nodes, %d/%d edges",
+			a.NumNodes(), b.NumNodes(), a.NumEdges(), b.NumEdges())
+	}
+	for v := 0; v < a.NumNodes(); v++ {
+		if a.NodeLabelName(graph.NodeID(v)) != b.NodeLabelName(graph.NodeID(v)) {
+			t.Fatalf("label mismatch at node %d", v)
+		}
+	}
+}

@@ -45,6 +45,10 @@ type PathsOptions struct {
 	// Parallelism is the engine's validation worker-pool size (default 2,
 	// so worker-pool validation is exercised without oversubscription).
 	Parallelism int
+	// Shards is the sharded engine's desired shard count (default 3; the
+	// actual count is clamped to the graph's weak component count, so
+	// single-component graphs exercise the one-shard degenerate case).
+	Shards int
 }
 
 func (o *PathsOptions) defaults() {
@@ -62,6 +66,9 @@ func (o *PathsOptions) defaults() {
 	}
 	if o.Parallelism <= 0 {
 		o.Parallelism = 2
+	}
+	if o.Shards <= 0 {
+		o.Shards = 3
 	}
 }
 
@@ -149,7 +156,11 @@ func BuildPaths(g *graph.Graph, fups []*pathexpr.Expr, o PathsOptions) ([]*Servi
 	if err != nil {
 		return nil, err
 	}
-	out = append(out, frozenPath(g), ep)
+	shp, err := shardedPath(g, o)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, frozenPath(g), ep, shp)
 	return out, nil
 }
 
@@ -224,6 +235,65 @@ func enginePath(g *graph.Graph, o PathsOptions) (*ServingPath, error) {
 			for _, p := range history {
 				if Fingerprint(p.ms) != p.fp {
 					return fmt.Errorf("engine snapshot generation %d mutated after publication", p.gen)
+				}
+			}
+			return nil
+		},
+	}
+	return sp, nil
+}
+
+// shardedPath wraps the scatter-gather engine: queries scatter across the
+// shard-local M*(k) snapshots and gather into one answer the runner
+// compares against SlowEval like any other path. Check validates every
+// shard's mutable index and proves each served frozen view is an exact
+// flattening of its mutable twin — including after cross-generation
+// component reuse, since each shard's Refine publishes via FreezeReusing.
+// Finish re-fingerprints every published shard snapshot, failing if
+// refinement ever mutated one.
+func shardedPath(g *graph.Graph, o PathsOptions) (*ServingPath, error) {
+	en, err := engine.NewSharded(g, engine.ShardedOptions{Shards: o.Shards, Parallelism: o.Parallelism})
+	if err != nil {
+		return nil, fmt.Errorf("difftest: sharded path: %w", err)
+	}
+	type published struct {
+		shard int
+		gen   uint64
+		ms    *core.MStar
+		fp    uint64
+	}
+	var history []published
+	record := func() {
+		for i := 0; i < en.NumShards(); i++ {
+			snap := en.ShardState(i).Snapshot()
+			history = append(history, published{shard: i, gen: snap.Gen, ms: snap.MS, fp: Fingerprint(snap.MS)})
+		}
+	}
+	record()
+	sp := &ServingPath{
+		Name:    fmt.Sprintf("engine/sharded%d", en.NumShards()),
+		Querier: en,
+		Support: func(e *pathexpr.Expr) {
+			if en.Support(e) {
+				record()
+			}
+		},
+		Check: func(checkBisim bool) error {
+			for i := 0; i < en.NumShards(); i++ {
+				snap := en.ShardState(i).Snapshot()
+				if err := snap.MS.Validate(checkBisim); err != nil {
+					return fmt.Errorf("shard %d: %w", i, err)
+				}
+				if err := snap.FZ.CheckAgainst(snap.MS); err != nil {
+					return fmt.Errorf("shard %d: %w", i, err)
+				}
+			}
+			return nil
+		},
+		Finish: func() error {
+			for _, p := range history {
+				if Fingerprint(p.ms) != p.fp {
+					return fmt.Errorf("shard %d snapshot generation %d mutated after publication", p.shard, p.gen)
 				}
 			}
 			return nil

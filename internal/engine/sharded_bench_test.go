@@ -1,0 +1,149 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"mrx/internal/core"
+	"mrx/internal/datagen"
+	"mrx/internal/graph"
+	"mrx/internal/gtest"
+	"mrx/internal/pathexpr"
+	"mrx/internal/query"
+	"mrx/internal/shard"
+)
+
+// benchCorpus builds the multi-document corpus the sharding benchmarks run
+// on, with a supportable workload refined into every index so freezes carry
+// realistic component counts.
+func benchCorpus(b *testing.B) (*graph.Graph, []*pathexpr.Expr) {
+	b.Helper()
+	g, err := datagen.CorpusGraph(0.2, 1, 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var fups []*pathexpr.Expr
+	for _, w := range gtest.RandomWorkload(2, g, gtest.WorkloadOptions{Size: 60, MaxLen: 3, Rooted: 0.2}) {
+		e, err := pathexpr.Parse(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !e.HasWildcard() && e.RequiredK() != pathexpr.Unbounded {
+			fups = append(fups, e)
+		}
+	}
+	if len(fups) == 0 {
+		b.Fatal("workload produced no supportable expressions")
+	}
+	return g, fups
+}
+
+// BenchmarkShardFreeze compares the freeze wall-clock a snapshot publish
+// pays. A monolithic engine freezes the whole-corpus index on every
+// publish; a sharded engine freezes only the shard the refinement dirtied.
+// The mono case times the full freeze; each shards-N case times the freeze
+// of one shard, rotating across the shards so ns/op is the average
+// per-publish cost at that shard count. Indexes are built and refined
+// outside the timer.
+func BenchmarkShardFreeze(b *testing.B) {
+	g, fups := benchCorpus(b)
+
+	b.Run("mono", func(b *testing.B) {
+		ms := core.NewMStar(g)
+		for _, e := range fups {
+			ms.Support(e)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = ms.Freeze()
+		}
+	})
+
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards-%d", n), func(b *testing.B) {
+			parts, err := shard.Partition(g, n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			indexes := make([]*core.MStar, len(parts))
+			for i, sh := range parts {
+				ms := core.NewMStar(sh.Local())
+				for _, e := range fups {
+					if sh.Covers(e) {
+						ms.Support(e)
+					}
+				}
+				indexes[i] = ms
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = indexes[i%len(indexes)].Freeze()
+			}
+		})
+	}
+}
+
+// BenchmarkShardedServing measures single-goroutine query latency through
+// the scatter-gather path at increasing shard counts, against the
+// monolithic engine on the same corpus and workload.
+func BenchmarkShardedServing(b *testing.B) {
+	g, fups := benchCorpus(b)
+	queries := fups
+
+	b.Run("mono", func(b *testing.B) {
+		en := mustNew(b, g, Options{Parallelism: 1})
+		for _, e := range queries {
+			en.Support(e)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = en.Query(queries[i%len(queries)])
+		}
+	})
+
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards-%d", n), func(b *testing.B) {
+			en := mustSharded(b, g, ShardedOptions{Shards: n, Parallelism: 1})
+			for _, e := range queries {
+				en.Support(e)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = en.Query(queries[i%len(queries)])
+			}
+		})
+	}
+}
+
+// BenchmarkShardedSupportNoop times the already-supported Support path —
+// route to the covering shards, registry hit, no clone, no freeze. This is
+// the steady-state cost the tuner pays every epoch once the hot set has
+// been promoted.
+func BenchmarkShardedSupportNoop(b *testing.B) {
+	g, fups := benchCorpus(b)
+	en := mustSharded(b, g, ShardedOptions{Shards: 4, Parallelism: 1})
+	for _, e := range fups {
+		en.Support(e)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		en.Support(fups[i%len(fups)])
+	}
+}
+
+// BenchmarkShardedMerge isolates the hot k-way merge on pre-split answers.
+func BenchmarkShardedMerge(b *testing.B) {
+	parts := make([]query.Result, 4)
+	for i := range parts {
+		ids := make([]graph.NodeID, 4096)
+		for j := range ids {
+			ids[j] = graph.NodeID(j*4 + i)
+		}
+		parts[i] = query.Result{Answer: ids, Precise: true}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = mergeResults(parts)
+	}
+}

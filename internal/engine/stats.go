@@ -107,6 +107,33 @@ type StatsSnapshot struct {
 	// AutoTune carries the tuner state when Options.AutoTune is enabled,
 	// nil otherwise.
 	AutoTune *adapt.Snapshot
+	// Shards carries one entry per shard when the snapshot came from a
+	// Sharded engine (its Generation is then the sum of the per-shard
+	// generations); nil for the monolithic Engine.
+	Shards []ShardStats
+}
+
+// ShardStats is the per-shard slice of a Sharded engine's StatsSnapshot.
+type ShardStats struct {
+	// Shard is the shard index, 0..NumShards-1; shard 0 owns the root.
+	Shard int
+	// Nodes and Components describe the partition: data nodes owned and
+	// weak components packed into the shard.
+	Nodes      int
+	Components int
+	// HasRoot marks the shard owning the global root (rooted expressions
+	// route only here).
+	HasRoot bool
+	// Generation counts snapshots this shard published since construction.
+	Generation uint64
+	// Queries counts shard-local evaluations; a scattered query bumps every
+	// shard it touches, so the sum over shards can exceed client queries.
+	Queries uint64
+	// Freezes counts freeze runs (initial + refinements + retirements);
+	// LastFreeze and TotalFreeze are their wall-clock.
+	Freezes     uint64
+	LastFreeze  time.Duration
+	TotalFreeze time.Duration
 }
 
 func (s *stats) snapshot(generation uint64) StatsSnapshot {
@@ -171,6 +198,17 @@ func (s StatsSnapshot) WriteTo(w io.Writer) (int64, error) {
 		l := s.Latency[name]
 		if err := pr("  latency %-9s %10d queries  mean %-9v p50 %-9v p90 %-9v p99 %-9v p999 %-9v max %v\n",
 			name, l.Count, l.Mean, l.P50, l.P90, l.P99, l.P999, l.Max); err != nil {
+			return n, err
+		}
+	}
+	for _, sh := range s.Shards {
+		root := ""
+		if sh.HasRoot {
+			root = " root"
+		}
+		if err := pr("  shard %-3d gen %-4d %7d nodes %4d comps%s  %d queries, %d freezes (last %v, total %v)\n",
+			sh.Shard, sh.Generation, sh.Nodes, sh.Components, root,
+			sh.Queries, sh.Freezes, sh.LastFreeze, sh.TotalFreeze); err != nil {
 			return n, err
 		}
 	}

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mrx/internal/engine"
+	"mrx/internal/pathexpr"
+)
+
+// ShardRow is one point of the sharded-serving ablation: the same workload
+// served by a scatter-gather engine at one shard count.
+type ShardRow struct {
+	Shards     int           // requested shard count
+	Actual     int           // shards actually built (clamped to components)
+	Build      time.Duration // partition + index build + parallel initial freeze
+	Refine     time.Duration // wall-clock of one sequential Support pass
+	Queries    int64         // total queries served across all readers
+	Elapsed    time.Duration
+	Throughput float64 // queries per second
+	Generation uint64  // summed per-shard generation after the run
+}
+
+// ShardAblationResult gathers the per-shard-count rows plus the serving
+// stats of the last (widest) run, whose per-shard lines show the partition.
+type ShardAblationResult struct {
+	Rows  []ShardRow
+	Stats engine.StatsSnapshot
+}
+
+// RunShardAblation measures scatter-gather serving against shard count: for
+// each count, a fresh sharded engine is built (its Build column times the
+// partition plus the parallel per-shard initial freeze), one sequential
+// Support pass over the workload is timed (refinements lock one shard at a
+// time, so more shards mean smaller clones and smaller freezes), and then
+// the workload is replayed from `readers` goroutines while a concurrent
+// refiner re-applies it. Meaningful shard counts need a multi-component
+// dataset — use "corpus"; on a single-document dataset every row degenerates
+// to one shard.
+func RunShardAblation(ds Dataset, queries []*pathexpr.Expr, shardCounts []int, readers, passes int, progress Progress) (ShardAblationResult, error) {
+	if readers <= 0 {
+		readers = 4
+	}
+	if passes <= 0 {
+		passes = 1
+	}
+	var res ShardAblationResult
+	for _, shards := range shardCounts {
+		if shards <= 0 {
+			continue
+		}
+		buildStart := time.Now()
+		en, err := engine.NewSharded(ds.Graph, engine.ShardedOptions{Shards: shards})
+		if err != nil {
+			return res, fmt.Errorf("shard ablation: %w", err)
+		}
+		build := time.Since(buildStart)
+
+		refineStart := time.Now()
+		for _, q := range queries {
+			en.Support(q)
+		}
+		refine := time.Since(refineStart)
+
+		var served atomic.Int64
+		var wg sync.WaitGroup
+		start := time.Now()
+
+		// One refiner re-applies the workload while readers run; most calls
+		// are registry no-ops, keeping write-lock pressure realistic.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, q := range queries {
+				en.Support(q)
+			}
+		}()
+
+		for r := 0; r < readers; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				for p := 0; p < passes; p++ {
+					for i := range queries {
+						en.Query(queries[(i+r)%len(queries)])
+						served.Add(1)
+					}
+				}
+			}(r)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+
+		row := ShardRow{
+			Shards:     shards,
+			Actual:     en.NumShards(),
+			Build:      build,
+			Refine:     refine,
+			Queries:    served.Load(),
+			Elapsed:    elapsed,
+			Generation: en.Generation(),
+		}
+		if s := elapsed.Seconds(); s > 0 {
+			row.Throughput = float64(row.Queries) / s
+		}
+		res.Rows = append(res.Rows, row)
+		res.Stats = en.Stats()
+		progress.log("shards %d (actual %d): build %v, refine %v, %d queries in %v (%.0f q/s, generation %d)",
+			row.Shards, row.Actual, build.Round(time.Millisecond), refine.Round(time.Millisecond),
+			row.Queries, elapsed.Round(time.Millisecond), row.Throughput, row.Generation)
+	}
+	return res, nil
+}
+
+// WriteShardTable renders the sharded-serving ablation.
+func WriteShardTable(w io.Writer, res ShardAblationResult) {
+	fmt.Fprintf(w, "%-8s %-8s %12s %12s %10s %12s %12s %12s\n",
+		"shards", "actual", "build", "refine", "queries", "elapsed", "q/s", "generation")
+	for _, r := range res.Rows {
+		fmt.Fprintf(w, "%-8d %-8d %12s %12s %10d %12s %12.0f %12d\n",
+			r.Shards, r.Actual, r.Build.Round(time.Millisecond), r.Refine.Round(time.Millisecond),
+			r.Queries, r.Elapsed.Round(time.Millisecond), r.Throughput, r.Generation)
+	}
+	fmt.Fprintln(w)
+	res.Stats.WriteTo(w)
+}

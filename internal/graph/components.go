@@ -1,0 +1,145 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// WeakComponents returns the weakly-connected components of g: the node
+// sets connected by edges of either direction and either kind. Components
+// are ordered by their smallest member and each component's nodes are
+// sorted ascending, so the result is deterministic for a given graph.
+//
+// XML corpora loaded as one graph (several documents side by side, each a
+// tree plus reference edges) decompose into one component per document;
+// path-expression semantics never cross a component boundary — traversal
+// follows child edges and validation follows parent edges, both of which
+// stay inside the component — which makes components the natural unit of
+// sharding (package shard).
+func (g *Graph) WeakComponents() [][]NodeID {
+	n := g.NumNodes()
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int32) {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return
+		}
+		if ra > rb {
+			ra, rb = rb, ra
+		}
+		parent[rb] = ra // smaller root wins: component keyed by min member
+	}
+	for v := 0; v < n; v++ {
+		for _, c := range g.Children(NodeID(v)) {
+			union(int32(v), int32(c))
+		}
+	}
+	// Bucket nodes by root; iterating v ascending keeps each component
+	// sorted and first-seen order keyed by the component's smallest member.
+	slot := make(map[int32]int)
+	var out [][]NodeID
+	for v := 0; v < n; v++ {
+		r := find(int32(v))
+		i, ok := slot[r]
+		if !ok {
+			i = len(out)
+			slot[r] = i
+			out = append(out, nil)
+		}
+		out[i] = append(out[i], NodeID(v))
+	}
+	return out
+}
+
+// Induce builds the node-induced subgraph of g on nodes, which must be
+// sorted ascending without duplicates and closed under g's edges (no edge
+// may cross the boundary of the set — true for any union of weak
+// components). Local node i of the result is nodes[i]; the label table is
+// shared with g, so LabelIDs are interchangeable between the two graphs.
+//
+// Unlike Builder.Freeze, Induce does not require local node 0 to have
+// in-degree 0: a non-root component has no distinguished entry point, and
+// rooted path expressions are only ever evaluated on the subgraph that
+// actually contains g's root.
+func (g *Graph) Induce(nodes []NodeID) (*Graph, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("graph: induce: empty node set")
+	}
+	local := make([]int32, g.NumNodes())
+	for i := range local {
+		local[i] = -1
+	}
+	for i, v := range nodes {
+		if v < 0 || int(v) >= g.NumNodes() {
+			return nil, fmt.Errorf("graph: induce: node %d out of range (n=%d)", v, g.NumNodes())
+		}
+		if i > 0 && nodes[i-1] >= v {
+			return nil, fmt.Errorf("graph: induce: nodes not sorted/unique at %d: %d after %d", i, v, nodes[i-1])
+		}
+		local[v] = int32(i)
+	}
+
+	n := len(nodes)
+	sub := &Graph{
+		labels:    g.labels,
+		labelIDs:  g.labelIDs,
+		nodeLabel: make([]LabelID, n),
+	}
+	sub.childStart = make([]int32, n+1)
+	sub.parentStart = make([]int32, n+1)
+	for i, v := range nodes {
+		sub.nodeLabel[i] = g.nodeLabel[v]
+		for _, c := range g.Children(v) {
+			if local[c] < 0 {
+				return nil, fmt.Errorf("graph: induce: edge %d->%d leaves the node set", v, c)
+			}
+			sub.childStart[i+1]++
+			sub.parentStart[local[c]+1]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		sub.childStart[i+1] += sub.childStart[i]
+		sub.parentStart[i+1] += sub.parentStart[i]
+	}
+	sub.numEdges = int(sub.childStart[n])
+	sub.children = make([]NodeID, sub.numEdges)
+	sub.childKind = make([]EdgeKind, sub.numEdges)
+	sub.parents = make([]NodeID, sub.numEdges)
+	cpos := make([]int32, n)
+	ppos := make([]int32, n)
+	for i, v := range nodes {
+		kinds := g.ChildKinds(v)
+		for j, c := range g.Children(v) {
+			lc := local[c]
+			ci := sub.childStart[i] + cpos[i]
+			sub.children[ci] = NodeID(lc)
+			sub.childKind[ci] = kinds[j]
+			cpos[i]++
+			if kinds[j] == RefEdge {
+				sub.numRef++
+			}
+			pi := sub.parentStart[lc] + ppos[lc]
+			sub.parents[pi] = NodeID(i)
+			ppos[lc]++
+		}
+	}
+	// Parent adjacency in g is sorted by source; rebuilding it from the
+	// child lists of an arbitrary node subset can perturb that order, so
+	// restore it per node for deterministic traversal.
+	for i := 0; i < n; i++ {
+		seg := sub.parents[sub.parentStart[i]:sub.parentStart[i+1]]
+		sort.Slice(seg, func(a, b int) bool { return seg[a] < seg[b] })
+	}
+	return sub, nil
+}

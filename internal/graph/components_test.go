@@ -1,0 +1,112 @@
+package graph
+
+import "testing"
+
+// buildForest makes two components: a root tree {0,1,2} and a parentless
+// pair {3,4} joined by a ref cycle.
+func buildForest(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder()
+	b.AddNode("root") // 0
+	b.AddNode("a")    // 1
+	b.AddNode("b")    // 2
+	b.AddNode("a")    // 3
+	b.AddNode("b")    // 4
+	b.AddEdge(0, 1, TreeEdge)
+	b.AddEdge(1, 2, TreeEdge)
+	b.AddEdge(3, 4, TreeEdge)
+	b.AddEdge(4, 3, RefEdge)
+	g, err := b.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestWeakComponents(t *testing.T) {
+	g := buildForest(t)
+	comps := g.WeakComponents()
+	want := [][]NodeID{{0, 1, 2}, {3, 4}}
+	if len(comps) != len(want) {
+		t.Fatalf("components = %v, want %v", comps, want)
+	}
+	for i := range want {
+		if len(comps[i]) != len(want[i]) {
+			t.Fatalf("component %d = %v, want %v", i, comps[i], want[i])
+		}
+		for j := range want[i] {
+			if comps[i][j] != want[i][j] {
+				t.Fatalf("component %d = %v, want %v", i, comps[i], want[i])
+			}
+		}
+	}
+}
+
+func TestInduce(t *testing.T) {
+	g := buildForest(t)
+	sub, err := g.Induce([]NodeID{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumNodes() != 2 || sub.NumEdges() != 2 || sub.NumRefEdges() != 1 {
+		t.Fatalf("induced: %d nodes, %d edges, %d refs", sub.NumNodes(), sub.NumEdges(), sub.NumRefEdges())
+	}
+	if sub.NodeLabelName(0) != "a" || sub.NodeLabelName(1) != "b" {
+		t.Fatalf("labels %q %q", sub.NodeLabelName(0), sub.NodeLabelName(1))
+	}
+	// The label table is shared: IDs agree with the parent graph.
+	la, _ := g.LabelIDOf("a")
+	if sub.Label(0) != la {
+		t.Fatalf("label id %d, want shared %d", sub.Label(0), la)
+	}
+	if cs := sub.Children(0); len(cs) != 1 || cs[0] != 1 {
+		t.Fatalf("children(0) = %v", cs)
+	}
+	if ps := sub.Parents(0); len(ps) != 1 || ps[0] != 1 {
+		t.Fatalf("parents(0) = %v (ref back edge)", ps)
+	}
+}
+
+func TestInduceRejectsBadSets(t *testing.T) {
+	g := buildForest(t)
+	if _, err := g.Induce(nil); err == nil {
+		t.Error("empty set accepted")
+	}
+	if _, err := g.Induce([]NodeID{4, 3}); err == nil {
+		t.Error("unsorted set accepted")
+	}
+	if _, err := g.Induce([]NodeID{3, 99}); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+	if _, err := g.Induce([]NodeID{0, 1}); err == nil {
+		t.Error("boundary-crossing set accepted (edge 1->2 leaves it)")
+	}
+}
+
+// Induce on the full node set must reproduce the graph exactly.
+func TestInduceIdentity(t *testing.T) {
+	g := buildForest(t)
+	all := make([]NodeID, g.NumNodes())
+	for i := range all {
+		all[i] = NodeID(i)
+	}
+	sub, err := g.Induce(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumNodes() != g.NumNodes() || sub.NumEdges() != g.NumEdges() {
+		t.Fatalf("identity induce: %d/%d nodes, %d/%d edges",
+			sub.NumNodes(), g.NumNodes(), sub.NumEdges(), g.NumEdges())
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		gc, sc := g.Children(NodeID(v)), sub.Children(NodeID(v))
+		if len(gc) != len(sc) {
+			t.Fatalf("node %d: children %v vs %v", v, gc, sc)
+		}
+		for i := range gc {
+			if gc[i] != sc[i] {
+				t.Fatalf("node %d: children %v vs %v", v, gc, sc)
+			}
+		}
+	}
+}

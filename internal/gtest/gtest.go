@@ -57,6 +57,13 @@ type Options struct {
 	// ShallowBias biases parent choice toward low IDs, generating wide,
 	// shallow trees with heavy label reuse (stresses index splitting).
 	ShallowBias bool
+	// Components is the number of weakly-connected components to generate
+	// (min 1). With the default 1 the generator is bit-identical to earlier
+	// releases. Higher values grow a forest: node 0 roots the first
+	// component and each further component gets its own parentless root;
+	// tree and reference edges never cross components. Multi-component
+	// graphs exercise the sharded serving path (package shard).
+	Components int
 }
 
 // New generates a random rooted data graph from o. Every non-root node gets
@@ -71,6 +78,9 @@ func New(seed int64, o Options) *graph.Graph {
 	}
 	rng := rand.New(rand.NewSource(seed))
 	labelOf := labelPicker(rng, o.Labels, o.Skew)
+	if o.Components > 1 {
+		return freeze(forestBuilder(rng, labelOf, o))
+	}
 	b := graph.NewBuilder()
 	b.AddNode("root")
 	for v := 1; v < o.Nodes; v++ {
@@ -102,12 +112,77 @@ func New(seed int64, o Options) *graph.Graph {
 			}
 		}
 	}
+	return freeze(b)
+}
+
+// freeze finalizes a generated builder; every generator adds only in-range
+// nodes and edges, so failure is a generator bug, not a data condition.
+func freeze(b *graph.Builder) *graph.Graph {
 	g, err := b.Freeze()
 	if err != nil {
 		//mrlint:allow nopanic generator adds only in-range nodes and edges
 		panic(err)
 	}
 	return g
+}
+
+// forestBuilder generates a graph with o.Components weakly-connected
+// components. Node 0 is the root of the first component; every further
+// component starts at its own parentless root node. All edges — tree and
+// reference — stay inside one component, so the components are exactly the
+// weak components graph.WeakComponents reports.
+func forestBuilder(rng *rand.Rand, labelOf func() int, o Options) *graph.Builder {
+	c := o.Components
+	if c > o.Nodes {
+		c = o.Nodes
+	}
+	b := graph.NewBuilder()
+	comp := make([]int, o.Nodes)     // node -> component
+	members := make([][]graph.NodeID, c) // component -> nodes, in creation order
+	for v := 0; v < o.Nodes; v++ {
+		var ci int
+		switch {
+		case v == 0:
+			b.AddNode("root")
+		case v < c:
+			// A fresh component root; labeled like any interior node so
+			// label-based routing cannot cheat off a magic root label.
+			b.AddNode(fmt.Sprintf("l%d", labelOf()))
+			ci = v
+		default:
+			b.AddNode(fmt.Sprintf("l%d", labelOf()))
+			ci = rng.Intn(c)
+			own := members[ci]
+			parent := own[rng.Intn(len(own))]
+			if o.ShallowBias && len(own) > 1 && rng.Intn(2) == 0 {
+				parent = own[rng.Intn(len(own)/2+1)]
+			}
+			b.AddEdge(parent, graph.NodeID(v), graph.TreeEdge)
+		}
+		comp[v] = ci
+		members[ci] = append(members[ci], graph.NodeID(v))
+	}
+	if o.Shape != Tree {
+		for v := 1; v < o.Nodes; v++ {
+			if rng.Float64() >= o.RefProb {
+				continue
+			}
+			own := members[comp[v]]
+			if len(own) < 2 {
+				continue
+			}
+			to := own[rng.Intn(len(own))]
+			if o.Shape == DAG && to <= graph.NodeID(v) {
+				continue // forward-only within the component
+			}
+			// Never target node 0 (Builder keeps the global root entry-only)
+			// or self.
+			if to != graph.NodeID(v) && to != 0 {
+				b.AddEdge(graph.NodeID(v), to, graph.RefEdge)
+			}
+		}
+	}
+	return b
 }
 
 // labelPicker returns a deterministic label chooser. With zero skew it draws

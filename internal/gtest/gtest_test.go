@@ -109,3 +109,20 @@ func TestRandomWorkloadParses(t *testing.T) {
 		}
 	}
 }
+
+// Components > 1 must generate exactly that many weak components (when
+// enough nodes exist) without perturbing the single-component generator.
+func TestForestComponents(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		o := Options{Nodes: 60, Labels: 4, RefProb: 0.3, Components: 3}
+		g := New(seed, o)
+		if got := len(g.WeakComponents()); got != 3 {
+			t.Fatalf("seed %d: %d components, want 3", seed, got)
+		}
+		single := New(seed, Options{Nodes: 60, Labels: 4, RefProb: 0.3, Components: 1})
+		base := New(seed, Options{Nodes: 60, Labels: 4, RefProb: 0.3})
+		if !sameGraph(single, base) {
+			t.Fatalf("seed %d: Components=1 diverged from the historical generator", seed)
+		}
+	}
+}

@@ -1,0 +1,267 @@
+package shard
+
+import (
+	"testing"
+
+	"mrx/internal/core"
+	"mrx/internal/datagen"
+	"mrx/internal/graph"
+	"mrx/internal/gtest"
+	"mrx/internal/pathexpr"
+	"mrx/internal/query"
+)
+
+func mustParse(t *testing.T, s string) *pathexpr.Expr {
+	t.Helper()
+	e, err := pathexpr.Parse(s)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return e
+}
+
+func mustPartition(t *testing.T, g *graph.Graph, n int) []*Shard {
+	t.Helper()
+	shards, err := Partition(g, n)
+	if err != nil {
+		t.Fatalf("Partition(%d): %v", n, err)
+	}
+	return shards
+}
+
+// Partition must cover every node exactly once, keep shard-local node sets
+// sorted, preserve labels through the shared table, and put the root at
+// (shard 0, local node 0).
+func TestPartitionCoversExactly(t *testing.T) {
+	g := gtest.New(7, gtest.Options{Nodes: 400, Labels: 8, RefProb: 0.1, Components: 9})
+	for _, n := range []int{1, 2, 4, 8, 100} {
+		shards := mustPartition(t, g, n)
+		if len(shards) < 1 {
+			t.Fatalf("n=%d: no shards", n)
+		}
+		if n <= 9 && len(shards) > n {
+			t.Fatalf("n=%d: %d shards", n, len(shards))
+		}
+		seen := make([]bool, g.NumNodes())
+		total := 0
+		for si, sh := range shards {
+			if sh.ID() != si {
+				t.Fatalf("shard %d reports ID %d", si, sh.ID())
+			}
+			ids := sh.GlobalIDs()
+			if len(ids) != sh.NumNodes() || sh.NumNodes() != sh.Local().NumNodes() {
+				t.Fatalf("shard %d: inconsistent sizes", si)
+			}
+			for i, v := range ids {
+				if i > 0 && ids[i-1] >= v {
+					t.Fatalf("shard %d: global IDs not ascending", si)
+				}
+				if seen[v] {
+					t.Fatalf("node %d owned twice", v)
+				}
+				seen[v] = true
+				if sh.ToGlobal(graph.NodeID(i)) != v {
+					t.Fatalf("shard %d: ToGlobal(%d) != %d", si, i, v)
+				}
+				if sh.Local().NodeLabelName(graph.NodeID(i)) != g.NodeLabelName(v) {
+					t.Fatalf("shard %d node %d: label mismatch", si, i)
+				}
+			}
+			total += len(ids)
+		}
+		if total != g.NumNodes() {
+			t.Fatalf("n=%d: covered %d of %d nodes", n, total, g.NumNodes())
+		}
+		if !shards[0].HasRoot() || shards[0].ToGlobal(0) != 0 {
+			t.Fatalf("n=%d: root not at (shard 0, local 0)", n)
+		}
+		for _, sh := range shards[1:] {
+			if sh.HasRoot() {
+				t.Fatalf("n=%d: two shards claim the root", n)
+			}
+		}
+	}
+}
+
+// The same (graph, n) must partition identically every time.
+func TestPartitionDeterministic(t *testing.T) {
+	g, err := datagen.CorpusGraph(0.05, 3, 6)
+	if err != nil {
+		t.Fatalf("CorpusGraph: %v", err)
+	}
+	a := mustPartition(t, g, 4)
+	b := mustPartition(t, g, 4)
+	if len(a) != len(b) {
+		t.Fatalf("shard counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		ga, gb := a[i].GlobalIDs(), b[i].GlobalIDs()
+		if len(ga) != len(gb) {
+			t.Fatalf("shard %d sizes differ", i)
+		}
+		for j := range ga {
+			if ga[j] != gb[j] {
+				t.Fatalf("shard %d node sets differ at %d", i, j)
+			}
+		}
+	}
+}
+
+// A component at least as large as the average shard is placed by load, so
+// one dominating component cannot drag small ones onto its shard when
+// emptier shards exist.
+func TestPartitionSpreadsLargeComponents(t *testing.T) {
+	// Two large components (60 nodes each) and two small ones, 4 shards:
+	// each large component must be alone on its shard.
+	b := graph.NewBuilder()
+	addChain := func(n int) graph.NodeID {
+		first := graph.NodeID(b.NumNodes())
+		b.AddNode("h")
+		for i := 1; i < n; i++ {
+			b.AddNode("c")
+			b.AddEdge(first+graph.NodeID(i-1), first+graph.NodeID(i), graph.TreeEdge)
+		}
+		return first
+	}
+	addChain(60)
+	addChain(60)
+	addChain(4)
+	addChain(4)
+	g, err := b.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := mustPartition(t, g, 4)
+	large := 0
+	for _, sh := range shards {
+		if sh.NumNodes() == 60 {
+			if sh.Components() != 1 {
+				t.Fatalf("large component shares a shard (%d components)", sh.Components())
+			}
+			large++
+		}
+	}
+	if large != 2 {
+		t.Fatalf("want 2 single-large shards, got %d (sizes: %v)", large, shardSizes(shards))
+	}
+}
+
+func shardSizes(shards []*Shard) []int {
+	out := make([]int, len(shards))
+	for i, sh := range shards {
+		out[i] = sh.NumNodes()
+	}
+	return out
+}
+
+func TestCovers(t *testing.T) {
+	// Component 0: root -> a -> b. Component 1: x -> y.
+	b := graph.NewBuilder()
+	b.AddNode("root")
+	b.AddNode("a")
+	b.AddNode("b")
+	b.AddNode("x")
+	b.AddNode("y")
+	b.AddEdge(0, 1, graph.TreeEdge)
+	b.AddEdge(1, 2, graph.TreeEdge)
+	b.AddEdge(3, 4, graph.TreeEdge)
+	g, err := b.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := mustPartition(t, g, 2)
+	if len(shards) != 2 {
+		t.Fatalf("want 2 shards, got %d", len(shards))
+	}
+	rootSh, otherSh := shards[0], shards[1]
+	cases := []struct {
+		expr        string
+		root, other bool
+	}{
+		{"/a/b", true, false},  // rooted: root shard only
+		{"a/b", true, false},   // other shard lacks both labels
+		{"x/y", false, true},   // root shard lacks x
+		{"*/y", false, true},   // wildcard step constrains nothing
+		{"a/y", false, false},  // labels split across shards: nobody covers
+		{"zz", false, false},   // unknown label: nobody covers
+		{"*", true, true},      // pure wildcard: everybody
+	}
+	for _, c := range cases {
+		e := mustParse(t, c.expr)
+		if got := rootSh.Covers(e); got != c.root {
+			t.Errorf("root shard Covers(%q) = %v, want %v", c.expr, got, c.root)
+		}
+		if got := otherSh.Covers(e); got != c.other {
+			t.Errorf("other shard Covers(%q) = %v, want %v", c.expr, got, c.other)
+		}
+	}
+}
+
+// State lifecycle: unfrozen construction, generation-0 publish, refinement
+// publishing generation 1 with a now-precise answer, no-op re-refinement,
+// and retirement rebuilding as generation 2.
+func TestStateLifecycle(t *testing.T) {
+	g := gtest.New(11, gtest.Options{Nodes: 300, Labels: 5, RefProb: 0.15, Components: 3})
+	shards := mustPartition(t, g, 3)
+	sh := shards[0]
+	st := NewState(sh, core.MStarOptions{})
+	if st.Snapshot().FZ != nil {
+		t.Fatal("frozen snapshot before FreezeInitial")
+	}
+	st.FreezeInitial()
+	snap := st.Snapshot()
+	if snap.FZ == nil || snap.Gen != 0 {
+		t.Fatalf("after FreezeInitial: gen %d, fz %v", snap.Gen, snap.FZ != nil)
+	}
+	if n, _, _ := st.FreezeStats(); n != 1 {
+		t.Fatalf("freeze count %d, want 1", n)
+	}
+
+	// Find a FUP whose answer is imprecise on this shard so Refine has work.
+	var fup *pathexpr.Expr
+	for _, w := range gtest.RandomWorkload(12, g, gtest.WorkloadOptions{Size: 40, MaxLen: 4}) {
+		e := mustParse(t, w)
+		if !sh.Covers(e) {
+			continue
+		}
+		if res, _ := snap.FZ.QueryOpts(e, query.ValidateOpts{}); !res.Precise && len(res.Answer) > 0 {
+			fup = e
+			break
+		}
+	}
+	if fup == nil {
+		t.Skip("workload produced no imprecise expression on shard 0")
+	}
+	if !st.Refine(fup, query.ValidateOpts{}) {
+		t.Fatal("Refine reported no-op for an imprecise FUP")
+	}
+	snap2 := st.Snapshot()
+	if snap2.Gen != 1 {
+		t.Fatalf("generation %d after refine, want 1", snap2.Gen)
+	}
+	if res, _ := snap2.FZ.QueryOpts(fup, query.ValidateOpts{}); !res.Precise {
+		t.Fatal("refined FUP still imprecise")
+	}
+	if err := snap2.MS.Validate(false); err != nil {
+		t.Fatalf("refined shard index invalid: %v", err)
+	}
+	if st.Refine(fup, query.ValidateOpts{}) {
+		t.Fatal("re-refining a supported FUP published a snapshot")
+	}
+	if st.Generation() != 1 {
+		t.Fatalf("no-op refine bumped generation to %d", st.Generation())
+	}
+
+	if !st.Retire(fup) {
+		t.Fatal("Retire reported no-op for a supported FUP")
+	}
+	if st.Generation() != 2 {
+		t.Fatalf("generation %d after retire, want 2", st.Generation())
+	}
+	if st.Snapshot().MS.HasFUP(fup) {
+		t.Fatal("retired FUP still registered")
+	}
+	if st.Retire(fup) {
+		t.Fatal("retiring an unsupported FUP published a snapshot")
+	}
+}

@@ -1,0 +1,149 @@
+package shard
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mrx/internal/core"
+	"mrx/internal/pathexpr"
+	"mrx/internal/query"
+)
+
+// Snap is one immutable generation of a shard's served index: the mutable
+// M*(k) refinement state (never mutated once published — the next writer
+// clones it) and the frozen CSR view every query reads. Node IDs inside
+// both are shard-local; the owner maps answers through Shard.ToGlobal.
+type Snap struct {
+	Gen uint64
+	MS  *core.MStar
+	FZ  *core.FrozenMStar
+}
+
+// State owns one shard's snapshot lifecycle: a write lock serializing
+// refinement and retirement on this shard only, an atomic pointer readers
+// load without blocking, and freeze telemetry. Writers on different shards
+// never contend — that independence is the point of the partition.
+//
+// A State is constructed unfrozen (NewState builds the mutable index only)
+// and must not serve queries until FreezeInitial publishes generation 0;
+// the sharded engine freezes all shards through a bounded worker pool
+// before it returns from construction.
+type State struct {
+	shard *Shard
+
+	mu   sync.Mutex // serializes writers on this shard
+	snap atomic.Pointer[Snap]
+
+	freezes       atomic.Uint64
+	lastFreezeNs  atomic.Int64
+	totalFreezeNs atomic.Int64
+
+	// RefineHook, when non-nil, runs inside Refine while the shard's write
+	// lock is held, between evaluation and publish. Tests use it to prove
+	// that refinements on different shards overlap in time; it must not
+	// call back into the same State.
+	RefineHook func()
+}
+
+// NewState builds the shard's mutable M*(k)-index at component I0. Call
+// FreezeInitial before serving.
+func NewState(sh *Shard, opts core.MStarOptions) *State {
+	st := &State{shard: sh}
+	ms := core.NewMStarOpts(sh.local, opts)
+	st.snap.Store(&Snap{MS: ms}) // FZ nil until FreezeInitial
+	return st
+}
+
+// Shard returns the immutable shard this state serves.
+func (st *State) Shard() *Shard { return st.shard }
+
+// Snapshot returns the current generation. The result is immutable.
+func (st *State) Snapshot() *Snap { return st.snap.Load() }
+
+// Generation reports how many snapshots this shard has published since
+// FreezeInitial.
+func (st *State) Generation() uint64 { return st.snap.Load().Gen }
+
+// FreezeInitial freezes the shard's index and publishes generation 0. It
+// is idempotent only in the sense that re-freezing an unrefined index
+// produces an identical snapshot; the engine calls it exactly once per
+// shard, from its freeze worker pool.
+func (st *State) FreezeInitial() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	cur := st.snap.Load()
+	fz := st.timedFreeze(func() *core.FrozenMStar { return cur.MS.Freeze() })
+	st.snap.Store(&Snap{Gen: cur.Gen, MS: cur.MS, FZ: fz})
+}
+
+// timedFreeze runs one freeze under the shard's freeze telemetry. Callers
+// hold st.mu.
+func (st *State) timedFreeze(freeze func() *core.FrozenMStar) *core.FrozenMStar {
+	start := time.Now()
+	fz := freeze()
+	ns := time.Since(start).Nanoseconds()
+	st.freezes.Add(1)
+	st.lastFreezeNs.Store(ns)
+	st.totalFreezeNs.Add(ns)
+	return fz
+}
+
+// FreezeStats reports the number of freezes this shard has run and the
+// last / cumulative freeze wall-clock.
+func (st *State) FreezeStats() (count uint64, last, total time.Duration) {
+	return st.freezes.Load(),
+		time.Duration(st.lastFreezeNs.Load()),
+		time.Duration(st.totalFreezeNs.Load())
+}
+
+// Refine supports the FUP e on this shard: evaluate against the current
+// frozen snapshot, REFINE* a private clone, re-freeze only the components
+// the refinement dirtied (FreezeReusing), and publish the next generation.
+// It locks only this shard, reports whether a snapshot was published, and
+// mirrors the monolithic engine's no-op detection: a FUP already in the
+// registry, an already-precise answer, or an unchanged version vector
+// publishes nothing.
+func (st *State) Refine(e *pathexpr.Expr, opt query.ValidateOpts) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+
+	cur := st.snap.Load()
+	if cur.MS.HasFUP(e) {
+		return false
+	}
+	res, _ := cur.FZ.QueryOpts(e, opt)
+	if res.Precise {
+		return false
+	}
+	clone := cur.MS.Clone()
+	clone.Refine(e, res.Answer)
+	if clone.UnchangedSince(cur.MS) {
+		return false
+	}
+	if st.RefineHook != nil {
+		st.RefineHook()
+	}
+	fz := st.timedFreeze(func() *core.FrozenMStar { return clone.FreezeReusing(cur.MS, cur.FZ) })
+	st.snap.Store(&Snap{Gen: cur.Gen + 1, MS: clone, FZ: fz})
+	return true
+}
+
+// Retire withdraws support for e on this shard by rebuilding from the
+// surviving FUP registry (core.Retire) and publishing the rebuild as a new
+// generation. Retiring an expression this shard never refined is a no-op.
+func (st *State) Retire(e *pathexpr.Expr) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+
+	cur := st.snap.Load()
+	rebuilt, ok := cur.MS.Retire(e)
+	if !ok {
+		return false
+	}
+	// The rebuild starts from a fresh I0; nothing of the outgoing frozen
+	// view survives to reuse.
+	fz := st.timedFreeze(rebuilt.Freeze)
+	st.snap.Store(&Snap{Gen: cur.Gen + 1, MS: rebuilt, FZ: fz})
+	return true
+}
