@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint lint-stats test race check bench bench-smoke drift-smoke serve-smoke chaos-smoke chaos-bench fuzz cover
+.PHONY: all build vet lint lint-stats test race check bench bench-smoke drift-smoke serve-smoke chaos-smoke chaos-bench mmap-smoke fuzz cover
 
 all: check
 
@@ -87,6 +87,15 @@ chaos-bench:
 	MRX_CHAOS_REPORT=results/BENCH_$$(date +%Y-%m-%d)_chaos.json \
 		$(GO) test -run='^TestChaosSmoke$$' -count=1 -v ./internal/clitest/
 
+# mmap-smoke drives the disk-resident serving pipeline end to end with the
+# real binaries: mrsnap publishes a refined snapshot (plus its binary
+# graph), mrsnap -verify full-checks it, mrserve -index-file serves it in
+# both verified and trusted-mmap mode with every mrload answer checked
+# against ground truth, and a SIGKILL mid-republish proves the temp+rename
+# protocol never exposes a torn snapshot. The CI gate for internal/mmapstore.
+mmap-smoke:
+	$(GO) test -run='^TestMmap' -count=1 -v ./internal/clitest/
+
 # Native fuzzing smoke: each target runs for FUZZTIME on top of its
 # committed seed corpus (testdata/fuzz/<FuzzName>/ in each package, which
 # plain `make test` already replays). New crashers are written there too —
@@ -101,6 +110,10 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzStoreFrozen -fuzztime=$(FUZZTIME) ./internal/store/
 	$(GO) test -run='^$$' -fuzz=FuzzDifferential -fuzztime=$(FUZZTIME) ./internal/difftest/
 	$(GO) test -run='^$$' -fuzz=FuzzDirectives -fuzztime=$(FUZZTIME) ./internal/analysis/
+	# The checksummed mmap format defeats coverage-keeping minimization (any
+	# trim breaks a CRC), so cap the per-input minimize budget or the engine
+	# spends its whole fuzztime minimizing instead of fuzzing.
+	$(GO) test -run='^$$' -fuzz=FuzzMmapSnapshot -fuzztime=$(FUZZTIME) -fuzzminimizetime=1s ./internal/mmapstore/
 
 cover:
 	$(GO) test -coverprofile=coverage.out ./...

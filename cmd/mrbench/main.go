@@ -26,7 +26,7 @@ import (
 
 func main() {
 	fig := flag.String("fig", "", "figure to reproduce: 8..26 or all")
-	ablation := flag.String("ablation", "", "ablation to run: strategies, literal, accounting, apex, engine, adapt, shard")
+	ablation := flag.String("ablation", "", "ablation to run: strategies, literal, accounting, apex, engine, adapt, shard, mmap")
 	readers := flag.String("readers", "1,4,8", "reader-goroutine counts for -ablation engine")
 	passes := flag.Int("passes", 2, "workload replays per reader for -ablation engine/shard")
 	shards := flag.String("shards", "1,2,4,8", "shard counts for -ablation shard")
@@ -174,6 +174,18 @@ func runAblation(name, dataset string, cfg experiments.Config, maxQueryLen int, 
 			fail(err)
 		}
 		experiments.WriteAdaptTable(os.Stdout, res)
+	case "mmap":
+		// A size sweep, not a single dataset: -scale sets the top; the
+		// smaller points put an order of magnitude under it so the flat
+		// trusted-open column is visible against the growing heap column.
+		scales := []float64{cfg.Scale / 10, cfg.Scale / 3, cfg.Scale}
+		fmt.Printf("disk-resident serving (mmap snapshots) on %s (scales %.3g %.3g %.3g, %d queries, %d passes)\n",
+			dataset, scales[0], scales[1], scales[2], cfg.NumQueries, passes)
+		res, err := experiments.RunMmapAblation(dataset, scales, cfg, maxQueryLen, passes, progress)
+		if err != nil {
+			fail(err)
+		}
+		experiments.WriteMmapTable(os.Stdout, res)
 	case "accounting":
 		row := experiments.RunMStarAccounting(ds, queries, progress)
 		fmt.Printf("M*(k) size accounting on %s (scale %g, %d queries)\n", dataset, cfg.Scale, len(queries))
@@ -183,7 +195,7 @@ func runAblation(name, dataset string, cfg experiments.Config, maxQueryLen int, 
 		fmt.Printf("%-14s %10d %10d\n", "logical", row.LogicalNodes, row.LogicalEdges)
 		fmt.Printf("cross-links: %d\n", row.CrossLinks)
 	default:
-		fail(fmt.Errorf("unknown ablation %q (want strategies, literal, accounting, apex, engine, adapt or shard)", name))
+		fail(fmt.Errorf("unknown ablation %q (want strategies, literal, accounting, apex, engine, adapt, shard or mmap)", name))
 	}
 }
 

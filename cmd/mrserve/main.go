@@ -10,6 +10,12 @@
 //	mrserve -in doc.xml -addr 127.0.0.1:8080 -queue-depth 128 -shed-p99 50ms
 //	mrserve -addr 127.0.0.1:0     # pick a free port; the chosen one is printed
 //
+// Disk-resident serving (see cmd/mrsnap and internal/mmapstore):
+//
+//	mrserve -graph g.bin -index-file snap.mrx              # full verification
+//	mrserve -graph g.bin -index-file snap.mrx -trust-index # O(1) mmap cold start
+//	mrserve -dataset xmark -snapshot-dir /var/mrx          # persist every generation
+//
 // Endpoints:
 //
 //	GET /query?q=//a/b[&answers=1]   evaluate one path expression (JSON)
@@ -43,6 +49,11 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
 	in := flag.String("in", "", "serve this XML file instead of a generated dataset")
+	graphIn := flag.String("graph", "", "load the data graph from this binary graph file (mrsnap -graph-out)")
+	indexFile := flag.String("index-file", "", "serve read-only from this memory-mapped snapshot (cmd/mrsnap) instead of building an index")
+	trustIndex := flag.Bool("trust-index", false, "skip checksums and the deep structural walk when opening -index-file (O(1) start; only for files you published yourself)")
+	snapshotDir := flag.String("snapshot-dir", "", "persist every published engine generation to this directory as memory-mapped snapshots and serve from the mapped views")
+	snapshotCompact := flag.Bool("snapshot-compact", false, "delta-compress extent arenas in -snapshot-dir files")
 	dataset := flag.String("dataset", "xmark", "generated dataset: xmark, nasa or corpus (multi-document)")
 	scale := flag.Float64("scale", 0.1, "generated dataset scale (1.0 = paper size)")
 	seed := flag.Int64("seed", 1, "generated dataset seed")
@@ -80,7 +91,7 @@ func main() {
 		fail(err)
 	}
 
-	g, desc, err := loadGraph(*in, *dataset, *scale, *seed)
+	g, desc, err := loadGraph(*in, *graphIn, *dataset, *scale, *seed)
 	if err != nil {
 		fail(err)
 	}
@@ -93,16 +104,42 @@ func main() {
 		cfg.Interval = *tuneInterval
 		tune = &cfg
 	}
-	// Both engines serve through query.ContextQuerier; the serving layer
-	// cannot tell them apart. -shards selects the scatter-gather path.
+	var persist *mrx.EnginePersistOptions
+	if *snapshotDir != "" {
+		persist = &mrx.EnginePersistOptions{Dir: *snapshotDir, Compact: *snapshotCompact}
+	}
+	// All engines serve through query.ContextQuerier; the serving layer
+	// cannot tell them apart. -index-file selects the read-only
+	// disk-resident path, -shards the scatter-gather path.
 	var (
 		backend    query.ContextQuerier
 		extraStats func() any
 		closeEng   func()
 	)
-	if *shards > 0 {
+	if *indexFile != "" {
+		if *autotune || *shards > 0 || persist != nil {
+			fail(fmt.Errorf("-index-file serves a fixed snapshot; it cannot combine with -autotune, -shards or -snapshot-dir"))
+		}
+		start := time.Now()
+		snap, err := mrx.OpenSnapshot(*indexFile, g, mrx.SnapshotOpenOptions{Trusted: *trustIndex})
+		if err != nil {
+			fail(err)
+		}
+		mode := "verified"
+		if *trustIndex {
+			mode = "trusted"
+		}
+		fmt.Printf("mrserve: mapped %s: %d components, %d bytes, %s open in %v\n",
+			*indexFile, snap.FrozenMStar().NumComponents(), snap.SizeBytes(), mode,
+			time.Since(start).Round(time.Microsecond))
+		en, err := mrx.NewStaticEngine(snap.FrozenMStar(), *parallel)
+		if err != nil {
+			fail(err)
+		}
+		backend, extraStats, closeEng = en, func() any { return en.Stats() }, func() { snap.Close() }
+	} else if *shards > 0 {
 		en, err := mrx.NewShardedEngine(g, mrx.ShardedEngineOptions{
-			Shards: *shards, Parallelism: *parallel, AutoTune: tune,
+			Shards: *shards, Parallelism: *parallel, AutoTune: tune, Persist: persist,
 		})
 		if err != nil {
 			fail(err)
@@ -110,11 +147,14 @@ func main() {
 		fmt.Printf("mrserve: sharded engine: %d shards\n", en.NumShards())
 		backend, extraStats, closeEng = en, func() any { return en.Stats() }, en.Close
 	} else {
-		en, err := mrx.NewEngine(g, mrx.EngineOptions{Parallelism: *parallel, AutoTune: tune})
+		en, err := mrx.NewEngine(g, mrx.EngineOptions{Parallelism: *parallel, AutoTune: tune, Persist: persist})
 		if err != nil {
 			fail(err)
 		}
 		backend, extraStats, closeEng = en, func() any { return en.Stats() }, en.Close
+	}
+	if persist != nil {
+		fmt.Printf("mrserve: persisting snapshots to %s\n", *snapshotDir)
 	}
 	defer closeEng()
 
@@ -160,8 +200,21 @@ func main() {
 		c.Served, c.Coalesced, c.Flights, c.Shed, c.Canceled, c.Errored)
 }
 
-// loadGraph builds the data graph from a file or a generated dataset.
-func loadGraph(in, dataset string, scale float64, seed int64) (*mrx.Graph, string, error) {
+// loadGraph builds the data graph from a binary graph file, an XML file, or
+// a generated dataset, in that precedence order.
+func loadGraph(in, graphIn, dataset string, scale float64, seed int64) (*mrx.Graph, string, error) {
+	if graphIn != "" {
+		f, err := os.Open(graphIn)
+		if err != nil {
+			return nil, "", err
+		}
+		defer f.Close()
+		g, err := mrx.ReadGraph(f)
+		if err != nil {
+			return nil, "", fmt.Errorf("loading %s: %w", graphIn, err)
+		}
+		return g, graphIn, nil
+	}
 	if in != "" {
 		f, err := os.Open(in)
 		if err != nil {

@@ -61,6 +61,23 @@ func NewShardedEngine(g *Graph, opts ShardedEngineOptions) (*ShardedEngine, erro
 	return engine.NewSharded(g, opts)
 }
 
+// EnginePersistOptions makes an engine disk-resident
+// (EngineOptions.Persist / ShardedEngineOptions.Persist): every published
+// generation is atomically republished as a memory-mapped snapshot file and
+// served from its trusted zero-copy remapping.
+type EnginePersistOptions = engine.PersistOptions
+
+// StaticEngine serves queries from one fixed frozen M*(k) snapshot —
+// typically a Snapshot mapped straight off disk — through the same
+// interface as the adaptive engines, with no write side at all.
+type StaticEngine = engine.Static
+
+// NewStaticEngine builds a read-only serving engine over a frozen view;
+// parallelism bounds the validation worker pool (<= 0 means GOMAXPROCS).
+func NewStaticEngine(fm *FrozenMStar, parallelism int) (*StaticEngine, error) {
+	return engine.NewStatic(fm, parallelism)
+}
+
 // AutoTuneConfig configures the engine's online workload tracker and
 // adaptive tuner (EngineOptions.AutoTune): a bounded space-saving sketch of
 // the hottest canonical path expressions drives epoch-based promotion

@@ -19,6 +19,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -181,6 +182,14 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 	var files []*ast.File
 	for _, e := range entries {
 		if e.IsDir() || !isSourceFile(e.Name()) {
+			continue
+		}
+		// Honor build constraints the way the go tool does (//go:build
+		// lines and GOOS/GOARCH filename suffixes): packages with per-
+		// platform files — e.g. internal/mmapstore's mmap_unix.go /
+		// mmap_other.go pair — would otherwise type-check both sides of
+		// the constraint and report redeclarations.
+		if ok, err := build.Default.MatchFile(dir, e.Name()); err != nil || !ok {
 			continue
 		}
 		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)

@@ -32,7 +32,7 @@ func bin(t *testing.T, name string) string {
 		if buildErr != nil {
 			return
 		}
-		for _, n := range []string{"mrgen", "mrquery", "mrbench", "mrserve", "mrload"} {
+		for _, n := range []string{"mrgen", "mrquery", "mrbench", "mrserve", "mrload", "mrsnap"} {
 			cmd := exec.Command("go", "build", "-o", filepath.Join(binDir, n), "mrx/cmd/"+n)
 			cmd.Dir = moduleRoot()
 			if out, err := cmd.CombinedOutput(); err != nil {
@@ -173,6 +173,16 @@ func TestMRBenchEngineAblation(t *testing.T) {
 		"-queries", "6", "-maxlen", "3", "-readers", "1,2", "-passes", "1", "-q")
 	if !strings.Contains(out, "engine stats") {
 		t.Errorf("engine ablation missing stats:\n%s", out)
+	}
+}
+
+func TestMRBenchMmapAblation(t *testing.T) {
+	out := run(t, false, "mrbench", "-ablation", "mmap",
+		"-scale", "0.02", "-queries", "8", "-maxlen", "3", "-passes", "1", "-q")
+	for _, want := range []string{"open-trust", "heap-load", "ratio"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("mmap ablation table missing %q:\n%s", want, out)
+		}
 	}
 }
 

@@ -1,6 +1,7 @@
 package difftest
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
@@ -10,6 +11,7 @@ import (
 	"mrx/internal/engine"
 	"mrx/internal/graph"
 	"mrx/internal/index"
+	"mrx/internal/mmapstore"
 	"mrx/internal/pathexpr"
 	"mrx/internal/query"
 )
@@ -160,7 +162,7 @@ func BuildPaths(g *graph.Graph, fups []*pathexpr.Expr, o PathsOptions) ([]*Servi
 	if err != nil {
 		return nil, err
 	}
-	out = append(out, frozenPath(g), ep, shp)
+	out = append(out, frozenPath(g), mmapPath(g), ep, shp)
 	return out, nil
 }
 
@@ -191,6 +193,67 @@ func frozenPath(g *graph.Graph) *ServingPath {
 				return err
 			}
 			return fz.CheckAgainst(ms)
+		},
+	}
+}
+
+// mmapPath serves every query from a snapshot that has been round-tripped
+// through the mmap snapshot format in full-verification mode: each
+// refinement re-freezes the mutable index, encodes it (mmapstore.Write),
+// reopens the bytes untrusted (checksums plus the deep structural walk),
+// and serves the zero-copy view wired over them. Beyond answer equality —
+// which the runner checks against SlowEval like any other path — it pins
+// down the format's losslessness: re-encoding the mapped view must
+// reproduce the heap snapshot's encoding byte for byte, every generation.
+func mmapPath(g *graph.Graph) *ServingPath {
+	ms := core.NewMStar(g)
+	var mapped *core.FrozenMStar
+	var tripErr error // first round-trip failure, surfaced by Check
+	republish := func() {
+		var buf bytes.Buffer
+		if err := mmapstore.Write(&buf, ms.Freeze(), mmapstore.WriteOptions{}); err != nil {
+			tripErr = fmt.Errorf("mmap path: encode: %w", err)
+			return
+		}
+		snap, err := mmapstore.OpenBytes(buf.Bytes(), g, mmapstore.Options{})
+		if err != nil {
+			tripErr = fmt.Errorf("mmap path: open: %w", err)
+			return
+		}
+		mapped = snap.FrozenMStar()
+		var re bytes.Buffer
+		if err := mmapstore.Write(&re, mapped, mmapstore.WriteOptions{}); err != nil {
+			tripErr = fmt.Errorf("mmap path: re-encode: %w", err)
+			return
+		}
+		if !bytes.Equal(re.Bytes(), buf.Bytes()) {
+			tripErr = fmt.Errorf("mmap path: mapped view re-encodes differently from the heap snapshot")
+		}
+	}
+	republish()
+	return &ServingPath{
+		Name: "engine/mmap",
+		Querier: query.QuerierFunc(func(e *pathexpr.Expr) query.Result {
+			res, _ := mapped.QueryOpts(e, query.ValidateOpts{})
+			return res
+		}),
+		Support: func(e *pathexpr.Expr) {
+			if tripErr != nil {
+				return // keep the first failure for Check, don't serve past it
+			}
+			ms.Support(e)
+			republish()
+		},
+		Check: func(checkBisim bool) error {
+			if tripErr != nil {
+				return tripErr
+			}
+			if err := ms.Validate(checkBisim); err != nil {
+				return err
+			}
+			// The mapped view must be an exact flattening of the mutable
+			// index it was frozen and round-tripped from.
+			return mapped.CheckAgainst(ms)
 		},
 	}
 }

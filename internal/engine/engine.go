@@ -57,6 +57,14 @@ type Options struct {
 	// the caller via Tuner().Step(). When AutoTune is nil the serving path
 	// carries no tracking cost beyond one nil check.
 	AutoTune *adapt.Config
+
+	// Persist, when non-nil, makes the engine disk-resident: every
+	// published generation is atomically written to Persist.Dir as an
+	// mmapstore snapshot and queries are served from the trusted zero-copy
+	// remapping of that file. New fails if the initial publish fails; a
+	// republish failure at runtime degrades that generation to heap serving
+	// and bumps StatsSnapshot.PersistErrors.
+	Persist *PersistOptions
 }
 
 // Validate rejects plainly invalid options with a wrapped error. Zero
@@ -82,6 +90,9 @@ func (o Options) Validate() error {
 			return fmt.Errorf("engine: %w: %w", errInvalidOption, err)
 		}
 	}
+	if o.Persist != nil && o.Persist.Dir == "" {
+		return fmt.Errorf("engine: %w: Persist with empty Dir", errInvalidOption)
+	}
 	return nil
 }
 
@@ -104,12 +115,18 @@ var errInvalidOption = errors.New("invalid option")
 
 // snapshot is one immutable generation of the served index: the mutable
 // M*(k)-index refinement state (never mutated once published — the next
-// writer clones it) and its frozen read-path view, which serves every
-// query.
+// writer clones it), its heap-frozen read-path view, and the view queries
+// actually read. Without persistence serve is fz itself. With persistence
+// serve is the trusted zero-copy remapping of fz's on-disk publish, while
+// fz stays the writer-side chain: the next refinement probes and
+// FreezeReusing-shares against heap arrays, never against mapped bytes, so
+// a superseded generation's mapping can be released the moment its last
+// reader drops it without invalidating anything the successor shares.
 type snapshot struct {
-	gen uint64
-	ms  *core.MStar
-	fz  *core.FrozenMStar
+	gen   uint64
+	ms    *core.MStar
+	fz    *core.FrozenMStar
+	serve *core.FrozenMStar
 }
 
 // Engine owns a data graph plus a set of structural indexes and serves
@@ -129,6 +146,10 @@ type Engine struct {
 	// tuner is non-nil when Options.AutoTune enabled adaptive tuning; the
 	// query hot path checks it once per query.
 	tuner *adapt.Tuner
+
+	// persist is non-nil when Options.Persist made the engine
+	// disk-resident; every publish routes through it.
+	persist *persister
 
 	stats stats
 }
@@ -159,7 +180,20 @@ func New(g *graph.Graph, opts Options) (*Engine, error) {
 		statics: make(map[string]query.Querier),
 	}
 	ms := core.NewMStarOpts(g, opts.MStar)
-	en.snap.Store(&snapshot{ms: ms, fz: ms.Freeze()})
+	fz := ms.Freeze()
+	first := &snapshot{ms: ms, fz: fz, serve: fz}
+	if opts.Persist != nil {
+		en.persist = newPersister(*opts.Persist, persistFile, g, opts.MStar)
+		// The initial publish fails hard: an engine configured as
+		// disk-resident that cannot write its directory is misconfigured,
+		// and silently degrading would hide it until the first restart.
+		mapped, err := en.persist.republish(fz)
+		if err != nil {
+			return nil, err
+		}
+		first.serve = mapped
+	}
+	en.snap.Store(first)
 	if opts.AutoTune != nil {
 		en.tuner = adapt.NewTuner(en, *opts.AutoTune)
 	}
@@ -179,9 +213,18 @@ func (en *Engine) DataIndex() *query.DataIndex { return en.di }
 // validation) without coordination.
 func (en *Engine) Snapshot() *core.MStar { return en.snap.Load().ms }
 
-// FrozenSnapshot returns the frozen M*(k)-index view the engine is
-// currently serving queries from. It is immutable by construction.
+// FrozenSnapshot returns the heap-frozen M*(k)-index view of the current
+// generation. It is immutable by construction. Under Options.Persist this
+// is the canonical writer-side view the on-disk snapshot was encoded from,
+// not the mapped view queries read — use ServingSnapshot for that; the two
+// answer identically (the difftest suite and the mmapstore round-trip tests
+// pin this down byte for byte).
 func (en *Engine) FrozenSnapshot() *core.FrozenMStar { return en.snap.Load().fz }
+
+// ServingSnapshot returns the frozen view queries are actually evaluated
+// against: the disk-backed zero-copy mapping when Options.Persist is active
+// (and the generation's republish succeeded), the heap view otherwise.
+func (en *Engine) ServingSnapshot() *core.FrozenMStar { return en.snap.Load().serve }
 
 // Generation reports how many refined snapshots have been published.
 func (en *Engine) Generation() uint64 { return en.snap.Load().gen }
@@ -223,7 +266,7 @@ func (en *Engine) QueryCtx(ctx context.Context, e *pathexpr.Expr) (query.Result,
 func (en *Engine) query(e *pathexpr.Expr, opt query.ValidateOpts) (query.Result, core.Strategy) {
 	s := en.snap.Load()
 	start := time.Now()
-	res, strategy := s.fz.QueryOpts(e, opt)
+	res, strategy := s.serve.QueryOpts(e, opt)
 	elapsed := time.Since(start)
 	en.stats.recordQuery(strategy, res.Cost.IndexNodes, res.Cost.DataNodes, res.Precise, elapsed)
 	if t := en.tuner; t != nil {
@@ -305,10 +348,27 @@ func (en *Engine) Support(e *pathexpr.Expr) bool {
 	// Re-freeze only the components the refinement dirtied; untouched ones
 	// are shared with the outgoing snapshot.
 	fz := clone.FreezeReusing(cur.ms, cur.fz)
-	en.snap.Store(&snapshot{gen: cur.gen + 1, ms: clone, fz: fz})
+	en.publish(&snapshot{gen: cur.gen + 1, ms: clone, fz: fz})
 	en.stats.refinements.Add(1)
-	en.stats.publishes.Add(1)
 	return true
+}
+
+// publish stores next as the current generation. With persistence enabled
+// the heap-frozen view is first atomically republished to disk and next
+// serves from the trusted remapping; a republish failure leaves next
+// serving the heap view (readers are never left behind the write side) and
+// is surfaced through the persistErrors counter. Callers hold en.mu.
+func (en *Engine) publish(next *snapshot) {
+	next.serve = next.fz
+	if en.persist != nil {
+		if mapped, err := en.persist.republish(next.fz); err != nil {
+			en.stats.persistErrors.Add(1)
+		} else {
+			next.serve = mapped
+		}
+	}
+	en.snap.Store(next)
+	en.stats.publishes.Add(1)
 }
 
 // Retire withdraws support for a previously refined FUP by rebuilding the
@@ -329,9 +389,8 @@ func (en *Engine) Retire(e *pathexpr.Expr) bool {
 	}
 	// The rebuild starts from a fresh I0, so no component of the outgoing
 	// frozen view can be reused: freeze from scratch.
-	en.snap.Store(&snapshot{gen: cur.gen + 1, ms: rebuilt, fz: rebuilt.Freeze()})
+	en.publish(&snapshot{gen: cur.gen + 1, ms: rebuilt, fz: rebuilt.Freeze()})
 	en.stats.retirements.Add(1)
-	en.stats.publishes.Add(1)
 	return true
 }
 

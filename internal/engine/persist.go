@@ -1,0 +1,70 @@
+package engine
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"mrx/internal/core"
+	"mrx/internal/graph"
+	"mrx/internal/mmapstore"
+)
+
+// PersistOptions makes an engine disk-resident: every published generation
+// is atomically republished (write-temp + fsync + rename) as an mmapstore
+// snapshot under Dir, and the engine serves queries from the trusted
+// zero-copy remapping of that file instead of the heap-frozen view. The
+// on-disk file is therefore always a complete, crash-consistent image of
+// exactly what the engine is serving, and a restarting process can reopen
+// it in O(1) (see mmapstore.Open and cmd/mrserve's -index-file).
+type PersistOptions struct {
+	// Dir is the directory the snapshot file lives in. The monolithic
+	// Engine writes Dir/mstar.mrx; a Sharded engine writes one
+	// Dir/shard-NNN.mrx per shard. It must already exist.
+	Dir string
+
+	// Compact writes extent arenas varuint-delta-compressed instead of as
+	// raw zero-copy arrays, trading open-time decode work for file size
+	// (see mmapstore.WriteOptions.CompactExtents).
+	Compact bool
+}
+
+// persistFile is the monolithic engine's snapshot file name under
+// PersistOptions.Dir.
+const persistFile = "mstar.mrx"
+
+// persister republishes frozen snapshots to one on-disk path and remaps
+// them for serving. The write side serializes under the engine's writer
+// lock, so persister itself needs no locking.
+type persister struct {
+	path string
+	wo   mmapstore.WriteOptions
+	g    *graph.Graph
+	mo   core.MStarOptions
+}
+
+func newPersister(p PersistOptions, name string, g *graph.Graph, mo core.MStarOptions) *persister {
+	return &persister{
+		path: filepath.Join(p.Dir, name),
+		wo:   mmapstore.WriteOptions{CompactExtents: p.Compact},
+		g:    g,
+		mo:   mo,
+	}
+}
+
+// republish atomically replaces the on-disk snapshot with fz and reopens
+// the new file as a trusted zero-copy mapping. Trusted is sound here: the
+// bytes were produced by this process one rename ago, and the rename is
+// atomic, so the reopened file is exactly what was written. The returned
+// view keeps its mapping alive for as long as it is reachable (the engine's
+// snapshot pointer); the superseded generation's mapping is released by its
+// cleanup once the last reader drops it.
+func (p *persister) republish(fz *core.FrozenMStar) (*core.FrozenMStar, error) {
+	if err := mmapstore.Publish(p.path, fz, p.wo); err != nil {
+		return nil, fmt.Errorf("engine: persist %s: %w", p.path, err)
+	}
+	snap, err := mmapstore.Open(p.path, p.g, mmapstore.Options{Trusted: true, MStar: p.mo})
+	if err != nil {
+		return nil, fmt.Errorf("engine: persist %s: reopen: %w", p.path, err)
+	}
+	return snap.FrozenMStar(), nil
+}

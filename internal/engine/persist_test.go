@@ -1,0 +1,182 @@
+package engine
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mrx/internal/gtest"
+	"mrx/internal/mmapstore"
+)
+
+// TestEnginePersistServesMapped is the acceptance test for disk-resident
+// serving: a persisted engine must serve every query from a mapped view
+// that answers exactly like the heap view, and the on-disk file must be
+// byte-identical to the heap snapshot's encoding at every generation.
+func TestEnginePersistServesMapped(t *testing.T) {
+	g := gtest.New(31, gtest.Options{Nodes: 300, Labels: 6, RefProb: 0.15, Components: 3})
+	workload := gtest.RandomWorkload(32, g, gtest.WorkloadOptions{Size: 20, MaxLen: 3})
+	dir := t.TempDir()
+	en := mustNew(t, g, Options{Parallelism: 2, Persist: &PersistOptions{Dir: dir}})
+	path := filepath.Join(dir, "mstar.mrx")
+
+	checkDisk := func(stage string) {
+		t.Helper()
+		// Serving view is the mapped one, distinct from the heap chain...
+		if en.ServingSnapshot() == en.FrozenSnapshot() {
+			t.Fatalf("%s: serving the heap view, want the mapped view", stage)
+		}
+		// ...and the disk image is exactly the heap snapshot's encoding.
+		var want bytes.Buffer
+		if err := mmapstore.Write(&want, en.FrozenSnapshot(), mmapstore.WriteOptions{}); err != nil {
+			t.Fatalf("%s: encode heap snapshot: %v", stage, err)
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", stage, err)
+		}
+		if !bytes.Equal(got, want.Bytes()) {
+			t.Fatalf("%s: on-disk snapshot differs from the heap snapshot's encoding", stage)
+		}
+		// Every answer must match ground truth (the engine validates, so the
+		// index answer is exact by construction — this proves the mapped
+		// arrays are wired correctly).
+		for _, w := range workload {
+			e := mustParse(w)
+			if got, want := en.Query(e).Answer, en.Eval(e); !sameIDs(got, want) {
+				t.Fatalf("%s: %s: mapped answer %v, ground truth %v", stage, w, got, want)
+			}
+		}
+	}
+	checkDisk("initial")
+
+	published := false
+	for _, w := range workload {
+		if en.Support(mustParse(w)) {
+			published = true
+		}
+	}
+	if !published {
+		t.Fatal("no Support call published; workload too weak to test republish")
+	}
+	checkDisk("refined")
+
+	for _, w := range workload[:5] {
+		en.Retire(mustParse(w))
+	}
+	checkDisk("retired")
+
+	if n := en.Stats().PersistErrors; n != 0 {
+		t.Fatalf("PersistErrors = %d, want 0", n)
+	}
+}
+
+// TestEnginePersistDegradesOnFailure proves a runtime republish failure
+// never takes serving down: the generation publishes from the heap, the
+// failure is counted, and answers stay exact.
+func TestEnginePersistDegradesOnFailure(t *testing.T) {
+	g := gtest.New(35, gtest.Options{Nodes: 300, Labels: 6, RefProb: 0.15, Components: 3})
+	workload := gtest.RandomWorkload(36, g, gtest.WorkloadOptions{Size: 20, MaxLen: 3})
+	dir := t.TempDir()
+	en := mustNew(t, g, Options{Parallelism: 2, Persist: &PersistOptions{Dir: dir}})
+	path := filepath.Join(dir, "mstar.mrx")
+
+	// Sabotage the publish target: a directory where the snapshot file
+	// belongs makes the atomic rename fail (works even when the test runs
+	// as root, unlike permission tricks).
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(path, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	published := false
+	for _, w := range workload {
+		if en.Support(mustParse(w)) {
+			published = true
+		}
+	}
+	if !published {
+		t.Fatal("no Support call published; workload too weak to test degradation")
+	}
+	if n := en.Stats().PersistErrors; n == 0 {
+		t.Fatal("republish into a blocked path reported no persist errors")
+	}
+	if en.ServingSnapshot() != en.FrozenSnapshot() {
+		t.Fatal("degraded generation is not serving the heap view")
+	}
+	for _, w := range workload {
+		e := mustParse(w)
+		if got, want := en.Query(e).Answer, en.Eval(e); !sameIDs(got, want) {
+			t.Fatalf("%s: degraded answer %v, ground truth %v", w, got, want)
+		}
+	}
+}
+
+// New must fail hard when the initial publish cannot happen, and Validate
+// must reject a Persist block with no directory.
+func TestEnginePersistConstructionFailures(t *testing.T) {
+	g := gtest.New(39, gtest.Options{Nodes: 50, Labels: 4, RefProb: 0.2})
+	if _, err := New(g, Options{Persist: &PersistOptions{Dir: filepath.Join(t.TempDir(), "missing")}}); err == nil {
+		t.Fatal("New with an unwritable persist dir succeeded")
+	}
+	_, err := New(g, Options{Persist: &PersistOptions{}})
+	if !errors.Is(err, errInvalidOption) {
+		t.Fatalf("New with empty Persist.Dir: %v, want invalid-option", err)
+	}
+	if _, err := NewSharded(g, ShardedOptions{Persist: &PersistOptions{}}); !errors.Is(err, errInvalidOption) {
+		t.Fatal("NewSharded accepted an empty Persist.Dir")
+	}
+	if _, err := NewSharded(g, ShardedOptions{Persist: &PersistOptions{Dir: filepath.Join(t.TempDir(), "missing")}}); err == nil {
+		t.Fatal("NewSharded with an unwritable persist dir succeeded")
+	}
+}
+
+// TestShardedPersist checks the per-shard publish layout (one snapshot file
+// per shard, bound to the shard-local graph) and that scatter-gather over
+// mapped shard views matches ground truth across refinement and
+// retirement.
+func TestShardedPersist(t *testing.T) {
+	g := gtest.New(41, gtest.Options{Nodes: 600, Labels: 7, RefProb: 0.12, Components: 6})
+	workload := gtest.RandomWorkload(42, g, gtest.WorkloadOptions{Size: 30, MaxLen: 3, Rooted: 0.2})
+	dir := t.TempDir()
+	en := mustSharded(t, g, ShardedOptions{Shards: 4, Parallelism: 2, Persist: &PersistOptions{Dir: dir, Compact: true}})
+
+	for i := 0; i < en.NumShards(); i++ {
+		path := filepath.Join(dir, fmt.Sprintf("shard-%03d.mrx", i))
+		if _, err := os.Stat(path); err != nil {
+			t.Fatalf("shard %d published no snapshot: %v", i, err)
+		}
+		st := en.ShardState(i)
+		if st.Snapshot().Serving() == st.Snapshot().FZ {
+			t.Fatalf("shard %d serves the heap view, want the mapped view", i)
+		}
+	}
+
+	check := func(stage string) {
+		t.Helper()
+		for _, w := range workload {
+			e := mustParse(w)
+			if got, want := en.Query(e).Answer, en.Eval(e); !sameIDs(got, want) {
+				t.Fatalf("%s: %s: sharded mapped answer %v, ground truth %v", stage, w, got, want)
+			}
+		}
+	}
+	check("initial")
+	for _, w := range workload[:10] {
+		en.Support(mustParse(w))
+	}
+	check("refined")
+	for _, w := range workload[:5] {
+		en.Retire(mustParse(w))
+	}
+	check("retired")
+
+	if n := en.Stats().PersistErrors; n != 0 {
+		t.Fatalf("PersistErrors = %d, want 0", n)
+	}
+}

@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"sync"
@@ -42,6 +43,15 @@ type ShardedOptions struct {
 	// AutoTune enables adaptive tuning exactly as Options.AutoTune does;
 	// promotions and retirements fan out to the owning shards.
 	AutoTune *adapt.Config
+
+	// Persist, when non-nil, makes every shard disk-resident: shard i
+	// publishes each of its generations atomically to Dir/shard-NNN.mrx
+	// and serves from the trusted zero-copy remapping. Shards publish
+	// independently — a refinement republishes only the shard it touched.
+	// NewSharded fails if any shard's initial publish fails; runtime
+	// failures degrade that shard's generation to heap serving and count in
+	// StatsSnapshot.PersistErrors (and per shard in ShardStats).
+	Persist *PersistOptions
 }
 
 // Validate rejects plainly invalid options with a wrapped error, mirroring
@@ -55,7 +65,7 @@ func (o ShardedOptions) Validate() error {
 	if o.FreezeWorkers < 0 {
 		return fmt.Errorf("engine: %w: FreezeWorkers %d (zero means GOMAXPROCS)", errInvalidOption, o.FreezeWorkers)
 	}
-	return Options{MStar: o.MStar, AutoTune: o.AutoTune, Parallelism: o.Parallelism}.Validate()
+	return Options{MStar: o.MStar, AutoTune: o.AutoTune, Parallelism: o.Parallelism, Persist: o.Persist}.Validate()
 }
 
 // Sharded serves structural-index queries over a data graph partitioned
@@ -123,8 +133,23 @@ func NewSharded(g *graph.Graph, opts ShardedOptions) (*Sharded, error) {
 	}
 	for i, sh := range parts {
 		en.shards[i] = shard.NewState(sh, opts.MStar)
+		if opts.Persist != nil {
+			en.shards[i].EnablePersist(
+				filepath.Join(opts.Persist.Dir, fmt.Sprintf("shard-%03d.mrx", i)),
+				opts.Persist.Compact)
+		}
 	}
 	en.freezeAll(opts.FreezeWorkers)
+	if opts.Persist != nil {
+		// The initial publishes fail hard, mirroring the monolithic engine:
+		// a disk-resident engine that cannot write its directory is
+		// misconfigured, not degraded.
+		for i, st := range en.shards {
+			if err := st.PersistErr(); err != nil {
+				return nil, fmt.Errorf("engine: sharded: persist shard %d: %w", i, err)
+			}
+		}
+	}
 	if opts.AutoTune != nil {
 		en.tuner = adapt.NewTuner(en, *opts.AutoTune)
 	}
@@ -281,7 +306,7 @@ func (en *Sharded) route(e *pathexpr.Expr) []int {
 func (en *Sharded) queryShard(i int, e *pathexpr.Expr, opt query.ValidateOpts) (query.Result, core.Strategy) {
 	st := en.shards[i]
 	en.perShardQueries[i].Add(1)
-	res, strategy := st.Snapshot().FZ.QueryOpts(e, opt)
+	res, strategy := st.Snapshot().Serving().QueryOpts(e, opt)
 	toGlobalAnswer(&res, st.Shard())
 	return res, strategy
 }
@@ -413,16 +438,18 @@ func (en *Sharded) Stats() StatsSnapshot {
 		sh := st.Shard()
 		freezes, last, total := st.FreezeStats()
 		snap.Shards[i] = ShardStats{
-			Shard:       i,
-			Nodes:       sh.NumNodes(),
-			Components:  sh.Components(),
-			HasRoot:     sh.HasRoot(),
-			Generation:  st.Generation(),
-			Queries:     en.perShardQueries[i].Load(),
-			Freezes:     freezes,
-			LastFreeze:  last,
-			TotalFreeze: total,
+			Shard:         i,
+			Nodes:         sh.NumNodes(),
+			Components:    sh.Components(),
+			HasRoot:       sh.HasRoot(),
+			Generation:    st.Generation(),
+			PersistErrors: st.PersistErrors(),
+			Queries:       en.perShardQueries[i].Load(),
+			Freezes:       freezes,
+			LastFreeze:    last,
+			TotalFreeze:   total,
 		}
+		snap.PersistErrors += st.PersistErrors()
 	}
 	if t := en.tuner; t != nil {
 		ts := t.Snapshot()

@@ -1,0 +1,71 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"mrx/internal/gtest"
+	"mrx/internal/mmapstore"
+)
+
+// TestStaticServesMappedSnapshot drives the read-only engine over a
+// disk-resident view: freeze an adaptive engine's refined snapshot, round
+// it through the mmap format, and serve the mapped view through Static —
+// answers must match ground truth, cancellation must work, and the counters
+// must move.
+func TestStaticServesMappedSnapshot(t *testing.T) {
+	g := gtest.New(51, gtest.Options{Nodes: 300, Labels: 6, RefProb: 0.15, Components: 3})
+	workload := gtest.RandomWorkload(52, g, gtest.WorkloadOptions{Size: 20, MaxLen: 3})
+	en := mustNew(t, g, Options{Parallelism: 2})
+	for _, w := range workload[:8] {
+		en.Support(mustParse(w))
+	}
+
+	var buf bytes.Buffer
+	if err := mmapstore.Write(&buf, en.FrozenSnapshot(), mmapstore.WriteOptions{}); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	snap, err := mmapstore.OpenBytes(buf.Bytes(), g, mmapstore.Options{})
+	if err != nil {
+		t.Fatalf("OpenBytes: %v", err)
+	}
+	sq, err := NewStatic(snap.FrozenMStar(), 2)
+	if err != nil {
+		t.Fatalf("NewStatic: %v", err)
+	}
+
+	for _, w := range workload {
+		e := mustParse(w)
+		if got, want := sq.Query(e).Answer, sq.Eval(e); !sameIDs(got, want) {
+			t.Fatalf("%s: static answer %v, ground truth %v", w, got, want)
+		}
+		res, err := sq.QueryCtx(context.Background(), e)
+		if err != nil {
+			t.Fatalf("%s: QueryCtx: %v", w, err)
+		}
+		if !sameIDs(res.Answer, sq.Eval(e)) {
+			t.Fatalf("%s: QueryCtx answer diverged", w)
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sq.QueryCtx(ctx, mustParse(workload[0])); err == nil {
+		t.Fatal("QueryCtx on a canceled context returned no error")
+	}
+
+	st := sq.Stats()
+	if st.Queries == 0 || st.Canceled == 0 {
+		t.Fatalf("counters did not move: %+v", st)
+	}
+	if st.Generation != 0 {
+		t.Fatalf("a Static reported generation %d", st.Generation)
+	}
+}
+
+func TestNewStaticRejectsNil(t *testing.T) {
+	if _, err := NewStatic(nil, 0); err == nil {
+		t.Fatal("NewStatic(nil) succeeded")
+	}
+}

@@ -57,6 +57,7 @@ type stats struct {
 	retirements    atomic.Uint64
 	retiresSkipped atomic.Uint64
 	publishes      atomic.Uint64
+	persistErrors  atomic.Uint64
 
 	latency [numStrategies]latstat.Histogram
 }
@@ -102,6 +103,10 @@ type StatsSnapshot struct {
 	// retirements; tracked separately so future batched publication stays
 	// observable).
 	SnapshotPublishes uint64
+	// PersistErrors counts generations whose on-disk republish failed under
+	// Options.Persist; each such generation served from the heap instead.
+	// Zero whenever persistence is disabled.
+	PersistErrors uint64
 	// Latency summarizes per-strategy query latency.
 	Latency map[core.Strategy]LatencySummary
 	// AutoTune carries the tuner state when Options.AutoTune is enabled,
@@ -126,6 +131,10 @@ type ShardStats struct {
 	HasRoot bool
 	// Generation counts snapshots this shard published since construction.
 	Generation uint64
+	// PersistErrors counts this shard's failed on-disk republishes (the
+	// shard served those generations from the heap); always zero without
+	// ShardedOptions.Persist.
+	PersistErrors uint64
 	// Queries counts shard-local evaluations; a scattered query bumps every
 	// shard it touches, so the sum over shards can exceed client queries.
 	Queries uint64
@@ -149,6 +158,7 @@ func (s *stats) snapshot(generation uint64) StatsSnapshot {
 		Retirements:        s.retirements.Load(),
 		RetiresSkipped:     s.retiresSkipped.Load(),
 		SnapshotPublishes:  s.publishes.Load(),
+		PersistErrors:      s.persistErrors.Load(),
 		Latency:            make(map[core.Strategy]LatencySummary),
 	}
 	for i := range s.latency {
@@ -186,6 +196,12 @@ func (s StatsSnapshot) WriteTo(w io.Writer) (int64, error) {
 	if s.Retirements > 0 || s.RetiresSkipped > 0 {
 		if err := pr("  retirements      %10d applied, %d skipped\n",
 			s.Retirements, s.RetiresSkipped); err != nil {
+			return n, err
+		}
+	}
+	if s.PersistErrors > 0 {
+		if err := pr("  persist errors   %10d generations served from heap instead of disk\n",
+			s.PersistErrors); err != nil {
 			return n, err
 		}
 	}

@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"mrx/internal/core"
+	"mrx/internal/mmapstore"
+	"mrx/internal/pathexpr"
+	"mrx/internal/store"
+)
+
+// MmapRow is one point of the disk-resident-serving ablation: the same
+// refined index at one dataset scale, resurrected from bytes three ways and
+// then served from heap and from the mapping.
+type MmapRow struct {
+	Scale      float64
+	Nodes      int
+	Components int
+	Bytes      int64         // published snapshot size
+	Publish    time.Duration // encode + fsync + atomic rename
+	HeapLoad   time.Duration // store.ReadMStar + Freeze (heap cold start)
+	OpenVerify time.Duration // mmapstore.Open, full checksums + deep verify
+	OpenTrust  time.Duration // mmapstore.Open, Trusted (O(components))
+	HeapQPS    float64       // workload replay on the heap frozen view
+	MappedQPS  float64       // workload replay on the mapped view
+}
+
+// MmapAblationResult gathers the per-scale rows.
+type MmapAblationResult struct {
+	Rows []MmapRow
+}
+
+// RunMmapAblation measures what the memory-mapped snapshot format buys at
+// each scale: cold-start latency (the heap deserialize-everything path
+// versus a verified open versus a trusted open, whose cost must stay flat
+// as the index grows) and serving throughput (the mapped view must keep
+// pace with heap — the read path is the same aliased arrays either way).
+// Scales should span at least an order of magnitude so the flat trusted
+// column is visible against the growing heap column.
+func RunMmapAblation(dataset string, scales []float64, cfg Config, maxQueryLen, passes int, progress Progress) (MmapAblationResult, error) {
+	if passes <= 0 {
+		passes = 1
+	}
+	dir, err := os.MkdirTemp("", "mrx-mmap-ablation-*")
+	if err != nil {
+		return MmapAblationResult{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	var res MmapAblationResult
+	for i, scale := range scales {
+		ds, err := LoadDataset(dataset, scale, cfg.Seed)
+		if err != nil {
+			return res, fmt.Errorf("mmap ablation: %w", err)
+		}
+		queries := NewWorkload(ds, cfg.NumQueries, maxQueryLen, cfg.Seed)
+		ms := core.NewMStar(ds.Graph)
+		for _, q := range queries {
+			if !q.HasWildcard() && q.RequiredK() != pathexpr.Unbounded {
+				ms.Support(q)
+			}
+		}
+		fm := ms.Freeze()
+
+		path := filepath.Join(dir, fmt.Sprintf("scale-%d.mrx", i))
+		pubStart := time.Now()
+		if err := mmapstore.Publish(path, fm, mmapstore.WriteOptions{}); err != nil {
+			return res, fmt.Errorf("mmap ablation: publish: %w", err)
+		}
+		publish := time.Since(pubStart)
+		fi, err := os.Stat(path)
+		if err != nil {
+			return res, err
+		}
+
+		var heapEnc bytes.Buffer
+		if err := store.WriteMStar(&heapEnc, ms); err != nil {
+			return res, fmt.Errorf("mmap ablation: heap encode: %w", err)
+		}
+		heapLoad, err := timeReps(3, func() error {
+			ms, err := store.ReadMStar(bytes.NewReader(heapEnc.Bytes()), ds.Graph)
+			if err == nil {
+				_ = ms.Freeze()
+			}
+			return err
+		})
+		if err != nil {
+			return res, fmt.Errorf("mmap ablation: heap load: %w", err)
+		}
+		openVerify, err := timeReps(3, func() error {
+			snap, err := mmapstore.Open(path, ds.Graph, mmapstore.Options{})
+			if err == nil {
+				snap.Close()
+			}
+			return err
+		})
+		if err != nil {
+			return res, fmt.Errorf("mmap ablation: verified open: %w", err)
+		}
+		openTrust, err := timeReps(16, func() error {
+			snap, err := mmapstore.Open(path, ds.Graph, mmapstore.Options{Trusted: true})
+			if err == nil {
+				snap.Close()
+			}
+			return err
+		})
+		if err != nil {
+			return res, fmt.Errorf("mmap ablation: trusted open: %w", err)
+		}
+
+		// Serve the workload from a held-open trusted mapping and from the
+		// heap view it was encoded from; same queries, same order.
+		snap, err := mmapstore.Open(path, ds.Graph, mmapstore.Options{Trusted: true})
+		if err != nil {
+			return res, fmt.Errorf("mmap ablation: serving open: %w", err)
+		}
+		heapQPS := replayQPS(fm, queries, passes)
+		mappedQPS := replayQPS(snap.FrozenMStar(), queries, passes)
+		snap.Close()
+
+		row := MmapRow{
+			Scale:      scale,
+			Nodes:      ds.Graph.NumNodes(),
+			Components: fm.NumComponents(),
+			Bytes:      fi.Size(),
+			Publish:    publish,
+			HeapLoad:   heapLoad,
+			OpenVerify: openVerify,
+			OpenTrust:  openTrust,
+			HeapQPS:    heapQPS,
+			MappedQPS:  mappedQPS,
+		}
+		res.Rows = append(res.Rows, row)
+		progress.log("scale %g: %d nodes, %d components, %d bytes; publish %v, heap load %v, open verified %v, trusted %v; serve heap %.0f q/s, mapped %.0f q/s",
+			scale, row.Nodes, row.Components, row.Bytes, publish.Round(time.Microsecond),
+			heapLoad.Round(time.Microsecond), openVerify.Round(time.Microsecond),
+			openTrust.Round(time.Microsecond), heapQPS, mappedQPS)
+	}
+	return res, nil
+}
+
+// timeReps runs fn reps times and returns the mean wall-clock per call —
+// cheap opens need averaging to rise above timer noise.
+func timeReps(reps int, fn func() error) (time.Duration, error) {
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		if err := fn(); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start) / time.Duration(reps), nil
+}
+
+// replayQPS replays the workload passes times through one frozen view,
+// single-threaded, and returns queries per second.
+func replayQPS(fm *core.FrozenMStar, queries []*pathexpr.Expr, passes int) float64 {
+	start := time.Now()
+	n := 0
+	for p := 0; p < passes; p++ {
+		for _, q := range queries {
+			_ = fm.Query(q)
+			n++
+		}
+	}
+	if s := time.Since(start).Seconds(); s > 0 {
+		return float64(n) / s
+	}
+	return 0
+}
+
+// WriteMmapTable renders the disk-resident-serving ablation. The column to
+// read first is open-trust: it should stay flat while heap-load grows with
+// the rows. The last column is mapped serving throughput relative to heap;
+// ~1.0 means disk residency costs nothing on the read path.
+func WriteMmapTable(w io.Writer, res MmapAblationResult) {
+	fmt.Fprintf(w, "%-8s %9s %6s %10s %10s %11s %12s %11s %10s %10s %7s\n",
+		"scale", "nodes", "comps", "bytes", "publish", "heap-load", "open-verify", "open-trust",
+		"heap q/s", "mapped q/s", "ratio")
+	for _, r := range res.Rows {
+		ratio := 0.0
+		if r.HeapQPS > 0 {
+			ratio = r.MappedQPS / r.HeapQPS
+		}
+		fmt.Fprintf(w, "%-8.3g %9d %6d %10d %10s %11s %12s %11s %10.0f %10.0f %7.2f\n",
+			r.Scale, r.Nodes, r.Components, r.Bytes,
+			r.Publish.Round(time.Microsecond), r.HeapLoad.Round(time.Microsecond),
+			r.OpenVerify.Round(time.Microsecond), r.OpenTrust.Round(time.Microsecond),
+			r.HeapQPS, r.MappedQPS, ratio)
+	}
+}

@@ -1,0 +1,135 @@
+package index
+
+import (
+	"strings"
+	"testing"
+
+	"mrx/internal/graph"
+	"mrx/internal/gtest"
+	"mrx/internal/partition"
+)
+
+func TestFrozenArraysRoundTrip(t *testing.T) {
+	g := gtest.Random(7, 60, 4, 0.2)
+	// A refined partition gives the snapshot interesting structure.
+	ig := FromPartition(g, partition.KBisim(g, 2), func(partition.BlockID) int { return 2 })
+	fz := freezeChecked(t, ig)
+	if err := fz.Verify(); err != nil {
+		t.Fatalf("Verify on a freshly frozen snapshot: %v", err)
+	}
+	got, err := FrozenFromArrays(g, fz.Arrays())
+	if err != nil {
+		t.Fatalf("FrozenFromArrays: %v", err)
+	}
+	if err := got.Verify(); err != nil {
+		t.Fatalf("Verify after array round-trip: %v", err)
+	}
+	if err := got.CheckAgainst(ig); err != nil {
+		t.Fatalf("round-tripped snapshot diverges from source: %v", err)
+	}
+	if err := got.CheckP3(); err != nil {
+		t.Fatalf("CheckP3: %v", err)
+	}
+}
+
+func TestFrozenFromArraysRejectsShapeErrors(t *testing.T) {
+	g := graph.PaperFigure1()
+	fz := freezeChecked(t, a0(g))
+	base := fz.Arrays()
+
+	cases := []struct {
+		name string
+		mut  func(a FrozenArrays) FrozenArrays
+		want string
+	}{
+		{"short ks", func(a FrozenArrays) FrozenArrays { a.Ks = a.Ks[:len(a.Ks)-1]; return a }, "ks"},
+		{"short offsets", func(a FrozenArrays) FrozenArrays { a.ExtentStart = a.ExtentStart[:len(a.ExtentStart)-1]; return a }, "offset arrays"},
+		{"bad start", func(a FrozenArrays) FrozenArrays {
+			s := append([]int32(nil), a.ChildStart...)
+			s[0] = 1
+			a.ChildStart = s
+			return a
+		}, "start at 1"},
+		{"bad end", func(a FrozenArrays) FrozenArrays {
+			s := append([]int32(nil), a.ParentStart...)
+			s[len(s)-1]++
+			a.ParentStart = s
+			return a
+		}, "offsets end"},
+		{"wrong nodeOf", func(a FrozenArrays) FrozenArrays { a.NodeOf = a.NodeOf[:len(a.NodeOf)-1]; return a }, "ownership"},
+		{"wrong label buckets", func(a FrozenArrays) FrozenArrays { a.LabelNodes = a.LabelNodes[:len(a.LabelNodes)-1]; return a }, "label"},
+	}
+	for _, tc := range cases {
+		if _, err := FrozenFromArrays(g, tc.mut(base)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestVerifyRejectsCorruption(t *testing.T) {
+	build := func() (*graph.Graph, FrozenArrays) {
+		g := gtest.Random(11, 40, 3, 0.2)
+		ig := FromPartition(g, partition.KBisim(g, 1), func(partition.BlockID) int { return 1 })
+		fz := freezeChecked(t, ig)
+		a := fz.Arrays()
+		// Deep-copy everything a case might corrupt.
+		a.Ks = append([]int32(nil), a.Ks...)
+		a.Labels = append([]graph.LabelID(nil), a.Labels...)
+		a.Retired = append([]NodeID(nil), a.Retired...)
+		a.ExtentArena = append([]graph.NodeID(nil), a.ExtentArena...)
+		a.Children = append([]FrozenID(nil), a.Children...)
+		a.Parents = append([]FrozenID(nil), a.Parents...)
+		a.LabelNodes = append([]FrozenID(nil), a.LabelNodes...)
+		a.NodeOf = append([]FrozenID(nil), a.NodeOf...)
+		return g, a
+	}
+
+	cases := []struct {
+		name string
+		mut  func(a *FrozenArrays)
+	}{
+		{"negative k", func(a *FrozenArrays) { a.Ks[0] = -1 }},
+		{"label out of range", func(a *FrozenArrays) { a.Labels[0] = 99 }},
+		{"retired not ascending", func(a *FrozenArrays) { a.Retired[1] = a.Retired[0] }},
+		{"arena out of range", func(a *FrozenArrays) { a.ExtentArena[0] = -5 }},
+		{"nodeOf wrong owner", func(a *FrozenArrays) { a.NodeOf[0], a.NodeOf[len(a.NodeOf)-1] = a.NodeOf[len(a.NodeOf)-1], a.NodeOf[0] }},
+		{"child edge out of range", func(a *FrozenArrays) {
+			if len(a.Children) > 0 {
+				a.Children[0] = FrozenID(len(a.Ks))
+			}
+		}},
+		{"child edge rewired", func(a *FrozenArrays) {
+			if len(a.Children) > 1 {
+				a.Children[0], a.Children[len(a.Children)-1] = a.Children[len(a.Children)-1], a.Children[0]
+			}
+		}},
+		{"parent edge rewired", func(a *FrozenArrays) {
+			if len(a.Parents) > 1 {
+				a.Parents[0], a.Parents[len(a.Parents)-1] = a.Parents[len(a.Parents)-1], a.Parents[0]
+			}
+		}},
+		{"label bucket shuffled", func(a *FrozenArrays) {
+			a.LabelNodes[0], a.LabelNodes[len(a.LabelNodes)-1] = a.LabelNodes[len(a.LabelNodes)-1], a.LabelNodes[0]
+		}},
+		{"P3 broken", func(a *FrozenArrays) {
+			// Give some child a much larger k than its parent allows.
+			for i := range a.Ks {
+				a.Ks[i] = 0
+			}
+			a.Ks[len(a.Ks)-1] = 5
+		}},
+	}
+	for _, tc := range cases {
+		g, a := build()
+		tc.mut(&a)
+		fz, err := FrozenFromArrays(g, a)
+		if err != nil {
+			continue // shape check already caught it; fine
+		}
+		if err := fz.Verify(); err == nil {
+			t.Errorf("%s: Verify accepted corrupted snapshot", tc.name)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package mmapstore
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mrx/internal/core"
+	"mrx/internal/graph"
+	"mrx/internal/gtest"
+	"mrx/internal/pathexpr"
+	"mrx/internal/store"
+)
+
+// benchSizes spans two orders of magnitude so the cold-start sweep can show
+// mmap open time staying flat while heap deserialization grows with the
+// index: the whole point of the disk-resident format.
+var benchSizes = []int{1_000, 10_000, 100_000}
+
+// benchIndex is one prepared measurement subject: a refined frozen index
+// over a graph of a given size, plus both serializations (the mmap snapshot
+// and the store heap encoding) and a supportable query workload.
+type benchIndex struct {
+	g     *graph.Graph
+	fm    *core.FrozenMStar
+	exprs []*pathexpr.Expr
+	snap  []byte // mmapstore encoding
+	heap  []byte // store.WriteMStar encoding (heap cold-start baseline)
+}
+
+// benchCache shares the expensive index builds across benchmarks in one
+// `go test -bench` process; builds are never timed.
+var benchCache = map[int]*benchIndex{}
+
+func benchSetup(b *testing.B, nodes int) *benchIndex {
+	b.Helper()
+	if bi, ok := benchCache[nodes]; ok {
+		return bi
+	}
+	g := gtest.Random(int64(nodes), nodes, 8, 0.2)
+	ms := core.NewMStar(g)
+	var exprs []*pathexpr.Expr
+	for _, s := range gtest.RandomWorkload(int64(nodes)+1, g, gtest.WorkloadOptions{Size: 24, MaxLen: 4}) {
+		e, err := pathexpr.Parse(s)
+		if err != nil {
+			b.Fatalf("parse %q: %v", s, err)
+		}
+		exprs = append(exprs, e)
+		if !e.HasWildcard() && e.RequiredK() != pathexpr.Unbounded {
+			ms.Support(e)
+		}
+	}
+	fm := ms.Freeze()
+
+	var snap bytes.Buffer
+	if err := Write(&snap, fm, WriteOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	var heap bytes.Buffer
+	if err := store.WriteMStar(&heap, ms); err != nil {
+		b.Fatal(err)
+	}
+	bi := &benchIndex{g: g, fm: fm, exprs: exprs, snap: snap.Bytes(), heap: heap.Bytes()}
+	benchCache[nodes] = bi
+	return bi
+}
+
+// benchSnapFile materializes the encoded snapshot on disk for the mmap open
+// paths (Open maps a file, not a byte slice).
+func benchSnapFile(b *testing.B, bi *benchIndex) string {
+	b.Helper()
+	path := filepath.Join(b.TempDir(), "bench.mrx")
+	if err := os.WriteFile(path, bi.snap, 0o644); err != nil {
+		b.Fatal(err)
+	}
+	return path
+}
+
+// BenchmarkColdStart measures time-to-first-query across index sizes for
+// the three ways of resurrecting a frozen index from bytes:
+//
+//   - heap: store.ReadMStar + Freeze — every array deserialized and
+//     reallocated, so cost grows linearly with the index.
+//   - mmap-verified: Open with full checksum + deep structural verification
+//     — also linear, but streaming over mapped bytes with no allocation
+//     proportional to the extents.
+//   - mmap-trusted: Open with Trusted — header, directory and aliasing
+//     only, so cost is O(components) no matter how large the file is.
+func BenchmarkColdStart(b *testing.B) {
+	for _, n := range benchSizes {
+		bi := benchSetup(b, n)
+		path := benchSnapFile(b, bi)
+		b.Run(fmt.Sprintf("n=%d/heap", n), func(b *testing.B) {
+			b.SetBytes(int64(len(bi.heap)))
+			for i := 0; i < b.N; i++ {
+				ms, err := store.ReadMStar(bytes.NewReader(bi.heap), bi.g)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = ms.Freeze()
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/mmap-verified", n), func(b *testing.B) {
+			b.SetBytes(int64(len(bi.snap)))
+			for i := 0; i < b.N; i++ {
+				snap, err := Open(path, bi.g, Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				snap.Close()
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/mmap-trusted", n), func(b *testing.B) {
+			b.SetBytes(int64(len(bi.snap)))
+			for i := 0; i < b.N; i++ {
+				snap, err := Open(path, bi.g, Options{Trusted: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				snap.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkServing runs the same workload through a heap-resident frozen
+// view and a memory-mapped one. The mapped view must stay within ~10% of
+// heap — the read path is identical aliased []int32 arrays either way; only
+// the page source differs — or disk-resident serving would not be free.
+func BenchmarkServing(b *testing.B) {
+	bi := benchSetup(b, 10_000)
+	path := benchSnapFile(b, bi)
+	snap, err := Open(path, bi.g, Options{Trusted: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer snap.Close()
+	for _, view := range []struct {
+		name string
+		fm   *core.FrozenMStar
+	}{
+		{"heap", bi.fm},
+		{"mapped", snap.FrozenMStar()},
+	} {
+		b.Run(view.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				e := bi.exprs[i%len(bi.exprs)]
+				_ = view.fm.Query(e)
+			}
+		})
+	}
+}

@@ -1,0 +1,30 @@
+//go:build unix
+
+package mmapstore
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"syscall"
+)
+
+// mapFile maps f read-only. The second result reports that the bytes are a
+// real mapping (and must eventually go through munmapBytes).
+func mapFile(f *os.File, size int64) ([]byte, bool, error) {
+	if size > math.MaxInt {
+		return nil, false, fmt.Errorf("file of %d bytes exceeds the address space", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false, err
+	}
+	return data, true, nil
+}
+
+func munmapBytes(b []byte) error {
+	if b == nil {
+		return nil
+	}
+	return syscall.Munmap(b)
+}

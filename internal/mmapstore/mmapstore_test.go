@@ -1,0 +1,252 @@
+package mmapstore
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mrx/internal/core"
+	"mrx/internal/graph"
+	"mrx/internal/gtest"
+	"mrx/internal/pathexpr"
+)
+
+// testIndex builds a refined M*(k) over a random graph, returning the graph,
+// the frozen view, and a parsed workload for equivalence checks.
+func testIndex(tb testing.TB, seed int64) (*graph.Graph, *core.FrozenMStar, []*pathexpr.Expr) {
+	tb.Helper()
+	g := gtest.Random(seed, 90, 5, 0.25)
+	ms := core.NewMStar(g)
+	var exprs []*pathexpr.Expr
+	for _, s := range gtest.RandomWorkload(seed+1, g, gtest.WorkloadOptions{Size: 12, MaxLen: 3}) {
+		e, err := pathexpr.Parse(s)
+		if err != nil {
+			tb.Fatalf("parse %q: %v", s, err)
+		}
+		exprs = append(exprs, e)
+		if !e.HasWildcard() && e.RequiredK() != pathexpr.Unbounded {
+			ms.Support(e)
+		}
+	}
+	fm := ms.Freeze()
+	if fm.NumComponents() < 2 {
+		tb.Fatalf("workload refined to only %d component(s)", fm.NumComponents())
+	}
+	return g, fm, exprs
+}
+
+func encode(tb testing.TB, fm *core.FrozenMStar, o WriteOptions) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, fm, o); err != nil {
+		tb.Fatalf("Write: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// sameAnswers checks that the loaded view answers the whole workload exactly
+// like the in-memory frozen view.
+func sameAnswers(tb testing.TB, want, got *core.FrozenMStar, exprs []*pathexpr.Expr) {
+	tb.Helper()
+	for _, e := range exprs {
+		w, g := want.Query(e), got.Query(e)
+		if len(w.Answer) != len(g.Answer) {
+			tb.Fatalf("%s: %d answers, want %d", e, len(g.Answer), len(w.Answer))
+		}
+		for i := range w.Answer {
+			if w.Answer[i] != g.Answer[i] {
+				tb.Fatalf("%s: answer %d is %d, want %d", e, i, g.Answer[i], w.Answer[i])
+			}
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	g, fm, exprs := testIndex(t, 3)
+	variants := []struct {
+		name string
+		wo   WriteOptions
+		ro   Options
+	}{
+		{"raw", WriteOptions{}, Options{}},
+		{"compact", WriteOptions{CompactExtents: true}, Options{}},
+		{"bigendian", WriteOptions{BigEndian: true}, Options{}},
+		{"forcecopy", WriteOptions{}, Options{ForceCopy: true}},
+		{"trusted", WriteOptions{}, Options{Trusted: true}},
+		{"compact-bigendian", WriteOptions{CompactExtents: true, BigEndian: true}, Options{}},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			enc := encode(t, fm, v.wo)
+			snap, err := OpenBytes(enc, g, v.ro)
+			if err != nil {
+				t.Fatalf("OpenBytes: %v", err)
+			}
+			sameAnswers(t, fm, snap.FrozenMStar(), exprs)
+			// Re-encoding the loaded view must reproduce the file byte for
+			// byte: the mapped view carries exactly the in-memory state.
+			if re := encode(t, snap.FrozenMStar(), v.wo); !bytes.Equal(re, enc) {
+				t.Fatal("re-encoding the loaded view changed the bytes")
+			}
+			// And re-encoding with default options must match the in-memory
+			// snapshot's default encoding, whatever variant it came through.
+			if got, want := encode(t, snap.FrozenMStar(), WriteOptions{}), encode(t, fm, WriteOptions{}); !bytes.Equal(got, want) {
+				t.Fatal("loaded view and source snapshot encode differently")
+			}
+		})
+	}
+}
+
+func TestMisalignedBufferFallsBackToDecode(t *testing.T) {
+	g, fm, exprs := testIndex(t, 5)
+	enc := encode(t, fm, WriteOptions{})
+	// Force a misaligned backing buffer; the reader must detect it and
+	// decode instead of taking unsafe views.
+	buf := make([]byte, len(enc)+1)
+	copy(buf[1:], enc)
+	shifted := buf[1:]
+	if aligned4(shifted) {
+		t.Skip("allocator produced an aligned odd-offset slice")
+	}
+	snap, err := OpenBytes(shifted, g, Options{})
+	if err != nil {
+		t.Fatalf("OpenBytes on misaligned buffer: %v", err)
+	}
+	sameAnswers(t, fm, snap.FrozenMStar(), exprs)
+}
+
+func TestOpenFile(t *testing.T) {
+	g, fm, exprs := testIndex(t, 7)
+	path := filepath.Join(t.TempDir(), "snap.mrx")
+	if err := WriteFile(path, fm, WriteOptions{}); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	for _, o := range []Options{{}, {Trusted: true}} {
+		snap, err := Open(path, g, o)
+		if err != nil {
+			t.Fatalf("Open (trusted=%v): %v", o.Trusted, err)
+		}
+		sameAnswers(t, fm, snap.FrozenMStar(), exprs)
+		if err := snap.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		if err := snap.Close(); err != nil {
+			t.Fatalf("second Close: %v", err)
+		}
+	}
+}
+
+func TestOpenRejectsWrongGraph(t *testing.T) {
+	g, fm, _ := testIndex(t, 9)
+	enc := encode(t, fm, WriteOptions{})
+	other := gtest.Random(10, g.NumNodes()+5, 4, 0.2)
+	if _, err := OpenBytes(enc, other, Options{}); err == nil {
+		t.Fatal("accepted a snapshot bound to a different graph")
+	}
+}
+
+func TestCorruptionRejected(t *testing.T) {
+	g, fm, _ := testIndex(t, 11)
+	enc := encode(t, fm, WriteOptions{})
+
+	// Truncations at every interesting boundary.
+	for _, n := range []int{0, 4, headerSize - 1, headerSize, headerSize + 20, len(enc) / 2, len(enc) - 1} {
+		if _, err := OpenBytes(enc[:n], g, Options{}); err == nil {
+			t.Errorf("accepted truncation to %d bytes", n)
+		}
+	}
+	// Single-byte corruption across the whole file: header, directory, or
+	// payload — the checksums must catch anything parsing itself misses.
+	stride := len(enc)/97 + 1
+	for off := 0; off < len(enc); off += stride {
+		mut := append([]byte(nil), enc...)
+		mut[off] ^= 0x40
+		if _, err := OpenBytes(mut, g, Options{}); err == nil {
+			// A flip may land in padding bytes, which no checksum covers and
+			// no reader examines; only padding flips may be accepted.
+			if !inPadding(t, enc, off) {
+				t.Errorf("accepted bit flip at offset %d", off)
+			}
+		}
+	}
+}
+
+// inPadding reports whether off falls in alignment padding (bytes between
+// section payloads that no directory entry covers).
+func inPadding(tb testing.TB, enc []byte, off int) bool {
+	tb.Helper()
+	h, err := parseHeader(enc)
+	if err != nil {
+		tb.Fatalf("parseHeader on valid bytes: %v", err)
+	}
+	if off < headerSize+int(h.sections)*dirEntrySize {
+		return false
+	}
+	ents, err := parseDirectory(enc, h)
+	if err != nil {
+		tb.Fatalf("parseDirectory on valid bytes: %v", err)
+	}
+	for _, e := range ents {
+		if uint64(off) >= e.off && uint64(off) < e.off+e.size {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPublishAtomicAndRepeatable(t *testing.T) {
+	g, fm, exprs := testIndex(t, 13)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.mrx")
+	if err := Publish(path, fm, WriteOptions{}); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	snap, err := Open(path, g, Options{})
+	if err != nil {
+		t.Fatalf("Open after Publish: %v", err)
+	}
+	sameAnswers(t, fm, snap.FrozenMStar(), exprs)
+
+	// Republish over the live file: the existing mapping must stay valid
+	// (rename unlinks the name, not the inode) and a fresh open sees the
+	// new generation.
+	if err := Publish(path, fm, WriteOptions{CompactExtents: true}); err != nil {
+		t.Fatalf("re-Publish: %v", err)
+	}
+	sameAnswers(t, fm, snap.FrozenMStar(), exprs)
+	snap2, err := Open(path, g, Options{})
+	if err != nil {
+		t.Fatalf("Open after re-Publish: %v", err)
+	}
+	sameAnswers(t, fm, snap2.FrozenMStar(), exprs)
+
+	// No temp litter may survive a successful publish.
+	matches, err := filepath.Glob(filepath.Join(dir, "*.tmp-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 0 {
+		t.Fatalf("publish left temp files behind: %v", matches)
+	}
+	if err := snap.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := snap2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenRejectsNonSnapshotFile(t *testing.T) {
+	g, _, _ := testIndex(t, 15)
+	path := filepath.Join(t.TempDir(), "not-a-snapshot")
+	if err := os.WriteFile(path, []byte("hello, world — definitely not an index"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, g, Options{}); err == nil {
+		t.Fatal("accepted a non-snapshot file")
+	}
+	if _, err := Open(filepath.Join(t.TempDir(), "missing"), g, Options{}); err == nil {
+		t.Fatal("accepted a missing file")
+	}
+}

@@ -1,0 +1,77 @@
+package mmapstore
+
+import (
+	"encoding/binary"
+	"unsafe"
+)
+
+// hostOrder is the byte order of the machine this process runs on, probed
+// once at startup.
+var hostOrder binary.ByteOrder = probeHostOrder()
+
+func probeHostOrder() binary.ByteOrder {
+	x := uint16(1)
+	if *(*byte)(unsafe.Pointer(&x)) == 1 {
+		return binary.LittleEndian
+	}
+	return binary.BigEndian
+}
+
+// viewInt32 reinterprets b as a []T without copying. Callers must have
+// established that len(b) is a multiple of 4, that b is 4-byte-aligned, and
+// that the file's byte order matches the host's; int32Section is the only
+// caller and checks all three, falling back to decodeInt32 otherwise.
+func viewInt32[T ~int32](b []byte) []T {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*T)(unsafe.Pointer(&b[0])), len(b)/4)
+}
+
+// bytesOf reinterprets an int32-kind slice as its raw bytes in host order,
+// the writer's zero-copy complement of viewInt32.
+func bytesOf[T ~int32](xs []T) []byte {
+	if len(xs) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&xs[0])), len(xs)*4)
+}
+
+// aligned4 reports whether b's backing memory starts on a 4-byte boundary.
+func aligned4(b []byte) bool {
+	return len(b) == 0 || uintptr(unsafe.Pointer(&b[0]))%4 == 0
+}
+
+// decodeInt32 copies b into a fresh []T, interpreting each 4-byte group in
+// the given order — the safe fallback for unaligned or foreign-endian
+// sections.
+func decodeInt32[T ~int32](b []byte, order binary.ByteOrder) []T {
+	out := make([]T, len(b)/4)
+	for i := range out {
+		out[i] = T(int32(order.Uint32(b[i*4:])))
+	}
+	return out
+}
+
+// int32Section materializes one raw int32 section: a zero-copy view of the
+// underlying bytes when the layout permits (host byte order, 4-byte-aligned,
+// not forced to copy), a decoding copy otherwise. The caller has already
+// validated that len(b) == 4*count.
+func int32Section[T ~int32](b []byte, order binary.ByteOrder, forceCopy bool) []T {
+	if !forceCopy && order == hostOrder && aligned4(b) {
+		return viewInt32[T](b)
+	}
+	return decodeInt32[T](b, order)
+}
+
+// encodeInt32 appends xs to dst in the given order, used when the writer
+// targets a byte order different from the host's (bytesOf covers the
+// matching-order case without a copy).
+func encodeInt32[T ~int32](dst []byte, xs []T, order binary.ByteOrder) []byte {
+	var buf [4]byte
+	for _, x := range xs {
+		order.PutUint32(buf[:], uint32(int32(x)))
+		dst = append(dst, buf[:]...)
+	}
+	return dst
+}

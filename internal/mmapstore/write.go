@@ -1,0 +1,176 @@
+package mmapstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"mrx/internal/core"
+	"mrx/internal/graph"
+)
+
+// WriteOptions configures snapshot serialization.
+type WriteOptions struct {
+	// CompactExtents encodes extent arenas as varuint deltas instead of raw
+	// int32 arrays, roughly halving the dominant section at the price of a
+	// linear decode of the arenas (only) at open time. Everything else still
+	// serves zero-copy from the mapping.
+	CompactExtents bool
+
+	// BigEndian forces big-endian output regardless of the host order. The
+	// default writes the host's byte order, which is what makes zero-copy
+	// reads possible; this option exists so tests can exercise the reader's
+	// foreign-endian decoding fallback on any machine.
+	BigEndian bool
+
+	// OnSection, if set, is called immediately before each section payload
+	// is written, identifying it by component and section kind. Tests use
+	// it to pace or interrupt writes mid-file.
+	OnSection func(comp, kind int)
+}
+
+func (o WriteOptions) order() binary.ByteOrder {
+	if o.BigEndian {
+		return binary.BigEndian
+	}
+	return hostOrder
+}
+
+// section pairs a directory entry with its encoded payload during writing.
+type section struct {
+	e       dirEntry
+	payload []byte
+}
+
+// addSection encodes one int32-kind array as a raw section — a zero-copy
+// byte view when the target order is the host's, an encoding copy otherwise
+// — and appends it with its checksum and count filled in.
+func addSection[T ~int32](sections []section, comp, kind int, xs []T, order binary.ByteOrder) []section {
+	var b []byte
+	if order == hostOrder {
+		b = bytesOf(xs)
+	} else {
+		b = encodeInt32(nil, xs, order)
+	}
+	return append(sections, section{
+		e: dirEntry{
+			kind: uint32(kind), comp: uint32(comp), enc: encRaw32,
+			crc: crc32.Checksum(b, castagnoli), count: uint64(len(xs)), size: uint64(len(b)),
+		},
+		payload: b,
+	})
+}
+
+// Write serializes fm in the mmapstore format. The output is deterministic
+// for a given snapshot and options: re-encoding a loaded snapshot
+// reproduces the original file byte for byte, which the differential tests
+// use to prove the mapped view carries exactly the in-memory state.
+func Write(w io.Writer, fm *core.FrozenMStar, o WriteOptions) error {
+	order := o.order()
+	g := fm.Data()
+	if fm.NumComponents() > maxComponents {
+		return fmt.Errorf("mmapstore: %d components exceed format cap %d", fm.NumComponents(), maxComponents)
+	}
+
+	var sections []section
+	for i := 0; i < fm.NumComponents(); i++ {
+		a := fm.Component(i).Arrays()
+		sections = addSection(sections, i, secRetired, a.Retired, order)
+		sections = addSection(sections, i, secKs, a.Ks, order)
+		sections = addSection(sections, i, secLabels, a.Labels, order)
+		sections = addSection(sections, i, secExtentStart, a.ExtentStart, order)
+		if o.CompactExtents {
+			b := varDeltaEncode(a.ExtentStart, a.ExtentArena)
+			sections = append(sections, section{
+				e: dirEntry{
+					kind: secExtentArena, comp: uint32(i), enc: encVarDelta,
+					crc: crc32.Checksum(b, castagnoli), count: uint64(len(a.ExtentArena)), size: uint64(len(b)),
+				},
+				payload: b,
+			})
+		} else {
+			sections = addSection(sections, i, secExtentArena, a.ExtentArena, order)
+		}
+		sections = addSection(sections, i, secChildStart, a.ChildStart, order)
+		sections = addSection(sections, i, secChildren, a.Children, order)
+		sections = addSection(sections, i, secParentStart, a.ParentStart, order)
+		sections = addSection(sections, i, secParents, a.Parents, order)
+		sections = addSection(sections, i, secLabelStart, a.LabelStart, order)
+		sections = addSection(sections, i, secLabelNodes, a.LabelNodes, order)
+		sections = addSection(sections, i, secNodeOf, a.NodeOf, order)
+	}
+
+	// Lay the payloads out after the directory, each 64-byte-aligned.
+	dirBytes := make([]byte, len(sections)*dirEntrySize)
+	cur := uint64(headerSize + len(dirBytes))
+	for i := range sections {
+		sections[i].e.off = align64(cur)
+		cur = sections[i].e.off + sections[i].e.size
+	}
+	fileSize := cur
+	for i, s := range sections {
+		putDirEntry(dirBytes[i*dirEntrySize:], order, s.e)
+	}
+
+	var hdr [headerSize]byte
+	copy(hdr[0:7], magic)
+	hdr[7] = formatVersion
+	order.PutUint32(hdr[8:12], byteOrderMark)
+	order.PutUint32(hdr[12:16], 0) // flags, reserved
+	order.PutUint64(hdr[16:24], fileSize)
+	order.PutUint64(hdr[24:32], uint64(g.NumNodes()))
+	order.PutUint64(hdr[32:40], uint64(g.NumEdges()))
+	order.PutUint64(hdr[40:48], uint64(g.NumLabels()))
+	order.PutUint32(hdr[48:52], uint32(fm.NumComponents()))
+	order.PutUint32(hdr[52:56], uint32(len(sections)))
+	order.PutUint32(hdr[56:60], crc32.Checksum(dirBytes, castagnoli))
+
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("mmapstore: write header: %w", err)
+	}
+	if _, err := bw.Write(dirBytes); err != nil {
+		return fmt.Errorf("mmapstore: write directory: %w", err)
+	}
+	pos := uint64(headerSize + len(dirBytes))
+	var pad [payloadAlign]byte
+	for _, s := range sections {
+		if s.e.off > pos {
+			if _, err := bw.Write(pad[:s.e.off-pos]); err != nil {
+				return fmt.Errorf("mmapstore: write padding: %w", err)
+			}
+			pos = s.e.off
+		}
+		if o.OnSection != nil {
+			o.OnSection(int(s.e.comp), int(s.e.kind))
+		}
+		if _, err := bw.Write(s.payload); err != nil {
+			return fmt.Errorf("mmapstore: write section %s: %w", s.e.name(), err)
+		}
+		pos += s.e.size
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("mmapstore: flush: %w", err)
+	}
+	return nil
+}
+
+// varDeltaEncode encodes the extent arena as uvarint deltas, with the
+// running predecessor reset to zero at every extent boundary — the same
+// scheme package store uses, made restorable section-locally by the start
+// offsets stored alongside.
+func varDeltaEncode(start []int32, arena []graph.NodeID) []byte {
+	out := make([]byte, 0, len(arena)) // sorted small deltas mostly fit one byte
+	var buf [binary.MaxVarintLen64]byte
+	for i := 0; i+1 < len(start); i++ {
+		prev := int64(0)
+		for _, o := range arena[start[i]:start[i+1]] {
+			n := binary.PutUvarint(buf[:], uint64(int64(o)-prev))
+			out = append(out, buf[:n]...)
+			prev = int64(o)
+		}
+	}
+	return out
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"mrx/internal/core"
+	"mrx/internal/mmapstore"
 	"mrx/internal/pathexpr"
 	"mrx/internal/query"
 )
@@ -18,6 +19,25 @@ type Snap struct {
 	Gen uint64
 	MS  *core.MStar
 	FZ  *core.FrozenMStar
+
+	// Serve is the view queries should read: the trusted zero-copy
+	// remapping of FZ's atomic on-disk publish when EnablePersist routed
+	// this generation to disk, FZ itself otherwise (including when a
+	// republish failed — readers are never left behind the write side).
+	// Writers keep chaining off FZ: probes and FreezeReusing share heap
+	// arrays, never mapped bytes, so a superseded generation's mapping can
+	// be unmapped without invalidating anything its successor shares.
+	Serve *core.FrozenMStar
+}
+
+// Serving returns the frozen view queries should evaluate against: Serve
+// when set, FZ otherwise (pre-persist snapshots constructed by older code
+// paths leave Serve nil).
+func (s *Snap) Serving() *core.FrozenMStar {
+	if s.Serve != nil {
+		return s.Serve
+	}
+	return s.FZ
 }
 
 // State owns one shard's snapshot lifecycle: a write lock serializing
@@ -31,9 +51,18 @@ type Snap struct {
 // before it returns from construction.
 type State struct {
 	shard *Shard
+	opts  core.MStarOptions // serving options, reused for trusted reopens
 
 	mu   sync.Mutex // serializes writers on this shard
 	snap atomic.Pointer[Snap]
+
+	// persistPath, when non-empty, routes every published generation
+	// through an atomic on-disk republish (mmapstore.Publish) followed by a
+	// trusted zero-copy reopen; set by EnablePersist before FreezeInitial.
+	persistPath string
+	persistWO   mmapstore.WriteOptions
+	persistErrs atomic.Uint64
+	persistErr  error // first republish failure; guarded by mu
 
 	freezes       atomic.Uint64
 	lastFreezeNs  atomic.Int64
@@ -49,10 +78,67 @@ type State struct {
 // NewState builds the shard's mutable M*(k)-index at component I0. Call
 // FreezeInitial before serving.
 func NewState(sh *Shard, opts core.MStarOptions) *State {
-	st := &State{shard: sh}
+	st := &State{shard: sh, opts: opts}
 	ms := core.NewMStarOpts(sh.local, opts)
 	st.snap.Store(&Snap{MS: ms}) // FZ nil until FreezeInitial
 	return st
+}
+
+// EnablePersist makes this shard disk-resident: every generation published
+// from FreezeInitial on is atomically republished to path as an mmapstore
+// snapshot (bound to the shard-local graph) and served from its trusted
+// zero-copy remapping. Call it before FreezeInitial; it is not safe to call
+// concurrently with writers. A republish failure degrades that generation
+// to heap serving, bumps PersistErrors, and records the first error for
+// PersistErr.
+func (st *State) EnablePersist(path string, compact bool) {
+	st.persistPath = path
+	st.persistWO = mmapstore.WriteOptions{CompactExtents: compact}
+}
+
+// PersistErrors reports how many published generations failed to reach
+// disk (each was served from the heap instead).
+func (st *State) PersistErrors() uint64 { return st.persistErrs.Load() }
+
+// PersistErr returns the first republish failure, or nil. The sharded
+// engine uses it to fail construction when the initial freeze could not be
+// persisted.
+func (st *State) PersistErr() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.persistErr
+}
+
+// publishLocked publishes next as the shard's current generation, routing
+// it through the persist target first when one is configured. Callers hold
+// st.mu.
+func (st *State) publishLocked(next *Snap) {
+	next.Serve = next.FZ
+	if st.persistPath != "" {
+		if serve, err := st.republish(next.FZ); err != nil {
+			st.persistErrs.Add(1)
+			if st.persistErr == nil {
+				st.persistErr = err
+			}
+		} else {
+			next.Serve = serve
+		}
+	}
+	st.snap.Store(next)
+}
+
+// republish atomically replaces the shard's on-disk snapshot with fz and
+// reopens it as a trusted zero-copy mapping. Trusted is sound: the bytes
+// were written by this process one atomic rename ago.
+func (st *State) republish(fz *core.FrozenMStar) (*core.FrozenMStar, error) {
+	if err := mmapstore.Publish(st.persistPath, fz, st.persistWO); err != nil {
+		return nil, err
+	}
+	snap, err := mmapstore.Open(st.persistPath, st.shard.local, mmapstore.Options{Trusted: true, MStar: st.opts})
+	if err != nil {
+		return nil, err
+	}
+	return snap.FrozenMStar(), nil
 }
 
 // Shard returns the immutable shard this state serves.
@@ -74,7 +160,7 @@ func (st *State) FreezeInitial() {
 	defer st.mu.Unlock()
 	cur := st.snap.Load()
 	fz := st.timedFreeze(func() *core.FrozenMStar { return cur.MS.Freeze() })
-	st.snap.Store(&Snap{Gen: cur.Gen, MS: cur.MS, FZ: fz})
+	st.publishLocked(&Snap{Gen: cur.Gen, MS: cur.MS, FZ: fz})
 }
 
 // timedFreeze runs one freeze under the shard's freeze telemetry. Callers
@@ -125,7 +211,7 @@ func (st *State) Refine(e *pathexpr.Expr, opt query.ValidateOpts) bool {
 		st.RefineHook()
 	}
 	fz := st.timedFreeze(func() *core.FrozenMStar { return clone.FreezeReusing(cur.MS, cur.FZ) })
-	st.snap.Store(&Snap{Gen: cur.Gen + 1, MS: clone, FZ: fz})
+	st.publishLocked(&Snap{Gen: cur.Gen + 1, MS: clone, FZ: fz})
 	return true
 }
 
@@ -144,6 +230,6 @@ func (st *State) Retire(e *pathexpr.Expr) bool {
 	// The rebuild starts from a fresh I0; nothing of the outgoing frozen
 	// view survives to reuse.
 	fz := st.timedFreeze(rebuilt.Freeze)
-	st.snap.Store(&Snap{Gen: cur.Gen + 1, MS: rebuilt, FZ: fz})
+	st.publishLocked(&Snap{Gen: cur.Gen + 1, MS: rebuilt, FZ: fz})
 	return true
 }

@@ -114,6 +114,11 @@ func MustParsePath(s string) *PathExpr {
 // PathFromLabels builds a descendant-anchored expression from labels.
 func PathFromLabels(labels []string) *PathExpr { return pathexpr.FromLabels(labels) }
 
+// UnboundedK is returned by PathExpr.RequiredK for expressions no finite
+// local similarity can make precise; such expressions are not refinable
+// FUPs.
+const UnboundedK = pathexpr.Unbounded
+
 // Cost is the paper's query cost: index nodes visited during index
 // traversal plus data nodes visited during validation.
 type Cost = query.Cost
